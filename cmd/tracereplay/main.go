@@ -1,0 +1,110 @@
+// Command tracereplay records a benchmark's instrumentation event stream
+// to a compact binary trace and replays traces into any detector — the
+// record/replay workflow of RecPlay (Section VI related work), useful for
+// analyzing one execution under many detector configurations without
+// re-running the program.
+//
+// Usage:
+//
+//	tracereplay -record -bench ferret -out ferret.trace
+//	tracereplay -replay ferret.trace -tool fasttrack -granularity dynamic
+//	tracereplay -replay ferret.trace -tool drd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/segment"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/workloads"
+)
+
+func main() {
+	var (
+		record = flag.Bool("record", false, "record a benchmark trace")
+		replay = flag.String("replay", "", "trace file to replay")
+		bench  = flag.String("bench", "", "benchmark to record (see racedetect -list)")
+		out    = flag.String("out", "out.trace", "output trace file")
+		scale  = flag.Int("scale", 1, "workload scale when recording")
+		seed   = flag.Int64("seed", 42, "scheduler seed when recording")
+		tool   = flag.String("tool", "fasttrack", "replay tool: fasttrack | drd")
+		gran   = flag.String("granularity", "dynamic", "byte | word | dynamic")
+		v      = flag.Bool("v", false, "print each race")
+	)
+	flag.Parse()
+
+	switch {
+	case *record:
+		spec, err := workloads.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		rec := trace.NewRecorder(f)
+		st := sim.Run(spec.Build(*scale), rec, sim.Options{Seed: *seed})
+		if err := rec.Close(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		info, _ := os.Stat(*out)
+		fmt.Printf("recorded %d events (%d accesses) to %s (%d bytes, %.2f B/event)\n",
+			rec.Events(), st.Accesses, *out, info.Size(),
+			float64(info.Size())/float64(rec.Events()))
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		start := time.Now()
+		switch *tool {
+		case "fasttrack":
+			g := map[string]detector.Granularity{
+				"byte": detector.Byte, "word": detector.Word, "dynamic": detector.Dynamic,
+			}[*gran]
+			d := detector.New(detector.Config{Granularity: g})
+			if err := trace.Replay(f, d); err != nil {
+				fatal(err)
+			}
+			st := d.Stats()
+			fmt.Printf("fasttrack/%s over %d accesses in %v: %d races, %d peak clocks, %.2f MB peak\n",
+				*gran, st.Accesses, time.Since(start).Round(time.Microsecond),
+				len(d.Races()), st.Plane.NodesPeak, float64(st.TotalPeakBytes)/(1<<20))
+			if *v {
+				for _, r := range d.Races() {
+					fmt.Printf("  %v\n", r)
+				}
+			}
+		case "drd":
+			d := segment.New(segment.Options{})
+			if err := trace.Replay(f, d); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("drd replay in %v: %d races, %.2f MB peak\n",
+				time.Since(start).Round(time.Microsecond),
+				len(d.Races()), float64(d.PeakBytes())/(1<<20))
+		default:
+			fatal(fmt.Errorf("unknown replay tool %q", *tool))
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracereplay:", err)
+	os.Exit(1)
+}

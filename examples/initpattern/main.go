@@ -1,0 +1,86 @@
+// Initpattern demonstrates the Figure 2 state machine on the paper's
+// motivating access pattern: a data structure initialized in its entirety,
+// then partitioned among threads that protect their own slices.
+//
+//	go run ./examples/initpattern
+//
+// It runs the same program under four detector configurations and prints
+// how the state-machine design choices play out:
+//
+//   - dynamic granularity folds the initialization sweep into a handful of
+//     temporarily shared clocks (massive allocation savings);
+//   - disabling first-epoch sharing (Table 5's ablation) keeps the Init
+//     state but allocates a clock per location during initialization;
+//   - disabling the Init state entirely makes the first-access sharing
+//     decision final — and floods the run with false alarms, because the
+//     partitions that were initialized together are later written by
+//     different threads;
+//   - byte granularity is the precise-but-expensive baseline.
+package main
+
+import (
+	"fmt"
+
+	"repro/race"
+)
+
+func buildProgram() race.Program {
+	const (
+		workers = 4
+		n       = 4096 // 8-byte elements
+		base    = 0x10000
+	)
+	return race.Program{Name: "initpattern", Main: func(t *race.Thread) {
+		t.At(1)
+		// Initialize the whole array in one sweep (one epoch).
+		t.WriteBlock(base, 8, n)
+
+		// Partition boundaries deliberately fall inside shadow blocks.
+		part := n/workers + 1
+		var hs []*race.Thread
+		for w := 0; w < workers; w++ {
+			w := w
+			hs = append(hs, t.Go(func(u *race.Thread) {
+				lo := w * part
+				hi := lo + part
+				if hi > n {
+					hi = n
+				}
+				for iter := 0; iter < 4; iter++ {
+					for i := lo; i < hi; i++ {
+						u.At(2)
+						u.Read(base+uint64(i)*8, 8)
+						u.Write(base+uint64(i)*8, 8)
+					}
+					u.Yield()
+				}
+			}))
+		}
+		for _, h := range hs {
+			t.Join(h)
+		}
+	}}
+}
+
+func main() {
+	configs := []struct {
+		name string
+		opts race.Options
+	}{
+		{"dynamic (full state machine)", race.Options{Granularity: race.Dynamic}},
+		{"dynamic, no sharing at Init", race.Options{Granularity: race.Dynamic, NoInitSharing: true}},
+		{"dynamic, no Init state", race.Options{Granularity: race.Dynamic, NoInitState: true}},
+		{"byte granularity", race.Options{Granularity: race.Byte}},
+	}
+	fmt.Printf("%-32s %10s %12s %10s %8s\n",
+		"configuration", "races", "clock allocs", "peak VCs", "mem KB")
+	for _, c := range configs {
+		c.opts.Seed = 7
+		rep := race.Run(buildProgram(), c.opts)
+		fmt.Printf("%-32s %10d %12d %10d %8d\n",
+			c.name, len(rep.Races), rep.Detector.NodeAllocs,
+			rep.Detector.MaxVectorClocks, rep.Detector.TotalPeakBytes/1024)
+	}
+	fmt.Println("\nThe program is race-free: every \"race\" above is a false alarm")
+	fmt.Println("caused by making the sharing decision during initialization.")
+}

@@ -1,0 +1,722 @@
+// Package detector is the race-detection front end: an event.Sink that
+// drives the FastTrack algorithm (internal/fasttrack) over shadow planes
+// (internal/dyngran) at a configurable detection granularity. It implements
+// the instrumentation path of Figure 3 of the paper:
+//
+//	void memoryread(addr, size, tid):
+//	    if nonshared(addr) or sameepoch(tid, addr): return
+//	    L = findreadaccess(addr)
+//	    if L == nil:            // first access
+//	        L = insertread(addr, size); sharefirstepoch(L); L.state = Init
+//	    else if L.state == Init: // second epoch access
+//	        split(L); sharesecondepoch(L); L.state = Shared or Private
+//	    if racefound(addr): splitandsetrace(L)
+//	    insertepochaccess(tid, addr)
+//
+// with the same-epoch test served by per-thread bitmaps
+// (internal/epochbitmap) that reset at each lock release.
+//
+// Three granularities are supported. Byte tracks each access footprint
+// exactly; Word rounds footprints to 4-byte boundaries (merging and masking
+// neighbouring locations within a word); Dynamic starts at byte granularity
+// and lets neighbouring locations share one clock under the Figure 2 state
+// machine. Byte and Word are the fixed-granularity baselines of Table 1;
+// they reuse the same node machinery with sharing disabled, so all modes
+// are measured over identical code.
+package detector
+
+import (
+	"fmt"
+
+	"repro/internal/dyngran"
+	"repro/internal/epochbitmap"
+	"repro/internal/event"
+	"repro/internal/fasttrack"
+	"repro/internal/vc"
+)
+
+// Granularity selects the detection unit.
+type Granularity uint8
+
+const (
+	// Byte tracks locations at access-footprint granularity (the paper's
+	// "byte granularity": detection unit as fine as a single byte).
+	Byte Granularity = iota
+	// Word masks footprints to 4-byte boundaries.
+	Word
+	// Dynamic starts at byte granularity and shares clocks between
+	// neighbouring locations per the vector-clock state machine.
+	Dynamic
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case Byte:
+		return "byte"
+	case Word:
+		return "word"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return "?"
+	}
+}
+
+// Config configures a Detector.
+type Config struct {
+	// Granularity selects the detection unit.
+	Granularity Granularity
+	// NoInitState disables the Init state (Table 5 ablation): the sharing
+	// decision is made once, at the first access, and is final.
+	NoInitState bool
+	// NoInitSharing disables the temporary first-epoch sharing while
+	// keeping the Init state (Table 5 ablation): locations hold private
+	// clocks during their first epoch and decide sharing at the second
+	// epoch access.
+	NoInitSharing bool
+	// WriteGuidedReads enables the future-work extension of Section VII:
+	// the read-plane sharing decision consults the write plane first and
+	// skips the read-clock comparison when the write clocks already ruled
+	// sharing out.
+	WriteGuidedReads bool
+	// ReadReset enables FastTrack's write-exclusive optimization: after a
+	// write that dominates every recorded read of its footprint, inflated
+	// read vectors in the range are reset to the empty epoch, reclaiming
+	// their storage (the full FastTrack rule; the default keeps DJIT+'s
+	// read history, which is equally precise but larger).
+	ReadReset bool
+	// ReshareInterval enables the other Section VII future-work extension
+	// ("accommodate access behavior after the second epoch so that the
+	// detection granularity can be changed more dynamically"): a Private
+	// location re-runs the sharing decision after this many
+	// distinct-epoch accesses. 0 keeps the paper's at-most-two-decisions
+	// rule.
+	ReshareInterval uint8
+	// Suppress hides races whose code site belongs to one of these
+	// modules (the paper suppresses libc and ld, as DRD does). Nil means
+	// the default suppression set; use an empty non-nil slice for none.
+	Suppress []event.Module
+}
+
+// DefaultSuppress is the default suppression set: the paper applies DRD-like
+// suppression rules (libc, ld) and additionally suppresses the races DRD
+// reports from inside the pthread library.
+var DefaultSuppress = []event.Module{event.ModuleLibc, event.ModuleLd, event.ModulePthread}
+
+// Race is one reported data race: the first race detected on a location.
+type Race struct {
+	Kind fasttrack.RaceKind
+	// Addr and Size identify the accessed location (footprint).
+	Addr uint64
+	Size uint32
+	// Tid and PC identify the access that completed the race.
+	Tid vc.TID
+	PC  event.PC
+	// PrevTid and PrevPC identify the earlier conflicting access.
+	PrevTid vc.TID
+	PrevPC  event.PC
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("%s race at %#x (%dB): thread %d at pc %#x vs thread %d at pc %#x",
+		r.Kind, r.Addr, r.Size, r.Tid, uint32(r.PC), r.PrevTid, uint32(r.PrevPC))
+}
+
+// Stats aggregates everything the evaluation tables need from one run.
+type Stats struct {
+	// Accesses is the number of read/write events seen; SameEpoch is how
+	// many the per-thread bitmaps filtered (Table 4); NonShared is how
+	// many were stack accesses filtered by the Figure 3 first-line check.
+	Accesses  uint64
+	SameEpoch uint64
+	NonShared uint64
+
+	// Plane holds node counts, clock bytes, sharing and split counts
+	// (Tables 2 and 3).
+	Plane dyngran.Stats
+
+	// HashPeakBytes, VCPeakBytes, BitmapPeakBytes are the three memory
+	// components of Table 2; TotalPeakBytes is the peak of their sum.
+	HashPeakBytes   int64
+	VCPeakBytes     int64
+	BitmapPeakBytes int64
+	TotalPeakBytes  int64
+
+	// Races is the number of reported races; Suppressed counts races
+	// hidden by module suppression.
+	Races      uint64
+	Suppressed uint64
+
+	// SharingComparisons counts clock comparisons made for sharing
+	// decisions (the cost the write-guided extension reduces).
+	SharingComparisons uint64
+}
+
+// Detector is the race detector; it implements event.Sink.
+type Detector struct {
+	cfg Config
+
+	th    *fasttrack.Threads
+	read  *dyngran.Plane
+	write *dyngran.Plane
+
+	bitmaps  []*epochbitmap.Bitmap
+	suppress [8]bool
+
+	// racedLocs dedups reports across the read and write planes: one
+	// location's first race is reported once even when both its read and
+	// write shadow nodes go racy.
+	racedLocs map[uint64]bool
+
+	stats Stats
+	races []Race
+}
+
+// New returns a detector with the given configuration.
+func New(cfg Config) *Detector {
+	d := &Detector{
+		cfg:       cfg,
+		th:        fasttrack.NewThreads(),
+		racedLocs: make(map[uint64]bool),
+	}
+	d.read = dyngran.NewPlane(dyngran.ReadPlane, &d.stats.Plane)
+	d.write = dyngran.NewPlane(dyngran.WritePlane, &d.stats.Plane)
+	sup := cfg.Suppress
+	if sup == nil {
+		sup = DefaultSuppress
+	}
+	for _, m := range sup {
+		d.suppress[m] = true
+	}
+	return d
+}
+
+// Races returns the reported races in detection order.
+func (d *Detector) Races() []Race { return d.races }
+
+// Stats returns a snapshot of the run statistics with the memory components
+// finalized.
+func (d *Detector) Stats() Stats {
+	s := d.stats
+	s.HashPeakBytes = d.read.Tab.PeakBytes() + d.write.Tab.PeakBytes()
+	s.VCPeakBytes = s.Plane.VCBytesPeak + d.th.LockClockBytes()
+	var bm int64
+	for _, b := range d.bitmaps {
+		if b != nil {
+			bm += b.PeakBytes()
+		}
+	}
+	s.BitmapPeakBytes = bm
+	if s.TotalPeakBytes < s.HashPeakBytes+s.VCPeakBytes+s.BitmapPeakBytes {
+		s.TotalPeakBytes = s.HashPeakBytes + s.VCPeakBytes + s.BitmapPeakBytes
+	}
+	return s
+}
+
+func (d *Detector) bitmap(t vc.TID) *epochbitmap.Bitmap {
+	for int(t) >= len(d.bitmaps) {
+		d.bitmaps = append(d.bitmaps, nil)
+	}
+	if d.bitmaps[t] == nil {
+		d.bitmaps[t] = epochbitmap.New()
+	}
+	return d.bitmaps[t]
+}
+
+// footprint computes the tracked address range of an access under the
+// configured granularity.
+func (d *Detector) footprint(addr uint64, size uint64) (uint64, uint64) {
+	lo, hi := addr, addr+size
+	if d.cfg.Granularity == Word {
+		lo &^= 3
+		hi = (hi + 3) &^ 3
+	}
+	return lo, hi
+}
+
+// trackTotal refreshes the running total-memory peak (Table 2's overhead
+// total is the peak of the sum of the three components, which individual
+// component peaks would overstate when they crest at different times).
+func (d *Detector) trackTotal() {
+	cur := d.read.Tab.Bytes() + d.write.Tab.Bytes() + d.stats.Plane.VCBytesCur
+	for _, b := range d.bitmaps {
+		if b != nil {
+			cur += b.Bytes()
+		}
+	}
+	if cur > d.stats.TotalPeakBytes {
+		d.stats.TotalPeakBytes = cur
+	}
+}
+
+// report emits the first race of a location unless suppressed.
+func (d *Detector) report(kind fasttrack.RaceKind, lo, hi uint64, tid vc.TID, pc event.PC, prevTid vc.TID, prevPC event.PC) {
+	if d.suppress[pc.Module()] || d.suppress[prevPC.Module()] {
+		d.stats.Suppressed++
+		return
+	}
+	if d.racedLocs[lo] {
+		return // the location's first race was already reported
+	}
+	d.racedLocs[lo] = true
+	d.stats.Races++
+	d.races = append(d.races, Race{
+		Kind: kind, Addr: lo, Size: uint32(hi - lo),
+		Tid: tid, PC: pc, PrevTid: prevTid, PrevPC: prevPC,
+	})
+}
+
+// checkReadPlane scans the read plane in [lo, hi) for a recorded read not
+// ordered before tc (a read-write race against the current write).
+func (d *Detector) checkReadPlane(lo, hi uint64, tc *vc.VC) (vc.TID, event.PC, bool) {
+	var raceTid vc.TID = vc.NoTID
+	var racePC event.PC
+	var last *dyngran.Node
+	d.read.Tab.ForRange(lo, hi, func(_ uint64, n *dyngran.Node) bool {
+		if n == last {
+			return true
+		}
+		last = n
+		if !n.R.LEQ(tc) {
+			raceTid = n.R.RacingTID(tc)
+			racePC = n.PC
+			return false
+		}
+		return true
+	})
+	return raceTid, racePC, raceTid != vc.NoTID
+}
+
+// Write processes a shared write (the memorywrite instrumentation path).
+func (d *Detector) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	if event.NonShared(addr) {
+		d.stats.NonShared++
+		return
+	}
+	d.stats.Accesses++
+	lo, hi := d.footprint(addr, uint64(size))
+	bm := d.bitmap(tid)
+	if bm.Write(lo, hi) {
+		d.stats.SameEpoch++
+		return
+	}
+	tc := d.th.Clock(tid)
+	e := d.th.Epoch(tid)
+
+	d.segments(d.write, lo, hi, func(segLo, segHi uint64, n *dyngran.Node) {
+		d.writeSegment(segLo, segHi, n, tid, tc, e, pc, bm)
+	})
+	if d.cfg.ReadReset {
+		d.read.DeflateReads(lo, hi, tc)
+	}
+	d.trackTotal()
+}
+
+// writeSegment handles one maximal run of a write footprint that lies in a
+// single write node (or in unshadowed memory when n is nil).
+func (d *Detector) writeSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc *vc.VC, e vc.Epoch, pc event.PC, bm *epochbitmap.Bitmap) {
+	p := d.write
+	if n == nil {
+		// First access of the location.
+		d.stats.Plane.LocCreations++
+		rTid, rPC, raced := d.checkReadPlane(lo, hi, tc)
+		if !raced && d.firstEpochSharing() {
+			if ext, ok := p.TryExtendLeft(lo, hi, e, nil); ok {
+				ext.PC = pc
+				return
+			}
+		}
+		n = p.NewNode(lo, hi, dyngran.Init)
+		n.W = e
+		n.PC = pc
+		if raced {
+			n.State = dyngran.Race
+			n.Reported = true
+			d.report(fasttrack.ReadWrite, lo, hi, tid, pc, rTid, rPC)
+			return
+		}
+		d.decideFirstAccess(p, n)
+		return
+	}
+
+	switch n.State {
+	case dyngran.Init:
+		if n.W == e {
+			return // continuation of the location's first epoch
+		}
+		// Second epoch access: split for the new sharing decision.
+		n = p.Split(n, lo, hi)
+		if d.raceOnWrite(n, lo, hi, tid, tc, pc) {
+			return
+		}
+		n.W = e
+		n.PC = pc
+		n = p.DecideSecondEpoch(n)
+		d.stats.SharingComparisons += 2
+
+	case dyngran.Shared:
+		if d.raceOnWrite(n, lo, hi, tid, tc, pc) {
+			return
+		}
+		// The shared clock is updated for the whole range; the bitmap
+		// covers the range so neighbours count as same-epoch accesses.
+		n.W = e
+		n.PC = pc
+		d.markShared(p, n, bm)
+
+	case dyngran.Private, dyngran.Race:
+		if n.Lo < lo || n.Hi > hi {
+			n = p.Split(n, lo, hi) // private clocks stay per-location
+		}
+		if n.State == dyngran.Race && n.Reported {
+			n.W = e
+			n.PC = pc
+			return
+		}
+		if d.raceOnWrite(n, lo, hi, tid, tc, pc) {
+			return
+		}
+		n.W = e
+		n.PC = pc
+		d.maybeReshare(p, n, bm)
+	}
+}
+
+// maybeReshare implements the adaptive-resharing extension: a Private
+// location whose neighbourhood has stabilized gets a fresh sharing
+// decision every ReshareInterval distinct-epoch accesses, letting the
+// granularity keep adapting after the second epoch.
+func (d *Detector) maybeReshare(p *dyngran.Plane, n *dyngran.Node, bm *epochbitmap.Bitmap) {
+	if d.cfg.ReshareInterval == 0 || n.State != dyngran.Private {
+		return
+	}
+	n.Settled++
+	if n.Settled < d.cfg.ReshareInterval {
+		return
+	}
+	n.Settled = 0
+	d.stats.SharingComparisons += 2
+	n = p.DecideSecondEpoch(n)
+	d.markShared(p, n, bm)
+}
+
+// raceOnWrite runs the FastTrack write checks for node n (write plane) and
+// the read plane over [lo, hi); on a race it dissolves sharing, marks the
+// location, and reports. It returns true when a race was found.
+func (d *Detector) raceOnWrite(n *dyngran.Node, lo, hi uint64, tid vc.TID, tc *vc.VC, pc event.PC) bool {
+	kind, other := fasttrack.CheckWrite(n.W, nil, tc)
+	var otherPC event.PC
+	if kind == fasttrack.NoRace {
+		if rTid, rPC, raced := d.checkReadPlane(lo, hi, tc); raced {
+			kind, other, otherPC = fasttrack.ReadWrite, rTid, rPC
+		}
+	} else {
+		otherPC = n.PC
+	}
+	if kind == fasttrack.NoRace {
+		return false
+	}
+	e := d.th.Epoch(tid)
+	n = d.write.SetRace(n, lo, hi)
+	n.W = e
+	n.PC = pc
+	d.report(kind, lo, hi, tid, pc, other, otherPC)
+	return true
+}
+
+// Read processes a shared read (the Figure 3 path).
+func (d *Detector) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	if event.NonShared(addr) {
+		d.stats.NonShared++
+		return
+	}
+	d.stats.Accesses++
+	lo, hi := d.footprint(addr, uint64(size))
+	bm := d.bitmap(tid)
+	if bm.Read(lo, hi) {
+		d.stats.SameEpoch++
+		return
+	}
+	tc := d.th.Clock(tid)
+	e := d.th.Epoch(tid)
+
+	d.segments(d.read, lo, hi, func(segLo, segHi uint64, n *dyngran.Node) {
+		d.readSegment(segLo, segHi, n, tid, tc, e, pc, bm)
+	})
+	d.trackTotal()
+}
+
+// readSegment handles one maximal run of a read footprint within a single
+// read node (or unshadowed memory).
+func (d *Detector) readSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc *vc.VC, e vc.Epoch, pc event.PC, bm *epochbitmap.Bitmap) {
+	p := d.read
+	if n == nil {
+		d.stats.Plane.LocCreations++
+		wTid, wPC, raced := d.checkWritePlane(lo, hi, tc)
+		if !raced && d.firstEpochSharing() {
+			fresh := fasttrack.Read{E: e}
+			if ext, ok := p.TryExtendLeft(lo, hi, 0, &fresh); ok {
+				ext.PC = pc
+				return
+			}
+		}
+		n = p.NewNode(lo, hi, dyngran.Init)
+		d.updateRead(n, tid, e, tc)
+		n.PC = pc
+		if raced {
+			n.State = dyngran.Race
+			n.Reported = true
+			d.report(fasttrack.WriteRead, lo, hi, tid, pc, wTid, wPC)
+			return
+		}
+		d.decideFirstAccess(p, n)
+		return
+	}
+
+	switch n.State {
+	case dyngran.Init:
+		if d.sameReadEpoch(n, e) {
+			return
+		}
+		n = p.Split(n, lo, hi)
+		if d.raceOnRead(n, lo, hi, tid, tc, pc) {
+			d.updateRead(n, tid, e, tc) // record the read even on race
+			return
+		}
+		conflict := d.updateRead(n, tid, e, tc)
+		n.PC = pc
+		if !conflict || !d.readShareBlocked(n) {
+			n = d.decideReadSharing(p, n)
+			_ = n
+		} else {
+			n.State = dyngran.Private
+			n.InitShared = false
+		}
+
+	case dyngran.Shared:
+		if d.raceOnRead(n, lo, hi, tid, tc, pc) {
+			return
+		}
+		d.updateRead(n, tid, e, tc)
+		n.PC = pc
+		d.markShared(p, n, bm)
+
+	case dyngran.Private, dyngran.Race:
+		if n.Lo < lo || n.Hi > hi {
+			n = p.Split(n, lo, hi)
+		}
+		if n.State == dyngran.Race && n.Reported {
+			d.updateRead(n, tid, e, tc)
+			n.PC = pc
+			return
+		}
+		if d.raceOnRead(n, lo, hi, tid, tc, pc) {
+			d.updateRead(n, tid, e, tc)
+			return
+		}
+		if conflict := d.updateRead(n, tid, e, tc); !conflict {
+			d.maybeReshare(p, n, bm)
+		}
+		n.PC = pc
+	}
+}
+
+// raceOnRead runs the FastTrack read check (against the write plane) for a
+// read of [lo, hi); on a race it dissolves sharing of the read node, marks
+// and reports. Returns true when a race was found.
+func (d *Detector) raceOnRead(n *dyngran.Node, lo, hi uint64, tid vc.TID, tc *vc.VC, pc event.PC) bool {
+	wTid, wPC, raced := d.checkWritePlane(lo, hi, tc)
+	if !raced {
+		return false
+	}
+	n = d.read.SetRace(n, lo, hi)
+	n.PC = pc
+	d.report(fasttrack.WriteRead, lo, hi, tid, pc, wTid, wPC)
+	return true
+}
+
+// checkWritePlane scans the write plane in [lo, hi) for a write not ordered
+// before tc.
+func (d *Detector) checkWritePlane(lo, hi uint64, tc *vc.VC) (vc.TID, event.PC, bool) {
+	var raceTid vc.TID = vc.NoTID
+	var racePC event.PC
+	var last *dyngran.Node
+	d.write.Tab.ForRange(lo, hi, func(_ uint64, n *dyngran.Node) bool {
+		if n == last {
+			return true
+		}
+		last = n
+		if kind, other := fasttrack.CheckRead(n.W, tc); kind != fasttrack.NoRace {
+			raceTid = other
+			racePC = n.PC
+			return false
+		}
+		return true
+	})
+	return raceTid, racePC, raceTid != vc.NoTID
+}
+
+// updateRead records a read into n's adaptive representation, accounting
+// for epoch→vector inflation. It reports whether the representation is (or
+// became) read-shared — the paper's "read-read conflict".
+func (d *Detector) updateRead(n *dyngran.Node, tid vc.TID, e vc.Epoch, tc *vc.VC) bool {
+	before := n.R.Bytes()
+	n.R.Update(tid, e, tc)
+	if after := n.R.Bytes(); after != before {
+		d.read.AccountInflation(int64(after - before))
+	}
+	return n.R.Shared()
+}
+
+// sameReadEpoch reports whether read node n already records exactly the
+// current epoch (the location's first epoch is still running).
+func (d *Detector) sameReadEpoch(n *dyngran.Node, e vc.Epoch) bool {
+	return !n.R.Shared() && n.R.E == e
+}
+
+// firstEpochSharing reports whether the temporary Init-state sharing paths
+// (including the extend-left fast path) are active.
+func (d *Detector) firstEpochSharing() bool {
+	return d.cfg.Granularity == Dynamic && !d.cfg.NoInitState && !d.cfg.NoInitSharing
+}
+
+// decideFirstAccess applies the first-access sharing policy to a fresh
+// node. No bitmap marking happens here: during a location's first epoch
+// the shared node only ever grows toward addresses that are about to be
+// accessed anyway, so range-marking would cost O(range) per access for no
+// filtering benefit.
+func (d *Detector) decideFirstAccess(p *dyngran.Plane, n *dyngran.Node) {
+	if d.cfg.Granularity != Dynamic {
+		n.State = dyngran.Private
+		return
+	}
+	if d.cfg.NoInitState {
+		// Table 5 ablation: one final decision, made now.
+		d.stats.SharingComparisons += 2
+		p.DecideSecondEpoch(n)
+		return
+	}
+	if d.cfg.NoInitSharing {
+		n.InitShared = false
+		return
+	}
+	d.stats.SharingComparisons += 2
+	p.TryFirstEpochShare(n)
+}
+
+// decideReadSharing makes the second-epoch decision for a read node,
+// optionally consulting the write plane first (the Section VII extension).
+func (d *Detector) decideReadSharing(p *dyngran.Plane, n *dyngran.Node) *dyngran.Node {
+	if d.cfg.WriteGuidedReads {
+		// If the corresponding write location is Private, its neighbours'
+		// clocks differed; the read clocks would have to be compared for
+		// nothing, so predict Private without comparing.
+		if w := d.write.Tab.Get(n.Lo); w != nil && w.State == dyngran.Private {
+			n.State = dyngran.Private
+			n.InitShared = false
+			return n
+		}
+	}
+	d.stats.SharingComparisons += 2
+	return p.DecideSecondEpoch(n)
+}
+
+// readShareBlocked reports whether a read-read conflict should block
+// sharing for this node (paper: "no read-read conflict for a read
+// location" gates the Shared transition).
+func (d *Detector) readShareBlocked(n *dyngran.Node) bool { return n.R.Shared() }
+
+// markShared extends the same-epoch bitmap over a node's whole range when
+// the node covers more than one location, so later accesses to its other
+// locations short-circuit — the mechanism that raises the same-epoch
+// percentage under dynamic granularity (Table 4).
+func (d *Detector) markShared(p *dyngran.Plane, n *dyngran.Node, bm *epochbitmap.Bitmap) {
+	if n.Hi-n.Lo <= 1 || n.Locs <= 1 {
+		return
+	}
+	if p.Kind == dyngran.WritePlane {
+		bm.MarkWrite(n.Lo, n.Hi)
+	} else {
+		bm.MarkRead(n.Lo, n.Hi)
+	}
+}
+
+// segments walks [lo, hi) as maximal runs covered by one node (or none) and
+// applies f to each. f may mutate the plane; the walk re-reads the shadow
+// table after every step.
+func (d *Detector) segments(p *dyngran.Plane, lo, hi uint64, f func(segLo, segHi uint64, n *dyngran.Node)) {
+	cur := lo
+	for cur < hi {
+		n := p.Tab.Get(cur)
+		if n != nil {
+			segHi := n.Hi
+			if segHi > hi {
+				segHi = hi
+			}
+			f(cur, segHi, n)
+			cur = segHi
+			continue
+		}
+		gapHi := cur + 1
+		for gapHi < hi && p.Tab.Get(gapHi) == nil {
+			gapHi++
+		}
+		f(cur, gapHi, nil)
+		cur = gapHi
+	}
+}
+
+// ---- Synchronization events ----
+
+// Acquire applies T_t ⊔= L_l.
+func (d *Detector) Acquire(tid vc.TID, l event.LockID) { d.th.Acquire(tid, l) }
+
+// Release applies L_l ⊔= T_t, starts tid's next epoch, and resets the
+// thread's same-epoch bitmap (Section IV.A).
+func (d *Detector) Release(tid vc.TID, l event.LockID) {
+	d.th.Release(tid, l)
+	d.bitmap(tid).Reset()
+}
+
+// AcquireShared applies a rwlock read-lock's clock update.
+func (d *Detector) AcquireShared(tid vc.TID, l event.LockID) { d.th.AcquireShared(tid, l) }
+
+// ReleaseShared publishes the reader's time to the lock's reader clock and
+// starts the reader's next epoch (resetting its same-epoch bitmap).
+func (d *Detector) ReleaseShared(tid vc.TID, l event.LockID) {
+	d.th.ReleaseShared(tid, l)
+	d.bitmap(tid).Reset()
+}
+
+// Fork orders the child after the parent's past.
+func (d *Detector) Fork(parent, child vc.TID) {
+	d.th.Fork(parent, child)
+	d.bitmap(parent).Reset()
+}
+
+// Join orders the parent after the child.
+func (d *Detector) Join(parent, child vc.TID) { d.th.Join(parent, child) }
+
+// BarrierArrive contributes tid's clock to the barrier and starts a new
+// epoch (resetting the bitmap).
+func (d *Detector) BarrierArrive(tid vc.TID, b event.BarrierID) {
+	d.th.BarrierArrive(tid, b)
+	d.bitmap(tid).Reset()
+}
+
+// BarrierDepart absorbs the barrier clock.
+func (d *Detector) BarrierDepart(tid vc.TID, b event.BarrierID) {
+	d.th.BarrierDepart(tid, b)
+}
+
+// Malloc is a no-op: shadow state appears lazily on first access.
+func (d *Detector) Malloc(vc.TID, uint64, uint64) {}
+
+// Free discards the shadow state of the freed range in both planes — the
+// sequential-deletion path the Figure 4 indexing arrays exist for.
+func (d *Detector) Free(_ vc.TID, addr uint64, size uint64) {
+	lo, hi := d.footprint(addr, size)
+	d.read.DropRange(lo, hi)
+	d.write.DropRange(lo, hi)
+	d.trackTotal()
+}

@@ -1,0 +1,76 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/vc"
+)
+
+// benchStream drives the detector with a repeatable single-threaded access
+// stream: an init sweep, then epochs re-walking the same range.
+func benchStream(b *testing.B, g Granularity) {
+	d := New(Config{Granularity: g})
+	const words = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := uint64(i % words)
+		d.Write(0, 0x1000+w*4, 4, 1)
+		if w == words-1 {
+			d.Release(0, 1) // epoch boundary each full sweep
+		}
+	}
+}
+
+func BenchmarkSweepByte(b *testing.B)    { benchStream(b, Byte) }
+func BenchmarkSweepWord(b *testing.B)    { benchStream(b, Word) }
+func BenchmarkSweepDynamic(b *testing.B) { benchStream(b, Dynamic) }
+
+// benchChurn measures allocation-heavy single-epoch buffers (the pbzip2
+// pattern): fill a fresh region, then free it.
+func benchChurn(b *testing.B, g Granularity) {
+	d := New(Config{Granularity: g})
+	const words = 128
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := 0x10000 + uint64(i%64)*words*4
+		for w := uint64(0); w < words; w++ {
+			d.Write(0, base+w*4, 4, 1)
+		}
+		d.Free(0, base, words*4)
+		d.Release(0, 1)
+	}
+}
+
+func BenchmarkChurnByte(b *testing.B)    { benchChurn(b, Byte) }
+func BenchmarkChurnDynamic(b *testing.B) { benchChurn(b, Dynamic) }
+
+// BenchmarkSameEpochFastPath isolates the bitmap filter.
+func BenchmarkSameEpochFastPath(b *testing.B) {
+	d := New(Config{Granularity: Dynamic})
+	d.Write(0, 0x1000, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Write(0, 0x1000, 4, 1)
+	}
+}
+
+// BenchmarkCrossThreadHandoff measures the ordered producer/consumer
+// pattern: writes published through a lock, read by another thread.
+func BenchmarkCrossThreadHandoff(b *testing.B) {
+	d := New(Config{Granularity: Dynamic})
+	d.Fork(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := 0x2000 + uint64(i%512)*4
+		d.Write(0, a, 4, 1)
+		d.Release(0, 1)
+		d.Acquire(1, 1)
+		d.Read(1, a, 4, 2)
+		d.Release(1, 2)
+	}
+	_ = vc.TID(0)
+}

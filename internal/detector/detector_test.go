@@ -1,0 +1,416 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+// feed drives the detector directly (no engine), mimicking the PIN
+// callback order.
+func dyn() *Detector { return New(Config{Granularity: Dynamic}) }
+
+// TestArraySweepCoalesces reproduces the core Figure 2 behaviour: a data
+// structure initialized and re-walked by one thread collapses into a
+// handful of shared clock nodes instead of one per location.
+func TestArraySweepCoalesces(t *testing.T) {
+	d := dyn()
+	const n = 32
+	// First epoch: initialization sweep.
+	for i := 0; i < n; i++ {
+		d.Write(0, 0x100+uint64(i)*4, 4, 1)
+	}
+	st := d.Stats()
+	if st.Plane.NodesCur != 1 {
+		t.Fatalf("init sweep should share one clock, have %d", st.Plane.NodesCur)
+	}
+	// Epoch boundary, then the second sweep: final decision.
+	d.Release(0, 1)
+	for i := 0; i < n; i++ {
+		d.Write(0, 0x100+uint64(i)*4, 4, 1)
+	}
+	st = d.Stats()
+	// 32 words = 128 bytes = exactly one indexing block.
+	if st.Plane.NodesCur != 1 {
+		t.Errorf("second sweep should re-coalesce into one Shared node, have %d", st.Plane.NodesCur)
+	}
+	if len(d.Races()) != 0 {
+		t.Errorf("single-threaded sweep raced: %v", d.Races())
+	}
+}
+
+// TestSharingNeverCrossesBlocks checks the m-address bound on sharing.
+func TestSharingNeverCrossesBlocks(t *testing.T) {
+	d := dyn()
+	// 64 words span two indexing blocks.
+	for i := 0; i < 64; i++ {
+		d.Write(0, uint64(i)*4, 4, 1)
+	}
+	st := d.Stats()
+	if st.Plane.NodesCur != 2 {
+		t.Errorf("two blocks must give two nodes, have %d", st.Plane.NodesCur)
+	}
+}
+
+// TestByteGranularityTracksFootprints: at byte granularity, no sharing ever
+// happens; each footprint gets its own clock.
+func TestByteGranularityTracksFootprints(t *testing.T) {
+	d := New(Config{Granularity: Byte})
+	for i := 0; i < 16; i++ {
+		d.Write(0, 0x100+uint64(i)*4, 4, 1)
+	}
+	if st := d.Stats(); st.Plane.NodesCur != 16 {
+		t.Errorf("byte granularity must keep %d nodes, has %d", 16, st.Plane.NodesCur)
+	}
+}
+
+// TestWordGranularityMasksByteRaces: two adjacent racy bytes collapse into
+// one reported race at word granularity (the paper's x264 observation).
+func TestWordGranularityMasksByteRaces(t *testing.T) {
+	run := func(g Granularity) int {
+		d := New(Config{Granularity: g})
+		d.Write(0, 0x100, 1, 1)
+		d.Write(0, 0x101, 1, 1)
+		d.Write(1, 0x100, 1, 2) // races
+		d.Write(1, 0x101, 1, 2) // races
+		return len(d.Races())
+	}
+	if got := run(Byte); got != 2 {
+		t.Errorf("byte: %d races, want 2", got)
+	}
+	if got := run(Word); got != 1 {
+		t.Errorf("word: %d races, want 1 (masked)", got)
+	}
+}
+
+// TestWordGranularityFalseAlarm: byte fields protected by different locks
+// in one word produce a false alarm only at word granularity (the paper's
+// ffmpeg observation).
+func TestWordGranularityFalseAlarm(t *testing.T) {
+	run := func(g Granularity) int {
+		d := New(Config{Granularity: g})
+		// Thread 0 writes byte 0 under lock 1; thread 1 writes byte 1
+		// under lock 2. Correct at byte granularity.
+		d.Acquire(0, 1)
+		d.Write(0, 0x100, 1, 1)
+		d.Release(0, 1)
+		d.Acquire(1, 2)
+		d.Write(1, 0x101, 1, 2)
+		d.Release(1, 2)
+		return len(d.Races())
+	}
+	if got := run(Byte); got != 0 {
+		t.Errorf("byte granularity invented a race: %d", got)
+	}
+	if got := run(Dynamic); got != 0 {
+		t.Errorf("dynamic granularity invented a race: %d", got)
+	}
+	if got := run(Word); got != 1 {
+		t.Errorf("word granularity should mask the fields together: %d", got)
+	}
+}
+
+// TestSecondEpochSplitsInitSharing: locations initialized together but then
+// owned by different threads split apart without false alarms, provided
+// the later accesses are ordered (fork).
+func TestSecondEpochSplitsInitSharing(t *testing.T) {
+	d := dyn()
+	// Main initializes 8 words in one epoch (one Init node).
+	for i := 0; i < 8; i++ {
+		d.Write(0, 0x100+uint64(i)*4, 4, 1)
+	}
+	d.Fork(0, 1)
+	d.Fork(0, 2)
+	// Threads 1 and 2 each own half, writing in their own epochs.
+	for i := 0; i < 4; i++ {
+		d.Write(1, 0x100+uint64(i)*4, 4, 2)
+	}
+	for i := 4; i < 8; i++ {
+		d.Write(2, 0x100+uint64(i)*4, 4, 3)
+	}
+	if len(d.Races()) != 0 {
+		t.Fatalf("partitioned ownership raced: %v", d.Races())
+	}
+	// The halves must have separated into (at least) two nodes.
+	if st := d.Stats(); st.Plane.NodesCur < 2 {
+		t.Errorf("halves did not split: %d nodes", st.Plane.NodesCur)
+	}
+}
+
+// TestSharedNodeFalseAlarmMechanism verifies the documented imprecision:
+// when two locations share a clock, an ordered update to one can make the
+// other's next access look racy (the paper's streamcluster false alarms).
+func TestSharedNodeFalseAlarmMechanism(t *testing.T) {
+	d := dyn()
+	// Thread 0 writes words A and B together in two epochs: Shared node.
+	write := func() {
+		d.Write(0, 0x100, 4, 1)
+		d.Write(0, 0x104, 4, 1)
+	}
+	write()
+	d.Release(0, 1)
+	write()
+	// Publish to thread 1 via lock 2; thread 1 updates only B, ordered.
+	d.Release(0, 2)
+	d.Acquire(1, 2)
+	d.Write(1, 0x104, 4, 2)
+	// Thread 0 updates only A — genuinely safe (A was never touched by
+	// thread 1), but the shared clock now carries thread 1's epoch.
+	d.Write(0, 0x100, 4, 1)
+	if len(d.Races()) != 1 {
+		t.Errorf("expected the documented false alarm, got %v", d.Races())
+	}
+	// At byte granularity the same trace is clean.
+	b := New(Config{Granularity: Byte})
+	b.Write(0, 0x100, 4, 1)
+	b.Write(0, 0x104, 4, 1)
+	b.Release(0, 1)
+	b.Write(0, 0x100, 4, 1)
+	b.Write(0, 0x104, 4, 1)
+	b.Release(0, 2)
+	b.Acquire(1, 2)
+	b.Write(1, 0x104, 4, 2)
+	b.Write(0, 0x100, 4, 1)
+	if len(b.Races()) != 0 {
+		t.Errorf("byte granularity must not false-alarm: %v", b.Races())
+	}
+}
+
+// TestRaceDissolvesSharingAndReportsOncePerLocation.
+func TestRaceDissolvesSharing(t *testing.T) {
+	d := dyn()
+	for i := 0; i < 4; i++ {
+		d.Write(0, 0x100+uint64(i)*4, 4, 1)
+	}
+	d.Release(0, 1)
+	for i := 0; i < 4; i++ {
+		d.Write(0, 0x100+uint64(i)*4, 4, 1)
+	}
+	// Unordered write by thread 1 into the shared node: race.
+	d.Write(1, 0x104, 4, 2)
+	if len(d.Races()) != 1 {
+		t.Fatalf("races = %v", d.Races())
+	}
+	// Re-racing the same location must not re-report.
+	d.Write(1, 0x104, 4, 2)
+	d.Release(1, 3)
+	d.Write(1, 0x104, 4, 2)
+	if len(d.Races()) != 1 {
+		t.Errorf("re-reported: %v", d.Races())
+	}
+	// The formerly-sharing neighbours can still report their own first
+	// race (here a genuine one, from the same unordered threads).
+	d.Release(1, 3) // new epoch so the bitmap doesn't filter
+	d.Write(1, 0x108, 4, 2)
+	if len(d.Races()) != 2 {
+		t.Errorf("neighbour's own race lost: %v", d.Races())
+	}
+}
+
+// TestSameEpochFiltering checks the bitmap fast path and its statistics.
+func TestSameEpochFiltering(t *testing.T) {
+	d := dyn()
+	d.Write(0, 0x100, 4, 1)
+	d.Write(0, 0x100, 4, 1) // same epoch: filtered
+	d.Read(0, 0x100, 4, 1)  // read after write: filtered
+	st := d.Stats()
+	if st.Accesses != 3 || st.SameEpoch != 2 {
+		t.Errorf("accesses=%d sameEpoch=%d", st.Accesses, st.SameEpoch)
+	}
+	d.Release(0, 1) // epoch boundary resets the bitmap
+	d.Write(0, 0x100, 4, 1)
+	if st := d.Stats(); st.SameEpoch != 2 {
+		t.Errorf("write after release filtered: %d", st.SameEpoch)
+	}
+}
+
+// TestSharedNodeRaisesSameEpochRate: re-entering a Shared node marks its
+// whole range, so sweeping it costs one analysis per node per epoch.
+func TestSharedNodeRaisesSameEpochRate(t *testing.T) {
+	d := dyn()
+	sweep := func() {
+		for i := 0; i < 16; i++ {
+			d.Write(0, 0x100+uint64(i)*4, 4, 1)
+		}
+	}
+	sweep()
+	d.Release(0, 1)
+	sweep() // second epoch: node becomes Shared
+	d.Release(0, 1)
+	before := d.Stats().SameEpoch
+	sweep() // third epoch: first write marks the node; 15 filtered
+	if got := d.Stats().SameEpoch - before; got != 15 {
+		t.Errorf("shared-node sweep filtered %d of 15", got)
+	}
+}
+
+// TestReadSharedBlocksSharing: a location with concurrent readers (vector
+// form) must not share its read clock.
+func TestReadSharedBlocksSharing(t *testing.T) {
+	d := dyn()
+	d.Fork(0, 1)
+	// Concurrent reads by threads 0 and 1 of word A inflate its read
+	// representation.
+	d.Read(0, 0x100, 4, 1)
+	d.Read(1, 0x100, 4, 2)
+	// Another word B next to A, read only by thread 1 in the same epoch.
+	d.Read(1, 0x104, 4, 2)
+	d.Release(1, 1)
+	d.Read(1, 0x104, 4, 2) // second epoch access of B
+	d.Release(1, 1)
+	d.Read(1, 0x100, 4, 2) // second epoch access of A (read-shared)
+	if len(d.Races()) != 0 {
+		t.Fatalf("reads raced: %v", d.Races())
+	}
+	// No assertion on node counts here beyond absence of false alarms;
+	// the gate is exercised by the read-shared A not merging with B.
+}
+
+// TestFreeDropsShadowBothPlanes.
+func TestFreeDropsShadow(t *testing.T) {
+	d := dyn()
+	d.Write(0, 0x100, 4, 1)
+	d.Read(0, 0x100, 4, 1)
+	d.Free(0, 0x100, 4)
+	if st := d.Stats(); st.Plane.NodesCur != 0 {
+		t.Errorf("nodes after free: %d", st.Plane.NodesCur)
+	}
+	// Reuse by another thread: no stale race.
+	d.Write(1, 0x100, 4, 2)
+	if len(d.Races()) != 0 {
+		t.Errorf("stale shadow raced: %v", d.Races())
+	}
+}
+
+// TestNoInitStateFloodsInitPatterns: the Table 5 ablation invents races on
+// initialize-together-then-partition patterns.
+func TestNoInitStateFloodsInitPatterns(t *testing.T) {
+	run := func(cfg Config) int {
+		d := New(cfg)
+		for i := 0; i < 8; i++ {
+			d.Write(0, 0x100+uint64(i)*4, 4, 1)
+		}
+		d.Fork(0, 1)
+		d.Fork(0, 2)
+		// Interleaved ownership: thread 1 gets even words, thread 2 odd —
+		// every pair of neighbours ends up cross-thread.
+		for i := 0; i < 8; i += 2 {
+			d.Write(1, 0x100+uint64(i)*4, 4, 2)
+			d.Write(2, 0x100+uint64(i+1)*4, 4, 3)
+		}
+		return len(d.Races())
+	}
+	if got := run(Config{Granularity: Dynamic}); got != 0 {
+		t.Errorf("full state machine false-alarmed: %d", got)
+	}
+	if got := run(Config{Granularity: Dynamic, NoInitState: true}); got == 0 {
+		t.Error("no-Init-state variant should flood with false alarms")
+	}
+}
+
+// TestNoInitSharingCostsMemory: the other Table 5 ablation allocates one
+// clock per location during initialization.
+func TestNoInitSharingCostsMemory(t *testing.T) {
+	sweep := func(cfg Config) int64 {
+		d := New(cfg)
+		for i := 0; i < 32; i++ {
+			d.Write(0, 0x100+uint64(i)*4, 4, 1)
+		}
+		return d.Stats().Plane.NodesPeak
+	}
+	with := sweep(Config{Granularity: Dynamic})
+	without := sweep(Config{Granularity: Dynamic, NoInitSharing: true})
+	if with >= without {
+		t.Errorf("init sharing should reduce peak nodes: %d vs %d", with, without)
+	}
+	if without != 32 {
+		t.Errorf("no-sharing variant must keep one node per location: %d", without)
+	}
+}
+
+// TestWriteGuidedReadsSkipsComparisons: the Section VII extension must not
+// change verdicts on ordered programs while doing fewer comparisons.
+func TestWriteGuidedReads(t *testing.T) {
+	drive := func(cfg Config) (uint64, int) {
+		d := New(cfg)
+		// Words written and read in per-word private patterns (alternating
+		// owners, so neighbours never share): the write plane settles
+		// Private, and guided read decisions can skip comparing.
+		d.Fork(0, 1)
+		newEpochs := func() { d.Release(0, 1); d.Release(1, 2) }
+		each := func(f func(tid vc.TID, a uint64)) {
+			for i := 0; i < 8; i++ {
+				f(vc.TID(i%2), 0x100+uint64(i)*4)
+			}
+		}
+		each(func(tid vc.TID, a uint64) { d.Write(tid, a, 4, 1) })
+		newEpochs()
+		each(func(tid vc.TID, a uint64) { d.Read(tid, a, 4, 1) })
+		newEpochs()
+		each(func(tid vc.TID, a uint64) { d.Write(tid, a, 4, 1) })
+		newEpochs()
+		// Second-epoch read accesses: the guided decision applies here.
+		each(func(tid vc.TID, a uint64) { d.Read(tid, a, 4, 1) })
+		return d.Stats().SharingComparisons, len(d.Races())
+	}
+	plain, racesPlain := drive(Config{Granularity: Dynamic})
+	guided, racesGuided := drive(Config{Granularity: Dynamic, WriteGuidedReads: true})
+	if racesPlain != racesGuided {
+		t.Errorf("verdicts differ: %d vs %d", racesPlain, racesGuided)
+	}
+	if guided >= plain {
+		t.Errorf("guided reads should compare less: %d vs %d", guided, plain)
+	}
+}
+
+// TestStatsMemoryComponents: all three Table 2 components move.
+func TestStatsMemoryComponents(t *testing.T) {
+	d := dyn()
+	for i := 0; i < 64; i++ {
+		d.Write(0, 0x100+uint64(i)*4, 4, 1)
+		d.Read(0, 0x100+uint64(i)*4, 4, 1)
+	}
+	st := d.Stats()
+	if st.HashPeakBytes <= 0 || st.VCPeakBytes <= 0 || st.BitmapPeakBytes <= 0 {
+		t.Errorf("components: hash=%d vc=%d bitmap=%d",
+			st.HashPeakBytes, st.VCPeakBytes, st.BitmapPeakBytes)
+	}
+	if st.TotalPeakBytes < st.Plane.VCBytesPeak {
+		t.Error("total must cover at least the clock storage")
+	}
+}
+
+// TestRacedLocationDedupAcrossPlanes: a variable with both a read-side and
+// a write-side race counts once (first race per memory location).
+func TestRacedLocationDedupAcrossPlanes(t *testing.T) {
+	d := dyn()
+	d.Fork(0, 1)
+	d.Read(0, 0x100, 4, 1)  // thread 0 reads
+	d.Write(1, 0x100, 4, 2) // read-write race (write plane reports)
+	d.Read(0, 0x100, 4, 1)  // write-read race (read plane would report)
+	if len(d.Races()) != 1 {
+		t.Errorf("location reported %d times: %v", len(d.Races()), d.Races())
+	}
+}
+
+// TestOverlappingFootprints: staggered accesses split nodes precisely.
+func TestOverlappingFootprints(t *testing.T) {
+	d := New(Config{Granularity: Byte})
+	d.Write(0, 0x100, 8, 1) // one 8-byte footprint
+	d.Fork(0, 1)
+	d.Write(1, 0x102, 2, 2) // ordered (fork) partial overlap
+	d.Release(1, 1)
+	// Thread 0 writes the full word again — must race only via the part
+	// thread 1 touched… but thread 0 never synchronized with thread 1 at
+	// all, so the [0x102,0x104) bytes race.
+	d.Write(0, 0x100, 8, 1)
+	if len(d.Races()) != 1 {
+		t.Fatalf("races = %v", d.Races())
+	}
+	if r := d.Races()[0]; r.Addr != 0x102 || r.Size != 2 {
+		t.Errorf("race should pinpoint the overlap: %v", r)
+	}
+}
+
+var _ = event.ModuleApp

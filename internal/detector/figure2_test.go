@@ -1,0 +1,117 @@
+package detector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dyngran"
+	"repro/internal/vc"
+)
+
+// stateOf reads the write-plane state machine state of addr ("" if no node).
+func stateOf(d *Detector, addr uint64) string {
+	n := d.write.Tab.Get(addr)
+	if n == nil {
+		return "none"
+	}
+	if n.State == dyngran.Init {
+		if n.InitShared {
+			return "1st-Epoch-Shared"
+		}
+		return "1st-Epoch-Private"
+	}
+	return n.State.String()
+}
+
+// figure2Allowed is the transition relation of the Figure 2 state machine,
+// augmented with "none" for unallocated/freed shadow state. Both Init
+// sub-states may flip between each other while the first epoch lasts
+// (1st-Epoch-Private → 1st-Epoch-Shared when a new neighbour is initiated,
+// and a shared Init node can be split back apart).
+var figure2Allowed = map[string]map[string]bool{
+	"none": {"none": true, "1st-Epoch-Private": true, "1st-Epoch-Shared": true, "Race": true},
+	"1st-Epoch-Private": {
+		"1st-Epoch-Private": true, "1st-Epoch-Shared": true,
+		"Shared": true, "Private": true, "Race": true, "none": true,
+	},
+	"1st-Epoch-Shared": {
+		"1st-Epoch-Shared": true, "1st-Epoch-Private": true,
+		"Shared": true, "Private": true, "Race": true, "none": true,
+	},
+	"Shared":  {"Shared": true, "Race": true, "none": true},
+	"Private": {"Private": true, "Shared": true, "Race": true, "none": true},
+	"Race":    {"Race": true, "none": true},
+}
+
+// TestFigure2TransitionModel drives random instrumentation sequences and
+// asserts that a tracked location's observable state only ever moves along
+// Figure 2's edges.
+func TestFigure2TransitionModel(t *testing.T) {
+	const tracked = uint64(0x120)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(Config{Granularity: Dynamic})
+		d.Fork(0, 1)
+		prev := stateOf(d, tracked)
+		for op := 0; op < 400; op++ {
+			tid := vc.TID(rng.Intn(2))
+			addr := 0x100 + uint64(rng.Intn(16))*4
+			switch rng.Intn(10) {
+			case 0:
+				d.Release(tid, 1)
+			case 1:
+				d.Free(tid, 0x100, 64)
+			case 2:
+				d.Read(tid, addr, 4, 1)
+			default:
+				d.Write(tid, addr, 4, 1)
+			}
+			cur := stateOf(d, tracked)
+			if !figure2Allowed[prev][cur] {
+				t.Logf("seed %d op %d: illegal transition %s → %s", seed, op, prev, cur)
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFigure2HappyPath walks the canonical lifecycle explicitly.
+func TestFigure2HappyPath(t *testing.T) {
+	d := New(Config{Granularity: Dynamic})
+	const a, b = uint64(0x100), uint64(0x104)
+
+	d.Write(0, a, 4, 1)
+	if got := stateOf(d, a); got != "1st-Epoch-Private" {
+		t.Fatalf("after first access: %s", got)
+	}
+	d.Write(0, b, 4, 1) // neighbour initiated with the same clock
+	if got := stateOf(d, a); got != "1st-Epoch-Shared" {
+		t.Fatalf("after neighbour init: %s", got)
+	}
+	d.Release(0, 1)
+	d.Write(0, a, 4, 1) // second epoch access: split, no eligible neighbour
+	if got := stateOf(d, a); got != "Private" {
+		t.Fatalf("after second epoch: %s", got)
+	}
+	d.Write(0, b, 4, 1) // b's second epoch: merges with a → both Shared
+	if got := stateOf(d, a); got != "Shared" {
+		t.Fatalf("after neighbour's decision: %s", got)
+	}
+	d.Write(1, a, 4, 2) // unordered thread: race dissolves the sharing
+	if got := stateOf(d, a); got != "Race" {
+		t.Fatalf("after race: %s", got)
+	}
+	if got := stateOf(d, b); got != "Race" {
+		t.Fatalf("formerly-sharing neighbour after race: %s", got)
+	}
+	d.Free(0, a, 8)
+	if got := stateOf(d, a); got != "none" {
+		t.Fatalf("after free: %s", got)
+	}
+}

@@ -1,0 +1,73 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/djit"
+	"repro/internal/progfuzz"
+	"repro/internal/sim"
+)
+
+// TestReadResetReclaimsInflatedVectors: after a write dominates concurrent
+// reads, the inflated read vector is reclaimed under ReadReset.
+func TestReadResetReclaimsInflatedVectors(t *testing.T) {
+	drive := func(reset bool) int64 {
+		d := New(Config{Granularity: Byte, ReadReset: reset})
+		d.Fork(0, 1)
+		// Concurrent reads inflate the representation.
+		d.Read(0, 0x100, 4, 1)
+		d.Read(1, 0x100, 4, 2)
+		// Both readers publish; a third party absorbs both and writes.
+		d.Release(0, 3)
+		d.Release(1, 4)
+		d.Fork(0, 2)
+		d.Acquire(2, 3)
+		d.Acquire(2, 4)
+		d.Write(2, 0x100, 4, 5)
+		if got := len(d.Races()); got != 0 {
+			t.Fatalf("dominated write raced: %v", d.Races())
+		}
+		return d.stats.Plane.VCBytesCur
+	}
+	kept := drive(false)
+	reclaimed := drive(true)
+	if reclaimed >= kept {
+		t.Errorf("ReadReset did not reclaim: %d vs %d bytes", reclaimed, kept)
+	}
+}
+
+// TestReadResetKeepsPrecision: verdicts with and without the optimization
+// match DJIT+ on fuzzed programs (FastTrack's equivalence proof, checked
+// empirically).
+func TestReadResetKeepsPrecision(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		prog, _ := progfuzz.Generate(progfuzz.Config{
+			Threads: 4, LockedVars: 5, PrivateVars: 2, RacyVars: 2,
+			OpsPerThread: 250, Barriers: seed%2 == 0, Seed: seed,
+		})
+		vars := func(reset bool) map[uint64]bool {
+			d := New(Config{Granularity: Byte, ReadReset: reset})
+			sim.Run(prog, d, sim.Options{Seed: seed})
+			m := map[uint64]bool{}
+			for _, r := range d.Races() {
+				m[r.Addr&^(progfuzz.VarSpacing-1)] = true
+			}
+			return m
+		}
+		plain, reset := vars(false), vars(true)
+		dj := djit.New(djit.Options{Granule: 4})
+		sim.Run(prog, dj, sim.Options{Seed: seed})
+		djVars := map[uint64]bool{}
+		for _, r := range dj.Races() {
+			djVars[r.Addr&^(progfuzz.VarSpacing-1)] = true
+		}
+		if len(plain) != len(reset) || len(plain) != len(djVars) {
+			t.Fatalf("seed %d: plain=%v reset=%v djit=%v", seed, plain, reset, djVars)
+		}
+		for v := range djVars {
+			if !plain[v] || !reset[v] {
+				t.Errorf("seed %d: variable %#x lost", seed, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/vc"
+)
+
+// TestAdaptiveResharingRecoalesces: locations that went Private at their
+// second epoch but later settle into identical access patterns re-coalesce
+// under the adaptive-resharing extension, and only under it.
+func TestAdaptiveResharingRecoalesces(t *testing.T) {
+	drive := func(cfg Config) int64 {
+		d := New(cfg)
+		const n = 16
+		// Epoch 1: interleaved writers — neighbours get different clocks.
+		d.Fork(0, 1)
+		for i := 0; i < n; i++ {
+			d.Write(vc.TID(i%2), 0x100+uint64(i)*4, 4, 1)
+		}
+		d.Release(0, 1)
+		d.Release(1, 2)
+		// Epoch 2: still interleaved: every location decides Private.
+		for i := 0; i < n; i++ {
+			d.Write(vc.TID(i%2), 0x100+uint64(i)*4, 4, 1)
+		}
+		d.Release(0, 1)
+		d.Release(1, 2)
+		// The pattern then changes: thread 0 takes over the whole range
+		// and sweeps it every epoch.
+		for e := 0; e < 8; e++ {
+			d.Acquire(0, 2) // observe thread 1's past: ordered takeover
+			for i := 0; i < n; i++ {
+				d.Write(0, 0x100+uint64(i)*4, 4, 1)
+			}
+			d.Release(0, 1)
+		}
+		return d.Stats().Plane.NodesCur
+	}
+	fixed := drive(Config{Granularity: Dynamic})
+	adaptive := drive(Config{Granularity: Dynamic, ReshareInterval: 2})
+	if fixed <= 2 {
+		t.Fatalf("without resharing the range should stay fragmented: %d nodes", fixed)
+	}
+	if adaptive >= fixed {
+		t.Errorf("adaptive resharing should re-coalesce: %d vs %d nodes", adaptive, fixed)
+	}
+}
+
+// TestAdaptiveResharingKeepsPrecision: the extension must not change
+// verdicts on racy or race-free traces.
+func TestAdaptiveResharingKeepsPrecision(t *testing.T) {
+	drive := func(interval uint8) int {
+		d := New(Config{Granularity: Dynamic, ReshareInterval: interval})
+		d.Fork(0, 1)
+		for e := 0; e < 6; e++ {
+			for i := 0; i < 8; i++ {
+				d.Write(0, 0x100+uint64(i)*4, 4, 1)
+			}
+			d.Release(0, 1)
+		}
+		d.Write(1, 0x110, 4, 2) // unordered: one real race
+		return len(d.Races())
+	}
+	if plain, adaptive := drive(0), drive(2); plain != adaptive || plain != 1 {
+		t.Errorf("verdicts differ: plain=%d adaptive=%d", plain, adaptive)
+	}
+}

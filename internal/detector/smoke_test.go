@@ -1,0 +1,189 @@
+package detector_test
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+func runProg(t *testing.T, g detector.Granularity, main func(*sim.Thread)) (*detector.Detector, sim.Stats) {
+	t.Helper()
+	d := detector.New(detector.Config{Granularity: g})
+	st := sim.Run(sim.Program{Name: "smoke", Main: main}, d, sim.Options{Seed: 1})
+	return d, st
+}
+
+// An unsynchronized write-write conflict must be reported at every
+// granularity.
+func TestSmokeDetectsSimpleRace(t *testing.T) {
+	for _, g := range []detector.Granularity{detector.Byte, detector.Word, detector.Dynamic} {
+		d, _ := runProg(t, g, func(m *sim.Thread) {
+			m.At(1)
+			w := m.Go(func(w *sim.Thread) {
+				w.At(2)
+				w.Write(0x1000, 4)
+			})
+			m.Write(0x1000, 4)
+			m.Join(w)
+		})
+		if len(d.Races()) != 1 {
+			t.Errorf("%v granularity: got %d races, want 1: %v", g, len(d.Races()), d.Races())
+		}
+	}
+}
+
+// A properly locked counter must not be reported.
+func TestSmokeNoFalseAlarmWithLock(t *testing.T) {
+	for _, g := range []detector.Granularity{detector.Byte, detector.Word, detector.Dynamic} {
+		d, _ := runProg(t, g, func(m *sim.Thread) {
+			l := m.NewLock()
+			worker := func(w *sim.Thread) {
+				for i := 0; i < 10; i++ {
+					w.Lock(l)
+					w.Read(0x2000, 4)
+					w.Write(0x2000, 4)
+					w.Unlock(l)
+				}
+			}
+			a := m.Go(worker)
+			b := m.Go(worker)
+			m.Join(a)
+			m.Join(b)
+		})
+		if len(d.Races()) != 0 {
+			t.Errorf("%v granularity: got unexpected races: %v", g, d.Races())
+		}
+	}
+}
+
+// Fork/join ordering is synchronization: parent-before-child and
+// child-before-join accesses must not race.
+func TestSmokeForkJoinOrdering(t *testing.T) {
+	d, _ := runProg(t, detector.Dynamic, func(m *sim.Thread) {
+		m.Write(0x3000, 8) // before fork
+		c := m.Go(func(w *sim.Thread) {
+			w.Read(0x3000, 8)
+			w.Write(0x3000, 8)
+		})
+		m.Join(c)
+		m.Read(0x3000, 8) // after join
+	})
+	if len(d.Races()) != 0 {
+		t.Errorf("unexpected races across fork/join: %v", d.Races())
+	}
+}
+
+// Barriers order phases: writes in phase 1 then disjoint reads in phase 2.
+func TestSmokeBarrierOrdering(t *testing.T) {
+	d, _ := runProg(t, detector.Dynamic, func(m *sim.Thread) {
+		const n = 4
+		b := m.NewBarrier(n)
+		workers := make([]*sim.Thread, 0, n-1)
+		body := func(id int) func(*sim.Thread) {
+			return func(w *sim.Thread) {
+				w.Write(uint64(0x4000+4*id), 4)
+				w.Barrier(b)
+				// Everyone reads everything after the barrier.
+				for j := 0; j < n; j++ {
+					w.Read(uint64(0x4000+4*j), 4)
+				}
+			}
+		}
+		for i := 1; i < n; i++ {
+			workers = append(workers, m.Go(body(i)))
+		}
+		body(0)(m)
+		for _, w := range workers {
+			m.Join(w)
+		}
+	})
+	if len(d.Races()) != 0 {
+		t.Errorf("unexpected races across barrier: %v", d.Races())
+	}
+}
+
+// The same seed must produce identical reports (engine determinism).
+func TestSmokeDeterminism(t *testing.T) {
+	run := func() []detector.Race {
+		d, _ := runProg(t, detector.Dynamic, func(m *sim.Thread) {
+			l := m.NewLock()
+			var hs []*sim.Thread
+			for i := 0; i < 4; i++ {
+				i := i
+				hs = append(hs, m.Go(func(w *sim.Thread) {
+					for j := 0; j < 50; j++ {
+						if j%3 == 0 {
+							w.Lock(l)
+							w.Write(0x5000, 4)
+							w.Unlock(l)
+						}
+						w.Write(uint64(0x6000+16*i+4*(j%4)), 4)
+						w.Write(0x7000, 2) // deliberate race
+					}
+				}))
+			}
+			for _, h := range hs {
+				m.Join(h)
+			}
+		})
+		return d.Races()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic race count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("report %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("expected the deliberate race to be reported")
+	}
+}
+
+// Free must clear shadow state: a reused heap block whose previous owner
+// wrote it unsynchronized must not race with the next owner.
+func TestSmokeFreeClearsShadow(t *testing.T) {
+	d, _ := runProg(t, detector.Dynamic, func(m *sim.Thread) {
+		addr := m.Malloc(64)
+		c := m.Go(func(w *sim.Thread) {
+			w.WriteBlock(addr, 4, 16)
+			w.Free(addr)
+		})
+		m.Join(c)
+		// Same address, fresh allocation, no relation to the old writes.
+		addr2 := m.Malloc(64)
+		if addr2 != addr {
+			t.Errorf("allocator did not reuse freed block: %#x vs %#x", addr2, addr)
+		}
+		c2 := m.Go(func(w *sim.Thread) {
+			w.WriteBlock(addr2, 4, 16)
+		})
+		m.Join(c2)
+	})
+	if len(d.Races()) != 0 {
+		t.Errorf("stale shadow state raced after free: %v", d.Races())
+	}
+}
+
+// Suppression must hide races attributed to libc/ld modules.
+func TestSmokeSuppression(t *testing.T) {
+	d, _ := runProg(t, detector.Dynamic, func(m *sim.Thread) {
+		m.AtModule(event.ModuleLibc, 7)
+		c := m.Go(func(w *sim.Thread) {
+			w.AtModule(event.ModuleLibc, 8)
+			w.Write(0x8000, 8)
+		})
+		m.Write(0x8000, 8)
+		m.Join(c)
+	})
+	if len(d.Races()) != 0 {
+		t.Errorf("suppressed race was reported: %v", d.Races())
+	}
+	if d.Stats().Suppressed == 0 {
+		t.Error("suppression counter not incremented")
+	}
+}

@@ -1,0 +1,171 @@
+// Package djit implements the DJIT+ happens-before race detector
+// (Pozniansky & Schuster, PPoPP 2003) as described in Section II.B of the
+// paper: every location keeps a full read vector clock R_x and write vector
+// clock W_x; upon the first read of x in an epoch by thread t, a write-read
+// race is reported if W_x[u] > T_t[u] for some thread u, and symmetrically
+// for writes.
+//
+// DJIT+ is precision-equivalent to FastTrack, so this detector is the
+// reference oracle the property tests compare the FastTrack-based detectors
+// against, and it reproduces the Figure 1 example execution. It favours
+// clarity over speed: locations live in a plain map at a fixed granularity
+// and no epoch representation is used.
+package djit
+
+import (
+	"repro/internal/event"
+	"repro/internal/fasttrack"
+	"repro/internal/vc"
+)
+
+// Race is one detected race.
+type Race struct {
+	Kind fasttrack.RaceKind
+	Addr uint64
+	Tid  vc.TID
+	// Other names a thread whose earlier access is unordered with this one.
+	Other vc.TID
+}
+
+// Options configure the oracle.
+type Options struct {
+	// Granule is the location size in bytes (power of two); accesses are
+	// split into granule-sized locations. 0 means 1 (per byte).
+	Granule uint64
+	// AllRaces reports every racy access rather than only the first race
+	// per location.
+	AllRaces bool
+}
+
+// Detector is a DJIT+ detector; it implements event.Sink.
+type Detector struct {
+	opt  Options
+	th   *fasttrack.Threads
+	locs map[uint64]*location
+	out  []Race
+}
+
+type location struct {
+	r, w  vc.VC
+	lastW vc.TID // a writer with the maximal clock seen (for reports)
+	raced bool
+}
+
+// New returns an empty DJIT+ detector.
+func New(opt Options) *Detector {
+	if opt.Granule == 0 {
+		opt.Granule = 1
+	}
+	return &Detector{
+		opt:  opt,
+		th:   fasttrack.NewThreads(),
+		locs: make(map[uint64]*location),
+	}
+}
+
+// Races returns all reported races in detection order.
+func (d *Detector) Races() []Race { return d.out }
+
+// RacyAddrs returns the set of location base addresses involved in races.
+func (d *Detector) RacyAddrs() map[uint64]bool {
+	m := make(map[uint64]bool, len(d.out))
+	for _, r := range d.out {
+		m[r.Addr] = true
+	}
+	return m
+}
+
+// ThreadClock exposes thread t's current vector clock (Figure 1 tests).
+func (d *Detector) ThreadClock(t vc.TID) *vc.VC { return d.th.Clock(t) }
+
+// WriteClock exposes the write vector clock of the location at addr.
+func (d *Detector) WriteClock(addr uint64) *vc.VC {
+	if l := d.locs[addr&^(d.opt.Granule-1)]; l != nil {
+		return &l.w
+	}
+	return nil
+}
+
+func (d *Detector) loc(addr uint64) *location {
+	a := addr &^ (d.opt.Granule - 1)
+	l := d.locs[a]
+	if l == nil {
+		l = &location{lastW: vc.NoTID}
+		d.locs[a] = l
+	}
+	return l
+}
+
+func (d *Detector) each(addr uint64, size uint32, f func(base uint64, l *location)) {
+	g := d.opt.Granule
+	for a := addr &^ (g - 1); a < addr+uint64(size); a += g {
+		f(a, d.loc(a))
+	}
+}
+
+// Read applies the DJIT+ read protocol to every granule of the access.
+func (d *Detector) Read(tid vc.TID, addr uint64, size uint32, _ event.PC) {
+	if event.NonShared(addr) {
+		return
+	}
+	tc := d.th.Clock(tid)
+	d.each(addr, size, func(base uint64, l *location) {
+		if !l.w.LEQ(tc) {
+			d.race(l, fasttrack.WriteRead, base, tid, l.w.AnyGT(tc))
+		}
+		l.r.Set(tid, tc.Get(tid))
+	})
+}
+
+// Write applies the DJIT+ write protocol to every granule of the access.
+func (d *Detector) Write(tid vc.TID, addr uint64, size uint32, _ event.PC) {
+	if event.NonShared(addr) {
+		return
+	}
+	tc := d.th.Clock(tid)
+	d.each(addr, size, func(base uint64, l *location) {
+		if !l.w.LEQ(tc) {
+			d.race(l, fasttrack.WriteWrite, base, tid, l.w.AnyGT(tc))
+		} else if !l.r.LEQ(tc) {
+			d.race(l, fasttrack.ReadWrite, base, tid, l.r.AnyGT(tc))
+		}
+		l.w.Set(tid, tc.Get(tid))
+		l.lastW = tid
+	})
+}
+
+func (d *Detector) race(l *location, kind fasttrack.RaceKind, addr uint64, tid, other vc.TID) {
+	if l.raced && !d.opt.AllRaces {
+		return
+	}
+	l.raced = true
+	d.out = append(d.out, Race{Kind: kind, Addr: addr, Tid: tid, Other: other})
+}
+
+// Acquire, Release, Fork, Join, BarrierArrive and BarrierDepart apply the
+// standard vector-clock updates.
+func (d *Detector) Acquire(tid vc.TID, l event.LockID) { d.th.Acquire(tid, l) }
+func (d *Detector) Release(tid vc.TID, l event.LockID) { d.th.Release(tid, l) }
+
+// AcquireShared and ReleaseShared apply the rwlock read-side updates.
+func (d *Detector) AcquireShared(tid vc.TID, l event.LockID) { d.th.AcquireShared(tid, l) }
+func (d *Detector) ReleaseShared(tid vc.TID, l event.LockID) { d.th.ReleaseShared(tid, l) }
+func (d *Detector) Fork(p, c vc.TID)                         { d.th.Fork(p, c) }
+func (d *Detector) Join(p, c vc.TID)                         { d.th.Join(p, c) }
+func (d *Detector) BarrierArrive(t vc.TID, b event.BarrierID) {
+	d.th.BarrierArrive(t, b)
+}
+func (d *Detector) BarrierDepart(t vc.TID, b event.BarrierID) {
+	d.th.BarrierDepart(t, b)
+}
+
+// Malloc is a no-op.
+func (d *Detector) Malloc(vc.TID, uint64, uint64) {}
+
+// Free discards shadow state for the freed range.
+func (d *Detector) Free(_ vc.TID, addr uint64, size uint64) {
+	g := d.opt.Granule
+	for a := addr &^ (g - 1); a < addr+size; a += g {
+		delete(d.locs, a)
+	}
+}

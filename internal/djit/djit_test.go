@@ -1,0 +1,140 @@
+package djit
+
+import (
+	"testing"
+
+	"repro/internal/fasttrack"
+	"repro/internal/vc"
+)
+
+const (
+	t0 = vc.TID(0)
+	t1 = vc.TID(1)
+	x  = uint64(0x100)
+	s  = 0 // lock id
+)
+
+// TestFigure1Example replays the paper's Figure 1 scenario: a write ordered
+// through lock s is accepted; a write not ordered by any synchronization is
+// a write-write race, detected because W_x[u] > T_t[u].
+func TestFigure1Example(t *testing.T) {
+	d := New(Options{Granule: 4})
+
+	d.Write(t1, x, 4, 0) // T1 writes x at its epoch 1
+	d.Acquire(t1, s)
+	d.Release(t1, s) // publishes T1's time on s
+
+	d.Acquire(t0, s) // T0 learns T1's time
+	if got := d.ThreadClock(t0).Get(t1); got != 1 {
+		t.Fatalf("T0[1] = %d after acquiring s, want 1", got)
+	}
+	d.Write(t0, x, 4, 0) // ordered: no race
+	if len(d.Races()) != 0 {
+		t.Fatalf("ordered write raced: %v", d.Races())
+	}
+	if got := d.WriteClock(x).Get(t0); got != 1 {
+		t.Fatalf("W_x[0] = %d, want 1", got)
+	}
+
+	d.Write(t1, x, 4, 0) // T1 never synchronized with T0: race
+	races := d.Races()
+	if len(races) != 1 {
+		t.Fatalf("races = %v, want exactly the Figure 1 race", races)
+	}
+	r := races[0]
+	if r.Kind != fasttrack.WriteWrite || r.Tid != t1 || r.Other != t0 || r.Addr != x {
+		t.Errorf("race = %+v", r)
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	d := New(Options{Granule: 4})
+	d.Write(t0, x, 4, 0)
+	d.Read(t1, x, 4, 0)
+	if len(d.Races()) != 1 || d.Races()[0].Kind != fasttrack.WriteRead {
+		t.Errorf("races = %v", d.Races())
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	d := New(Options{Granule: 4})
+	d.Read(t0, x, 4, 0)
+	d.Write(t1, x, 4, 0)
+	if len(d.Races()) != 1 || d.Races()[0].Kind != fasttrack.ReadWrite {
+		t.Errorf("races = %v", d.Races())
+	}
+}
+
+func TestReadReadIsNoRace(t *testing.T) {
+	d := New(Options{Granule: 4})
+	d.Read(t0, x, 4, 0)
+	d.Read(t1, x, 4, 0)
+	if len(d.Races()) != 0 {
+		t.Errorf("read-read flagged: %v", d.Races())
+	}
+}
+
+func TestFirstRacePerLocationOnly(t *testing.T) {
+	d := New(Options{Granule: 4})
+	d.Write(t0, x, 4, 0)
+	d.Write(t1, x, 4, 0)
+	d.Write(t0, x, 4, 0)
+	d.Write(t1, x, 4, 0)
+	if len(d.Races()) != 1 {
+		t.Errorf("got %d races, want 1 (first per location)", len(d.Races()))
+	}
+	all := New(Options{Granule: 4, AllRaces: true})
+	all.Write(t0, x, 4, 0)
+	all.Write(t1, x, 4, 0)
+	all.Write(t0, x, 4, 0)
+	if len(all.Races()) < 2 {
+		t.Errorf("AllRaces got %d", len(all.Races()))
+	}
+}
+
+func TestGranuleSplitsAccesses(t *testing.T) {
+	d := New(Options{Granule: 4})
+	d.Write(t0, 0x100, 8, 0) // two granules
+	d.Write(t1, 0x100, 8, 0)
+	if len(d.Races()) != 2 {
+		t.Errorf("8-byte access over 4-byte granules: %d races, want 2", len(d.Races()))
+	}
+	if m := d.RacyAddrs(); !m[0x100] || !m[0x104] {
+		t.Errorf("racy addrs = %v", m)
+	}
+}
+
+func TestForkJoinOrders(t *testing.T) {
+	d := New(Options{Granule: 4})
+	d.Write(t0, x, 4, 0)
+	d.Fork(t0, t1)
+	d.Write(t1, x, 4, 0) // ordered by fork
+	d.Join(t0, t1)
+	d.Write(t0, x, 4, 0) // ordered by join
+	if len(d.Races()) != 0 {
+		t.Errorf("fork/join ordering missed: %v", d.Races())
+	}
+}
+
+func TestBarrierOrders(t *testing.T) {
+	d := New(Options{Granule: 4})
+	d.Write(t0, x, 4, 0)
+	d.BarrierArrive(t0, 1)
+	d.BarrierArrive(t1, 1)
+	d.BarrierDepart(t0, 1)
+	d.BarrierDepart(t1, 1)
+	d.Write(t1, x, 4, 0)
+	if len(d.Races()) != 0 {
+		t.Errorf("barrier ordering missed: %v", d.Races())
+	}
+}
+
+func TestFreeForgets(t *testing.T) {
+	d := New(Options{Granule: 4})
+	d.Write(t0, x, 4, 0)
+	d.Free(t0, x, 4)
+	d.Write(t1, x, 4, 0) // fresh allocation: no relation
+	if len(d.Races()) != 0 {
+		t.Errorf("stale state after free: %v", d.Races())
+	}
+}

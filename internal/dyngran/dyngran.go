@@ -1,0 +1,539 @@
+// Package dyngran implements the paper's contribution: dynamic detection
+// granularity realized by sharing one vector clock among neighbouring memory
+// locations (Section III). A shadow *Node* records the access history of a
+// contiguous address range; all shadow slots in the range alias the node.
+// Detection starts at byte (access-footprint) granularity and grows as
+// neighbouring locations are found to carry the same clock.
+//
+// Each node carries the vector-clock state machine of Figure 2:
+//
+//	Init    — the location's first epoch; may be temporarily shared with a
+//	          neighbour that is also in Init and has the same clock
+//	          (sub-states 1st-Epoch-Shared / 1st-Epoch-Private).
+//	Shared  — after the second-epoch access, the location shares its clock
+//	          with a neighbour that has the same clock.
+//	Private — after the second-epoch access, no neighbour matched.
+//	Race    — a data race was found; sharing is dissolved and every
+//	          formerly-sharing location gets a private clock.
+//
+// The sharing decision is made at most twice in a location's lifetime: once
+// on first access and once on the second-epoch access. The same Node/Plane
+// machinery also backs the fixed byte and word granularities (which simply
+// never merge), so all granularities share one code path and one accounting
+// scheme.
+package dyngran
+
+import (
+	"repro/internal/event"
+	"repro/internal/fasttrack"
+	"repro/internal/shadow"
+	"repro/internal/vc"
+)
+
+// State is the vector-clock state machine state of Figure 2.
+type State uint8
+
+const (
+	// Init is the location's first epoch (since its first access).
+	Init State = iota
+	// Shared means the location shares its clock with neighbours.
+	Shared
+	// Private means the location owns its clock alone.
+	Private
+	// Race means a data race was found on the location.
+	Race
+)
+
+func (s State) String() string {
+	switch s {
+	case Init:
+		return "Init"
+	case Shared:
+		return "Shared"
+	case Private:
+		return "Private"
+	case Race:
+		return "Race"
+	default:
+		return "?"
+	}
+}
+
+// Kind selects the access plane a Plane tracks. Read and write locations
+// are maintained separately and only like-typed clocks are shared.
+type Kind uint8
+
+const (
+	ReadPlane Kind = iota
+	WritePlane
+)
+
+// Node is the shadow record of one location (or of several locations
+// sharing a clock). It covers the address range [Lo, Hi).
+type Node struct {
+	// W is the FastTrack write epoch (write plane).
+	W vc.Epoch
+	// R is the adaptive read representation (read plane).
+	R fasttrack.Read
+
+	// Lo, Hi delimit the covered address range.
+	Lo, Hi uint64
+	// Locs counts how many first-access locations were folded into this
+	// node; the Table 3 "avg sharing count" statistic derives from it.
+	Locs int32
+
+	// State is the Figure 2 state.
+	State State
+	// InitShared distinguishes 1st-Epoch-Shared from 1st-Epoch-Private
+	// while State == Init.
+	InitShared bool
+	// Reported is set once the first race on this location is reported;
+	// later races on it are not re-reported (the DJIT+ policy).
+	Reported bool
+
+	// Settled counts distinct-epoch accesses since the node entered the
+	// Private state; the adaptive-resharing extension (Section VII future
+	// work) re-runs the sharing decision when it reaches the configured
+	// interval.
+	Settled uint8
+
+	// PC is the code site of the last recorded access, kept for reports.
+	PC event.PC
+}
+
+// Accounting object sizes, mirroring a C implementation the way the paper
+// measures ("based on object size"): an epoch-bearing node is two words of
+// clock plus range/state metadata.
+const nodeBytes = 32
+
+// bytes returns the node's accounted size including an inflated read vector.
+func (n *Node) bytes() int64 { return nodeBytes + int64(n.R.Bytes()) }
+
+// Stats aggregates the plane statistics the evaluation tables report.
+type Stats struct {
+	// NodesCur/NodesPeak track live clock-bearing nodes; NodesPeak is the
+	// "Max. # of vector clocks" column of Table 3.
+	NodesCur, NodesPeak int64
+	// VCBytesCur/VCBytesPeak track clock storage for Table 2's "Vector
+	// clock" column.
+	VCBytesCur, VCBytesPeak int64
+	// NodeAllocs counts node allocations; LocCreations counts first-access
+	// location creations.
+	NodeAllocs, LocCreations uint64
+	// LiveLocs is the number of locations currently represented by live
+	// nodes; AvgSharingAtPeak is LiveLocs/NodesCur sampled whenever the
+	// node count peaks — Table 3's "avg sharing count" (how many
+	// locations share one vector clock).
+	LiveLocs         int64
+	AvgSharingAtPeak float64
+	// Merges and Splits count sharing events and split events.
+	Merges, Splits uint64
+	// Races counts reported races (first per location).
+	Races uint64
+}
+
+// locsDelta adjusts the live-location count.
+func (s *Stats) locsDelta(d int64) {
+	s.LiveLocs += d
+	s.sampleSharing()
+}
+
+// sampleSharing refreshes the peak-time sharing ratio.
+func (s *Stats) sampleSharing() {
+	if s.NodesCur > 0 && s.NodesCur >= s.NodesPeak {
+		s.AvgSharingAtPeak = float64(s.LiveLocs) / float64(s.NodesCur)
+	}
+}
+
+// Plane is one access plane's shadow state: the Figure 4 indexing table
+// plus allocation accounting.
+type Plane struct {
+	Kind Kind
+	Tab  *shadow.Table[*Node]
+	St   *Stats
+}
+
+// NewPlane returns an empty plane of the given kind sharing stats st.
+func NewPlane(kind Kind, st *Stats) *Plane {
+	return &Plane{Kind: kind, Tab: shadow.New[*Node](), St: st}
+}
+
+// SameHistory reports whether two nodes carry the same vector clock in this
+// plane's sense — the sharing precondition.
+func (p *Plane) SameHistory(a, b *Node) bool {
+	if p.Kind == WritePlane {
+		return a.W == b.W
+	}
+	return a.R.Equal(&b.R)
+}
+
+// account registers allocation (+) or release (-) of a node's storage,
+// including the locations the node represents.
+func (p *Plane) account(n *Node, sign int64) {
+	p.St.VCBytesCur += sign * n.bytes()
+	p.St.NodesCur += sign
+	p.St.LiveLocs += sign * int64(n.Locs)
+	if sign > 0 {
+		p.St.NodeAllocs++
+		if p.St.NodesCur > p.St.NodesPeak {
+			p.St.NodesPeak = p.St.NodesCur
+		}
+		if p.St.VCBytesCur > p.St.VCBytesPeak {
+			p.St.VCBytesPeak = p.St.VCBytesCur
+		}
+	}
+	p.St.sampleSharing()
+}
+
+// AccountInflation records that a node's read representation grew by delta
+// bytes (epoch → vector inflation).
+func (p *Plane) AccountInflation(delta int64) {
+	p.St.VCBytesCur += delta
+	if p.St.VCBytesCur > p.St.VCBytesPeak {
+		p.St.VCBytesPeak = p.St.VCBytesCur
+	}
+}
+
+// NewNode allocates a node covering [lo, hi), points the range's shadow
+// slots at it, and accounts it. The caller fills in the clock afterwards.
+func (p *Plane) NewNode(lo, hi uint64, state State) *Node {
+	n := &Node{Lo: lo, Hi: hi, Locs: 1, State: state}
+	p.account(n, +1)
+	p.Tab.SetRange(lo, hi, n)
+	return n
+}
+
+// clone allocates a copy of n covering [lo, hi) with an independent clock.
+func (p *Plane) clone(n *Node, lo, hi uint64, locs int32) *Node {
+	c := &Node{
+		W:          n.W,
+		R:          n.R.Clone(),
+		Lo:         lo,
+		Hi:         hi,
+		Locs:       locs,
+		State:      n.State,
+		InitShared: n.InitShared,
+		Reported:   n.Reported,
+		PC:         n.PC,
+	}
+	p.account(c, +1)
+	p.Tab.SetRange(lo, hi, c)
+	return c
+}
+
+// release drops a node from accounting (its slots must already be
+// repointed or cleared).
+func (p *Plane) release(n *Node) { p.account(n, -1) }
+
+// hasCells reports whether any shadow slot in [lo, hi) is set.
+func (p *Plane) hasCells(lo, hi uint64) bool {
+	found := false
+	p.Tab.ForRange(lo, hi, func(uint64, *Node) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Split carves [lo, hi) out of node n (which must cover it) and returns the
+// carved node, which owns an independent copy of n's clock. Remainders on
+// either side keep sharing (among themselves) with n's original clock and
+// state. Split reuses n for one of the resulting pieces to limit churn.
+func (p *Plane) Split(n *Node, lo, hi uint64) *Node {
+	p.St.Splits++
+	if n.Lo == lo && n.Hi == hi {
+		return n // nothing to carve
+	}
+	leftLive := lo > n.Lo && p.hasCells(n.Lo, lo)
+	rightLive := hi < n.Hi && p.hasCells(hi, n.Hi)
+
+	remainder := n.Locs - 1
+	if remainder < 1 {
+		remainder = 1
+	}
+	setLocs := func(v int32) {
+		p.St.locsDelta(int64(v) - int64(n.Locs))
+		n.Locs = v
+	}
+	switch {
+	case leftLive && rightLive:
+		// n keeps the left, a clone takes the right, a clone takes the middle.
+		lshare := remainder / 2
+		if lshare < 1 {
+			lshare = 1
+		}
+		rshare := remainder - lshare
+		if rshare < 1 {
+			rshare = 1
+		}
+		p.clone(n, hi, n.Hi, rshare)
+		mid := p.clone(n, lo, hi, 1)
+		n.Hi = lo
+		setLocs(lshare)
+		return mid
+	case leftLive:
+		mid := p.clone(n, lo, hi, 1)
+		n.Hi = lo
+		setLocs(remainder)
+		return mid
+	case rightLive:
+		mid := p.clone(n, lo, hi, 1)
+		n.Lo = hi
+		setLocs(remainder)
+		return mid
+	default:
+		// No live remainder: n itself becomes the carved node.
+		n.Lo, n.Hi = lo, hi
+		setLocs(1)
+		return n
+	}
+}
+
+// Merge folds node src into dst (they must be neighbours with the same
+// clock): every slot of src repoints to dst and dst's range grows to the
+// union. Returns dst.
+func (p *Plane) Merge(dst, src *Node) *Node {
+	if dst == src {
+		return dst
+	}
+	p.St.Merges++
+	p.Tab.SetRange(src.Lo, src.Hi, dst)
+	if src.Lo < dst.Lo {
+		dst.Lo = src.Lo
+	}
+	if src.Hi > dst.Hi {
+		dst.Hi = src.Hi
+	}
+	dst.Locs += src.Locs
+	p.St.locsDelta(int64(src.Locs))
+	p.release(src)
+	return dst
+}
+
+// neighborSearchDist bounds the "nearest predecessor/successor with a valid
+// vector clock" search used for first-epoch sharing. C structs pad by at
+// most 7 bytes, so 8 loses no realistic adjacency while staying O(1).
+const neighborSearchDist = 8
+
+// canMerge reports whether folding a and b would keep the combined range
+// within one indexing block. Sharing is performed through a hash entry's
+// indexing array (Figure 4), so a shared clock never spans entries; this
+// bounds every range operation at m = 128 addresses and yields the paper's
+// ≈32-location sharing ceiling (Table 3's pbzip2 row).
+func canMerge(a, b *Node) bool {
+	lo, hi := a.Lo, a.Hi
+	if b.Lo < lo {
+		lo = b.Lo
+	}
+	if b.Hi > hi {
+		hi = b.Hi
+	}
+	return lo/shadow.BlockSize == (hi-1)/shadow.BlockSize
+}
+
+// Neighbors returns the nodes nearest to the left of lo and right of hi
+// within the first-epoch search distance (either may be nil).
+func (p *Plane) Neighbors(lo, hi uint64) (left, right *Node) {
+	if _, n, ok := p.Tab.PrevSet(lo, neighborSearchDist); ok {
+		left = n
+	}
+	if _, n, ok := p.Tab.NextSet(hi, neighborSearchDist); ok {
+		right = n
+	}
+	return left, right
+}
+
+// AdjacentNeighbors returns the nodes immediately adjacent to [lo, hi) —
+// the second-epoch neighbours at L-size and L+size.
+func (p *Plane) AdjacentNeighbors(lo, hi uint64) (left, right *Node) {
+	if lo > 0 {
+		left = p.Tab.Get(lo - 1)
+	}
+	right = p.Tab.Get(hi)
+	return left, right
+}
+
+// TryExtendLeft is the fast path of first-epoch sharing for sequential
+// initialization: when a fresh location [lo, hi) directly continues an Init
+// node that ends at lo and carries exactly the history the new location
+// would get (w for the write plane, r for the read plane), the node is
+// extended in place — no allocation, no neighbour search. This is where
+// dynamic granularity's "N× fewer vector clock creations" (Section V.A,
+// pbzip2) comes from.
+func (p *Plane) TryExtendLeft(lo, hi uint64, w vc.Epoch, r *fasttrack.Read) (*Node, bool) {
+	if lo == 0 {
+		return nil, false
+	}
+	left := p.Tab.Get(lo - 1)
+	if left == nil || left.State != Init || left.Hi != lo {
+		return nil, false
+	}
+	if left.Lo/shadow.BlockSize != (hi-1)/shadow.BlockSize {
+		return nil, false
+	}
+	if p.Kind == WritePlane {
+		if left.W != w {
+			return nil, false
+		}
+	} else if left.R.Shared() || r == nil || !left.R.Equal(r) {
+		return nil, false
+	}
+	p.Tab.SetRange(lo, hi, left)
+	left.Hi = hi
+	left.Locs++
+	left.InitShared = true
+	p.St.locsDelta(1)
+	p.St.Merges++
+	return left, true
+}
+
+// TryFirstEpochShare attempts the temporary Init-state sharing for a fresh
+// node n: a neighbour qualifies if it is in Init and has the same clock.
+// On success n is folded into the neighbour. Returns the surviving node.
+func (p *Plane) TryFirstEpochShare(n *Node) *Node {
+	left, right := p.Neighbors(n.Lo, n.Hi)
+	merged := n
+	if left != nil && left != n && left.State == Init && canMerge(left, n) &&
+		p.SameHistory(left, n) {
+		merged = p.Merge(left, merged)
+	}
+	if right != nil && right != merged && right.State == Init && canMerge(merged, right) &&
+		p.SameHistory(right, merged) {
+		merged = p.Merge(merged, right)
+	}
+	merged.InitShared = merged.Locs > 1
+	return merged
+}
+
+// DecideSecondEpoch makes the final sharing decision for node n after its
+// second-epoch access updated its clock: share with an adjacent neighbour
+// in Shared or Private state that has the same clock, else become Private.
+// Returns the surviving node.
+func (p *Plane) DecideSecondEpoch(n *Node) *Node {
+	left, right := p.AdjacentNeighbors(n.Lo, n.Hi)
+	merged := n
+	shared := false
+	if left != nil && left != n && (left.State == Shared || left.State == Private) &&
+		canMerge(left, n) && p.SameHistory(left, n) {
+		merged = p.Merge(left, merged)
+		shared = true
+	}
+	if right != nil && right != merged && (right.State == Shared || right.State == Private) &&
+		canMerge(merged, right) && p.SameHistory(merged, right) {
+		merged = p.Merge(merged, right)
+		shared = true
+	}
+	if shared {
+		merged.State = Shared
+	} else {
+		merged.State = Private
+	}
+	merged.InitShared = false
+	return merged
+}
+
+// SetRace carves [lo, hi) out of n, marks it Race/Reported, and dissolves
+// any remaining sharing: formerly-sharing remainders also enter the Race
+// state with private clocks (the paper's splitAndSetRace), but stay
+// unreported so their own first race can still be reported.
+func (p *Plane) SetRace(n *Node, lo, hi uint64) *Node {
+	wasShared := n.Locs > 1 || n.Lo != lo || n.Hi != hi
+	mid := p.Split(n, lo, hi)
+	mid.State = Race
+	mid.InitShared = false
+	mid.Reported = true
+	if wasShared {
+		// Mark the split-off remainders Race as well.
+		p.markRaceAround(lo, hi, mid)
+	}
+	return mid
+}
+
+// markRaceAround sets the nodes adjacent to [lo, hi) that resulted from the
+// dissolved sharing into the Race state.
+func (p *Plane) markRaceAround(lo, hi uint64, mid *Node) {
+	if lo > 0 {
+		if left := p.Tab.Get(lo - 1); left != nil && left != mid {
+			left.State = Race
+			left.InitShared = false
+		}
+	}
+	if right := p.Tab.Get(hi); right != nil && right != mid {
+		right.State = Race
+		right.InitShared = false
+	}
+}
+
+// DeflateReads resets the read representation of nodes whose reads are all
+// ordered before tc back to the empty epoch — FastTrack's write-exclusive
+// optimization: once a write dominates every read of a location, the
+// inflated read vector carries no information the write epoch doesn't, so
+// its storage can be reclaimed.
+func (p *Plane) DeflateReads(lo, hi uint64, tc *vc.VC) {
+	var last *Node
+	p.Tab.ForRange(lo, hi, func(_ uint64, n *Node) bool {
+		if n == last {
+			return true
+		}
+		last = n
+		if n.R.Shared() && n.R.LEQ(tc) {
+			p.AccountInflation(-int64(n.R.Bytes()))
+			n.R = fasttrack.Read{}
+		}
+		return true
+	})
+}
+
+// DropRange discards all shadow state in [lo, hi) — the free() path. Nodes
+// fully inside the range are released; nodes straddling a boundary are
+// shrunk.
+func (p *Plane) DropRange(lo, hi uint64) {
+	var nodes []*Node
+	var last *Node
+	p.Tab.ForRange(lo, hi, func(_ uint64, n *Node) bool {
+		if n != last {
+			nodes = append(nodes, n)
+			last = n
+		}
+		return true
+	})
+	for _, n := range nodes {
+		switch {
+		case n.Lo >= lo && n.Hi <= hi:
+			p.release(n)
+		case n.Lo < lo && n.Hi > hi:
+			// Straddles both ends: keep left in n, clone the right tail.
+			if p.hasCells(hi, n.Hi) {
+				p.clone(n, hi, n.Hi, 1)
+			}
+			n.Hi = lo
+			if !p.hasCells(n.Lo, n.Hi) {
+				p.Tab.ClearRange(n.Lo, n.Hi)
+				p.release(n)
+			}
+		case n.Lo < lo:
+			n.Hi = lo
+			if !p.hasCells(n.Lo, n.Hi) {
+				p.Tab.ClearRange(n.Lo, n.Hi)
+				p.release(n)
+			}
+		default: // n.Hi > hi
+			n.Lo = hi
+			if !p.hasCells(n.Lo, n.Hi) {
+				p.Tab.ClearRange(n.Lo, n.Hi)
+				p.release(n)
+			}
+		}
+	}
+	p.Tab.ClearRange(lo, hi)
+}
+
+// AvgSharing returns the average number of locations sharing one clock
+// node, sampled when the live node count peaked — Table 3's "Avg. sharing
+// count".
+func (s *Stats) AvgSharing() float64 {
+	if s.AvgSharingAtPeak < 1 {
+		return 1
+	}
+	return s.AvgSharingAtPeak
+}

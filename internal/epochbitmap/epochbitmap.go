@@ -1,0 +1,131 @@
+// Package epochbitmap implements the per-thread same-epoch access filter of
+// Section IV.A of the paper. In DJIT+/FastTrack only the first read and the
+// first write of a location in an epoch need full analysis; every later
+// access in the same epoch can return immediately. Looking a location up in
+// the global shadow structure to discover this is expensive, so each thread
+// keeps a private bitmap of the addresses it has read and written during the
+// current epoch. The bitmap is reset at every lock release (the start of the
+// thread's next epoch).
+//
+// The filter tracks reads and writes separately: a second write in an epoch
+// is redundant only if the thread already wrote the location this epoch,
+// while a second read is redundant if the thread already read *or wrote* it
+// (the earlier write both performed the stronger checks and established the
+// thread's access).
+//
+// Resetting is O(1): chunks carry a generation stamp and are lazily zeroed
+// when touched under a newer generation, so per-release cost does not scale
+// with the number of addresses touched. Retained chunk storage is accounted
+// by object size for the Table 2 "Bitmap" column.
+package epochbitmap
+
+const (
+	chunkAddrs = 2048 // addresses covered per chunk
+	chunkShift = 11
+	chunkMask  = chunkAddrs - 1
+	chunkWords = chunkAddrs * 2 / 64 // 2 bits per address
+
+	chunkHeaderBytes = 16
+	chunkBytes       = chunkHeaderBytes + chunkWords*8
+	mapSlotBytes     = 48 // map bucket amortized per live key, accounting estimate
+)
+
+type chunk struct {
+	gen  uint32
+	bits [chunkWords]uint64 // even bit: read, odd bit: write
+}
+
+// Bitmap is one thread's same-epoch filter. It is not safe for concurrent
+// use; the engine runs one virtual thread at a time so this never arises.
+type Bitmap struct {
+	chunks map[uint64]*chunk
+	gen    uint32
+
+	curBytes  int64
+	peakBytes int64
+}
+
+// New returns an empty bitmap.
+func New() *Bitmap {
+	return &Bitmap{chunks: make(map[uint64]*chunk), gen: 1}
+}
+
+// Reset starts a new epoch: every address reads as unaccessed afterwards.
+func (b *Bitmap) Reset() { b.gen++ }
+
+// Bytes returns the currently retained storage of the bitmap.
+func (b *Bitmap) Bytes() int64 { return b.curBytes }
+
+// PeakBytes returns the maximum retained storage reached so far.
+func (b *Bitmap) PeakBytes() int64 { return b.peakBytes }
+
+func (b *Bitmap) chunkFor(key uint64) *chunk {
+	c := b.chunks[key]
+	if c == nil {
+		c = &chunk{gen: b.gen}
+		b.chunks[key] = c
+		b.curBytes += chunkBytes + mapSlotBytes
+		if b.curBytes > b.peakBytes {
+			b.peakBytes = b.curBytes
+		}
+		return c
+	}
+	if c.gen != b.gen {
+		c.bits = [chunkWords]uint64{}
+		c.gen = b.gen
+	}
+	return c
+}
+
+// testAndSet visits each address in [lo, hi) and reports whether every
+// address already had the required bits. mask selects which of the two bits
+// per address must already be present for the access to count as
+// same-epoch; set selects which bits to record.
+func (b *Bitmap) testAndSet(lo, hi uint64, need, set uint64) bool {
+	all := true
+	for lo < hi {
+		key := lo >> chunkShift
+		c := b.chunkFor(key)
+		end := (lo | chunkMask) + 1
+		if end > hi {
+			end = hi
+		}
+		for a := lo; a < end; a++ {
+			off := (a & chunkMask) * 2
+			w := &c.bits[off/64]
+			sh := off % 64
+			if *w>>sh&need == 0 {
+				all = false
+			}
+			*w |= set << sh
+		}
+		lo = end
+	}
+	return all
+}
+
+const (
+	readBit  = 0b01
+	writeBit = 0b10
+)
+
+// Read records a read of [lo, hi) and reports whether the whole range was
+// already covered this epoch (in which case the detector can skip it).
+func (b *Bitmap) Read(lo, hi uint64) (sameEpoch bool) {
+	return b.testAndSet(lo, hi, readBit|writeBit, readBit)
+}
+
+// Write records a write of [lo, hi) and reports whether the whole range was
+// already written this epoch.
+func (b *Bitmap) Write(lo, hi uint64) (sameEpoch bool) {
+	return b.testAndSet(lo, hi, writeBit, writeBit)
+}
+
+// MarkRead records [lo, hi) as read without testing. The dynamic-granularity
+// detector uses it to cover a whole shared node after one of its locations
+// is read, which is how a larger granularity turns multiple accesses into
+// same-epoch accesses (Section V.A, "Slowdown").
+func (b *Bitmap) MarkRead(lo, hi uint64) { b.testAndSet(lo, hi, 0, readBit) }
+
+// MarkWrite records [lo, hi) as written without testing.
+func (b *Bitmap) MarkWrite(lo, hi uint64) { b.testAndSet(lo, hi, 0, writeBit) }

@@ -1,0 +1,231 @@
+// Package event defines the instrumentation vocabulary connecting the
+// execution engine (internal/sim) to the race detectors. It plays the role
+// Intel PIN's analysis-callback interface plays for the paper's tool: every
+// memory access and synchronization operation of the analyzed program is
+// delivered, in execution order, to an event Sink.
+package event
+
+import "repro/internal/vc"
+
+// LockID identifies a mutex (or the lock-like clock of a barrier) in the
+// analyzed program.
+type LockID int32
+
+// BarrierID identifies a barrier in the analyzed program.
+type BarrierID int32
+
+// PC is a synthetic program-counter / source-site identifier carried on
+// every access. The high byte identifies the "module" the site belongs to,
+// which supports the suppression rules the paper applies (races from libc
+// and ld are suppressed).
+type PC uint32
+
+// Module extracts the module tag of a PC.
+func (p PC) Module() Module { return Module(p >> 24) }
+
+// Module tags the origin of a code site.
+type Module uint8
+
+// Module tags. ModuleApp is ordinary benchmark code; ModuleLibc and ModuleLd
+// mark accesses attributed to the C library and the dynamic loader, which
+// the paper's suppression rules hide from reports.
+const (
+	ModuleApp Module = iota
+	ModuleLibc
+	ModuleLd
+	ModulePthread
+)
+
+// MakePC builds a PC from a module tag and a site number.
+func MakePC(m Module, site uint32) PC { return PC(uint32(m)<<24 | site&0xffffff) }
+
+// StackBase is the start of the per-thread stack address region. The
+// engine places thread-local (stack) data at and above this address, and
+// detectors return immediately for accesses there — the
+// `nonsharedread(addr)` filter on the first line of the paper's Figure 3
+// instrumentation pseudocode.
+const StackBase = uint64(1) << 40
+
+// NonShared reports whether addr lies in the non-shared (stack) region.
+func NonShared(addr uint64) bool { return addr >= StackBase }
+
+// Sink receives the instrumented event stream of one program execution.
+// Exactly one event is in flight at a time (the engine runs one virtual
+// thread at a time), so implementations need no internal locking.
+//
+// Access-path methods are split by kind so the hot path stays monomorphic.
+type Sink interface {
+	// Read reports a shared-memory read of size bytes at addr by tid,
+	// issued from code site pc.
+	Read(tid vc.TID, addr uint64, size uint32, pc PC)
+	// Write reports a shared-memory write.
+	Write(tid vc.TID, addr uint64, size uint32, pc PC)
+
+	// Acquire reports that tid acquired lock l (exclusively — a mutex
+	// lock or a rwlock write-lock).
+	Acquire(tid vc.TID, l LockID)
+	// Release reports that tid released lock l. In DJIT+/FastTrack terms a
+	// release starts a new epoch for tid.
+	Release(tid vc.TID, l LockID)
+
+	// AcquireShared reports a rwlock read-lock: the reader observes
+	// everything published by prior write-releases of l, but concurrent
+	// readers are not ordered with each other.
+	AcquireShared(tid vc.TID, l LockID)
+	// ReleaseShared reports a rwlock read-unlock: the reader's time is
+	// published to the *next write acquirer* of l (not to other readers).
+	ReleaseShared(tid vc.TID, l LockID)
+
+	// Fork reports that parent spawned child (before the child's first
+	// event). The child inherits the parent's logical time.
+	Fork(parent, child vc.TID)
+	// Join reports that parent joined child (after the child's last event).
+	Join(parent, child vc.TID)
+
+	// BarrierArrive reports that tid reached barrier b (the last event of
+	// tid's pre-barrier epoch). BarrierDepart reports that tid resumed
+	// after everyone arrived; it observes the joined time of all arrivals.
+	BarrierArrive(tid vc.TID, b BarrierID)
+	BarrierDepart(tid vc.TID, b BarrierID)
+
+	// Malloc and Free report heap management in the analyzed program. Free
+	// lets detectors discard shadow state for dead locations, which the
+	// paper's indexing structure supports with sequential range processing.
+	Malloc(tid vc.TID, addr uint64, size uint64)
+	Free(tid vc.TID, addr uint64, size uint64)
+}
+
+// Nop is a Sink that ignores every event. Running a workload against Nop
+// measures the uninstrumented base execution that slowdown factors are
+// computed against.
+type Nop struct{}
+
+func (Nop) Read(vc.TID, uint64, uint32, PC)  {}
+func (Nop) Write(vc.TID, uint64, uint32, PC) {}
+func (Nop) Acquire(vc.TID, LockID)           {}
+func (Nop) Release(vc.TID, LockID)           {}
+func (Nop) AcquireShared(vc.TID, LockID)     {}
+func (Nop) ReleaseShared(vc.TID, LockID)     {}
+func (Nop) Fork(vc.TID, vc.TID)              {}
+func (Nop) Join(vc.TID, vc.TID)              {}
+func (Nop) BarrierArrive(vc.TID, BarrierID)  {}
+func (Nop) BarrierDepart(vc.TID, BarrierID)  {}
+func (Nop) Malloc(vc.TID, uint64, uint64)    {}
+func (Nop) Free(vc.TID, uint64, uint64)      {}
+
+// Counter is a Sink that tallies event volumes; tables use it to report the
+// "Total shared accesses" column and event mixes.
+type Counter struct {
+	Reads, Writes  uint64
+	ReadBytes      uint64
+	WriteBytes     uint64
+	Acquires       uint64
+	Releases       uint64
+	SharedAcquires uint64
+	SharedReleases uint64
+	Forks, Joins   uint64
+	Barriers       uint64
+	Mallocs, Frees uint64
+	MallocBytes    uint64
+	SizeHistogram  [17]uint64 // index = access size (1,2,4,8,16), others bucket 0
+}
+
+func (c *Counter) bucket(size uint32) int {
+	if size <= 16 {
+		return int(size)
+	}
+	return 0
+}
+
+func (c *Counter) Read(_ vc.TID, _ uint64, size uint32, _ PC) {
+	c.Reads++
+	c.ReadBytes += uint64(size)
+	c.SizeHistogram[c.bucket(size)]++
+}
+
+func (c *Counter) Write(_ vc.TID, _ uint64, size uint32, _ PC) {
+	c.Writes++
+	c.WriteBytes += uint64(size)
+	c.SizeHistogram[c.bucket(size)]++
+}
+
+func (c *Counter) Acquire(vc.TID, LockID)          { c.Acquires++ }
+func (c *Counter) Release(vc.TID, LockID)          { c.Releases++ }
+func (c *Counter) AcquireShared(vc.TID, LockID)    { c.SharedAcquires++ }
+func (c *Counter) ReleaseShared(vc.TID, LockID)    { c.SharedReleases++ }
+func (c *Counter) Fork(vc.TID, vc.TID)             { c.Forks++ }
+func (c *Counter) Join(vc.TID, vc.TID)             { c.Joins++ }
+func (c *Counter) BarrierArrive(vc.TID, BarrierID) { c.Barriers++ }
+func (c *Counter) BarrierDepart(vc.TID, BarrierID) {}
+func (c *Counter) Malloc(_ vc.TID, _ uint64, size uint64) {
+	c.Mallocs++
+	c.MallocBytes += size
+}
+func (c *Counter) Free(vc.TID, uint64, uint64) { c.Frees++ }
+
+// Accesses returns the total number of shared reads and writes seen.
+func (c *Counter) Accesses() uint64 { return c.Reads + c.Writes }
+
+// Tee fans one event stream out to several sinks in order.
+type Tee []Sink
+
+func (t Tee) Read(tid vc.TID, addr uint64, size uint32, pc PC) {
+	for _, s := range t {
+		s.Read(tid, addr, size, pc)
+	}
+}
+func (t Tee) Write(tid vc.TID, addr uint64, size uint32, pc PC) {
+	for _, s := range t {
+		s.Write(tid, addr, size, pc)
+	}
+}
+func (t Tee) Acquire(tid vc.TID, l LockID) {
+	for _, s := range t {
+		s.Acquire(tid, l)
+	}
+}
+func (t Tee) Release(tid vc.TID, l LockID) {
+	for _, s := range t {
+		s.Release(tid, l)
+	}
+}
+func (t Tee) AcquireShared(tid vc.TID, l LockID) {
+	for _, s := range t {
+		s.AcquireShared(tid, l)
+	}
+}
+func (t Tee) ReleaseShared(tid vc.TID, l LockID) {
+	for _, s := range t {
+		s.ReleaseShared(tid, l)
+	}
+}
+func (t Tee) Fork(p, c vc.TID) {
+	for _, s := range t {
+		s.Fork(p, c)
+	}
+}
+func (t Tee) Join(p, c vc.TID) {
+	for _, s := range t {
+		s.Join(p, c)
+	}
+}
+func (t Tee) BarrierArrive(tid vc.TID, b BarrierID) {
+	for _, s := range t {
+		s.BarrierArrive(tid, b)
+	}
+}
+func (t Tee) BarrierDepart(tid vc.TID, b BarrierID) {
+	for _, s := range t {
+		s.BarrierDepart(tid, b)
+	}
+}
+func (t Tee) Malloc(tid vc.TID, addr, size uint64) {
+	for _, s := range t {
+		s.Malloc(tid, addr, size)
+	}
+}
+func (t Tee) Free(tid vc.TID, addr, size uint64) {
+	for _, s := range t {
+		s.Free(tid, addr, size)
+	}
+}

@@ -1,0 +1,96 @@
+package event
+
+import "testing"
+
+func TestPCModulePacking(t *testing.T) {
+	cases := []struct {
+		m    Module
+		site uint32
+	}{
+		{ModuleApp, 0}, {ModuleApp, 12345}, {ModuleLibc, 1},
+		{ModuleLd, 0xffffff}, {ModulePthread, 77},
+	}
+	for _, c := range cases {
+		pc := MakePC(c.m, c.site)
+		if pc.Module() != c.m {
+			t.Errorf("MakePC(%d,%d).Module() = %d", c.m, c.site, pc.Module())
+		}
+		if got := uint32(pc) & 0xffffff; got != c.site&0xffffff {
+			t.Errorf("site bits lost: %d vs %d", got, c.site)
+		}
+	}
+}
+
+func TestSiteOverflowTruncates(t *testing.T) {
+	pc := MakePC(ModuleApp, 0x1ffffff) // 25 bits: must not leak into module
+	if pc.Module() != ModuleApp {
+		t.Errorf("overflowed site corrupted the module: %d", pc.Module())
+	}
+}
+
+func TestCounterTallies(t *testing.T) {
+	c := &Counter{}
+	c.Read(0, 0x10, 4, 0)
+	c.Read(1, 0x20, 8, 0)
+	c.Write(0, 0x10, 2, 0)
+	c.Acquire(0, 1)
+	c.Release(0, 1)
+	c.Fork(0, 1)
+	c.Join(0, 1)
+	c.BarrierArrive(0, 1)
+	c.BarrierDepart(0, 1)
+	c.Malloc(0, 0x100, 64)
+	c.Free(0, 0x100, 64)
+	if c.Reads != 2 || c.Writes != 1 || c.ReadBytes != 12 || c.WriteBytes != 2 {
+		t.Errorf("access tallies: %+v", c)
+	}
+	if c.Accesses() != 3 {
+		t.Errorf("accesses = %d", c.Accesses())
+	}
+	if c.Acquires != 1 || c.Releases != 1 || c.Forks != 1 || c.Joins != 1 ||
+		c.Barriers != 1 || c.Mallocs != 1 || c.Frees != 1 || c.MallocBytes != 64 {
+		t.Errorf("sync tallies: %+v", c)
+	}
+	if c.SizeHistogram[4] != 1 || c.SizeHistogram[8] != 1 || c.SizeHistogram[2] != 1 {
+		t.Errorf("histogram: %v", c.SizeHistogram)
+	}
+	c.Read(0, 0, 100, 0) // oversized accesses bucket at 0
+	if c.SizeHistogram[0] != 1 {
+		t.Errorf("oversize bucket: %v", c.SizeHistogram)
+	}
+}
+
+func TestNopIsSilent(t *testing.T) {
+	var n Nop
+	// Must simply not panic; Nop has no observable state.
+	n.Read(0, 0, 4, 0)
+	n.Write(0, 0, 4, 0)
+	n.Acquire(0, 0)
+	n.Release(0, 0)
+	n.Fork(0, 1)
+	n.Join(0, 1)
+	n.BarrierArrive(0, 0)
+	n.BarrierDepart(0, 0)
+	n.Malloc(0, 0, 0)
+	n.Free(0, 0, 0)
+}
+
+func TestTeeDeliversToAllInOrder(t *testing.T) {
+	a, b := &Counter{}, &Counter{}
+	tee := Tee{a, b}
+	tee.Read(0, 0x10, 4, 0)
+	tee.Write(0, 0x10, 4, 0)
+	tee.Acquire(0, 1)
+	tee.Release(0, 1)
+	tee.Fork(0, 1)
+	tee.Join(0, 1)
+	tee.BarrierArrive(0, 2)
+	tee.BarrierDepart(0, 2)
+	tee.Malloc(0, 1, 2)
+	tee.Free(0, 1, 2)
+	for i, c := range []*Counter{a, b} {
+		if c.Accesses() != 2 || c.Acquires != 1 || c.Barriers != 1 || c.Mallocs != 1 {
+			t.Errorf("sink %d under-delivered: %+v", i, c)
+		}
+	}
+}

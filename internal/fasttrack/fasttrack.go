@@ -1,0 +1,301 @@
+// Package fasttrack implements the FastTrack algorithm core (Flanagan &
+// Freund, PLDI 2009) as summarized in Section II.C of the paper: thread and
+// lock vector-clock management for the happens-before relation, the packed
+// epoch representation of last writes, and the adaptive epoch-or-vector
+// representation of reads.
+//
+// The package is deliberately independent of shadow-memory layout and
+// detection granularity: it answers "given this access history and this
+// thread's clock, is the next access racy, and what is the new history?".
+// internal/detector binds it to locations; internal/dyngran decides how many
+// locations share one history.
+package fasttrack
+
+import (
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+// RaceKind classifies a detected race by the two conflicting accesses.
+type RaceKind uint8
+
+const (
+	NoRace RaceKind = iota
+	WriteWrite
+	ReadWrite // earlier read, racing write
+	WriteRead // earlier write, racing read
+)
+
+func (k RaceKind) String() string {
+	switch k {
+	case WriteWrite:
+		return "write-write"
+	case ReadWrite:
+		return "read-write"
+	case WriteRead:
+		return "write-read"
+	default:
+		return "none"
+	}
+}
+
+// Threads tracks every thread's vector clock and epoch, and the vector
+// clocks of locks and barriers. It implements the clock updates of Section
+// II.A/II.B: release joins the thread clock into the lock clock and starts a
+// new epoch; acquire joins the lock clock into the thread clock; fork and
+// join do the same through the child thread.
+type Threads struct {
+	clocks   []*vc.VC
+	locks    map[event.LockID]*vc.VC
+	readers  map[event.LockID]*vc.VC // rwlock reader-release clocks
+	barriers map[event.BarrierID]*vc.VC
+	epochs   uint64 // total epochs started, for statistics
+}
+
+// NewThreads returns an empty thread-clock registry.
+func NewThreads() *Threads {
+	return &Threads{
+		locks:    make(map[event.LockID]*vc.VC),
+		readers:  make(map[event.LockID]*vc.VC),
+		barriers: make(map[event.BarrierID]*vc.VC),
+	}
+}
+
+// ensure returns thread t's clock, creating it at epoch 1 on first sight
+// (threads begin in their first epoch with their own component at 1).
+func (ts *Threads) ensure(t vc.TID) *vc.VC {
+	for int(t) >= len(ts.clocks) {
+		ts.clocks = append(ts.clocks, nil)
+	}
+	if ts.clocks[t] == nil {
+		c := vc.New(int(t) + 1)
+		c.Set(t, 1)
+		ts.clocks[t] = c
+		ts.epochs++
+	}
+	return ts.clocks[t]
+}
+
+// Clock returns thread t's current vector clock.
+func (ts *Threads) Clock(t vc.TID) *vc.VC { return ts.ensure(t) }
+
+// Epoch returns thread t's current epoch c@t.
+func (ts *Threads) Epoch(t vc.TID) vc.Epoch {
+	c := ts.ensure(t)
+	return vc.MakeEpoch(t, c.Get(t))
+}
+
+// Epochs returns the total number of epochs started across all threads.
+func (ts *Threads) Epochs() uint64 { return ts.epochs }
+
+// Acquire applies exclusive lock acquisition (mutex lock or rwlock
+// write-lock): the thread observes every prior write release and — for
+// rwlocks — every prior read release of l.
+func (ts *Threads) Acquire(t vc.TID, l event.LockID) {
+	tc := ts.ensure(t)
+	if lc := ts.locks[l]; lc != nil {
+		tc.Join(lc)
+	}
+	if rc := ts.readers[l]; rc != nil {
+		tc.Join(rc)
+	}
+}
+
+// Release applies lock release: L_l ⊔= T_t, then T_t[t]++ (a release starts
+// the thread's next epoch, per DJIT+).
+func (ts *Threads) Release(t vc.TID, l event.LockID) {
+	tc := ts.ensure(t)
+	lc := ts.locks[l]
+	if lc == nil {
+		lc = vc.New(tc.Len())
+		ts.locks[l] = lc
+	}
+	lc.Join(tc)
+	tc.Inc(t)
+	ts.epochs++
+}
+
+// AcquireShared applies a rwlock read-lock: the reader observes everything
+// published by prior write-releases (T_t ⊔= L_l) but, unlike Acquire, does
+// not later need readers to be mutually ordered.
+func (ts *Threads) AcquireShared(t vc.TID, l event.LockID) {
+	if lc := ts.locks[l]; lc != nil {
+		ts.ensure(t).Join(lc)
+	}
+}
+
+// ReleaseShared applies a rwlock read-unlock: the reader's time joins the
+// lock's *reader* clock, which only the next write acquirer absorbs —
+// concurrent readers stay unordered with each other, which is what lets a
+// rwlock-protected read-mostly structure still exhibit read sharing in the
+// FastTrack representation. The release starts the reader's next epoch.
+func (ts *Threads) ReleaseShared(t vc.TID, l event.LockID) {
+	tc := ts.ensure(t)
+	rc := ts.readers[l]
+	if rc == nil {
+		rc = vc.New(tc.Len())
+		ts.readers[l] = rc
+	}
+	rc.Join(tc)
+	tc.Inc(t)
+	ts.epochs++
+}
+
+// Fork makes the child inherit the parent's time and advances the parent's
+// epoch so later parent events are not ordered before the child's.
+func (ts *Threads) Fork(parent, child vc.TID) {
+	pc := ts.ensure(parent)
+	cc := ts.ensure(child)
+	cc.Join(pc)
+	pc.Inc(parent)
+	ts.epochs++
+}
+
+// Join absorbs the finished child's time into the parent.
+func (ts *Threads) Join(parent, child vc.TID) {
+	ts.ensure(parent).Join(ts.ensure(child))
+}
+
+// BarrierArrive contributes t's time to the barrier clock and starts t's
+// next epoch; BarrierDepart (called once all parties arrived) absorbs the
+// joined clock, ordering everything before the barrier ahead of everything
+// after it.
+func (ts *Threads) BarrierArrive(t vc.TID, b event.BarrierID) {
+	tc := ts.ensure(t)
+	bc := ts.barriers[b]
+	if bc == nil {
+		bc = vc.New(tc.Len())
+		ts.barriers[b] = bc
+	}
+	bc.Join(tc)
+	tc.Inc(t)
+	ts.epochs++
+}
+
+// BarrierDepart absorbs the barrier clock into t.
+func (ts *Threads) BarrierDepart(t vc.TID, b event.BarrierID) {
+	if bc := ts.barriers[b]; bc != nil {
+		ts.ensure(t).Join(bc)
+	}
+}
+
+// LockClockBytes returns the accounting size of all lock and barrier clocks.
+func (ts *Threads) LockClockBytes() int64 {
+	var n int64
+	for _, c := range ts.locks {
+		n += int64(c.Bytes()) + 16
+	}
+	for _, c := range ts.readers {
+		n += int64(c.Bytes()) + 16
+	}
+	for _, c := range ts.barriers {
+		n += int64(c.Bytes()) + 16
+	}
+	return n
+}
+
+// Read is FastTrack's adaptive read representation: a single epoch while
+// reads of the location are totally ordered, inflated to a full vector clock
+// once concurrent ("read-shared") reads appear. The zero Read means "never
+// read".
+type Read struct {
+	E vc.Epoch // valid while V == nil
+	V *vc.VC   // non-nil once read-shared
+}
+
+// IsNone reports whether no read has been recorded.
+func (r *Read) IsNone() bool { return r.V == nil && r.E.IsNone() }
+
+// Shared reports whether the representation has inflated to a full vector.
+func (r *Read) Shared() bool { return r.V != nil }
+
+// LEQ reports whether every recorded read happens before the time v.
+func (r *Read) LEQ(v *vc.VC) bool {
+	if r.V != nil {
+		return r.V.LEQ(v)
+	}
+	return r.E.LEQ(v)
+}
+
+// RacingTID names a thread whose recorded read is not ordered before v.
+func (r *Read) RacingTID(v *vc.VC) vc.TID {
+	if r.V != nil {
+		return r.V.AnyGT(v)
+	}
+	return r.E.TID()
+}
+
+// Equal reports representation equality — the paper's "same vector clock"
+// test for read locations (two clocks are the same when they are the same
+// size and of equal value; an epoch only equals an epoch).
+func (r *Read) Equal(o *Read) bool {
+	if (r.V == nil) != (o.V == nil) {
+		return false
+	}
+	if r.V != nil {
+		return r.V.Equal(o.V)
+	}
+	return r.E == o.E
+}
+
+// Clone returns an independent copy.
+func (r *Read) Clone() Read {
+	n := Read{E: r.E}
+	if r.V != nil {
+		n.V = r.V.Clone()
+	}
+	return n
+}
+
+// Bytes returns the accounting size of the representation beyond its
+// embedding struct (the inflated vector, if any).
+func (r *Read) Bytes() int {
+	if r.V == nil {
+		return 0
+	}
+	return r.V.Bytes() + 16
+}
+
+// Update records a read at epoch e of thread clock tc: while the previous
+// read happens-before this one the epoch form suffices; otherwise the
+// representation inflates to a vector clock. It reports whether the
+// representation changed from epoch to vector (for accounting).
+func (r *Read) Update(t vc.TID, e vc.Epoch, tc *vc.VC) (inflated bool) {
+	if r.V != nil {
+		r.V.Set(t, e.Clock())
+		return false
+	}
+	if r.E.IsNone() || r.E.LEQ(tc) || r.E.TID() == t {
+		r.E = e
+		return false
+	}
+	// Concurrent reads: inflate to a full vector holding both.
+	v := vc.New(int(t) + 1)
+	v.Set(r.E.TID(), r.E.Clock())
+	v.Set(t, e.Clock())
+	r.V = v
+	r.E = vc.EpochNone
+	return true
+}
+
+// CheckWrite applies FastTrack's write checks against a location's write
+// epoch w and read representation r, for a thread with clock tc. It returns
+// the race found (NoRace if none) and the id of the other thread involved.
+func CheckWrite(w vc.Epoch, r *Read, tc *vc.VC) (RaceKind, vc.TID) {
+	if !w.LEQ(tc) {
+		return WriteWrite, w.TID()
+	}
+	if r != nil && !r.LEQ(tc) {
+		return ReadWrite, r.RacingTID(tc)
+	}
+	return NoRace, vc.NoTID
+}
+
+// CheckRead applies FastTrack's read check: a read races with the last
+// write unless that write happens before the reader.
+func CheckRead(w vc.Epoch, tc *vc.VC) (RaceKind, vc.TID) {
+	if !w.LEQ(tc) {
+		return WriteRead, w.TID()
+	}
+	return NoRace, vc.NoTID
+}

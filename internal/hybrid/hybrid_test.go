@@ -1,0 +1,150 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fasttrack"
+	"repro/internal/vc"
+)
+
+func TestDetectsUnorderedWrites(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x100, 4, 1)
+	d.Write(1, 0x100, 4, 2)
+	if len(d.Races()) != 1 {
+		t.Fatalf("races = %v", d.Races())
+	}
+	r := d.Races()[0]
+	if r.Kind != fasttrack.WriteWrite || r.Addr != 0x100 || r.PC != 2 || r.OtherPC != 1 {
+		t.Errorf("race = %+v", r)
+	}
+}
+
+func TestAcceptsHappensBefore(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x100, 4, 1)
+	d.Release(0, 9)
+	d.Acquire(1, 9)
+	d.Write(1, 0x100, 4, 2)
+	d.Fork(1, 2)
+	d.Write(2, 0x100, 4, 3)
+	if len(d.Races()) != 0 {
+		t.Errorf("ordered accesses raced: %v", d.Races())
+	}
+}
+
+// Inspector XE keys reports on instruction pairs: many locations racing at
+// the same two code sites collapse into one report, while the same location
+// racing at different site pairs yields several.
+func TestInstructionPairKeying(t *testing.T) {
+	d := New(Options{})
+	// 10 locations, all racing between the same two sites: one report.
+	for i := uint64(0); i < 10; i++ {
+		d.Write(0, 0x1000+i*8, 4, 7)
+		d.Write(1, 0x1000+i*8, 4, 8)
+	}
+	if len(d.Races()) != 1 {
+		t.Fatalf("same site pair must merge: got %d reports", len(d.Races()))
+	}
+	// The same location racing again from a different site pair: a new
+	// report (thread 0 against thread 1's last write at site 8).
+	d.Write(0, 0x1000, 4, 9)
+	if len(d.Races()) != 2 {
+		t.Errorf("distinct site pair must report separately: %d", len(d.Races()))
+	}
+}
+
+func TestReadRaces(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x200, 4, 1)
+	d.Read(1, 0x200, 4, 2)
+	if len(d.Races()) != 1 || d.Races()[0].Kind != fasttrack.WriteRead {
+		t.Fatalf("write-read: %v", d.Races())
+	}
+	d2 := New(Options{})
+	d2.Read(0, 0x200, 4, 1)
+	d2.Write(1, 0x200, 4, 2)
+	if len(d2.Races()) != 1 || d2.Races()[0].Kind != fasttrack.ReadWrite {
+		t.Errorf("read-write: %v", d2.Races())
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	d := New(Options{})
+	libc := event.MakePC(event.ModuleLibc, 5)
+	d.Write(0, 0x300, 4, libc)
+	d.Write(1, 0x300, 4, libc)
+	if len(d.Races()) != 0 {
+		t.Errorf("suppressed race reported: %v", d.Races())
+	}
+}
+
+func TestMemoryLimitAborts(t *testing.T) {
+	d := New(Options{MemLimitBytes: 4096})
+	for i := uint64(0); i < 200; i++ {
+		d.Write(0, 0x1000+i*8, 4, 1)
+	}
+	if !d.OOM() {
+		t.Fatal("memory limit never tripped")
+	}
+	before := len(d.Races())
+	d.Write(1, 0x1000, 4, 2)
+	if len(d.Races()) != before {
+		t.Error("post-OOM analysis must stop")
+	}
+}
+
+func TestFreeReleasesShadow(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x400, 8, 1)
+	peak := d.PeakBytes()
+	d.Free(0, 0x400, 8)
+	d.Write(1, 0x400, 8, 2) // fresh allocation: no race
+	if len(d.Races()) != 0 {
+		t.Errorf("stale shadow raced: %v", d.Races())
+	}
+	if d.PeakBytes() < peak {
+		t.Error("peak must be sticky")
+	}
+}
+
+func TestPotentialRaces(t *testing.T) {
+	// Lock-discipline violation whose accesses were happens-before ordered
+	// in this run (fork ordering, different locks): only reported with
+	// PotentialRaces.
+	run := func(potential bool) int {
+		d := New(Options{PotentialRaces: potential})
+		d.Acquire(0, 1)
+		d.Write(0, 0x500, 4, 1)
+		d.Release(0, 1)
+		d.Fork(0, 1) // orders everything below after thread 0's write
+		d.Acquire(1, 2)
+		d.Write(1, 0x500, 4, 2) // empties C(v), marks the location shared
+		d.Release(1, 2)
+		d.Acquire(1, 2)
+		d.Write(1, 0x500, 4, 2) // discipline still broken: potential race
+		d.Release(1, 2)
+		return len(d.Races())
+	}
+	if got := run(false); got != 0 {
+		t.Errorf("without PotentialRaces: %d reports", got)
+	}
+	if got := run(true); got == 0 {
+		t.Error("PotentialRaces should flag the discipline violation")
+	}
+}
+
+func TestLocksetRefinement(t *testing.T) {
+	// Consistently locked accesses never trigger even potential races.
+	d := New(Options{PotentialRaces: true})
+	for i := 0; i < 5; i++ {
+		tid := vc.TID(i % 2)
+		d.Acquire(tid, 4)
+		d.Write(tid, 0x600, 4, 1)
+		d.Release(tid, 4)
+	}
+	if len(d.Races()) != 0 {
+		t.Errorf("disciplined accesses flagged: %v", d.Races())
+	}
+}

@@ -1,0 +1,320 @@
+// Package lockset implements Eraser's LockSet algorithm (Savage et al.,
+// TOCS 1997), the classic lock-discipline checker the paper's Section I and
+// related work discuss, plus the held-lock bookkeeping that the hybrid
+// detector (internal/hybrid) shares.
+//
+// Every shared location keeps a candidate set C(v) of locks that protected
+// every access so far; on each access C(v) is intersected with the locks the
+// accessing thread holds. The Eraser state machine (Virgin → Exclusive →
+// Shared → Shared-Modified) defers warnings until a location is genuinely
+// shared and written; a race is reported when C(v) becomes empty in the
+// Shared-Modified state. LockSet flags violations of the locking discipline
+// whether or not the racy interleaving occurred, so it over-approximates:
+// it may report false alarms (e.g. fork/join or barrier-ordered accesses),
+// which is exactly the behaviour the paper contrasts happens-before
+// detectors against.
+package lockset
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+// Held tracks, per thread, the set of locks currently held. Lock sets are
+// interned so a set is identified by a small index and intersection results
+// are memoized — the standard Eraser implementation trick.
+type Held struct {
+	interner *Interner
+	held     []int // per tid: interned set of locks held
+}
+
+// NewHeld returns an empty held-lock tracker using interner i.
+func NewHeld(i *Interner) *Held {
+	return &Held{interner: i}
+}
+
+func (h *Held) ensure(t vc.TID) {
+	for int(t) >= len(h.held) {
+		h.held = append(h.held, h.interner.Empty())
+	}
+}
+
+// Acquire records that t now holds l.
+func (h *Held) Acquire(t vc.TID, l event.LockID) {
+	h.ensure(t)
+	h.held[t] = h.interner.Add(h.held[t], l)
+}
+
+// Release records that t no longer holds l.
+func (h *Held) Release(t vc.TID, l event.LockID) {
+	h.ensure(t)
+	h.held[t] = h.interner.Remove(h.held[t], l)
+}
+
+// Set returns the interned id of t's current lock set.
+func (h *Held) Set(t vc.TID) int {
+	h.ensure(t)
+	return h.held[t]
+}
+
+// Interner assigns small dense ids to lock sets and memoizes intersections.
+type Interner struct {
+	sets  [][]event.LockID // id → sorted locks
+	index map[string]int
+	inter map[[2]int]int // memoized intersections
+}
+
+// NewInterner returns an interner holding only the empty set (id 0).
+func NewInterner() *Interner {
+	in := &Interner{index: make(map[string]int), inter: make(map[[2]int]int)}
+	in.sets = append(in.sets, nil)
+	in.index[""] = 0
+	return in
+}
+
+// Empty returns the id of the empty set.
+func (in *Interner) Empty() int { return 0 }
+
+// Locks returns the locks of set id (shared slice; do not mutate).
+func (in *Interner) Locks(id int) []event.LockID { return in.sets[id] }
+
+// IsEmpty reports whether set id has no locks.
+func (in *Interner) IsEmpty(id int) bool { return len(in.sets[id]) == 0 }
+
+// Bytes returns the accounted size of all interned sets.
+func (in *Interner) Bytes() int64 {
+	var n int64
+	for _, s := range in.sets {
+		n += 24 + int64(len(s))*4
+	}
+	return n
+}
+
+func key(s []event.LockID) string {
+	b := make([]byte, 0, len(s)*4)
+	for _, l := range s {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}
+
+func (in *Interner) intern(s []event.LockID) int {
+	k := key(s)
+	if id, ok := in.index[k]; ok {
+		return id
+	}
+	id := len(in.sets)
+	in.sets = append(in.sets, s)
+	in.index[k] = id
+	return id
+}
+
+// Add returns the id of set ∪ {l}.
+func (in *Interner) Add(id int, l event.LockID) int {
+	s := in.sets[id]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= l })
+	if i < len(s) && s[i] == l {
+		return id
+	}
+	ns := make([]event.LockID, 0, len(s)+1)
+	ns = append(ns, s[:i]...)
+	ns = append(ns, l)
+	ns = append(ns, s[i:]...)
+	return in.intern(ns)
+}
+
+// Remove returns the id of set \ {l}.
+func (in *Interner) Remove(id int, l event.LockID) int {
+	s := in.sets[id]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= l })
+	if i >= len(s) || s[i] != l {
+		return id
+	}
+	ns := make([]event.LockID, 0, len(s)-1)
+	ns = append(ns, s[:i]...)
+	ns = append(ns, s[i+1:]...)
+	return in.intern(ns)
+}
+
+// Intersect returns the id of a ∩ b, memoized.
+func (in *Interner) Intersect(a, b int) int {
+	if a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	k := [2]int{a, b}
+	if id, ok := in.inter[k]; ok {
+		return id
+	}
+	sa, sb := in.sets[a], in.sets[b]
+	var ns []event.LockID
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] == sb[j]:
+			ns = append(ns, sa[i])
+			i++
+			j++
+		case sa[i] < sb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	id := in.intern(ns)
+	in.inter[k] = id
+	return id
+}
+
+// ---- The Eraser detector ----
+
+// EState is the Eraser per-location state machine.
+type EState uint8
+
+const (
+	// Virgin: never accessed.
+	Virgin EState = iota
+	// Exclusive: accessed by one thread only; no checking yet.
+	Exclusive
+	// SharedRead: read by several threads, never written since sharing;
+	// C(v) is refined but empty C(v) is not reported.
+	SharedRead
+	// SharedModified: shared and written; empty C(v) is a race.
+	SharedModified
+	// Raced: already reported.
+	Raced
+)
+
+// Race is one Eraser warning.
+type Race struct {
+	Addr  uint64
+	Tid   vc.TID
+	PC    event.PC
+	Write bool
+}
+
+// Options configure the Eraser detector.
+type Options struct {
+	// Granule is the tracked location size (power of two; default 4, the
+	// word granularity Eraser used).
+	Granule uint64
+}
+
+// Detector is an Eraser LockSet detector; it implements event.Sink.
+type Detector struct {
+	opt   Options
+	in    *Interner
+	held  *Held
+	locs  map[uint64]*eloc
+	races []Race
+}
+
+type eloc struct {
+	state EState
+	owner vc.TID
+	cand  int // interned candidate set
+}
+
+// New returns an Eraser detector.
+func New(opt Options) *Detector {
+	if opt.Granule == 0 {
+		opt.Granule = 4
+	}
+	in := NewInterner()
+	return &Detector{
+		opt:  opt,
+		in:   in,
+		held: NewHeld(in),
+		locs: make(map[uint64]*eloc),
+	}
+}
+
+// Races returns all warnings in detection order.
+func (d *Detector) Races() []Race { return d.races }
+
+func (d *Detector) access(tid vc.TID, addr uint64, size uint32, pc event.PC, write bool) {
+	if event.NonShared(addr) {
+		return
+	}
+	g := d.opt.Granule
+	cur := d.held.Set(tid)
+	for a := addr &^ (g - 1); a < addr+uint64(size); a += g {
+		l := d.locs[a]
+		if l == nil {
+			l = &eloc{state: Virgin}
+			d.locs[a] = l
+		}
+		switch l.state {
+		case Virgin:
+			l.state = Exclusive
+			l.owner = tid
+			l.cand = cur
+		case Exclusive:
+			if tid == l.owner {
+				break // still exclusive; Eraser does not refine C(v) yet
+			}
+			l.cand = d.in.Intersect(l.cand, cur)
+			if write {
+				l.state = SharedModified
+			} else {
+				l.state = SharedRead
+			}
+			d.check(l, a, tid, pc, write)
+		case SharedRead:
+			l.cand = d.in.Intersect(l.cand, cur)
+			if write {
+				l.state = SharedModified
+			}
+			d.check(l, a, tid, pc, write)
+		case SharedModified:
+			l.cand = d.in.Intersect(l.cand, cur)
+			d.check(l, a, tid, pc, write)
+		case Raced:
+		}
+	}
+}
+
+func (d *Detector) check(l *eloc, addr uint64, tid vc.TID, pc event.PC, write bool) {
+	if l.state == SharedModified && d.in.IsEmpty(l.cand) {
+		l.state = Raced
+		d.races = append(d.races, Race{Addr: addr, Tid: tid, PC: pc, Write: write})
+	}
+}
+
+// Read processes a shared read.
+func (d *Detector) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	d.access(tid, addr, size, pc, false)
+}
+
+// Write processes a shared write.
+func (d *Detector) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	d.access(tid, addr, size, pc, true)
+}
+
+// Acquire and Release maintain the held-lock sets; Eraser has no
+// happens-before component, so the remaining synchronization events are
+// no-ops (which is why it raises false alarms on fork/join programs).
+func (d *Detector) Acquire(tid vc.TID, l event.LockID) { d.held.Acquire(tid, l) }
+func (d *Detector) Release(tid vc.TID, l event.LockID) { d.held.Release(tid, l) }
+
+// AcquireShared and ReleaseShared treat a read-held rwlock as held (the
+// classic Eraser approximation, which can miss read-lock misuse).
+func (d *Detector) AcquireShared(tid vc.TID, l event.LockID) { d.held.Acquire(tid, l) }
+func (d *Detector) ReleaseShared(tid vc.TID, l event.LockID) { d.held.Release(tid, l) }
+func (d *Detector) Fork(vc.TID, vc.TID)                      {}
+func (d *Detector) Join(vc.TID, vc.TID)                      {}
+func (d *Detector) BarrierArrive(vc.TID, event.BarrierID)    {}
+func (d *Detector) BarrierDepart(vc.TID, event.BarrierID)    {}
+func (d *Detector) Malloc(vc.TID, uint64, uint64)            {}
+
+// Free discards location state for the freed range.
+func (d *Detector) Free(_ vc.TID, addr uint64, size uint64) {
+	g := d.opt.Granule
+	for a := addr &^ (g - 1); a < addr+size; a += g {
+		delete(d.locs, a)
+	}
+}

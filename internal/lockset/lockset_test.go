@@ -1,0 +1,161 @@
+package lockset
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+func TestInternerAddRemove(t *testing.T) {
+	in := NewInterner()
+	s1 := in.Add(in.Empty(), 3)
+	s2 := in.Add(s1, 1)
+	s3 := in.Add(s2, 3) // duplicate: same set
+	if s3 != s2 {
+		t.Error("adding an existing lock must return the same id")
+	}
+	if got := in.Locks(s2); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("locks = %v", got)
+	}
+	s4 := in.Remove(s2, 1)
+	if got := in.Locks(s4); len(got) != 1 || got[0] != 3 {
+		t.Errorf("after remove: %v", got)
+	}
+	if in.Remove(s4, 99) != s4 {
+		t.Error("removing an absent lock must be a no-op")
+	}
+	// Interning: rebuilding the same set yields the same id.
+	if in.Add(in.Empty(), 3) != s1 {
+		t.Error("sets must be interned")
+	}
+}
+
+func TestInternerIntersect(t *testing.T) {
+	in := NewInterner()
+	a := in.Add(in.Add(in.Empty(), 1), 2)
+	b := in.Add(in.Add(in.Empty(), 2), 3)
+	got := in.Intersect(a, b)
+	if locks := in.Locks(got); len(locks) != 1 || locks[0] != 2 {
+		t.Errorf("a ∩ b = %v", locks)
+	}
+	if in.Intersect(a, b) != got {
+		t.Error("intersection must be memoized/interned")
+	}
+	if in.Intersect(a, a) != a {
+		t.Error("a ∩ a = a")
+	}
+	if !in.IsEmpty(in.Intersect(a, in.Empty())) {
+		t.Error("a ∩ ∅ = ∅")
+	}
+	if in.Bytes() <= 0 {
+		t.Error("interner accounting")
+	}
+}
+
+func TestHeldTracksLocks(t *testing.T) {
+	in := NewInterner()
+	h := NewHeld(in)
+	h.Acquire(0, 1)
+	h.Acquire(0, 2)
+	if got := in.Locks(h.Set(0)); len(got) != 2 {
+		t.Errorf("held = %v", got)
+	}
+	h.Release(0, 1)
+	if got := in.Locks(h.Set(0)); len(got) != 1 || got[0] != 2 {
+		t.Errorf("held = %v", got)
+	}
+	if !in.IsEmpty(h.Set(5)) {
+		t.Error("unknown thread holds nothing")
+	}
+}
+
+// Eraser's core behaviour: consistent locking passes, inconsistent locking
+// of a shared-modified location warns.
+func TestEraserDetectsDiscipline(t *testing.T) {
+	d := New(Options{})
+	const x = 0x100
+	// Thread 0 and 1 always hold lock 1 around x: no warning.
+	d.Acquire(0, 1)
+	d.Write(0, x, 4, 0)
+	d.Release(0, 1)
+	d.Acquire(1, 1)
+	d.Write(1, x, 4, 0)
+	d.Release(1, 1)
+	if len(d.Races()) != 0 {
+		t.Fatalf("disciplined accesses warned: %v", d.Races())
+	}
+	// Thread 1 now writes without the lock: candidate set empties.
+	d.Write(1, x, 4, 0)
+	if len(d.Races()) != 1 {
+		t.Fatalf("undisciplined write not warned: %v", d.Races())
+	}
+	// Only the first warning per location.
+	d.Write(0, x, 4, 0)
+	if len(d.Races()) != 1 {
+		t.Error("warned twice for one location")
+	}
+}
+
+// The Exclusive state defers checking while a single thread owns the
+// location: single-threaded unlocked access never warns.
+func TestEraserExclusiveState(t *testing.T) {
+	d := New(Options{})
+	for i := 0; i < 10; i++ {
+		d.Write(0, 0x200, 4, 0)
+	}
+	if len(d.Races()) != 0 {
+		t.Errorf("exclusive accesses warned: %v", d.Races())
+	}
+}
+
+// Read-only sharing refines C(v) but does not warn (SharedRead state).
+func TestEraserSharedReadNoWarning(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x300, 4, 0) // exclusive owner initializes
+	d.Read(1, 0x300, 4, 0)  // unlocked read: SharedRead, no warning
+	d.Read(2, 0x300, 4, 0)
+	if len(d.Races()) != 0 {
+		t.Errorf("read-only sharing warned: %v", d.Races())
+	}
+	// A write moves it to SharedModified with an empty C(v): warn.
+	d.Write(1, 0x300, 4, 0)
+	if len(d.Races()) != 1 {
+		t.Errorf("shared-modified not warned: %v", d.Races())
+	}
+}
+
+// Eraser's defining weakness: it warns on fork/join-ordered accesses that
+// happens-before detectors correctly accept (the false-alarm problem of
+// Section I).
+func TestEraserFalseAlarmOnForkJoinOrdering(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x400, 4, 0)
+	d.Fork(0, 1) // Eraser ignores this
+	d.Write(1, 0x400, 4, 0)
+	if len(d.Races()) != 1 {
+		t.Errorf("expected the classic Eraser false alarm, got %v", d.Races())
+	}
+}
+
+func TestEraserGranule(t *testing.T) {
+	d := New(Options{Granule: 4})
+	d.Write(0, 0x500, 8, 0) // covers two word granules
+	d.Write(1, 0x500, 8, 0)
+	if len(d.Races()) != 2 {
+		t.Errorf("got %d warnings, want 2 (one per granule)", len(d.Races()))
+	}
+}
+
+func TestEraserFree(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x600, 4, 0)
+	d.Free(0, 0x600, 4)
+	d.Write(1, 0x600, 4, 0) // fresh owner: Exclusive again
+	if len(d.Races()) != 0 {
+		t.Errorf("stale state after free: %v", d.Races())
+	}
+}
+
+var _ = vc.TID(0)
+var _ = event.LockID(0)

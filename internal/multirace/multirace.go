@@ -1,0 +1,226 @@
+// Package multirace implements a MultiRace-style combined detector
+// (Pozniansky & Schuster, PPoPP 2003 — the paper's related work [19]):
+// Eraser's LockSet algorithm runs as a cheap prefilter in front of DJIT+'s
+// happens-before checks.
+//
+// The observation making the combination sound: while a location's
+// candidate lock set C(v) is non-empty, every pair of accesses so far was
+// protected by a common lock and is therefore happens-before ordered — no
+// race is possible and the vector-clock comparison can be skipped. Only
+// once C(v) empties (the locking discipline broke, which includes
+// perfectly healthy fork/join- or barrier-synchronized code) does the
+// happens-before check run, and only a confirmed happens-before violation
+// is reported — LockSet's false alarms are filtered, exactly as the paper
+// describes MultiRace doing.
+//
+// Clock bookkeeping still happens on every access (the history must be
+// current when checking starts), so the savings are in comparisons, not
+// updates.
+package multirace
+
+import (
+	"repro/internal/event"
+	"repro/internal/fasttrack"
+	"repro/internal/lockset"
+	"repro/internal/vc"
+)
+
+// Granule is the tracked location size.
+const Granule = 4
+
+// Race is one confirmed race.
+type Race struct {
+	Kind  fasttrack.RaceKind
+	Addr  uint64
+	Tid   vc.TID
+	PC    event.PC
+	Other vc.TID
+}
+
+// Options configure the detector.
+type Options struct {
+	// Suppress hides races from these modules (nil = libc+ld default).
+	Suppress []event.Module
+}
+
+// loc is one location's combined state.
+type loc struct {
+	cand  int  // interned candidate lock set; -1 before the first access
+	first bool // still owned by a single thread (Eraser's Exclusive)
+	owner vc.TID
+
+	w     vc.Epoch
+	wPC   event.PC
+	r     fasttrack.Read
+	raced bool
+}
+
+// Detector is the combined detector; it implements event.Sink.
+type Detector struct {
+	th   *fasttrack.Threads
+	in   *lockset.Interner
+	held *lockset.Held
+	locs map[uint64]*loc
+
+	races    []Race
+	suppress [8]bool
+
+	// ChecksSkipped counts accesses whose happens-before comparison the
+	// lockset prefilter proved unnecessary — the speedup MultiRace claims.
+	ChecksSkipped uint64
+	// ChecksRun counts accesses that needed the full comparison.
+	ChecksRun uint64
+}
+
+// New returns a MultiRace-style detector.
+func New(opt Options) *Detector {
+	in := lockset.NewInterner()
+	d := &Detector{
+		th:   fasttrack.NewThreads(),
+		in:   in,
+		held: lockset.NewHeld(in),
+		locs: make(map[uint64]*loc),
+	}
+	sup := opt.Suppress
+	if sup == nil {
+		sup = []event.Module{event.ModuleLibc, event.ModuleLd}
+	}
+	for _, m := range sup {
+		d.suppress[m] = true
+	}
+	return d
+}
+
+// Races returns the confirmed races.
+func (d *Detector) Races() []Race { return d.races }
+
+func (d *Detector) loc(a uint64) *loc {
+	l := d.locs[a]
+	if l == nil {
+		l = &loc{cand: -1, first: true, owner: vc.NoTID}
+		d.locs[a] = l
+	}
+	return l
+}
+
+// disciplined refines C(v) for an access by tid and reports whether the
+// happens-before check can be skipped soundly: either every access so far
+// shared a common lock (mutual exclusion orders them all), or the location
+// has only ever been touched by one thread (program order). Unlike
+// Eraser's Exclusive state, refinement happens on *every* access — the
+// single-thread shortcut must not leave C(v) stale, or an unlocked
+// exclusive access could hide behind a lock the thread no longer holds.
+func (d *Detector) disciplined(l *loc, tid vc.TID) bool {
+	cur := d.held.Set(tid)
+	if l.cand < 0 {
+		l.cand = cur
+		l.owner = tid
+		return true
+	}
+	l.cand = d.in.Intersect(l.cand, cur)
+	if tid != l.owner {
+		l.first = false
+	}
+	if l.first {
+		return true // still single-threaded: ordered by program order
+	}
+	return !d.in.IsEmpty(l.cand)
+}
+
+func (d *Detector) report(kind fasttrack.RaceKind, l *loc, a uint64, tid vc.TID, pc event.PC, other vc.TID) {
+	if l.raced {
+		return
+	}
+	l.raced = true
+	if d.suppress[pc.Module()] || d.suppress[l.wPC.Module()] {
+		return
+	}
+	d.races = append(d.races, Race{Kind: kind, Addr: a, Tid: tid, PC: pc, Other: other})
+}
+
+// Write processes a shared write per granule.
+func (d *Detector) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	if event.NonShared(addr) {
+		return
+	}
+	tc := d.th.Clock(tid)
+	e := d.th.Epoch(tid)
+	for a := addr &^ (Granule - 1); a < addr+uint64(size); a += Granule {
+		l := d.loc(a)
+		if d.disciplined(l, tid) {
+			d.ChecksSkipped++
+		} else {
+			d.ChecksRun++
+			if kind, other := fasttrack.CheckWrite(l.w, &l.r, tc); kind != fasttrack.NoRace {
+				d.report(kind, l, a, tid, pc, other)
+			}
+		}
+		l.w = e
+		l.wPC = pc
+	}
+}
+
+// Read processes a shared read per granule.
+func (d *Detector) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	if event.NonShared(addr) {
+		return
+	}
+	tc := d.th.Clock(tid)
+	e := d.th.Epoch(tid)
+	for a := addr &^ (Granule - 1); a < addr+uint64(size); a += Granule {
+		l := d.loc(a)
+		if d.disciplined(l, tid) {
+			d.ChecksSkipped++
+		} else {
+			d.ChecksRun++
+			if kind, other := fasttrack.CheckRead(l.w, tc); kind != fasttrack.NoRace {
+				d.report(kind, l, a, tid, pc, other)
+			}
+		}
+		l.r.Update(tid, e, tc)
+	}
+}
+
+// Acquire, Release maintain both the clocks and the held locksets.
+func (d *Detector) Acquire(tid vc.TID, l event.LockID) {
+	d.th.Acquire(tid, l)
+	d.held.Acquire(tid, l)
+}
+
+// Release publishes the thread clock and updates the held set.
+func (d *Detector) Release(tid vc.TID, l event.LockID) {
+	d.th.Release(tid, l)
+	d.held.Release(tid, l)
+}
+
+// AcquireShared and ReleaseShared apply the rwlock read-side updates and
+// count the read-held lock toward the candidate set.
+func (d *Detector) AcquireShared(tid vc.TID, l event.LockID) {
+	d.th.AcquireShared(tid, l)
+	d.held.Acquire(tid, l)
+}
+
+func (d *Detector) ReleaseShared(tid vc.TID, l event.LockID) {
+	d.th.ReleaseShared(tid, l)
+	d.held.Release(tid, l)
+}
+
+// Fork, Join, BarrierArrive and BarrierDepart maintain the clocks.
+func (d *Detector) Fork(p, c vc.TID) { d.th.Fork(p, c) }
+func (d *Detector) Join(p, c vc.TID) { d.th.Join(p, c) }
+func (d *Detector) BarrierArrive(t vc.TID, b event.BarrierID) {
+	d.th.BarrierArrive(t, b)
+}
+func (d *Detector) BarrierDepart(t vc.TID, b event.BarrierID) {
+	d.th.BarrierDepart(t, b)
+}
+
+// Malloc is a no-op.
+func (d *Detector) Malloc(vc.TID, uint64, uint64) {}
+
+// Free discards location state.
+func (d *Detector) Free(_ vc.TID, addr uint64, size uint64) {
+	for a := addr &^ (Granule - 1); a < addr+size; a += Granule {
+		delete(d.locs, a)
+	}
+}

@@ -1,0 +1,126 @@
+package multirace
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/fasttrack"
+	"repro/internal/progfuzz"
+	"repro/internal/sim"
+	"repro/internal/vc"
+)
+
+func TestDetectsUnorderedWrites(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x100, 4, 1)
+	d.Write(1, 0x100, 4, 2)
+	if len(d.Races()) != 1 || d.Races()[0].Kind != fasttrack.WriteWrite {
+		t.Fatalf("races = %v", d.Races())
+	}
+}
+
+// The defining MultiRace behaviour: LockSet's classic false alarm
+// (fork/join ordering without locks) is filtered by the happens-before
+// confirmation.
+func TestFiltersLocksetFalseAlarms(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x200, 4, 1)
+	d.Fork(0, 1)
+	d.Write(1, 0x200, 4, 2) // lockset empty, but fork-ordered
+	if len(d.Races()) != 0 {
+		t.Errorf("HB-ordered access reported: %v", d.Races())
+	}
+	// The prefilter must have run the full check here, not skipped it.
+	if d.ChecksRun == 0 {
+		t.Error("suspicious access did not reach the happens-before check")
+	}
+}
+
+// Disciplined locations skip the happens-before comparison entirely.
+func TestDisciplinedLocationsSkipChecks(t *testing.T) {
+	d := New(Options{})
+	for i := 0; i < 10; i++ {
+		tid := vc.TID(i % 2)
+		d.Acquire(tid, 7)
+		d.Write(tid, 0x300, 4, 1)
+		d.Release(tid, 7)
+	}
+	if len(d.Races()) != 0 {
+		t.Fatalf("disciplined accesses raced: %v", d.Races())
+	}
+	if d.ChecksRun != 0 {
+		t.Errorf("%d checks ran on a disciplined location", d.ChecksRun)
+	}
+	if d.ChecksSkipped == 0 {
+		t.Error("no checks were skipped")
+	}
+}
+
+// The unsound-Exclusive pitfall: an owner's unlocked write during the
+// "exclusive" phase must still be catchable when another thread races it.
+func TestExclusivePhaseDoesNotHideRaces(t *testing.T) {
+	d := New(Options{})
+	d.Acquire(0, 1)
+	d.Write(0, 0x400, 4, 1)
+	d.Release(0, 1)
+	d.Write(0, 0x400, 4, 1) // owner again, now without the lock
+	d.Write(1, 0x400, 4, 2) // unordered other thread: a real race
+	if len(d.Races()) != 1 {
+		t.Errorf("exclusive-phase refinement hole: %v", d.Races())
+	}
+}
+
+func TestFirstRacePerLocation(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x500, 4, 1)
+	d.Write(1, 0x500, 4, 2)
+	d.Write(0, 0x500, 4, 1)
+	if len(d.Races()) != 1 {
+		t.Errorf("races = %v", d.Races())
+	}
+}
+
+func TestFreeResets(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x600, 4, 1)
+	d.Free(0, 0x600, 4)
+	d.Write(1, 0x600, 4, 2)
+	if len(d.Races()) != 0 {
+		t.Errorf("stale state raced: %v", d.Races())
+	}
+}
+
+// Equivalence: on fuzzed programs, MultiRace's verdict per variable equals
+// FastTrack's at byte granularity (the prefilter is sound and the filter
+// is exact).
+func TestEquivalentToFastTrackOnFuzzedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		prog, _ := progfuzz.Generate(progfuzz.Config{
+			Threads: 4, LockedVars: 5, PrivateVars: 2, RacyVars: 2,
+			OpsPerThread: 250, Barriers: seed%2 == 0, Seed: seed,
+		})
+		mr := New(Options{})
+		sim.Run(prog, mr, sim.Options{Seed: seed})
+		mrVars := map[uint64]bool{}
+		for _, r := range mr.Races() {
+			mrVars[r.Addr&^(progfuzz.VarSpacing-1)] = true
+		}
+		ft := detector.New(detector.Config{Granularity: detector.Byte})
+		sim.Run(prog, ft, sim.Options{Seed: seed})
+		ftVars := map[uint64]bool{}
+		for _, r := range ft.Races() {
+			ftVars[r.Addr&^(progfuzz.VarSpacing-1)] = true
+		}
+		if len(mrVars) != len(ftVars) {
+			t.Fatalf("seed %d: multirace %v vs fasttrack %v", seed, mrVars, ftVars)
+		}
+		for v := range ftVars {
+			if !mrVars[v] {
+				t.Errorf("seed %d: multirace missed %#x", seed, v)
+			}
+		}
+		if mr.ChecksSkipped == 0 {
+			t.Errorf("seed %d: prefilter never skipped", seed)
+		}
+	}
+}

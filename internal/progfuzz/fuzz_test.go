@@ -1,0 +1,169 @@
+package progfuzz
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/djit"
+	"repro/internal/hybrid"
+	"repro/internal/segment"
+	"repro/internal/sim"
+)
+
+// varBase maps a reported race address to its variable's base address.
+func varBase(addr uint64) uint64 { return addr &^ (VarSpacing - 1) }
+
+func raceFreeConfig(seed int64) Config {
+	return Config{
+		Threads:      4,
+		LockedVars:   6,
+		PrivateVars:  3,
+		RacyVars:     0,
+		OpsPerThread: 300,
+		Barriers:     seed%2 == 0,
+		Seed:         seed,
+	}
+}
+
+func racyConfig(seed int64) Config {
+	c := raceFreeConfig(seed)
+	c.RacyVars = 3
+	return c
+}
+
+// Every sound happens-before detector must stay silent on well-synchronized
+// programs — including FastTrack with dynamic granularity, because the
+// generated variables are spaced beyond the sharing neighbourhood.
+func TestRaceFreeProgramsProduceNoReports(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		prog, _ := Generate(raceFreeConfig(seed))
+		for _, g := range []detector.Granularity{detector.Byte, detector.Word, detector.Dynamic} {
+			d := detector.New(detector.Config{Granularity: g})
+			sim.Run(prog, d, sim.Options{Seed: seed})
+			if len(d.Races()) != 0 {
+				t.Fatalf("seed %d, %v granularity: false alarms %v", seed, g, d.Races())
+			}
+		}
+		dj := djit.New(djit.Options{Granule: 4})
+		sim.Run(prog, dj, sim.Options{Seed: seed})
+		if len(dj.Races()) != 0 {
+			t.Fatalf("seed %d: DJIT+ false alarms %v", seed, dj.Races())
+		}
+		sg := segment.New(segment.Options{})
+		sim.Run(prog, sg, sim.Options{Seed: seed})
+		if len(sg.Races()) != 0 {
+			t.Fatalf("seed %d: segment false alarms %v", seed, sg.Races())
+		}
+		hy := hybrid.New(hybrid.Options{})
+		sim.Run(prog, hy, sim.Options{Seed: seed})
+		if len(hy.Races()) != 0 {
+			t.Fatalf("seed %d: hybrid false alarms %v", seed, hy.Races())
+		}
+	}
+}
+
+// On racy programs, every report must land on a racy variable (no false
+// positives) and the racy variables must be found (no blanket misses).
+func TestRacyProgramsReportOnlyRacyVars(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		cfg := racyConfig(seed)
+		prog, lay := Generate(cfg)
+		racy := map[uint64]bool{}
+		for _, a := range lay.RacyAddrs {
+			racy[a] = true
+		}
+		for _, g := range []detector.Granularity{detector.Byte, detector.Dynamic} {
+			d := detector.New(detector.Config{Granularity: g})
+			sim.Run(prog, d, sim.Options{Seed: seed})
+			found := map[uint64]bool{}
+			for _, r := range d.Races() {
+				if !racy[varBase(r.Addr)] {
+					t.Fatalf("seed %d, %v: report at non-racy address %#x", seed, g, r.Addr)
+				}
+				found[varBase(r.Addr)] = true
+			}
+			if len(found) == 0 {
+				t.Fatalf("seed %d, %v: no racy variable detected", seed, g)
+			}
+		}
+	}
+}
+
+// FastTrack (byte granularity) and DJIT+ are precision-equivalent: they
+// flag exactly the same variables on any execution.
+func TestFastTrackEquivalentToDJIT(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		prog, _ := Generate(racyConfig(seed))
+
+		ft := detector.New(detector.Config{Granularity: detector.Byte})
+		sim.Run(prog, ft, sim.Options{Seed: seed})
+		ftVars := map[uint64]bool{}
+		for _, r := range ft.Races() {
+			ftVars[varBase(r.Addr)] = true
+		}
+
+		dj := djit.New(djit.Options{Granule: 4})
+		sim.Run(prog, dj, sim.Options{Seed: seed})
+		djVars := map[uint64]bool{}
+		for _, r := range dj.Races() {
+			djVars[varBase(r.Addr)] = true
+		}
+
+		for v := range ftVars {
+			if !djVars[v] {
+				t.Errorf("seed %d: FastTrack flagged %#x, DJIT+ did not", seed, v)
+			}
+		}
+		for v := range djVars {
+			if !ftVars[v] {
+				t.Errorf("seed %d: DJIT+ flagged %#x, FastTrack did not", seed, v)
+			}
+		}
+	}
+}
+
+// With spaced variables, dynamic granularity cannot share clocks across
+// variables, so its verdicts per variable equal byte granularity's.
+func TestDynamicEquivalentToByteOnSpacedVars(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		prog, _ := Generate(racyConfig(seed))
+		vars := func(g detector.Granularity) map[uint64]bool {
+			d := detector.New(detector.Config{Granularity: g})
+			sim.Run(prog, d, sim.Options{Seed: seed})
+			m := map[uint64]bool{}
+			for _, r := range d.Races() {
+				m[varBase(r.Addr)] = true
+			}
+			return m
+		}
+		byteVars, dynVars := vars(detector.Byte), vars(detector.Dynamic)
+		if len(byteVars) != len(dynVars) {
+			t.Fatalf("seed %d: byte %v vs dynamic %v", seed, byteVars, dynVars)
+		}
+		for v := range byteVars {
+			if !dynVars[v] {
+				t.Fatalf("seed %d: dynamic missed %#x", seed, v)
+			}
+		}
+	}
+}
+
+// The segment detector is also happens-before based: its reports must be a
+// subset of the racy variables (bounded history may cause misses, never
+// inventions).
+func TestSegmentSubsetOfRacyVars(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		prog, lay := Generate(racyConfig(seed))
+		racy := map[uint64]bool{}
+		for _, a := range lay.RacyAddrs {
+			racy[a] = true
+		}
+		sg := segment.New(segment.Options{})
+		sim.Run(prog, sg, sim.Options{Seed: seed})
+		for _, r := range sg.Races() {
+			if !racy[varBase(r.Addr)] {
+				t.Fatalf("seed %d: segment report at non-racy %#x", seed, r.Addr)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package sampling implements a LiteRace-style sampling front end (Marino
+// et al., PLDI 2009 — the paper's related work [14]): a wrapper that
+// forwards only a sample of memory accesses to an underlying race
+// detector, while always forwarding every synchronization operation (the
+// happens-before structure must stay exact or the detector would invent
+// races).
+//
+// Sampling follows LiteRace's cold-region hypothesis: code regions
+// (synthetic PCs here) start at a 100% sampling rate that decays
+// geometrically as the region gets hotter, down to a floor. Rarely
+// executed code — where races hide, because hot paths get tested — keeps
+// being analyzed; hot inner loops stop paying for instrumentation. The
+// wrapper reports the effective sampling rate so benches can plot the
+// overhead/coverage trade-off the sampling papers describe.
+package sampling
+
+import (
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+// Options configure the sampler.
+type Options struct {
+	// BurstLength is how many accesses of a region are forwarded each time
+	// its budget refreshes (default 10, as in LiteRace).
+	BurstLength uint32
+	// Decay divides a region's refresh budget each time it is exhausted
+	// (default 2).
+	Decay uint32
+	// FloorPermille is the minimum sampling rate in ‰ (default 1, i.e.
+	// 0.1%).
+	FloorPermille uint32
+}
+
+// region tracks one code site's adaptive sampling state.
+type region struct {
+	remaining uint32 // accesses left in the current burst
+	skip      uint32 // accesses to skip before the next burst
+	gap       uint32 // current inter-burst gap (grows by Decay)
+}
+
+// Detector wraps an underlying sink with adaptive sampling; it implements
+// event.Sink.
+type Detector struct {
+	opt     Options
+	under   event.Sink
+	regions map[event.PC]*region
+
+	// Forwarded and Skipped count sampled vs dropped accesses.
+	Forwarded, Skipped uint64
+}
+
+// New wraps under with a LiteRace-style sampler.
+func New(under event.Sink, opt Options) *Detector {
+	if opt.BurstLength == 0 {
+		opt.BurstLength = 10
+	}
+	if opt.Decay == 0 {
+		opt.Decay = 2
+	}
+	if opt.FloorPermille == 0 {
+		opt.FloorPermille = 1
+	}
+	return &Detector{opt: opt, under: under, regions: make(map[event.PC]*region)}
+}
+
+// Rate returns the effective sampling rate over the run so far.
+func (d *Detector) Rate() float64 {
+	total := d.Forwarded + d.Skipped
+	if total == 0 {
+		return 1
+	}
+	return float64(d.Forwarded) / float64(total)
+}
+
+// sample decides whether this access of the region at pc is analyzed.
+func (d *Detector) sample(pc event.PC) bool {
+	r := d.regions[pc]
+	if r == nil {
+		// Cold region: start with a full burst.
+		r = &region{remaining: d.opt.BurstLength, gap: d.opt.BurstLength}
+		d.regions[pc] = r
+	}
+	if r.remaining > 0 {
+		r.remaining--
+		d.Forwarded++
+		return true
+	}
+	if r.skip > 0 {
+		r.skip--
+		d.Skipped++
+		return false
+	}
+	// Burst budget refresh: the gap grows until the floor rate is reached.
+	maxGap := d.opt.BurstLength * 1000 / d.opt.FloorPermille
+	if g := r.gap * d.opt.Decay; g < maxGap {
+		r.gap = g
+	} else {
+		r.gap = maxGap
+	}
+	r.remaining = d.opt.BurstLength - 1
+	r.skip = r.gap
+	d.Forwarded++
+	return true
+}
+
+// Read forwards a sampled read.
+func (d *Detector) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	if d.sample(pc) {
+		d.under.Read(tid, addr, size, pc)
+	}
+}
+
+// Write forwards a sampled write.
+func (d *Detector) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	if d.sample(pc) {
+		d.under.Write(tid, addr, size, pc)
+	}
+}
+
+// Synchronization and heap events are never sampled away.
+func (d *Detector) Acquire(t vc.TID, l event.LockID) { d.under.Acquire(t, l) }
+func (d *Detector) Release(t vc.TID, l event.LockID) { d.under.Release(t, l) }
+func (d *Detector) AcquireShared(t vc.TID, l event.LockID) {
+	d.under.AcquireShared(t, l)
+}
+func (d *Detector) ReleaseShared(t vc.TID, l event.LockID) {
+	d.under.ReleaseShared(t, l)
+}
+func (d *Detector) Fork(p, c vc.TID) { d.under.Fork(p, c) }
+func (d *Detector) Join(p, c vc.TID) { d.under.Join(p, c) }
+func (d *Detector) BarrierArrive(t vc.TID, b event.BarrierID) {
+	d.under.BarrierArrive(t, b)
+}
+func (d *Detector) BarrierDepart(t vc.TID, b event.BarrierID) {
+	d.under.BarrierDepart(t, b)
+}
+func (d *Detector) Malloc(t vc.TID, a, s uint64) { d.under.Malloc(t, a, s) }
+func (d *Detector) Free(t vc.TID, a, s uint64)   { d.under.Free(t, a, s) }

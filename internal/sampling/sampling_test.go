@@ -1,0 +1,130 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/sim"
+	"repro/workloads"
+)
+
+func TestColdRegionsFullyAnalyzed(t *testing.T) {
+	c := &event.Counter{}
+	s := New(c, Options{BurstLength: 10})
+	for i := 0; i < 10; i++ {
+		s.Read(0, uint64(i), 4, 5)
+	}
+	if c.Reads != 10 {
+		t.Errorf("first burst must be fully forwarded: %d", c.Reads)
+	}
+}
+
+func TestHotRegionsDecay(t *testing.T) {
+	c := &event.Counter{}
+	s := New(c, Options{BurstLength: 4, Decay: 2})
+	for i := 0; i < 100000; i++ {
+		s.Write(0, uint64(i), 4, 9)
+	}
+	if s.Rate() > 0.2 {
+		t.Errorf("hot region rate too high: %.3f", s.Rate())
+	}
+	if s.Rate() < 0.001 {
+		t.Errorf("rate fell below the floor: %.5f", s.Rate())
+	}
+	if c.Writes != s.Forwarded {
+		t.Errorf("forwarded mismatch: %d vs %d", c.Writes, s.Forwarded)
+	}
+}
+
+func TestPerRegionIndependence(t *testing.T) {
+	c := &event.Counter{}
+	s := New(c, Options{BurstLength: 8})
+	// Heat up region 1.
+	for i := 0; i < 10000; i++ {
+		s.Write(0, uint64(i), 4, 1)
+	}
+	before := c.Writes
+	// A cold region still gets its full first burst.
+	for i := 0; i < 8; i++ {
+		s.Write(0, uint64(i), 4, 2)
+	}
+	if c.Writes-before != 8 {
+		t.Errorf("cold region throttled by a hot one: %d", c.Writes-before)
+	}
+}
+
+func TestSyncAlwaysForwarded(t *testing.T) {
+	c := &event.Counter{}
+	s := New(c, Options{})
+	for i := 0; i < 100; i++ {
+		s.Acquire(0, 1)
+		s.Release(0, 1)
+	}
+	if c.Acquires != 100 || c.Releases != 100 {
+		t.Error("synchronization must never be sampled away")
+	}
+}
+
+// Sampling must never invent races: wrapping FastTrack can only shrink the
+// report set (the synchronization skeleton stays exact).
+func TestSamplingNeverInventsRaces(t *testing.T) {
+	for _, name := range []string{"ffmpeg", "hmmsearch", "pbzip2"} {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := detector.New(detector.Config{Granularity: detector.Byte})
+		sim.Run(spec.Program(), full, sim.Options{Seed: 42})
+		fullAddrs := map[uint64]bool{}
+		for _, r := range full.Races() {
+			fullAddrs[r.Addr] = true
+		}
+
+		under := detector.New(detector.Config{Granularity: detector.Byte})
+		sampled := New(under, Options{BurstLength: 8, Decay: 4})
+		sim.Run(spec.Program(), sampled, sim.Options{Seed: 42})
+		for _, r := range under.Races() {
+			if !fullAddrs[r.Addr] {
+				t.Errorf("%s: sampling invented a race at %#x", name, r.Addr)
+			}
+		}
+		if sampled.Rate() >= 1 && sampled.Skipped == 0 && name != "hmmsearch" {
+			t.Errorf("%s: sampler never throttled (rate %.3f)", name, sampled.Rate())
+		}
+	}
+}
+
+// The cold-region hypothesis in action: a race in rarely executed code is
+// still caught at a low overall sampling rate.
+func TestColdRaceStillCaught(t *testing.T) {
+	prog := sim.Program{Name: "coldrace", Main: func(m *sim.Thread) {
+		a := m.Go(func(w *sim.Thread) {
+			w.At(1) // hot loop
+			for i := 0; i < 50000; i++ {
+				w.Write(0x1000+uint64(i%64)*4, 4)
+			}
+			w.At(2) // cold racy site
+			w.Write(0x9000, 4)
+		})
+		b := m.Go(func(w *sim.Thread) {
+			w.At(1)
+			for i := 0; i < 50000; i++ {
+				w.Write(0x2000+uint64(i%64)*4, 4)
+			}
+			w.At(3) // cold racy site
+			w.Write(0x9000, 4)
+		})
+		m.Join(a)
+		m.Join(b)
+	}}
+	under := detector.New(detector.Config{Granularity: detector.Byte})
+	s := New(under, Options{BurstLength: 4, Decay: 4})
+	sim.Run(prog, s, sim.Options{Seed: 3})
+	if s.Rate() > 0.05 {
+		t.Errorf("sampler barely sampled: rate %.3f", s.Rate())
+	}
+	if len(under.Races()) != 1 {
+		t.Errorf("cold race missed at %.3f%% sampling: %v", 100*s.Rate(), under.Races())
+	}
+}

@@ -1,0 +1,391 @@
+// Package segment implements a segment-based happens-before race detector
+// in the style of RecPlay (Ronsse & De Bosschere, TOCS 1999), the algorithm
+// behind Valgrind DRD — the first of the two happens-before methods the
+// paper describes in Section I: a *segment* is the code between two
+// successive synchronization operations; shared accesses are collected in
+// per-segment access sets; and two concurrent segments race if one's writes
+// intersect the other's reads or writes.
+//
+// Compared with per-location vector clocks (DJIT+/FastTrack), this method
+// stores no clock per location — only per-segment access bitmaps — so it
+// uses less memory, but every access must be checked against the access
+// sets of all concurrent segments, which costs set operations and makes it
+// slower. That trade-off is exactly what Table 6 measures against
+// FastTrack with dynamic granularity.
+//
+// History management follows DRD's spirit: a finished segment is retained
+// until it happens-before every live thread (at which point it can never
+// race again and is pruned); a per-thread cap bounds the retained history,
+// discarding the oldest segment when exceeded (bounded history can miss
+// old races but never invents them — unlike merging segments under joined
+// clocks, which would make ordered pipeline stages look concurrent).
+// Heap reuse is handled with an allocation generation: a segment created
+// before an address was freed cannot race with accesses to its
+// reincarnation.
+//
+// Memory accounting models a C implementation the way the paper measures
+// (by object size): per segment, a clock, a header, and two bits per word
+// in page-granular access bitmaps. An accounted memory limit reproduces
+// the out-of-memory exits the paper observed.
+package segment
+
+import (
+	"repro/internal/event"
+	"repro/internal/fasttrack"
+	"repro/internal/vc"
+)
+
+// Granule is the nominal location size reported for races; internally
+// access sets are keyed by footprint start address (byte granularity, as
+// DRD's shadow is), so adjacent sub-word fields protected by different
+// locks are not masked together.
+const Granule = 4
+
+// pageShift/pageBytes define the bitmap pages used for accounting and for
+// the allocation-generation table.
+const (
+	pageShift = 11
+	pageBytes = 64 + (1<<pageShift)/Granule/4 // header + 2 bits per word
+)
+
+// Race is one reported race.
+type Race struct {
+	Kind  fasttrack.RaceKind
+	Addr  uint64
+	Tid   vc.TID
+	PC    event.PC
+	Other vc.TID
+}
+
+// Options configure the detector.
+type Options struct {
+	// SegmentHistory bounds retained finished segments per thread; the
+	// oldest is discarded when exceeded. 0 means the default of 16.
+	SegmentHistory int
+	// MemLimitBytes aborts analysis when the accounted detector memory
+	// exceeds the limit (0 = no limit) — the paper's DRD run on dedup
+	// exited with an out-of-memory warning.
+	MemLimitBytes int64
+	// Suppress hides races from these modules (nil = libc+ld default).
+	Suppress []event.Module
+}
+
+const (
+	rbit = 1
+	wbit = 2
+)
+
+// seg is one segment: the owner's vector clock during the segment and the
+// set of word granules read and written in it.
+type seg struct {
+	owner vc.TID
+	seq   uint64 // creation sequence number (for the free-generation guard)
+	clock *vc.VC
+	acc   map[uint64]uint8 // word base → r/w bits
+	pcs   map[uint64]event.PC
+	pages map[uint64]struct{} // touched pages, for bitmap-model accounting
+}
+
+func (s *seg) bytes() int64 {
+	return 64 + int64(s.clock.Bytes()) + int64(len(s.pages))*pageBytes
+}
+
+// Detector is the segment-based detector; it implements event.Sink.
+type Detector struct {
+	opt Options
+	th  *fasttrack.Threads
+
+	current  []*seg   // per tid
+	retained [][]*seg // per tid, oldest first
+
+	seq      uint64            // segment/free sequence counter
+	freedSeq map[uint64]uint64 // page → last free sequence
+
+	racedLocs map[uint64]bool
+	races     []Race
+	suppress  [8]bool
+	supCount  uint64
+
+	// Dropped counts segments discarded by the history bound.
+	Dropped uint64
+
+	curBytes  int64
+	peakBytes int64
+	oom       bool
+}
+
+// New returns a segment-based detector.
+func New(opt Options) *Detector {
+	if opt.SegmentHistory == 0 {
+		opt.SegmentHistory = 16
+	}
+	d := &Detector{
+		opt:       opt,
+		th:        fasttrack.NewThreads(),
+		freedSeq:  make(map[uint64]uint64),
+		racedLocs: make(map[uint64]bool),
+	}
+	sup := opt.Suppress
+	if sup == nil {
+		sup = []event.Module{event.ModuleLibc, event.ModuleLd}
+	}
+	for _, m := range sup {
+		d.suppress[m] = true
+	}
+	return d
+}
+
+// Races returns the reported races.
+func (d *Detector) Races() []Race { return d.races }
+
+// OOM reports whether the run aborted on the memory limit.
+func (d *Detector) OOM() bool { return d.oom }
+
+// PeakBytes returns the peak accounted detector memory.
+func (d *Detector) PeakBytes() int64 { return d.peakBytes }
+
+func (d *Detector) account(delta int64) {
+	d.curBytes += delta
+	if d.curBytes > d.peakBytes {
+		d.peakBytes = d.curBytes
+	}
+	if d.opt.MemLimitBytes > 0 && d.curBytes > d.opt.MemLimitBytes {
+		d.oom = true
+	}
+}
+
+// ensureThread registers t in the per-thread tables. Fork calls it for the
+// child immediately: a thread is concurrent with running segments from its
+// creation, even before its first access, so prune must see it.
+func (d *Detector) ensureThread(t vc.TID) {
+	for int(t) >= len(d.current) {
+		d.current = append(d.current, nil)
+		d.retained = append(d.retained, nil)
+	}
+}
+
+func (d *Detector) cur(t vc.TID) *seg {
+	d.ensureThread(t)
+	s := d.current[t]
+	if s == nil {
+		d.seq++
+		s = &seg{
+			owner: t,
+			seq:   d.seq,
+			clock: d.th.Clock(t).Clone(),
+			acc:   make(map[uint64]uint8),
+			pcs:   make(map[uint64]event.PC),
+			pages: make(map[uint64]struct{}),
+		}
+		d.current[t] = s
+		d.account(s.bytes())
+	}
+	return s
+}
+
+// endSegment retires t's current segment (called at every sync operation)
+// and enforces the per-thread history bound.
+func (d *Detector) endSegment(t vc.TID) {
+	if int(t) >= len(d.current) || d.current[t] == nil {
+		return
+	}
+	s := d.current[t]
+	d.current[t] = nil
+	if len(s.acc) == 0 {
+		d.account(-s.bytes())
+		return
+	}
+	d.retained[t] = append(d.retained[t], s)
+	if len(d.retained[t]) > d.opt.SegmentHistory {
+		old := d.retained[t][0]
+		d.account(-old.bytes())
+		d.retained[t] = d.retained[t][1:]
+		d.Dropped++
+	}
+	d.prune()
+}
+
+// prune drops retained segments that happen before every live thread — they
+// can never again be concurrent with a future access.
+func (d *Detector) prune() {
+	for t := range d.retained {
+		kept := d.retained[t][:0]
+		for _, s := range d.retained[t] {
+			ordered := true
+			for u := range d.current {
+				if u == t {
+					continue
+				}
+				if !s.clock.LEQ(d.th.Clock(vc.TID(u))) {
+					ordered = false
+					break
+				}
+			}
+			if ordered {
+				d.account(-s.bytes())
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		d.retained[t] = kept
+	}
+}
+
+func (d *Detector) access(tid vc.TID, addr uint64, size uint32, pc event.PC, write bool) {
+	if d.oom || event.NonShared(addr) { // DRD's default --check-stack-var=no
+		return
+	}
+	s := d.cur(tid)
+	tc := d.th.Clock(tid)
+	bit := uint8(rbit)
+	if write {
+		bit = wbit
+	}
+	a := addr // footprint start keying
+	if _, ok := s.acc[a]; !ok {
+		page := a >> pageShift
+		if _, seen := s.pages[page]; !seen {
+			s.pages[page] = struct{}{}
+			d.account(pageBytes)
+		}
+	}
+	s.acc[a] |= bit
+	s.pcs[a] = pc
+	if !d.racedLocs[a] {
+		d.checkAgainst(a, tid, tc, pc, write)
+	}
+	_ = size
+}
+
+// checkAgainst compares the access against every concurrent segment of
+// other threads: their retained history and their current segments.
+func (d *Detector) checkAgainst(a uint64, tid vc.TID, tc *vc.VC, pc event.PC, write bool) {
+	freed := d.freedSeq[a>>pageShift]
+	for u := range d.current {
+		if vc.TID(u) == tid {
+			continue
+		}
+		for _, s := range d.retained[u] {
+			if d.hit(s, a, tc, write, freed) {
+				d.report(a, tid, pc, s, write)
+				return
+			}
+		}
+		if s := d.current[u]; s != nil && d.hit(s, a, tc, write, freed) {
+			d.report(a, tid, pc, s, write)
+			return
+		}
+	}
+}
+
+// hit reports whether segment s conflicts with the current access of a.
+// Segments created before a's page was last freed recorded a previous
+// allocation's accesses and cannot conflict.
+func (d *Detector) hit(s *seg, a uint64, tc *vc.VC, write bool, freedSeq uint64) bool {
+	if s.seq <= freedSeq {
+		return false
+	}
+	bits, ok := s.acc[a]
+	if !ok {
+		return false
+	}
+	if !write && bits&wbit == 0 {
+		return false // read vs read never races
+	}
+	// Concurrent iff the segment is not ordered before the accessor. (The
+	// other direction cannot occur: s's owner already executed s.)
+	return !s.clock.LEQ(tc)
+}
+
+func (d *Detector) report(a uint64, tid vc.TID, pc event.PC, s *seg, write bool) {
+	d.racedLocs[a] = true
+	opc := s.pcs[a]
+	if d.suppress[pc.Module()] || d.suppress[opc.Module()] {
+		d.supCount++
+		return
+	}
+	kind := fasttrack.WriteRead
+	if write {
+		if s.acc[a]&wbit != 0 {
+			kind = fasttrack.WriteWrite
+		} else {
+			kind = fasttrack.ReadWrite
+		}
+	}
+	d.races = append(d.races, Race{Kind: kind, Addr: a, Tid: tid, PC: pc, Other: s.owner})
+}
+
+// Read processes a shared read.
+func (d *Detector) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	d.access(tid, addr, size, pc, false)
+}
+
+// Write processes a shared write.
+func (d *Detector) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	d.access(tid, addr, size, pc, true)
+}
+
+// Acquire ends the current segment and joins the lock clock.
+func (d *Detector) Acquire(tid vc.TID, l event.LockID) {
+	d.endSegment(tid)
+	d.th.Acquire(tid, l)
+}
+
+// Release ends the current segment and publishes the thread clock.
+func (d *Detector) Release(tid vc.TID, l event.LockID) {
+	d.endSegment(tid)
+	d.th.Release(tid, l)
+}
+
+// AcquireShared ends the segment and applies the read-lock update.
+func (d *Detector) AcquireShared(tid vc.TID, l event.LockID) {
+	d.endSegment(tid)
+	d.th.AcquireShared(tid, l)
+}
+
+// ReleaseShared ends the segment and publishes to the reader clock.
+func (d *Detector) ReleaseShared(tid vc.TID, l event.LockID) {
+	d.endSegment(tid)
+	d.th.ReleaseShared(tid, l)
+}
+
+// Fork, Join, BarrierArrive, BarrierDepart end segments around the
+// corresponding clock updates.
+func (d *Detector) Fork(p, c vc.TID) {
+	d.endSegment(p)
+	d.th.Fork(p, c)
+	d.ensureThread(p)
+	d.ensureThread(c)
+}
+
+// Join ends both threads' segments and absorbs the child's clock.
+func (d *Detector) Join(p, c vc.TID) {
+	d.endSegment(p)
+	d.endSegment(c)
+	d.th.Join(p, c)
+}
+
+// BarrierArrive ends the segment and contributes to the barrier clock.
+func (d *Detector) BarrierArrive(t vc.TID, b event.BarrierID) {
+	d.endSegment(t)
+	d.th.BarrierArrive(t, b)
+}
+
+// BarrierDepart ends the segment and absorbs the barrier clock.
+func (d *Detector) BarrierDepart(t vc.TID, b event.BarrierID) {
+	d.endSegment(t)
+	d.th.BarrierDepart(t, b)
+}
+
+// Malloc is a no-op.
+func (d *Detector) Malloc(vc.TID, uint64, uint64) {}
+
+// Free bumps the allocation generation of the freed pages so that segments
+// from before the free cannot be matched against the address's next
+// incarnation.
+func (d *Detector) Free(_ vc.TID, addr uint64, size uint64) {
+	d.seq++
+	for p := addr >> pageShift; p <= (addr+size-1)>>pageShift; p++ {
+		d.freedSeq[p] = d.seq
+	}
+}

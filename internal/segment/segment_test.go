@@ -1,0 +1,199 @@
+package segment
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fasttrack"
+)
+
+func TestDetectsUnorderedWrites(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x100, 4, 0)
+	d.Write(1, 0x100, 4, 0)
+	if len(d.Races()) != 1 {
+		t.Fatalf("races = %v", d.Races())
+	}
+	r := d.Races()[0]
+	if r.Kind != fasttrack.WriteWrite || r.Addr != 0x100 {
+		t.Errorf("race = %+v", r)
+	}
+}
+
+func TestAcceptsLockOrdering(t *testing.T) {
+	d := New(Options{})
+	d.Acquire(0, 1)
+	d.Write(0, 0x100, 4, 0)
+	d.Release(0, 1)
+	d.Acquire(1, 1)
+	d.Write(1, 0x100, 4, 0)
+	d.Release(1, 1)
+	if len(d.Races()) != 0 {
+		t.Errorf("lock-ordered writes raced: %v", d.Races())
+	}
+}
+
+func TestAcceptsForkJoinAndBarrier(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x100, 4, 0)
+	d.Fork(0, 1)
+	d.Write(1, 0x100, 4, 0)
+	d.Join(0, 1)
+	d.Write(0, 0x100, 4, 0)
+	d.BarrierArrive(0, 1)
+	d.BarrierArrive(1, 1)
+	d.BarrierDepart(0, 1)
+	d.BarrierDepart(1, 1)
+	d.Write(1, 0x100, 4, 0)
+	if len(d.Races()) != 0 {
+		t.Errorf("sync-ordered accesses raced: %v", d.Races())
+	}
+}
+
+func TestReadReadNoRace(t *testing.T) {
+	d := New(Options{})
+	d.Read(0, 0x100, 4, 0)
+	d.Read(1, 0x100, 4, 0)
+	if len(d.Races()) != 0 {
+		t.Errorf("read-read raced: %v", d.Races())
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x100, 4, 0)
+	d.Read(1, 0x100, 4, 0)
+	if len(d.Races()) != 1 || d.Races()[0].Kind != fasttrack.WriteRead {
+		t.Errorf("races = %v", d.Races())
+	}
+}
+
+func TestRetainedSegmentStillChecked(t *testing.T) {
+	// Thread 0's racy write is in a *finished* segment (it synchronized
+	// with a third party afterwards); the race with thread 1 must still
+	// be found against the retained segment.
+	d := New(Options{})
+	d.Fork(0, 1) // thread 1 exists (and is concurrent) from here on
+	d.Write(0, 0x100, 4, 0)
+	d.Acquire(0, 5) // ends the segment; lock 5 is unrelated to thread 1
+	d.Release(0, 5)
+	d.Write(1, 0x999, 4, 0) // thread 1 becomes live in the detector
+	d.Write(1, 0x100, 4, 0)
+	if len(d.Races()) != 1 {
+		t.Errorf("retained-segment race missed: %v", d.Races())
+	}
+}
+
+func TestHistoryBoundDropsOldestOnly(t *testing.T) {
+	d := New(Options{SegmentHistory: 2})
+	d.Fork(0, 1)
+	d.Write(1, 0x999, 4, 0) // thread 1 is live and concurrent
+	// Build many finished segments for thread 0.
+	for i := 0; i < 10; i++ {
+		d.Write(0, uint64(0x1000+i*64), 4, 0)
+		d.Acquire(0, 5)
+		d.Release(0, 5)
+	}
+	if d.Dropped == 0 {
+		t.Error("history bound never triggered")
+	}
+	// The most recent segment is retained: still detectable.
+	d.Write(1, 0x1000+9*64, 4, 0)
+	if len(d.Races()) != 1 {
+		t.Errorf("recent retained race missed: %v", d.Races())
+	}
+}
+
+func TestPruneDropsOrderedSegments(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x100, 4, 0)
+	d.Release(0, 1) // finished segment, published on lock 1
+	peakAfterWrite := d.PeakBytes()
+	// Both other threads acquire lock 1: the segment is ordered before
+	// everyone and gets pruned at the next segment end.
+	d.Acquire(1, 1)
+	d.Write(1, 0x200, 4, 0)
+	d.Release(1, 1)
+	if d.PeakBytes() < peakAfterWrite {
+		t.Error("peak must be sticky")
+	}
+	// No race reported despite the same address being rewritten later.
+	d.Acquire(1, 1)
+	d.Write(1, 0x100, 4, 0)
+	if len(d.Races()) != 0 {
+		t.Errorf("ordered access raced: %v", d.Races())
+	}
+}
+
+func TestFreeGenerationGuard(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x100, 4, 0)
+	d.Acquire(0, 5)
+	d.Release(0, 5) // retire the segment so it would otherwise match
+	d.Free(0, 0x100, 4)
+	// A new allocation reuses the address; no relation to the old write.
+	d.Write(1, 0x100, 4, 0)
+	if len(d.Races()) != 0 {
+		t.Errorf("reused address raced with freed allocation: %v", d.Races())
+	}
+}
+
+func TestFirstRacePerLocation(t *testing.T) {
+	d := New(Options{})
+	d.Write(0, 0x100, 4, 0)
+	d.Write(1, 0x100, 4, 0)
+	d.Write(0, 0x100, 4, 0)
+	d.Write(1, 0x100, 4, 0)
+	if len(d.Races()) != 1 {
+		t.Errorf("got %d races, want 1", len(d.Races()))
+	}
+}
+
+func TestMemoryLimitAborts(t *testing.T) {
+	d := New(Options{MemLimitBytes: 2048})
+	for i := 0; i < 64; i++ {
+		// Touch many pages to blow the accounted bitmap budget.
+		d.Write(0, uint64(i)<<pageShift, 4, 0)
+	}
+	if !d.OOM() {
+		t.Fatal("memory limit never tripped")
+	}
+	before := len(d.Races())
+	d.Write(1, 0, 4, 0) // post-OOM events are ignored
+	if len(d.Races()) != before {
+		t.Error("post-OOM analysis must stop")
+	}
+}
+
+func TestFootprintKeyingKeepsSubwordFieldsApart(t *testing.T) {
+	// Two byte fields in the same word, each consistently protected by its
+	// own lock: no false alarm (this is what word-granularity masking gets
+	// wrong).
+	d := New(Options{})
+	d.Acquire(0, 1)
+	d.Write(0, 0x100, 1, 0)
+	d.Release(0, 1)
+	d.Acquire(1, 2)
+	d.Write(1, 0x101, 1, 0)
+	d.Release(1, 2)
+	d.Acquire(0, 1)
+	d.Write(0, 0x100, 1, 0)
+	d.Release(0, 1)
+	if len(d.Races()) != 0 {
+		t.Errorf("sub-word fields masked together: %v", d.Races())
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	d := New(Options{})
+	// Races whose PCs are in libc are suppressed (module in high byte).
+	libcPC := uint32(1)<<24 | 7
+	d.Write(0, 0x700, 4, pcOf(libcPC))
+	d.Write(1, 0x700, 4, pcOf(libcPC))
+	if len(d.Races()) != 0 {
+		t.Errorf("suppressed race reported: %v", d.Races())
+	}
+}
+
+// pcOf converts a raw uint32 into an event.PC for tests.
+func pcOf(v uint32) event.PC { return event.PC(v) }

@@ -1,0 +1,357 @@
+// Package shadow implements the vector-clock indexing structure of Figure 4
+// in the paper: a separately-chained hash table in which each entry covers a
+// block of m = 128 consecutive addresses and holds an indexing array of
+// pointers to per-location shadow nodes.
+//
+// An entry's indexing array starts with m/4 pointers — one per word — since
+// the most common access pattern is word access. When an access that is not
+// word-aligned begins inside the block, the array is expanded to m pointers
+// (one per byte), replicating each word pointer into its four byte slots so
+// lookups remain correct.
+//
+// A shadow node may cover a contiguous range of addresses; every slot in the
+// range points at the same node. The table supports the sequential range
+// operations the paper calls out — deleting entries on free() and the
+// vector-clock sharing process — and accounts its own memory by object size
+// for the Table 2 "Hash" column.
+package shadow
+
+// BlockSize is m, the number of addresses covered by one hash entry.
+const BlockSize = 128
+
+const (
+	blockShift = 7
+	blockMask  = BlockSize - 1
+
+	denseSlots  = BlockSize     // byte-granular indexing array
+	sparseSlots = BlockSize / 4 // word-granular indexing array
+)
+
+// Accounting object sizes (bytes), chosen to mirror a C implementation the
+// way the paper measures overhead ("based on object size").
+const (
+	entryHeaderBytes = 24 // key + next pointer + mode/count
+	bucketSlotBytes  = 8
+	slotBytes        = 8
+)
+
+// Table maps byte addresses to shadow nodes of type T (a pointer type; the
+// zero value of T means "no node"). One Table serves one access plane: the
+// detectors keep a read Table and a write Table, because read and write
+// locations are maintained separately (paper §III.A).
+type Table[T comparable] struct {
+	buckets []*entry[T]
+	mask    uint64
+	entries int
+
+	// memory accounting
+	curBytes  int64
+	peakBytes int64
+}
+
+type entry[T comparable] struct {
+	key   uint64 // block number (addr >> blockShift)
+	next  *entry[T]
+	dense bool // true once the array holds one slot per byte
+	used  int  // number of non-zero slots
+	slots []T  // sparseSlots or denseSlots entries
+}
+
+// New returns an empty table.
+func New[T comparable]() *Table[T] {
+	t := &Table[T]{}
+	t.init(64)
+	return t
+}
+
+func (t *Table[T]) init(nbuckets int) {
+	t.buckets = make([]*entry[T], nbuckets)
+	t.mask = uint64(nbuckets - 1)
+	t.account(int64(nbuckets) * bucketSlotBytes)
+}
+
+func (t *Table[T]) account(delta int64) {
+	t.curBytes += delta
+	if t.curBytes > t.peakBytes {
+		t.peakBytes = t.curBytes
+	}
+}
+
+// Bytes returns the current accounted size of the indexing structure.
+func (t *Table[T]) Bytes() int64 { return t.curBytes }
+
+// PeakBytes returns the maximum accounted size reached so far.
+func (t *Table[T]) PeakBytes() int64 { return t.peakBytes }
+
+// Entries returns the number of live hash entries (blocks with shadow state).
+func (t *Table[T]) Entries() int { return t.entries }
+
+func hashBlock(key uint64) uint64 {
+	// Fibonacci hashing; the multiplier is 2^64 / φ.
+	return key * 0x9e3779b97f4a7c15
+}
+
+func (t *Table[T]) find(key uint64) *entry[T] {
+	for e := t.buckets[hashBlock(key)>>32&t.mask]; e != nil; e = e.next {
+		if e.key == key {
+			return e
+		}
+	}
+	return nil
+}
+
+func (t *Table[T]) findOrCreate(key uint64) *entry[T] {
+	idx := hashBlock(key) >> 32 & t.mask
+	for e := t.buckets[idx]; e != nil; e = e.next {
+		if e.key == key {
+			return e
+		}
+	}
+	e := &entry[T]{key: key, slots: make([]T, sparseSlots)}
+	e.next = t.buckets[idx]
+	t.buckets[idx] = e
+	t.entries++
+	t.account(entryHeaderBytes + sparseSlots*slotBytes)
+	if t.entries > len(t.buckets)*4 {
+		t.grow()
+	}
+	return e
+}
+
+func (t *Table[T]) grow() {
+	old := t.buckets
+	t.account(-int64(len(old)) * bucketSlotBytes)
+	t.init(len(old) * 2)
+	for _, e := range old {
+		for e != nil {
+			next := e.next
+			idx := hashBlock(e.key) >> 32 & t.mask
+			e.next = t.buckets[idx]
+			t.buckets[idx] = e
+			e = next
+		}
+	}
+}
+
+func (t *Table[T]) remove(e *entry[T]) {
+	idx := hashBlock(e.key) >> 32 & t.mask
+	p := &t.buckets[idx]
+	for *p != nil {
+		if *p == e {
+			*p = e.next
+			t.entries--
+			n := sparseSlots
+			if e.dense {
+				n = denseSlots
+			}
+			t.account(-int64(entryHeaderBytes + n*slotBytes))
+			return
+		}
+		p = &(*p).next
+	}
+}
+
+// expand converts a sparse (word-granular) entry to a dense (byte-granular)
+// one, replicating each word pointer into its four byte slots. This is the
+// m/4 → m growth in Figure 4.
+func (e *entry[T]) expand(t *Table[T]) {
+	if e.dense {
+		return
+	}
+	ns := make([]T, denseSlots)
+	var zero T
+	for i, v := range e.slots {
+		if v != zero {
+			ns[4*i], ns[4*i+1], ns[4*i+2], ns[4*i+3] = v, v, v, v
+		}
+	}
+	e.used *= 4
+	e.slots = ns
+	e.dense = true
+	t.account((denseSlots - sparseSlots) * slotBytes)
+}
+
+// slotIndex returns the index of addr's slot in e, or -1 when the sparse
+// array cannot address it without expansion (which never happens for
+// word-aligned addresses).
+func (e *entry[T]) slotIndex(addr uint64) int {
+	off := int(addr & blockMask)
+	if e.dense {
+		return off
+	}
+	return off >> 2
+}
+
+// Get returns the node whose range covers addr, or the zero T.
+func (t *Table[T]) Get(addr uint64) T {
+	e := t.find(addr >> blockShift)
+	if e == nil {
+		var zero T
+		return zero
+	}
+	return e.slots[e.slotIndex(addr)]
+}
+
+// aligned reports whether [lo, hi) can be represented by a sparse entry,
+// i.e. both bounds are word-aligned.
+func aligned(lo, hi uint64) bool { return lo&3 == 0 && hi&3 == 0 }
+
+// SetRange points every slot in [lo, hi) at v, expanding entries to byte
+// granularity when the range is not word-aligned. v must be non-zero.
+func (t *Table[T]) SetRange(lo, hi uint64, v T) {
+	var zero T
+	for lo < hi {
+		blockEnd := (lo | blockMask) + 1
+		end := hi
+		if end > blockEnd {
+			end = blockEnd
+		}
+		e := t.findOrCreate(lo >> blockShift)
+		if !e.dense && !aligned(lo, end) {
+			e.expand(t)
+		}
+		if e.dense {
+			for a := lo; a < end; a++ {
+				i := int(a & blockMask)
+				if e.slots[i] == zero {
+					e.used++
+				}
+				e.slots[i] = v
+			}
+		} else {
+			for a := lo; a < end; a += 4 {
+				i := int(a&blockMask) >> 2
+				if e.slots[i] == zero {
+					e.used++
+				}
+				e.slots[i] = v
+			}
+		}
+		lo = end
+	}
+}
+
+// ClearRange erases every slot in [lo, hi), removing entries that become
+// empty (the free() path).
+func (t *Table[T]) ClearRange(lo, hi uint64) {
+	var zero T
+	for lo < hi {
+		blockEnd := (lo | blockMask) + 1
+		end := hi
+		if end > blockEnd {
+			end = blockEnd
+		}
+		if e := t.find(lo >> blockShift); e != nil {
+			if !e.dense && !aligned(lo, end) {
+				e.expand(t)
+			}
+			step := uint64(4)
+			if e.dense {
+				step = 1
+			}
+			for a := lo; a < end; a += step {
+				i := e.slotIndex(a)
+				if e.slots[i] != zero {
+					e.slots[i] = zero
+					e.used--
+				}
+			}
+			if e.used == 0 {
+				t.remove(e)
+			}
+		}
+		lo = end
+	}
+}
+
+// ForRange calls f for every set slot in [lo, hi) in address order, with the
+// slot's granule start address and node. A node covering several slots is
+// visited once per slot; callers coalesce by pointer identity. f returning
+// false stops the walk.
+func (t *Table[T]) ForRange(lo, hi uint64, f func(addr uint64, v T) bool) {
+	var zero T
+	for lo < hi {
+		blockEnd := (lo | blockMask) + 1
+		end := hi
+		if end > blockEnd {
+			end = blockEnd
+		}
+		if e := t.find(lo >> blockShift); e != nil {
+			step := uint64(4)
+			if e.dense {
+				step = 1
+			}
+			a := lo &^ (step - 1)
+			for ; a < end; a += step {
+				v := e.slots[e.slotIndex(a)]
+				if v != zero && !f(a, v) {
+					return
+				}
+			}
+		}
+		lo = end
+	}
+}
+
+// PrevSet scans left from addr-1 for at most maxDist addresses and returns
+// the nearest address with a node. It realizes the paper's "nearest
+// predecessor that has a valid vector clock" neighbour lookup for
+// first-epoch sharing; the bound keeps it O(1) (padding gaps inside C
+// structs are at most 7 bytes, so a small bound loses nothing). Each hash
+// entry on the path is resolved once and its indexing array scanned
+// directly.
+func (t *Table[T]) PrevSet(addr uint64, maxDist int) (uint64, T, bool) {
+	var zero T
+	var e *entry[T]
+	var eKey uint64 = ^uint64(0)
+	for d := 1; d <= maxDist; d++ {
+		a := addr - uint64(d)
+		if a > addr { // wrapped below zero
+			break
+		}
+		if key := a >> blockShift; key != eKey {
+			e, eKey = t.find(key), key
+		}
+		if e == nil {
+			// Skip the rest of this empty block in one step.
+			d += int(a & blockMask)
+			continue
+		}
+		if v := e.slots[e.slotIndex(a)]; v != zero {
+			return a, v, true
+		}
+	}
+	return 0, zero, false
+}
+
+// NextSet scans right from addr for at most maxDist addresses and returns
+// the nearest address with a node (the successor neighbour lookup).
+func (t *Table[T]) NextSet(addr uint64, maxDist int) (uint64, T, bool) {
+	var zero T
+	var e *entry[T]
+	var eKey uint64 = ^uint64(0)
+	for d := 0; d < maxDist; d++ {
+		a := addr + uint64(d)
+		if key := a >> blockShift; key != eKey {
+			e, eKey = t.find(key), key
+		}
+		if e == nil {
+			d += int(blockMask - a&blockMask)
+			continue
+		}
+		if v := e.slots[e.slotIndex(a)]; v != zero {
+			return a, v, true
+		}
+	}
+	return 0, zero, false
+}
+
+// EntryDense reports whether the entry covering addr exists and has been
+// expanded to byte granularity. Tests of Figure 4 use it.
+func (t *Table[T]) EntryDense(addr uint64) (exists, dense bool) {
+	e := t.find(addr >> blockShift)
+	if e == nil {
+		return false, false
+	}
+	return true, e.dense
+}

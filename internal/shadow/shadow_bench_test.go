@@ -1,0 +1,51 @@
+package shadow
+
+import "testing"
+
+func BenchmarkGetHit(b *testing.B) {
+	tab := New[*node]()
+	n := &node{1}
+	tab.SetRange(0x1000, 0x1100, n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Get(0x1000 + uint64(i&0xff))
+	}
+}
+
+func BenchmarkGetMiss(b *testing.B) {
+	tab := New[*node]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Get(uint64(i) * 64)
+	}
+}
+
+func BenchmarkSetRangeWord(b *testing.B) {
+	tab := New[*node]()
+	n := &node{1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := uint64(i&0xffff) * 4
+		tab.SetRange(a, a+4, n)
+	}
+}
+
+func BenchmarkSetRangeByte(b *testing.B) {
+	tab := New[*node]()
+	n := &node{1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := uint64(i&0xffff)*4 + 1
+		tab.SetRange(a, a+1, n)
+	}
+}
+
+func BenchmarkPrevSet(b *testing.B) {
+	tab := New[*node]()
+	n := &node{1}
+	tab.SetRange(0x1000, 0x1004, n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = tab.PrevSet(0x1008, 8)
+	}
+}

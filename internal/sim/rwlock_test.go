@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+// Readers may hold the lock together; writers are exclusive against both.
+func TestRWLockExclusionInvariants(t *testing.T) {
+	l := &logSink{}
+	Run(Program{Name: "rw", Main: func(m *Thread) {
+		rw := m.NewRWLock()
+		var hs []*Thread
+		for i := 0; i < 3; i++ {
+			hs = append(hs, m.Go(func(w *Thread) {
+				for j := 0; j < 20; j++ {
+					w.RLock(rw)
+					w.Read(0x10, 4)
+					w.RUnlock(rw)
+				}
+			}))
+		}
+		hs = append(hs, m.Go(func(w *Thread) {
+			for j := 0; j < 10; j++ {
+				w.Lock(rw)
+				w.Write(0x10, 4)
+				w.Unlock(rw)
+			}
+		}))
+		for _, h := range hs {
+			m.Join(h)
+		}
+	}}, l, Options{Seed: 8, Quantum: 2})
+
+	readers := 0
+	writer := false
+	sawConcurrentReaders := false
+	for _, e := range l.events {
+		switch {
+		case strings.HasPrefix(e, "racq"):
+			if writer {
+				t.Fatalf("read-acquire while writer holds: %q", l)
+			}
+			readers++
+			if readers > 1 {
+				sawConcurrentReaders = true
+			}
+		case strings.HasPrefix(e, "rrel"):
+			readers--
+		case strings.HasPrefix(e, "acq"):
+			if writer || readers > 0 {
+				t.Fatalf("write-acquire while lock busy (readers=%d): %q", readers, l)
+			}
+			writer = true
+		case strings.HasPrefix(e, "rel"):
+			writer = false
+		}
+	}
+	if !sawConcurrentReaders {
+		t.Error("readers never overlapped — the lock is not actually shared")
+	}
+}
+
+// A blocked writer gets preference over newly arriving readers.
+func TestRWLockWriterPreference(t *testing.T) {
+	order := []string{}
+	Run(Program{Name: "pref", Main: func(m *Thread) {
+		rw := m.NewRWLock()
+		stage := 0
+		r1 := m.Go(func(w *Thread) {
+			w.RLock(rw)
+			stage = 1
+			for stage < 2 { // hold the read lock until the writer queues
+				w.Yield()
+			}
+			for i := 0; i < 5; i++ {
+				w.Yield()
+			}
+			w.RUnlock(rw)
+		})
+		wr := m.Go(func(w *Thread) {
+			for stage < 1 {
+				w.Yield()
+			}
+			stage = 2
+			w.Lock(rw) // blocks behind r1
+			order = append(order, "writer")
+			w.Unlock(rw)
+		})
+		r2 := m.Go(func(w *Thread) {
+			for stage < 2 {
+				w.Yield()
+			}
+			for i := 0; i < 3; i++ {
+				w.Yield() // let the writer enqueue first
+			}
+			w.RLock(rw) // must wait behind the queued writer
+			order = append(order, "reader2")
+			w.RUnlock(rw)
+		})
+		m.Join(r1)
+		m.Join(wr)
+		m.Join(r2)
+	}}, event.Nop{}, Options{Seed: 5})
+	if len(order) != 2 || order[0] != "writer" {
+		t.Errorf("writer preference violated: %v", order)
+	}
+}
+
+func TestRUnlockWithoutReadersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Run(Program{Name: "badrunlock", Main: func(m *Thread) {
+		rw := m.NewRWLock()
+		m.RUnlock(rw)
+	}}, event.Nop{}, Options{})
+}
+
+func TestWithRLock(t *testing.T) {
+	l := &logSink{}
+	Run(Program{Name: "withrlock", Main: func(m *Thread) {
+		rw := m.NewRWLock()
+		m.WithRLock(rw, func() { m.Read(0x7, 1) })
+	}}, l, Options{})
+	if got := l.String(); got != "racq0:0 r0:7/1 rrel0:0" {
+		t.Errorf("trace = %q", got)
+	}
+	_ = vc.TID(0)
+}

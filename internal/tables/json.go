@@ -1,0 +1,44 @@
+package tables
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// AllTables bundles every table's structured rows for machine-readable
+// output (benchtables -json), so CI jobs can diff reproduction runs.
+type AllTables struct {
+	Config struct {
+		Scale int   `json:"scale"`
+		Seed  int64 `json:"seed"`
+	} `json:"config"`
+	Table1 []Row1 `json:"table1"`
+	Table2 []Row2 `json:"table2"`
+	Table3 []Row3 `json:"table3"`
+	Table4 []Row4 `json:"table4"`
+	Table5 []Row5 `json:"table5"`
+	Table6 []Row6 `json:"table6"`
+	Table7 []Row7 `json:"table7"`
+}
+
+// All computes every table once (runs are shared through the cache).
+func (r *Runner) All() AllTables {
+	var a AllTables
+	a.Config.Scale = r.cfg.Scale
+	a.Config.Seed = r.cfg.Seed
+	a.Table1 = r.Table1()
+	a.Table2 = r.Table2()
+	a.Table3 = r.Table3()
+	a.Table4 = r.Table4()
+	a.Table5 = r.Table5()
+	a.Table6 = r.Table6()
+	a.Table7 = r.Table7()
+	return a
+}
+
+// WriteJSON renders every table as indented JSON.
+func (r *Runner) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.All())
+}

@@ -1,0 +1,117 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"repro/race"
+	"repro/workloads"
+)
+
+// Row1 is one benchmark's row of Table 1: overall results of FastTrack
+// with byte, word and dynamic granularity. Array indexes are [byte, word,
+// dynamic] throughout.
+type Row1 struct {
+	Program        string
+	SharedAccesses uint64 // total shared reads+writes
+	MaxVectorsByte int64  // max # of vector clocks at byte granularity
+	Threads        int
+	BaseTime       float64 // seconds, uninstrumented
+	BaseMemMB      float64 // peak application heap, MB
+	Slowdown       [3]float64
+	MemOverhead    [3]float64
+	Races          [3]int
+}
+
+// granularities in table order.
+var granularities = [3]race.Granularity{race.Byte, race.Word, race.Dynamic}
+
+// Table1 computes Table 1's rows.
+func (r *Runner) Table1() []Row1 {
+	rows := make([]Row1, 0, len(r.specs))
+	for _, s := range r.specs {
+		b := r.Baseline(s)
+		row := Row1{
+			Program:   s.Name,
+			Threads:   s.Threads,
+			BaseTime:  b.elapsed.Seconds(),
+			BaseMemMB: float64(b.stats.PeakHeapBytes) / (1 << 20),
+		}
+		for gi, g := range granularities {
+			rep := r.Report(s, r.ftOpts(g))
+			row.Slowdown[gi] = r.Slowdown(s, rep)
+			row.MemOverhead[gi] = r.MemOverhead(s, rep)
+			row.Races[gi] = len(rep.Races)
+			if g == race.Byte {
+				row.SharedAccesses = rep.Detector.Accesses
+				row.MaxVectorsByte = rep.Detector.MaxVectorClocks
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable1 prints Table 1 in the paper's layout, with the averages row.
+func (r *Runner) RenderTable1(w io.Writer) {
+	rows := r.Table1()
+	header := []string{
+		"Program", "Accesses(M)", "MaxVCs(byte)", "Thr", "Base t(s)", "Base MB",
+		"Slow byte", "word", "dyn", "MemOvh byte", "word", "dyn",
+		"Races byte", "word", "dyn",
+	}
+	var out [][]string
+	var avg struct{ slow, mem [3]float64 }
+	for _, row := range rows {
+		rec := []string{
+			row.Program,
+			fmt.Sprintf("%.2f", float64(row.SharedAccesses)/1e6),
+			fmt.Sprintf("%d", row.MaxVectorsByte),
+			fmt.Sprintf("%d", row.Threads),
+			fmt.Sprintf("%.3f", row.BaseTime),
+			fmt.Sprintf("%.2f", row.BaseMemMB),
+		}
+		for i := 0; i < 3; i++ {
+			rec = append(rec, fmt.Sprintf("%.2f", row.Slowdown[i]))
+			avg.slow[i] += row.Slowdown[i]
+		}
+		for i := 0; i < 3; i++ {
+			rec = append(rec, fmt.Sprintf("%.2f", row.MemOverhead[i]))
+			avg.mem[i] += row.MemOverhead[i]
+		}
+		for i := 0; i < 3; i++ {
+			rec = append(rec, fmt.Sprintf("%d", row.Races[i]))
+		}
+		out = append(out, rec)
+	}
+	if n := float64(len(rows)); n > 0 {
+		rec := []string{"Average", "", "", "", "", ""}
+		for i := 0; i < 3; i++ {
+			rec = append(rec, fmt.Sprintf("%.2f", avg.slow[i]/n))
+		}
+		for i := 0; i < 3; i++ {
+			rec = append(rec, fmt.Sprintf("%.2f", avg.mem[i]/n))
+		}
+		rec = append(rec, "", "", "")
+		out = append(out, rec)
+	}
+	writeTable(w, "Table 1. Overall experimental results", header, out)
+}
+
+// AverageSlowdown returns the mean slowdown per granularity — the numbers
+// behind the paper's headline "43% faster than byte granularity".
+func (r *Runner) AverageSlowdown() [3]float64 {
+	rows := r.Table1()
+	var avg [3]float64
+	for _, row := range rows {
+		for i := 0; i < 3; i++ {
+			avg[i] += row.Slowdown[i]
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(rows))
+	}
+	return avg
+}
+
+var _ = workloads.All // keep the import stable across edits

@@ -1,0 +1,65 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+)
+
+// Row2 is one benchmark's row of Table 2: the detector memory overhead
+// split into its three components, per granularity ([byte, word, dynamic]).
+type Row2 struct {
+	Program string
+	Hash    [3]int64
+	VC      [3]int64
+	Bitmap  [3]int64
+	Total   [3]int64
+}
+
+// Table2 computes Table 2's rows.
+func (r *Runner) Table2() []Row2 {
+	rows := make([]Row2, 0, len(r.specs))
+	for _, s := range r.specs {
+		row := Row2{Program: s.Name}
+		for gi, g := range granularities {
+			st := r.Report(s, r.ftOpts(g)).Detector
+			row.Hash[gi] = st.HashPeakBytes
+			row.VC[gi] = st.VCPeakBytes
+			row.Bitmap[gi] = st.BitmapPeakBytes
+			row.Total[gi] = st.TotalPeakBytes
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable2 prints Table 2 in the paper's layout (MB per component).
+func (r *Runner) RenderTable2(w io.Writer) {
+	rows := r.Table2()
+	header := []string{"Program"}
+	for _, g := range []string{"byte", "word", "dyn"} {
+		header = append(header,
+			g+" Hash", g+" VC", g+" Bitmap", g+" Total")
+	}
+	var out [][]string
+	var sums [12]float64
+	for _, row := range rows {
+		rec := []string{row.Program}
+		cols := []int64{}
+		for gi := 0; gi < 3; gi++ {
+			cols = append(cols, row.Hash[gi], row.VC[gi], row.Bitmap[gi], row.Total[gi])
+		}
+		for ci, v := range cols {
+			rec = append(rec, mb(v))
+			sums[ci] += float64(v)
+		}
+		out = append(out, rec)
+	}
+	if n := float64(len(rows)); n > 0 {
+		rec := []string{"Average"}
+		for _, sum := range sums {
+			rec = append(rec, fmt.Sprintf("%.2f", sum/n/(1<<20)))
+		}
+		out = append(out, rec)
+	}
+	writeTable(w, "Table 2. Memory overhead of FastTrack detection with different granularities", header, out)
+}

@@ -1,0 +1,51 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"repro/race"
+)
+
+// Row3 is one benchmark's row of Table 3: the maximum number of vector
+// clocks present during the run per granularity, and the average number of
+// locations sharing one clock under dynamic granularity.
+type Row3 struct {
+	Program    string
+	MaxVCs     [3]int64
+	AvgSharing float64
+}
+
+// Table3 computes Table 3's rows.
+func (r *Runner) Table3() []Row3 {
+	rows := make([]Row3, 0, len(r.specs))
+	for _, s := range r.specs {
+		row := Row3{Program: s.Name}
+		for gi, g := range granularities {
+			st := r.Report(s, r.ftOpts(g)).Detector
+			row.MaxVCs[gi] = st.MaxVectorClocks
+			if g == race.Dynamic {
+				row.AvgSharing = st.AvgSharing
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable3 prints Table 3 in the paper's layout.
+func (r *Runner) RenderTable3(w io.Writer) {
+	rows := r.Table3()
+	header := []string{"Program", "Byte", "Word", "Dynamic", "Avg sharing"}
+	var out [][]string
+	for _, row := range rows {
+		out = append(out, []string{
+			row.Program,
+			fmt.Sprintf("%d", row.MaxVCs[0]),
+			fmt.Sprintf("%d", row.MaxVCs[1]),
+			fmt.Sprintf("%d", row.MaxVCs[2]),
+			fmt.Sprintf("%.1f", row.AvgSharing),
+		})
+	}
+	writeTable(w, "Table 3. Maximum number of vector clocks present", header, out)
+}

@@ -1,0 +1,64 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+)
+
+// Row4 is one benchmark's row of Table 4: slowdown next to the percentage
+// of same-epoch accesses per granularity — the paper's evidence that the
+// speedup of a larger granularity tracks the same-epoch rate.
+type Row4 struct {
+	Program      string
+	Slowdown     [3]float64
+	SameEpochPct [3]float64
+}
+
+// Table4 computes Table 4's rows.
+func (r *Runner) Table4() []Row4 {
+	rows := make([]Row4, 0, len(r.specs))
+	for _, s := range r.specs {
+		row := Row4{Program: s.Name}
+		for gi, g := range granularities {
+			rep := r.Report(s, r.ftOpts(g))
+			row.Slowdown[gi] = r.Slowdown(s, rep)
+			row.SameEpochPct[gi] = rep.Detector.SameEpochPct()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable4 prints Table 4 in the paper's layout.
+func (r *Runner) RenderTable4(w io.Writer) {
+	rows := r.Table4()
+	header := []string{
+		"Program", "Slow byte", "word", "dyn",
+		"SameEp byte", "word", "dyn",
+	}
+	var out [][]string
+	var avg [6]float64
+	for _, row := range rows {
+		rec := []string{row.Program}
+		for i := 0; i < 3; i++ {
+			rec = append(rec, fmt.Sprintf("%.2f", row.Slowdown[i]))
+			avg[i] += row.Slowdown[i]
+		}
+		for i := 0; i < 3; i++ {
+			rec = append(rec, fmt.Sprintf("%.0f%%", row.SameEpochPct[i]))
+			avg[3+i] += row.SameEpochPct[i]
+		}
+		out = append(out, rec)
+	}
+	if n := float64(len(rows)); n > 0 {
+		rec := []string{"Average"}
+		for i := 0; i < 3; i++ {
+			rec = append(rec, fmt.Sprintf("%.2f", avg[i]/n))
+		}
+		for i := 3; i < 6; i++ {
+			rec = append(rec, fmt.Sprintf("%.0f%%", avg[i]/n))
+		}
+		out = append(out, rec)
+	}
+	writeTable(w, "Table 4. Measures of same epoch accesses", header, out)
+}

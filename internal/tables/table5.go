@@ -1,0 +1,63 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"repro/race"
+)
+
+// Row5 is one benchmark's row of Table 5: the state-machine ablations.
+// Memory columns compare dynamic granularity without and with the
+// temporary first-epoch sharing; race columns compare the detector without
+// the Init state (one final sharing decision at first access — the
+// false-alarm-prone variant) and with it.
+type Row5 struct {
+	Program          string
+	MemNoInitShare   int64 // peak detector memory, no sharing at Init
+	MemInitShare     int64 // peak detector memory, sharing at Init
+	RacesNoInitState int   // reports without the Init state
+	RacesInitState   int   // reports with the full state machine
+}
+
+// Table5 computes Table 5's rows.
+func (r *Runner) Table5() []Row5 {
+	rows := make([]Row5, 0, len(r.specs))
+	for _, s := range r.specs {
+		dyn := race.Options{Tool: race.FastTrack, Granularity: race.Dynamic}
+		noShare := dyn
+		noShare.NoInitSharing = true
+		noState := dyn
+		noState.NoInitState = true
+
+		full := r.Report(s, dyn)
+		rows = append(rows, Row5{
+			Program:          s.Name,
+			MemNoInitShare:   r.Report(s, noShare).Detector.TotalPeakBytes,
+			MemInitShare:     full.Detector.TotalPeakBytes,
+			RacesNoInitState: len(r.Report(s, noState).Races),
+			RacesInitState:   len(full.Races),
+		})
+	}
+	return rows
+}
+
+// RenderTable5 prints Table 5 in the paper's layout.
+func (r *Runner) RenderTable5(w io.Writer) {
+	rows := r.Table5()
+	header := []string{
+		"Program", "Mem no-share-at-Init", "Mem share-at-Init",
+		"Races no-Init-state", "Races with-Init-state",
+	}
+	var out [][]string
+	for _, row := range rows {
+		out = append(out, []string{
+			row.Program,
+			mb(row.MemNoInitShare),
+			mb(row.MemInitShare),
+			fmt.Sprintf("%d", row.RacesNoInitState),
+			fmt.Sprintf("%d", row.RacesInitState),
+		})
+	}
+	writeTable(w, "Table 5. Comparisons of state machines with different configurations", header, out)
+}

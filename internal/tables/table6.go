@@ -1,0 +1,95 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"repro/race"
+)
+
+// Cell6 is one tool's measurement in Table 6.
+type Cell6 struct {
+	Slowdown    float64
+	MemOverhead float64
+	Races       int
+	OOM         bool
+	TimedOut    bool
+}
+
+// DNF reports whether the run did not finish.
+func (c Cell6) DNF() bool { return c.OOM || c.TimedOut }
+
+func (c Cell6) raceCell() string {
+	switch {
+	case c.OOM:
+		return "OOM"
+	case c.TimedOut:
+		return ">t/o"
+	default:
+		return fmt.Sprintf("%d", c.Races)
+	}
+}
+
+func (c Cell6) numCell(v float64) string {
+	if c.DNF() {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Row6 is one benchmark's row of Table 6: the comparison of the DRD
+// stand-in, the Inspector XE stand-in, and FastTrack with dynamic
+// granularity.
+type Row6 struct {
+	Program   string
+	DRD       Cell6
+	Inspector Cell6
+	Dynamic   Cell6
+}
+
+// Table6 computes Table 6's rows.
+func (r *Runner) Table6() []Row6 {
+	rows := make([]Row6, 0, len(r.specs))
+	for _, s := range r.specs {
+		row := Row6{Program: s.Name}
+		for _, entry := range []struct {
+			cell *Cell6
+			opts race.Options
+		}{
+			{&row.DRD, r.comparatorOpts(race.DRD)},
+			{&row.Inspector, r.comparatorOpts(race.InspectorXE)},
+			{&row.Dynamic, r.ftOpts(race.Dynamic)},
+		} {
+			rep := r.Report(s, entry.opts)
+			*entry.cell = Cell6{
+				Slowdown:    r.Slowdown(s, rep),
+				MemOverhead: r.MemOverhead(s, rep),
+				Races:       len(rep.Races),
+				OOM:         rep.OOM,
+				TimedOut:    rep.TimedOut,
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable6 prints Table 6 in the paper's layout.
+func (r *Runner) RenderTable6(w io.Writer) {
+	rows := r.Table6()
+	header := []string{
+		"Program",
+		"DRD slow", "mem", "races",
+		"Insp slow", "mem", "races",
+		"Dyn slow", "mem", "races",
+	}
+	var out [][]string
+	for _, row := range rows {
+		rec := []string{row.Program}
+		for _, c := range []Cell6{row.DRD, row.Inspector, row.Dynamic} {
+			rec = append(rec, c.numCell(c.Slowdown), c.numCell(c.MemOverhead), c.raceCell())
+		}
+		out = append(out, rec)
+	}
+	writeTable(w, "Table 6. Performance comparison of Valgrind-DRD-like, Inspector-XE-like and FastTrack with dynamic granularity", header, out)
+}

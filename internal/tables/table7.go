@@ -1,0 +1,95 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"repro/race"
+)
+
+// Row7 is one benchmark's row of the extensions ablation — not a table
+// from the paper, but the measurement of its Section VII future-work items
+// as implemented here, plus FastTrack's write-exclusive read reset:
+//
+//   - write-guided reads: sharing comparisons saved on the read plane;
+//   - adaptive resharing (interval 4): peak clock nodes after patterns
+//     stabilize;
+//   - read reset: peak clock bytes with inflated read vectors reclaimed.
+//
+// Race counts are asserted unchanged: the extensions are performance
+// knobs, not precision knobs.
+type Row7 struct {
+	Program string
+
+	// Comparisons without/with write-guided reads.
+	CmpPlain, CmpGuided uint64
+	// Peak clock nodes without/with adaptive resharing.
+	NodesPlain, NodesReshare int64
+	// Peak clock bytes without/with the read reset.
+	VCBytesPlain, VCBytesReset int64
+	// Races under every variant (must all be equal).
+	Races [4]int
+}
+
+// Table7 computes the extensions-ablation rows.
+func (r *Runner) Table7() []Row7 {
+	rows := make([]Row7, 0, len(r.specs))
+	base := race.Options{Tool: race.FastTrack, Granularity: race.Dynamic}
+	for _, s := range r.specs {
+		guided := base
+		guided.WriteGuidedReads = true
+		reshare := base
+		reshare.ReshareInterval = 4
+		reset := base
+		reset.ReadReset = true
+
+		plain := r.Report(s, base)
+		g := r.Report(s, guided)
+		rs := r.Report(s, reshare)
+		rr := r.Report(s, reset)
+
+		rows = append(rows, Row7{
+			Program:      s.Name,
+			CmpPlain:     plain.Detector.SharingComparisons,
+			CmpGuided:    g.Detector.SharingComparisons,
+			NodesPlain:   plain.Detector.MaxVectorClocks,
+			NodesReshare: rs.Detector.MaxVectorClocks,
+			VCBytesPlain: plain.Detector.VCPeakBytes,
+			VCBytesReset: rr.Detector.VCPeakBytes,
+			Races: [4]int{
+				len(plain.Races), len(g.Races), len(rs.Races), len(rr.Races),
+			},
+		})
+	}
+	return rows
+}
+
+// RenderTable7 prints the extensions ablation.
+func (r *Runner) RenderTable7(w io.Writer) {
+	rows := r.Table7()
+	header := []string{
+		"Program", "Cmp plain", "guided", "Nodes plain", "reshare",
+		"VC-KB plain", "read-reset", "Races (all variants)",
+	}
+	var out [][]string
+	for _, row := range rows {
+		races := fmt.Sprintf("%d", row.Races[0])
+		for _, x := range row.Races[1:] {
+			if x != row.Races[0] {
+				races = fmt.Sprintf("%v MISMATCH", row.Races)
+				break
+			}
+		}
+		out = append(out, []string{
+			row.Program,
+			fmt.Sprintf("%d", row.CmpPlain),
+			fmt.Sprintf("%d", row.CmpGuided),
+			fmt.Sprintf("%d", row.NodesPlain),
+			fmt.Sprintf("%d", row.NodesReshare),
+			fmt.Sprintf("%.1f", float64(row.VCBytesPlain)/1024),
+			fmt.Sprintf("%.1f", float64(row.VCBytesReset)/1024),
+			races,
+		})
+	}
+	writeTable(w, "Table 7 (this repo). Section VII extensions ablation under dynamic granularity", header, out)
+}

@@ -1,0 +1,214 @@
+package tables
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/race"
+)
+
+// quickRunner uses a benchmark subset and single timing runs so the table
+// machinery is exercised quickly.
+func quickRunner() *Runner {
+	return NewRunner(Config{
+		Seed:       42,
+		TimingRuns: 1,
+		Benchmarks: []string{"hmmsearch", "ffmpeg", "pbzip2"},
+	})
+}
+
+func TestTable1ShapesOnSubset(t *testing.T) {
+	r := quickRunner()
+	rows := r.Table1()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.SharedAccesses == 0 || row.MaxVectorsByte == 0 || row.Threads < 2 {
+			t.Errorf("%s: degenerate row %+v", row.Program, row)
+		}
+		// Dynamic granularity must never use more clock memory than byte.
+		if row.MemOverhead[2] > row.MemOverhead[0]+1e-9 {
+			t.Errorf("%s: dynamic memory overhead above byte: %v", row.Program, row.MemOverhead)
+		}
+		for _, s := range row.Slowdown {
+			if s <= 0 {
+				t.Errorf("%s: missing slowdown %v", row.Program, row.Slowdown)
+			}
+		}
+	}
+	// ffmpeg's precision row: byte 1, word 4 (false alarms), dynamic 1.
+	for _, row := range rows {
+		if row.Program == "ffmpeg" {
+			if row.Races != [3]int{1, 4, 1} {
+				t.Errorf("ffmpeg races = %v", row.Races)
+			}
+		}
+	}
+}
+
+func TestTable2ComponentsSumBelowTotal(t *testing.T) {
+	r := quickRunner()
+	for _, row := range r.Table2() {
+		for g := 0; g < 3; g++ {
+			if row.Hash[g] <= 0 || row.VC[g] < 0 || row.Bitmap[g] < 0 {
+				t.Errorf("%s: empty components %+v", row.Program, row)
+			}
+			if row.Total[g] > row.Hash[g]+row.VC[g]+row.Bitmap[g] {
+				t.Errorf("%s: total above the sum of component peaks", row.Program)
+			}
+		}
+		// Dynamic granularity saves clock memory on these benchmarks.
+		if row.VC[2] > row.VC[0] {
+			t.Errorf("%s: dynamic clock bytes above byte: %v", row.Program, row.VC)
+		}
+	}
+}
+
+func TestTable3SharingShapes(t *testing.T) {
+	r := quickRunner()
+	for _, row := range r.Table3() {
+		if row.MaxVCs[2] > row.MaxVCs[0] {
+			t.Errorf("%s: dynamic kept more clocks than byte: %v", row.Program, row.MaxVCs)
+		}
+		if row.AvgSharing < 1 {
+			t.Errorf("%s: sharing below 1: %v", row.Program, row.AvgSharing)
+		}
+		if row.Program == "pbzip2" && row.AvgSharing < 8 {
+			t.Errorf("pbzip2 sharing should be large: %v", row.AvgSharing)
+		}
+	}
+}
+
+func TestTable4SameEpochShapes(t *testing.T) {
+	r := quickRunner()
+	for _, row := range r.Table4() {
+		for g := 0; g < 3; g++ {
+			if row.SameEpochPct[g] < 0 || row.SameEpochPct[g] > 100 {
+				t.Errorf("%s: pct out of range %v", row.Program, row.SameEpochPct)
+			}
+		}
+		// Dynamic granularity never lowers the same-epoch rate.
+		if row.SameEpochPct[2]+1e-9 < row.SameEpochPct[0] {
+			t.Errorf("%s: dynamic same-epoch below byte: %v", row.Program, row.SameEpochPct)
+		}
+	}
+}
+
+func TestTable5AblationShapes(t *testing.T) {
+	r := quickRunner()
+	for _, row := range r.Table5() {
+		if row.MemInitShare > row.MemNoInitShare {
+			t.Errorf("%s: init sharing increased memory: %+v", row.Program, row)
+		}
+		if row.RacesInitState > row.RacesNoInitState {
+			t.Errorf("%s: the Init state should only remove false alarms: %+v", row.Program, row)
+		}
+	}
+}
+
+func TestTable6ComparatorShapes(t *testing.T) {
+	r := quickRunner()
+	for _, row := range r.Table6() {
+		if row.DRD.DNF() || row.Dynamic.DNF() {
+			t.Errorf("%s: unexpected DNF on the subset", row.Program)
+		}
+		// DRD is the slowest tool on every benchmark (Table 6's shape).
+		if !row.Inspector.DNF() && row.DRD.Slowdown < row.Dynamic.Slowdown {
+			t.Errorf("%s: DRD faster than dynamic (%.2f vs %.2f)",
+				row.Program, row.DRD.Slowdown, row.Dynamic.Slowdown)
+		}
+		// DRD uses less memory than the dynamic detector.
+		if row.DRD.MemOverhead > row.Dynamic.MemOverhead {
+			t.Errorf("%s: DRD memory above dynamic", row.Program)
+		}
+	}
+}
+
+func TestRendersMentionEveryBenchmark(t *testing.T) {
+	r := quickRunner()
+	var buf bytes.Buffer
+	r.RenderTable1(&buf)
+	r.RenderTable2(&buf)
+	r.RenderTable3(&buf)
+	r.RenderTable4(&buf)
+	r.RenderTable5(&buf)
+	r.RenderTable6(&buf)
+	out := buf.String()
+	for _, name := range []string{"hmmsearch", "ffmpeg", "pbzip2"} {
+		if n := strings.Count(out, name); n < 6 {
+			t.Errorf("%s appears %d times, want one per table", name, n)
+		}
+	}
+	for i := 1; i <= 6; i++ {
+		if !strings.Contains(out, "Table "+string(rune('0'+i))) {
+			t.Errorf("missing Table %d header", i)
+		}
+	}
+}
+
+func TestFigureDemos(t *testing.T) {
+	f1 := Figure1()
+	if !strings.Contains(f1, "RACE") || !strings.Contains(f1, "W_x") {
+		t.Errorf("figure 1 demo incomplete:\n%s", f1)
+	}
+	if !strings.Contains(f1, "reported 1 race") {
+		t.Errorf("figure 1 must find exactly the one race:\n%s", f1)
+	}
+	f2 := Figure2()
+	if !strings.Contains(f2, "races reported: 1") {
+		t.Errorf("figure 2 demo: %s", f2)
+	}
+	f4 := Figure4()
+	if !strings.Contains(f4, "dense=false") || !strings.Contains(f4, "dense=true") {
+		t.Errorf("figure 4 demo must show the expansion:\n%s", f4)
+	}
+	if !strings.Contains(f4, "true") {
+		t.Errorf("figure 4 replication check failed:\n%s", f4)
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := quickRunner()
+	s := r.Specs()[0]
+	a := r.Report(s, race.Options{Tool: race.FastTrack, Granularity: race.Dynamic})
+	b := r.Report(s, race.Options{Tool: race.FastTrack, Granularity: race.Dynamic})
+	if a.Elapsed != b.Elapsed {
+		t.Error("second lookup should be served from cache")
+	}
+}
+
+func TestAverageSlowdownOrdering(t *testing.T) {
+	r := quickRunner()
+	avg := r.AverageSlowdown()
+	if avg[0] <= 0 || avg[1] <= 0 || avg[2] <= 0 {
+		t.Fatalf("avg = %v", avg)
+	}
+	// The headline claim on this subset: dynamic is the fastest average.
+	if avg[2] > avg[0] {
+		t.Errorf("dynamic (%.2f) slower than byte (%.2f) on average", avg[2], avg[0])
+	}
+}
+
+func TestTable7ExtensionsKeepVerdicts(t *testing.T) {
+	r := NewRunner(Config{
+		Seed:       42,
+		TimingRuns: 1,
+		Benchmarks: []string{"canneal", "hmmsearch"},
+	})
+	for _, row := range r.Table7() {
+		for _, races := range row.Races[1:] {
+			if races != row.Races[0] {
+				t.Errorf("%s: extension changed the verdict: %v", row.Program, row.Races)
+			}
+		}
+		if row.CmpGuided > row.CmpPlain {
+			t.Errorf("%s: guided reads compared more: %d vs %d",
+				row.Program, row.CmpGuided, row.CmpPlain)
+		}
+		if row.Program == "canneal" && row.CmpGuided >= row.CmpPlain {
+			t.Error("canneal should show the guided-reads saving")
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package trace records an execution's event stream to a compact binary
+// form and replays it into any detector later — the record/replay workflow
+// of RecPlay and the related work in Section VI. Recording lets one
+// execution be analyzed under many detector configurations with *exactly*
+// the same event stream (the engine is deterministic anyway, but a trace
+// also removes the cost of re-running the program and can be persisted).
+//
+// The format is a sequence of records: one opcode byte followed by
+// varint-encoded operands. Access records carry (tid, addr, size, pc) with
+// the address delta-encoded against the previous access, which makes
+// sequential sweeps nearly free to store.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+type opcode byte
+
+const (
+	opRead opcode = iota + 1
+	opWrite
+	opAcquire
+	opRelease
+	opFork
+	opJoin
+	opBarrierArrive
+	opBarrierDepart
+	opMalloc
+	opFree
+	opAcquireShared
+	opReleaseShared
+	opEnd
+)
+
+// Recorder is an event.Sink that serializes the stream.
+type Recorder struct {
+	w        *bufio.Writer
+	buf      [4 * binary.MaxVarintLen64]byte
+	lastAddr uint64
+	events   uint64
+	err      error
+}
+
+// NewRecorder returns a recorder writing to w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriter(w)}
+}
+
+// Events returns the number of recorded events.
+func (r *Recorder) Events() uint64 { return r.events }
+
+// Close terminates the stream and flushes. The recorder is unusable
+// afterwards.
+func (r *Recorder) Close() error {
+	r.op(opEnd)
+	if err := r.w.Flush(); err != nil {
+		return err
+	}
+	return r.err
+}
+
+func (r *Recorder) op(op opcode, operands ...uint64) {
+	if r.err != nil {
+		return
+	}
+	r.events++
+	n := 0
+	r.buf[n] = byte(op)
+	n++
+	for _, x := range operands {
+		n += binary.PutUvarint(r.buf[n:], x)
+	}
+	if _, err := r.w.Write(r.buf[:n]); err != nil {
+		r.err = err
+	}
+}
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func (r *Recorder) access(op opcode, tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	delta := zigzag(int64(addr) - int64(r.lastAddr))
+	r.lastAddr = addr
+	r.op(op, uint64(tid), delta, uint64(size), uint64(pc))
+}
+
+func (r *Recorder) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	r.access(opRead, tid, addr, size, pc)
+}
+
+func (r *Recorder) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	r.access(opWrite, tid, addr, size, pc)
+}
+
+func (r *Recorder) Acquire(tid vc.TID, l event.LockID) {
+	r.op(opAcquire, uint64(tid), uint64(l))
+}
+
+func (r *Recorder) Release(tid vc.TID, l event.LockID) {
+	r.op(opRelease, uint64(tid), uint64(l))
+}
+
+func (r *Recorder) AcquireShared(tid vc.TID, l event.LockID) {
+	r.op(opAcquireShared, uint64(tid), uint64(l))
+}
+
+func (r *Recorder) ReleaseShared(tid vc.TID, l event.LockID) {
+	r.op(opReleaseShared, uint64(tid), uint64(l))
+}
+
+func (r *Recorder) Fork(p, c vc.TID) { r.op(opFork, uint64(p), uint64(c)) }
+func (r *Recorder) Join(p, c vc.TID) { r.op(opJoin, uint64(p), uint64(c)) }
+
+func (r *Recorder) BarrierArrive(tid vc.TID, b event.BarrierID) {
+	r.op(opBarrierArrive, uint64(tid), uint64(b))
+}
+
+func (r *Recorder) BarrierDepart(tid vc.TID, b event.BarrierID) {
+	r.op(opBarrierDepart, uint64(tid), uint64(b))
+}
+
+func (r *Recorder) Malloc(tid vc.TID, addr, size uint64) {
+	r.op(opMalloc, uint64(tid), addr, size)
+}
+
+func (r *Recorder) Free(tid vc.TID, addr, size uint64) {
+	r.op(opFree, uint64(tid), addr, size)
+}
+
+// Record runs an already-recorded stream into a buffer. Convenience for
+// tests and tools: record into memory with NewRecorder(&bytes.Buffer{}).
+func Record(run func(sink event.Sink)) ([]byte, error) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	run(rec)
+	if err := rec.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Replay decodes the stream from rd and delivers every event to sink.
+func Replay(rd io.Reader, sink event.Sink) error {
+	br := bufio.NewReader(rd)
+	var lastAddr uint64
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	for {
+		opb, err := br.ReadByte()
+		if err == io.EOF {
+			return fmt.Errorf("trace: missing end-of-stream marker")
+		}
+		if err != nil {
+			return err
+		}
+		op := opcode(opb)
+		if op == opEnd {
+			return nil
+		}
+		switch op {
+		case opRead, opWrite:
+			tid, err := read()
+			if err != nil {
+				return err
+			}
+			delta, err := read()
+			if err != nil {
+				return err
+			}
+			size, err := read()
+			if err != nil {
+				return err
+			}
+			pc, err := read()
+			if err != nil {
+				return err
+			}
+			addr := uint64(int64(lastAddr) + unzigzag(delta))
+			lastAddr = addr
+			if op == opRead {
+				sink.Read(vc.TID(tid), addr, uint32(size), event.PC(pc))
+			} else {
+				sink.Write(vc.TID(tid), addr, uint32(size), event.PC(pc))
+			}
+		case opAcquire, opRelease, opAcquireShared, opReleaseShared,
+			opFork, opJoin, opBarrierArrive, opBarrierDepart:
+			a, err := read()
+			if err != nil {
+				return err
+			}
+			b, err := read()
+			if err != nil {
+				return err
+			}
+			switch op {
+			case opAcquire:
+				sink.Acquire(vc.TID(a), event.LockID(b))
+			case opRelease:
+				sink.Release(vc.TID(a), event.LockID(b))
+			case opAcquireShared:
+				sink.AcquireShared(vc.TID(a), event.LockID(b))
+			case opReleaseShared:
+				sink.ReleaseShared(vc.TID(a), event.LockID(b))
+			case opFork:
+				sink.Fork(vc.TID(a), vc.TID(b))
+			case opJoin:
+				sink.Join(vc.TID(a), vc.TID(b))
+			case opBarrierArrive:
+				sink.BarrierArrive(vc.TID(a), event.BarrierID(b))
+			case opBarrierDepart:
+				sink.BarrierDepart(vc.TID(a), event.BarrierID(b))
+			}
+		case opMalloc, opFree:
+			tid, err := read()
+			if err != nil {
+				return err
+			}
+			addr, err := read()
+			if err != nil {
+				return err
+			}
+			size, err := read()
+			if err != nil {
+				return err
+			}
+			if op == opMalloc {
+				sink.Malloc(vc.TID(tid), addr, size)
+			} else {
+				sink.Free(vc.TID(tid), addr, size)
+			}
+		default:
+			return fmt.Errorf("trace: unknown opcode %d", op)
+		}
+	}
+}

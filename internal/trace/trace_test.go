@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/progfuzz"
+	"repro/internal/sim"
+	"repro/internal/vc"
+)
+
+// collector records a comparable rendering of every event.
+type collector struct{ out []string }
+
+func (c *collector) add(f string, a ...any) { c.out = append(c.out, fmt.Sprintf(f, a...)) }
+
+func (c *collector) Read(t vc.TID, a uint64, s uint32, p event.PC) {
+	c.add("r %d %x %d %d", t, a, s, p)
+}
+func (c *collector) Write(t vc.TID, a uint64, s uint32, p event.PC) {
+	c.add("w %d %x %d %d", t, a, s, p)
+}
+func (c *collector) Acquire(t vc.TID, l event.LockID)          { c.add("a %d %d", t, l) }
+func (c *collector) Release(t vc.TID, l event.LockID)          { c.add("rl %d %d", t, l) }
+func (c *collector) AcquireShared(t vc.TID, l event.LockID)    { c.add("as %d %d", t, l) }
+func (c *collector) ReleaseShared(t vc.TID, l event.LockID)    { c.add("rs %d %d", t, l) }
+func (c *collector) Fork(p, ch vc.TID)                         { c.add("f %d %d", p, ch) }
+func (c *collector) Join(p, ch vc.TID)                         { c.add("j %d %d", p, ch) }
+func (c *collector) BarrierArrive(t vc.TID, b event.BarrierID) { c.add("ba %d %d", t, b) }
+func (c *collector) BarrierDepart(t vc.TID, b event.BarrierID) { c.add("bd %d %d", t, b) }
+func (c *collector) Malloc(t vc.TID, a, s uint64)              { c.add("m %d %x %d", t, a, s) }
+func (c *collector) Free(t vc.TID, a, s uint64)                { c.add("fr %d %x %d", t, a, s) }
+
+func TestRoundtripAllEventKinds(t *testing.T) {
+	emit := func(s event.Sink) {
+		s.Write(0, 0x1000, 8, event.MakePC(event.ModuleApp, 3))
+		s.Read(1, 0x1008, 4, event.MakePC(event.ModuleLibc, 9))
+		s.Read(1, 0x10, 2, 0) // negative address delta
+		s.Acquire(0, 5)
+		s.Release(0, 5)
+		s.AcquireShared(1, 5)
+		s.ReleaseShared(1, 5)
+		s.Fork(0, 2)
+		s.Join(0, 2)
+		s.BarrierArrive(1, 7)
+		s.BarrierDepart(1, 7)
+		s.Malloc(2, 0x2000, 64)
+		s.Free(2, 0x2000, 64)
+	}
+	data, err := Record(func(s event.Sink) { emit(s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &collector{}
+	emit(want)
+	got := &collector{}
+	if err := Replay(bytes.NewReader(data), got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.out) != len(want.out) {
+		t.Fatalf("lengths differ: %d vs %d", len(got.out), len(want.out))
+	}
+	for i := range want.out {
+		if got.out[i] != want.out[i] {
+			t.Errorf("event %d: %q vs %q", i, got.out[i], want.out[i])
+		}
+	}
+}
+
+func TestReplayTruncatedFails(t *testing.T) {
+	data, err := Record(func(s event.Sink) { s.Write(0, 1, 1, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(bytes.NewReader(data[:len(data)-1]), &collector{}); err == nil {
+		t.Error("truncated trace must fail")
+	}
+	if err := Replay(bytes.NewReader([]byte{0xee}), &collector{}); err == nil {
+		t.Error("garbage opcode must fail")
+	}
+}
+
+// A detector fed from a replayed trace must produce exactly the verdict of
+// the live run — the offline-analysis workflow.
+func TestReplayedAnalysisMatchesLive(t *testing.T) {
+	prog, _ := progfuzz.Generate(progfuzz.Config{
+		Threads: 3, LockedVars: 4, PrivateVars: 2, RacyVars: 2,
+		OpsPerThread: 200, Seed: 5,
+	})
+
+	live := detector.New(detector.Config{Granularity: detector.Dynamic})
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	sim.Run(prog, event.Tee{live, rec}, sim.Options{Seed: 5})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	offline := detector.New(detector.Config{Granularity: detector.Dynamic})
+	if err := Replay(&buf, offline); err != nil {
+		t.Fatal(err)
+	}
+
+	lr, or := live.Races(), offline.Races()
+	if len(lr) != len(or) {
+		t.Fatalf("live %d races, replayed %d", len(lr), len(or))
+	}
+	for i := range lr {
+		if lr[i] != or[i] {
+			t.Errorf("race %d differs: %v vs %v", i, lr[i], or[i])
+		}
+	}
+	if live.Stats().Accesses != offline.Stats().Accesses {
+		t.Error("replayed access count differs")
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// A sequential sweep should cost only a few bytes per access thanks to
+	// delta encoding.
+	data, err := Record(func(s event.Sink) {
+		for i := 0; i < 1000; i++ {
+			s.Write(0, 0x1000+uint64(i)*4, 4, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perEvent := float64(len(data)) / 1000; perEvent > 6 {
+		t.Errorf("sequential sweep costs %.1f bytes/event", perEvent)
+	}
+}
+
+func TestRecorderEventCount(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Write(0, 1, 1, 0)
+	rec.Read(0, 2, 1, 0)
+	if rec.Events() != 2 {
+		t.Errorf("events = %d", rec.Events())
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

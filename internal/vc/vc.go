@@ -1,0 +1,226 @@
+// Package vc implements the logical-time machinery underlying
+// happens-before data race detection: growable vector clocks (Fidge/Mattern
+// style, indexed by thread id) and FastTrack's packed epoch representation
+// "c@t" that records a single (clock, thread) pair in one word.
+//
+// The conventions follow DJIT+ and FastTrack as described in Sections II–III
+// of Song & Lee, "Efficient Data Race Detection for C/C++ Programs Using
+// Dynamic Granularity" (IPPS 2014):
+//
+//   - Every thread t owns a vector clock T_t; T_t[t] is incremented at the
+//     start of each new epoch (after every lock release).
+//   - A lock s owns a vector clock L_s; release does L_s := L_s ⊔ T_t,
+//     acquire does T_t := T_t ⊔ L_s.
+//   - An access history entry is either a full vector clock or an epoch.
+//
+// Vector clocks grow on demand: index i beyond the current length reads as
+// zero, so a clock over few threads stays small even in programs that later
+// spawn many threads.
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TID identifies a virtual thread. Thread ids are small dense integers
+// assigned in spawn order, which lets vector clocks be plain slices.
+type TID int32
+
+// Clock is a scalar logical clock value for one thread.
+type Clock uint32
+
+// NoTID marks an epoch that has no owner (e.g. "never written").
+const NoTID TID = -1
+
+// Epoch is FastTrack's packed last-access representation c@t: the upper 32
+// bits hold the clock c, the lower 32 bits the thread id t. The zero Epoch
+// is 0@0, which FastTrack treats as "no access yet" for writes because real
+// accesses always carry clock ≥ 1 (threads start at clock 1).
+type Epoch uint64
+
+// MakeEpoch packs clock c of thread t into an Epoch.
+func MakeEpoch(t TID, c Clock) Epoch {
+	return Epoch(uint64(c)<<32 | uint64(uint32(t)))
+}
+
+// EpochNone is the "no access recorded" epoch.
+const EpochNone Epoch = 0
+
+// TID extracts the thread id of the epoch.
+func (e Epoch) TID() TID { return TID(int32(uint32(e))) }
+
+// Clock extracts the scalar clock of the epoch.
+func (e Epoch) Clock() Clock { return Clock(e >> 32) }
+
+// IsNone reports whether the epoch records no access.
+func (e Epoch) IsNone() bool { return e == EpochNone }
+
+// LEQ reports whether the access recorded by e happens-before-or-equals the
+// receiver thread's view v, i.e. e.Clock() <= v[e.TID()]. An empty epoch
+// trivially happens before everything.
+func (e Epoch) LEQ(v *VC) bool {
+	if e.IsNone() {
+		return true
+	}
+	return e.Clock() <= v.Get(e.TID())
+}
+
+// String renders the epoch as "c@t".
+func (e Epoch) String() string {
+	if e.IsNone() {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d@%d", e.Clock(), e.TID())
+}
+
+// VC is a growable vector clock. The zero value is the empty clock (all
+// components zero). VC values are mutated in place by Join/Set/Inc; use
+// Clone when an independent copy is needed.
+type VC struct {
+	c []Clock
+}
+
+// New returns an empty vector clock with capacity for n threads.
+func New(n int) *VC {
+	return &VC{c: make([]Clock, 0, n)}
+}
+
+// FromSlice builds a vector clock from explicit components (tests, examples).
+func FromSlice(clocks ...Clock) *VC {
+	v := &VC{c: make([]Clock, len(clocks))}
+	copy(v.c, clocks)
+	return v
+}
+
+// Len returns the number of stored components (trailing zeros may be
+// omitted; Get beyond Len returns 0).
+func (v *VC) Len() int { return len(v.c) }
+
+// Get returns component t, which is zero for any thread the clock has not
+// yet observed.
+func (v *VC) Get(t TID) Clock {
+	if int(t) < 0 || int(t) >= len(v.c) {
+		return 0
+	}
+	return v.c[t]
+}
+
+// Set assigns component t, growing the clock as needed.
+func (v *VC) Set(t TID, c Clock) {
+	v.grow(int(t) + 1)
+	v.c[t] = c
+}
+
+// Inc increments component t by one and returns the new value.
+func (v *VC) Inc(t TID) Clock {
+	v.grow(int(t) + 1)
+	v.c[t]++
+	return v.c[t]
+}
+
+func (v *VC) grow(n int) {
+	if n <= len(v.c) {
+		return
+	}
+	if n <= cap(v.c) {
+		v.c = v.c[:n]
+		return
+	}
+	nc := make([]Clock, n, max(n, 2*cap(v.c)))
+	copy(nc, v.c)
+	v.c = nc
+}
+
+// Join sets v to the element-wise maximum of v and o (v ⊔= o). This is the
+// update applied on lock release (to the lock's clock) and on lock acquire
+// (to the thread's clock).
+func (v *VC) Join(o *VC) {
+	v.grow(len(o.c))
+	for i, oc := range o.c {
+		if oc > v.c[i] {
+			v.c[i] = oc
+		}
+	}
+}
+
+// Assign overwrites v with a copy of o.
+func (v *VC) Assign(o *VC) {
+	v.grow(len(o.c))
+	v.c = v.c[:len(o.c)]
+	copy(v.c, o.c)
+}
+
+// Clone returns an independent copy of v.
+func (v *VC) Clone() *VC {
+	n := &VC{c: make([]Clock, len(v.c))}
+	copy(n.c, v.c)
+	return n
+}
+
+// LEQ reports the pointwise order v ≤ o, i.e. every event v has observed is
+// also observed by o. This realizes happens-before: a ≤ b for the recording
+// clocks of two access histories means every access in a is ordered before b.
+func (v *VC) LEQ(o *VC) bool {
+	for i, c := range v.c {
+		if c > o.Get(TID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and o denote the same logical time, treating
+// missing trailing components as zero (the paper's "same size and contents
+// of equal value" is satisfied up to trailing zeros, which are semantically
+// identical).
+func (v *VC) Equal(o *VC) bool {
+	n := len(v.c)
+	if len(o.c) > n {
+		n = len(o.c)
+	}
+	for i := 0; i < n; i++ {
+		if v.Get(TID(i)) != o.Get(TID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyGT returns the id of some thread t with v[t] > o[t], or NoTID when
+// v ≤ o. Detectors use it to name the racing remote thread.
+func (v *VC) AnyGT(o *VC) TID {
+	for i, c := range v.c {
+		if c > o.Get(TID(i)) {
+			return TID(i)
+		}
+	}
+	return NoTID
+}
+
+// Reset clears every component to zero, keeping capacity.
+func (v *VC) Reset() {
+	for i := range v.c {
+		v.c[i] = 0
+	}
+	v.c = v.c[:0]
+}
+
+// Bytes returns the accounting size of the clock's backing storage, used by
+// the memory-overhead instrumentation (Table 2's "Vector clock" column
+// counts object sizes).
+func (v *VC) Bytes() int { return cap(v.c) * 4 }
+
+// String renders the clock as "<c0, c1, ...>".
+func (v *VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, c := range v.c {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	b.WriteByte('>')
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package vc
+
+import "testing"
+
+func BenchmarkJoin(b *testing.B) {
+	x := FromSlice(1, 2, 3, 4, 5, 6, 7, 8)
+	y := FromSlice(8, 7, 6, 5, 4, 3, 2, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Join(y)
+	}
+}
+
+func BenchmarkLEQ(b *testing.B) {
+	x := FromSlice(1, 2, 3, 4, 5, 6, 7, 8)
+	y := FromSlice(8, 7, 6, 5, 4, 3, 2, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.LEQ(y)
+	}
+}
+
+func BenchmarkEpochLEQ(b *testing.B) {
+	e := MakeEpoch(3, 17)
+	v := FromSlice(1, 2, 3, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.LEQ(v)
+	}
+}
+
+func BenchmarkEpochPacking(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := MakeEpoch(TID(i&7), Clock(i))
+		_ = e.TID() + TID(e.Clock())
+	}
+}

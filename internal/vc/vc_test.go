@@ -1,0 +1,306 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochPackingRoundtrip(t *testing.T) {
+	cases := []struct {
+		tid TID
+		c   Clock
+	}{
+		{0, 1}, {1, 1}, {7, 42}, {255, 1 << 30}, {1000, 0xffffffff},
+	}
+	for _, tc := range cases {
+		e := MakeEpoch(tc.tid, tc.c)
+		if e.TID() != tc.tid || e.Clock() != tc.c {
+			t.Errorf("MakeEpoch(%d,%d) round-tripped to (%d,%d)",
+				tc.tid, tc.c, e.TID(), e.Clock())
+		}
+	}
+}
+
+func TestEpochNone(t *testing.T) {
+	if !EpochNone.IsNone() {
+		t.Error("EpochNone must report IsNone")
+	}
+	if MakeEpoch(0, 1).IsNone() {
+		t.Error("1@0 must not be none")
+	}
+	v := FromSlice(0, 0)
+	if !EpochNone.LEQ(v) {
+		t.Error("the empty epoch happens before everything")
+	}
+}
+
+func TestEpochLEQ(t *testing.T) {
+	v := FromSlice(3, 1)
+	if !MakeEpoch(0, 3).LEQ(v) {
+		t.Error("3@0 ⊑ <3,1>")
+	}
+	if MakeEpoch(0, 4).LEQ(v) {
+		t.Error("4@0 ⋢ <3,1>")
+	}
+	if MakeEpoch(2, 1).LEQ(v) {
+		t.Error("1@2 ⋢ <3,1> (component missing means zero)")
+	}
+}
+
+func TestEpochString(t *testing.T) {
+	if got := MakeEpoch(2, 7).String(); got != "7@2" {
+		t.Errorf("got %q", got)
+	}
+	if got := EpochNone.String(); got != "⊥" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGetBeyondLengthIsZero(t *testing.T) {
+	v := New(2)
+	if v.Get(5) != 0 {
+		t.Error("unset component must read as zero")
+	}
+	if v.Get(-1) != 0 {
+		t.Error("negative tid must read as zero")
+	}
+}
+
+func TestSetGrows(t *testing.T) {
+	v := New(0)
+	v.Set(4, 9)
+	if v.Get(4) != 9 || v.Len() != 5 {
+		t.Errorf("Set did not grow correctly: len=%d get=%d", v.Len(), v.Get(4))
+	}
+	if v.Get(3) != 0 {
+		t.Error("intermediate components must be zero")
+	}
+}
+
+func TestInc(t *testing.T) {
+	v := New(1)
+	if got := v.Inc(2); got != 1 {
+		t.Errorf("first Inc = %d, want 1", got)
+	}
+	if got := v.Inc(2); got != 2 {
+		t.Errorf("second Inc = %d, want 2", got)
+	}
+}
+
+func TestJoinTakesElementwiseMax(t *testing.T) {
+	a := FromSlice(1, 5, 0)
+	b := FromSlice(3, 2, 0, 7)
+	a.Join(b)
+	for i, want := range []Clock{3, 5, 0, 7} {
+		if a.Get(TID(i)) != want {
+			t.Errorf("a[%d] = %d, want %d", i, a.Get(TID(i)), want)
+		}
+	}
+}
+
+func TestAssignAndClone(t *testing.T) {
+	a := FromSlice(1, 2, 3)
+	b := a.Clone()
+	b.Set(0, 9)
+	if a.Get(0) != 1 {
+		t.Error("Clone must be independent")
+	}
+	c := New(0)
+	c.Assign(a)
+	if !c.Equal(a) {
+		t.Error("Assign must copy all components")
+	}
+	c.Set(1, 100)
+	if a.Get(1) != 2 {
+		t.Error("Assign must be independent")
+	}
+}
+
+func TestLEQAndAnyGT(t *testing.T) {
+	a := FromSlice(1, 2)
+	b := FromSlice(2, 2)
+	if !a.LEQ(b) || b.LEQ(a) {
+		t.Error("<1,2> ≤ <2,2> strictly")
+	}
+	if got := b.AnyGT(a); got != 0 {
+		t.Errorf("AnyGT = %d, want 0", got)
+	}
+	if got := a.AnyGT(b); got != NoTID {
+		t.Errorf("AnyGT = %d, want NoTID", got)
+	}
+}
+
+func TestEqualIgnoresTrailingZeros(t *testing.T) {
+	a := FromSlice(1, 2)
+	b := FromSlice(1, 2, 0, 0)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("trailing zeros are semantically identical")
+	}
+	c := FromSlice(1, 2, 1)
+	if a.Equal(c) {
+		t.Error("differing component must compare unequal")
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := FromSlice(1, 2, 3)
+	a.Reset()
+	if a.Len() != 0 || a.Get(1) != 0 {
+		t.Error("Reset must clear all components")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(2, 1).String(); got != "<2, 1>" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// ---- Property tests (testing/quick) ----
+
+// genVC builds a small random clock from quick's fuzz values.
+func genVC(vals []uint16) *VC {
+	v := New(len(vals))
+	for i, x := range vals {
+		v.Set(TID(i), Clock(x))
+	}
+	return v
+}
+
+func TestQuickJoinCommutative(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		if len(xs) > 8 {
+			xs = xs[:8]
+		}
+		if len(ys) > 8 {
+			ys = ys[:8]
+		}
+		a1, b1 := genVC(xs), genVC(ys)
+		a2, b2 := genVC(xs), genVC(ys)
+		a1.Join(b1) // a ⊔ b
+		b2.Join(a2) // b ⊔ a
+		return a1.Equal(b2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinAssociativeAndIdempotent(t *testing.T) {
+	f := func(xs, ys, zs []uint16) bool {
+		if len(xs) > 8 {
+			xs = xs[:8]
+		}
+		if len(ys) > 8 {
+			ys = ys[:8]
+		}
+		if len(zs) > 8 {
+			zs = zs[:8]
+		}
+		// (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+		l := genVC(xs)
+		l.Join(genVC(ys))
+		l.Join(genVC(zs))
+		rbc := genVC(ys)
+		rbc.Join(genVC(zs))
+		r := genVC(xs)
+		r.Join(rbc)
+		if !l.Equal(r) {
+			return false
+		}
+		// a ⊔ a == a
+		a := genVC(xs)
+		a.Join(genVC(xs))
+		return a.Equal(genVC(xs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinIsLeastUpperBound(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		if len(xs) > 8 {
+			xs = xs[:8]
+		}
+		if len(ys) > 8 {
+			ys = ys[:8]
+		}
+		a, b := genVC(xs), genVC(ys)
+		j := a.Clone()
+		j.Join(b)
+		return a.LEQ(j) && b.LEQ(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLEQPartialOrder(t *testing.T) {
+	f := func(xs, ys, zs []uint16) bool {
+		if len(xs) > 8 {
+			xs = xs[:8]
+		}
+		if len(ys) > 8 {
+			ys = ys[:8]
+		}
+		if len(zs) > 8 {
+			zs = zs[:8]
+		}
+		a, b, c := genVC(xs), genVC(ys), genVC(zs)
+		// Reflexive.
+		if !a.LEQ(a) {
+			return false
+		}
+		// Antisymmetric.
+		if a.LEQ(b) && b.LEQ(a) && !a.Equal(b) {
+			return false
+		}
+		// Transitive.
+		if a.LEQ(b) && b.LEQ(c) && !a.LEQ(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEpochLEQAgreesWithVC(t *testing.T) {
+	// e.LEQ(v) must agree with treating the epoch as a one-component clock.
+	f := func(tid uint8, c uint16, xs []uint16) bool {
+		if len(xs) > 8 {
+			xs = xs[:8]
+		}
+		if c == 0 {
+			c = 1
+		}
+		e := MakeEpoch(TID(tid%8), Clock(c))
+		v := genVC(xs)
+		asVC := New(8)
+		asVC.Set(e.TID(), e.Clock())
+		return e.LEQ(v) == asVC.LEQ(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrowPreservesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := New(0)
+	ref := map[TID]Clock{}
+	for i := 0; i < 1000; i++ {
+		tid := TID(rng.Intn(200))
+		c := Clock(rng.Uint32())
+		v.Set(tid, c)
+		ref[tid] = c
+		for k, want := range ref {
+			if v.Get(k) != want {
+				t.Fatalf("after %d ops: v[%d]=%d, want %d", i, k, v.Get(k), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package race is the public API of the reproduction: it runs a virtual
+// multithreaded program (built with the engine API re-exported here) under
+// one of five data race detectors and returns a unified report with the
+// detected races, timing, and the detector's memory breakdown.
+//
+// The detectors are the systems the paper builds or measures:
+//
+//	FastTrack  — the paper's detector: FastTrack with byte, word, or
+//	             dynamic granularity (Sections II–IV).
+//	DJITPlus   — the DJIT+ reference algorithm (Section II.B), precision-
+//	             equivalent to FastTrack; used as the oracle.
+//	DRD        — a RecPlay/DRD-style segment detector (Valgrind DRD's
+//	             algorithm family, Table 6).
+//	InspectorXE — a hybrid lockset+happens-before detector standing in for
+//	             Intel Inspector XE (Table 6).
+//	Eraser     — the classic LockSet algorithm (related work).
+//
+// A minimal use:
+//
+//	prog := race.Program{Name: "demo", Main: func(t *race.Thread) {
+//	    w := t.Go(func(w *race.Thread) { w.Write(0x1000, 4) })
+//	    t.Write(0x1000, 4) // races with the child
+//	    t.Join(w)
+//	}}
+//	rep := race.Run(prog, race.Options{Granularity: race.Dynamic})
+//	for _, r := range rep.Races {
+//	    fmt.Println(r)
+//	}
+package race
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/djit"
+	"repro/internal/event"
+	"repro/internal/hybrid"
+	"repro/internal/lockset"
+	"repro/internal/multirace"
+	"repro/internal/segment"
+	"repro/internal/sim"
+)
+
+// Program, Thread and RunStats re-export the execution-engine API so
+// callers can build and run analyzed programs without importing internal
+// packages.
+type (
+	// Program is a virtual multithreaded program (see sim.Program).
+	Program = sim.Program
+	// Thread is the handle a program's thread bodies receive.
+	Thread = sim.Thread
+	// RunStats summarizes the analyzed program's own execution.
+	RunStats = sim.Stats
+	// EngineOptions configure the execution engine directly.
+	EngineOptions = sim.Options
+	// Module tags the origin of a code site (application, libc, ld,
+	// pthread) for suppression rules.
+	Module = event.Module
+	// Sink is the raw instrumentation-event consumer interface.
+	Sink = event.Sink
+)
+
+// Module tags, re-exported.
+const (
+	ModuleApp     = event.ModuleApp
+	ModuleLibc    = event.ModuleLibc
+	ModuleLd      = event.ModuleLd
+	ModulePthread = event.ModulePthread
+)
+
+// Granularity selects the FastTrack detection unit.
+type Granularity = detector.Granularity
+
+// Detection granularities, re-exported from the detector.
+const (
+	Byte    = detector.Byte
+	Word    = detector.Word
+	Dynamic = detector.Dynamic
+)
+
+// Tool selects the detection algorithm.
+type Tool uint8
+
+const (
+	// FastTrack is the paper's detector (choose a Granularity).
+	FastTrack Tool = iota
+	// DJITPlus is the DJIT+ reference detector (byte granularity, full
+	// vector clocks; the precision oracle).
+	DJITPlus
+	// DRD is the segment-based detector standing in for Valgrind DRD.
+	DRD
+	// InspectorXE is the hybrid detector standing in for Intel Inspector.
+	InspectorXE
+	// Eraser is the LockSet algorithm.
+	Eraser
+	// MultiRace combines LockSet as a sound prefilter with DJIT+-style
+	// happens-before confirmation (related work [19]).
+	MultiRace
+)
+
+func (t Tool) String() string {
+	switch t {
+	case FastTrack:
+		return "fasttrack"
+	case DJITPlus:
+		return "djit+"
+	case DRD:
+		return "drd"
+	case InspectorXE:
+		return "inspector"
+	case Eraser:
+		return "eraser"
+	case MultiRace:
+		return "multirace"
+	default:
+		return "?"
+	}
+}
+
+// Options configure a detection run.
+type Options struct {
+	// Tool selects the algorithm (default FastTrack).
+	Tool Tool
+	// Granularity applies to FastTrack (default Byte).
+	Granularity Granularity
+	// Seed drives the deterministic scheduler (same seed → same report).
+	Seed int64
+	// Quantum is the scheduler quantum in events (0 = default).
+	Quantum int
+
+	// NoInitState and NoInitSharing are the Table 5 state-machine
+	// ablations; WriteGuidedReads and ReshareInterval are the Section VII
+	// future-work extensions. All apply to FastTrack with Dynamic
+	// granularity.
+	NoInitState      bool
+	NoInitSharing    bool
+	WriteGuidedReads bool
+	ReshareInterval  uint8
+	// ReadReset enables FastTrack's write-exclusive read reset (reclaims
+	// inflated read vectors once a write dominates them).
+	ReadReset bool
+
+	// MemLimitBytes aborts DRD/InspectorXE runs that exceed this accounted
+	// footprint (the paper's out-of-memory exits on dedup). 0 = unlimited.
+	MemLimitBytes int64
+	// Timeout abandons the run after this wall time (the paper's ">24
+	// hours" rows). 0 = unlimited.
+	Timeout time.Duration
+}
+
+// Race is one reported data race in unified form.
+type Race struct {
+	// Kind is "write-write", "read-write" or "write-read" ("lockset" for
+	// Eraser warnings, which carry no happens-before direction).
+	Kind string
+	// Addr and Size give the location (Size 0 when not tracked).
+	Addr uint64
+	Size uint32
+	// Tid/PC identify the access completing the race; OtherTid/OtherPC the
+	// earlier conflicting access where the tool records it.
+	Tid      int32
+	PC       uint32
+	OtherTid int32
+	OtherPC  uint32
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("%s race at %#x (%dB): thread %d@pc%#x vs thread %d@pc%#x",
+		r.Kind, r.Addr, r.Size, r.Tid, r.PC, r.OtherTid, r.OtherPC)
+}
+
+// Stats carries the detector-side measurements the evaluation tables use.
+type Stats struct {
+	// Accesses and SameEpoch feed Table 4 (percentage of accesses the
+	// per-thread bitmaps filtered).
+	Accesses  uint64
+	SameEpoch uint64
+
+	// Memory components (Table 2); for DRD/InspectorXE only TotalPeakBytes
+	// is populated.
+	HashPeakBytes   int64
+	VCPeakBytes     int64
+	BitmapPeakBytes int64
+	TotalPeakBytes  int64
+
+	// MaxVectorClocks and AvgSharing feed Table 3.
+	MaxVectorClocks int64
+	AvgSharing      float64
+
+	// Sharing mechanics (ablation benches).
+	NodeAllocs, LocCreations uint64
+	Merges, Splits           uint64
+	SharingComparisons       uint64
+}
+
+// SameEpochPct returns the same-epoch percentage (Table 4).
+func (s Stats) SameEpochPct() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.SameEpoch) / float64(s.Accesses)
+}
+
+// Report is the result of one detection run.
+type Report struct {
+	Program     string
+	Tool        Tool
+	Granularity Granularity
+
+	// Races are the reported races in detection order; Suppressed counts
+	// races hidden by module suppression rules.
+	Races      []Race
+	Suppressed uint64
+
+	// Elapsed is the wall time of the instrumented run; compare with a
+	// Baseline run of the same program/seed for the slowdown factor.
+	Elapsed time.Duration
+
+	// Run summarizes the analyzed program's own execution (base memory,
+	// threads, heap churn).
+	Run RunStats
+
+	// Detector carries the detector-side statistics.
+	Detector Stats
+
+	// OOM and TimedOut mark runs that did not complete (Table 6's dedup,
+	// fluidanimate and ffmpeg rows for the comparison tools).
+	OOM      bool
+	TimedOut bool
+}
+
+// Run executes p under the configured detector and returns the report.
+func Run(p Program, opts Options) Report {
+	simOpts := sim.Options{Seed: opts.Seed, Quantum: opts.Quantum}
+	if opts.Timeout > 0 {
+		simOpts.Deadline = time.Now().Add(opts.Timeout)
+	}
+	rep := Report{Program: p.Name, Tool: opts.Tool, Granularity: opts.Granularity}
+
+	var sink event.Sink
+	var collect func(*Report)
+	switch opts.Tool {
+	case FastTrack:
+		d := detector.New(detector.Config{
+			Granularity:      opts.Granularity,
+			NoInitState:      opts.NoInitState,
+			NoInitSharing:    opts.NoInitSharing,
+			WriteGuidedReads: opts.WriteGuidedReads,
+			ReshareInterval:  opts.ReshareInterval,
+			ReadReset:        opts.ReadReset,
+		})
+		sink = d
+		collect = func(r *Report) {
+			st := d.Stats()
+			r.Detector = Stats{
+				Accesses:           st.Accesses,
+				SameEpoch:          st.SameEpoch,
+				HashPeakBytes:      st.HashPeakBytes,
+				VCPeakBytes:        st.VCPeakBytes,
+				BitmapPeakBytes:    st.BitmapPeakBytes,
+				TotalPeakBytes:     st.TotalPeakBytes,
+				MaxVectorClocks:    st.Plane.NodesPeak,
+				AvgSharing:         st.Plane.AvgSharing(),
+				NodeAllocs:         st.Plane.NodeAllocs,
+				LocCreations:       st.Plane.LocCreations,
+				Merges:             st.Plane.Merges,
+				Splits:             st.Plane.Splits,
+				SharingComparisons: st.SharingComparisons,
+			}
+			r.Suppressed = st.Suppressed
+			for _, x := range d.Races() {
+				r.Races = append(r.Races, Race{
+					Kind: x.Kind.String(), Addr: x.Addr, Size: x.Size,
+					Tid: int32(x.Tid), PC: uint32(x.PC),
+					OtherTid: int32(x.PrevTid), OtherPC: uint32(x.PrevPC),
+				})
+			}
+		}
+	case DJITPlus:
+		d := djit.New(djit.Options{Granule: 1})
+		sink = d
+		collect = func(r *Report) {
+			for _, x := range d.Races() {
+				r.Races = append(r.Races, Race{
+					Kind: x.Kind.String(), Addr: x.Addr, Size: 1,
+					Tid: int32(x.Tid), OtherTid: int32(x.Other),
+				})
+			}
+		}
+	case DRD:
+		d := segment.New(segment.Options{MemLimitBytes: opts.MemLimitBytes})
+		sink = d
+		collect = func(r *Report) {
+			r.OOM = d.OOM()
+			r.Detector.TotalPeakBytes = d.PeakBytes()
+			for _, x := range d.Races() {
+				r.Races = append(r.Races, Race{
+					Kind: x.Kind.String(), Addr: x.Addr, Size: segment.Granule,
+					Tid: int32(x.Tid), PC: uint32(x.PC), OtherTid: int32(x.Other),
+				})
+			}
+		}
+	case InspectorXE:
+		d := hybrid.New(hybrid.Options{MemLimitBytes: opts.MemLimitBytes})
+		sink = d
+		collect = func(r *Report) {
+			r.OOM = d.OOM()
+			r.Detector.TotalPeakBytes = d.PeakBytes()
+			for _, x := range d.Races() {
+				r.Races = append(r.Races, Race{
+					Kind: x.Kind.String(), Addr: x.Addr, Size: 1,
+					Tid: int32(x.Tid), PC: uint32(x.PC),
+					OtherTid: int32(x.Other), OtherPC: uint32(x.OtherPC),
+				})
+			}
+		}
+	case Eraser:
+		d := lockset.New(lockset.Options{})
+		sink = d
+		collect = func(r *Report) {
+			for _, x := range d.Races() {
+				r.Races = append(r.Races, Race{
+					Kind: "lockset", Addr: x.Addr, Size: 4,
+					Tid: int32(x.Tid), PC: uint32(x.PC),
+				})
+			}
+		}
+	case MultiRace:
+		d := multirace.New(multirace.Options{})
+		sink = d
+		collect = func(r *Report) {
+			r.Detector.SharingComparisons = d.ChecksRun
+			for _, x := range d.Races() {
+				r.Races = append(r.Races, Race{
+					Kind: x.Kind.String(), Addr: x.Addr, Size: multirace.Granule,
+					Tid: int32(x.Tid), PC: uint32(x.PC), OtherTid: int32(x.Other),
+				})
+			}
+		}
+	default:
+		panic(fmt.Sprintf("race: unknown tool %d", opts.Tool))
+	}
+
+	start := time.Now()
+	rep.Run = sim.Run(p, sink, simOpts)
+	rep.Elapsed = time.Since(start)
+	rep.TimedOut = rep.Run.TimedOut
+	collect(&rep)
+	return rep
+}
+
+// Baseline runs p uninstrumented (a no-op sink) and returns the program's
+// own statistics and wall time — the denominators of Table 1's slowdown
+// and memory-overhead factors.
+func Baseline(p Program, seed int64) (RunStats, time.Duration) {
+	start := time.Now()
+	st := sim.Run(p, event.Nop{}, sim.Options{Seed: seed})
+	return st, time.Since(start)
+}

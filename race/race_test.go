@@ -1,0 +1,161 @@
+package race_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/race"
+	"repro/workloads"
+)
+
+func racyProgram() race.Program {
+	return race.Program{Name: "racy", Main: func(t *race.Thread) {
+		a := t.Go(func(w *race.Thread) { w.Write(0x1000, 4) })
+		b := t.Go(func(w *race.Thread) { w.Write(0x1000, 4) })
+		t.Join(a)
+		t.Join(b)
+	}}
+}
+
+func cleanProgram() race.Program {
+	return race.Program{Name: "clean", Main: func(t *race.Thread) {
+		mu := t.NewLock()
+		a := t.Go(func(w *race.Thread) { w.WithLock(mu, func() { w.Write(0x1000, 4) }) })
+		b := t.Go(func(w *race.Thread) { w.WithLock(mu, func() { w.Write(0x1000, 4) }) })
+		t.Join(a)
+		t.Join(b)
+	}}
+}
+
+// Every tool must find the obvious race and accept the clean program.
+func TestAllToolsAgreeOnObviousCases(t *testing.T) {
+	tools := []race.Tool{race.FastTrack, race.DJITPlus, race.DRD, race.InspectorXE, race.Eraser}
+	for _, tool := range tools {
+		rep := race.Run(racyProgram(), race.Options{Tool: tool, Granularity: race.Dynamic, Seed: 1})
+		if len(rep.Races) == 0 {
+			t.Errorf("%v missed the obvious race", tool)
+		}
+		rep = race.Run(cleanProgram(), race.Options{Tool: tool, Granularity: race.Dynamic, Seed: 1})
+		if len(rep.Races) != 0 {
+			t.Errorf("%v false-alarmed on the locked program: %v", tool, rep.Races)
+		}
+	}
+}
+
+func TestReportCarriesRunAndDetectorStats(t *testing.T) {
+	rep := race.Run(racyProgram(), race.Options{Granularity: race.Dynamic, Seed: 1})
+	if rep.Program != "racy" || rep.Tool != race.FastTrack || rep.Granularity != race.Dynamic {
+		t.Errorf("identity fields: %+v", rep)
+	}
+	if rep.Run.Threads != 3 || rep.Run.Accesses != 2 {
+		t.Errorf("run stats: %+v", rep.Run)
+	}
+	if rep.Detector.Accesses != 2 {
+		t.Errorf("detector stats: %+v", rep.Detector)
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("elapsed not measured")
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	spec, err := workloads.ByName("ferret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := race.Run(spec.Program(), race.Options{Granularity: race.Dynamic, Seed: 4})
+	b := race.Run(spec.Program(), race.Options{Granularity: race.Dynamic, Seed: 4})
+	if len(a.Races) != len(b.Races) {
+		t.Fatalf("race counts differ: %d vs %d", len(a.Races), len(b.Races))
+	}
+	for i := range a.Races {
+		if a.Races[i] != b.Races[i] {
+			t.Errorf("report %d differs", i)
+		}
+	}
+}
+
+func TestTimeoutMarksReport(t *testing.T) {
+	endless := race.Program{Name: "endless", Main: func(t *race.Thread) {
+		for i := 0; i < 1_000_000_000; i++ {
+			t.Write(0x10, 4)
+			t.Read(0x10, 4)
+		}
+	}}
+	rep := race.Run(endless, race.Options{Granularity: race.Byte, Timeout: 20 * time.Millisecond})
+	if !rep.TimedOut {
+		t.Error("timeout not reported")
+	}
+}
+
+func TestMemLimitMarksOOM(t *testing.T) {
+	big := race.Program{Name: "big", Main: func(t *race.Thread) {
+		for i := uint64(0); i < 20000; i++ {
+			t.Write(0x10000+i*8, 8)
+		}
+	}}
+	rep := race.Run(big, race.Options{Tool: race.InspectorXE, MemLimitBytes: 64 << 10})
+	if !rep.OOM {
+		t.Error("OOM not reported")
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	st, d := race.Baseline(racyProgram(), 1)
+	if st.Accesses != 2 || d <= 0 {
+		t.Errorf("baseline: %+v %v", st, d)
+	}
+}
+
+func TestSameEpochPct(t *testing.T) {
+	var s race.Stats
+	if s.SameEpochPct() != 0 {
+		t.Error("empty stats divide by zero")
+	}
+	s.Accesses, s.SameEpoch = 200, 50
+	if got := s.SameEpochPct(); got != 25 {
+		t.Errorf("pct = %v", got)
+	}
+}
+
+func TestToolAndRaceStrings(t *testing.T) {
+	for tool, want := range map[race.Tool]string{
+		race.FastTrack: "fasttrack", race.DJITPlus: "djit+", race.DRD: "drd",
+		race.InspectorXE: "inspector", race.Eraser: "eraser",
+	} {
+		if tool.String() != want {
+			t.Errorf("%v", tool)
+		}
+	}
+	rep := race.Run(racyProgram(), race.Options{Seed: 1})
+	if len(rep.Races) == 0 {
+		t.Fatal("no race")
+	}
+	s := rep.Races[0].String()
+	if !strings.Contains(s, "race at") || !strings.Contains(s, "thread") {
+		t.Errorf("race string: %q", s)
+	}
+}
+
+// The same workload analyzed by FastTrack and DJIT+ must flag the same
+// number of locations at byte granularity for single-word races.
+func TestFastTrackMatchesDJITOnWorkload(t *testing.T) {
+	spec, err := workloads.ByName("hmmsearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := race.Run(spec.Program(), race.Options{Tool: race.FastTrack, Granularity: race.Byte, Seed: 42})
+	dj := race.Run(spec.Program(), race.Options{Tool: race.DJITPlus, Seed: 42})
+	ftAddrs := map[uint64]bool{}
+	for _, r := range ft.Races {
+		ftAddrs[r.Addr&^3] = true
+	}
+	djAddrs := map[uint64]bool{}
+	for _, r := range dj.Races {
+		djAddrs[r.Addr&^3] = true
+	}
+	if len(ftAddrs) != len(djAddrs) {
+		t.Errorf("FastTrack flagged %v, DJIT+ flagged %v", ftAddrs, djAddrs)
+	}
+}

@@ -1,0 +1,98 @@
+package race
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Group is a set of race reports that share the same pair of code sites —
+// the classification unit DRD and Inspector XE present to users ("execution
+// context"), letting one buggy line that races at many addresses show up
+// as one finding.
+type Group struct {
+	// PC and OtherPC are the two code sites (order-normalized).
+	PC, OtherPC uint32
+	// Kinds lists the distinct race kinds observed for this pair.
+	Kinds []string
+	// Addrs lists the distinct racing addresses, ascending.
+	Addrs []uint64
+	// Count is the number of raw reports in the group.
+	Count int
+}
+
+func (g Group) String() string {
+	return fmt.Sprintf("sites %#x/%#x: %d report(s) at %d address(es) [%s]",
+		g.PC, g.OtherPC, g.Count, len(g.Addrs), strings.Join(g.Kinds, ", "))
+}
+
+// Summary classifies a report's races the way the commercial tools do.
+type Summary struct {
+	// Groups are the site-pair groups, largest first.
+	Groups []Group
+	// ByKind counts raw reports per race kind.
+	ByKind map[string]int
+}
+
+// Summarize groups the report's races by code-site pair and tallies kinds.
+func Summarize(rep Report) Summary {
+	type key struct{ a, b uint32 }
+	groups := map[key]*Group{}
+	byKind := map[string]int{}
+	for _, r := range rep.Races {
+		a, b := r.PC, r.OtherPC
+		if a > b {
+			a, b = b, a
+		}
+		k := key{a, b}
+		g := groups[k]
+		if g == nil {
+			g = &Group{PC: a, OtherPC: b}
+			groups[k] = g
+		}
+		g.Count++
+		if !contains(g.Kinds, r.Kind) {
+			g.Kinds = append(g.Kinds, r.Kind)
+		}
+		if len(g.Addrs) == 0 || g.Addrs[len(g.Addrs)-1] != r.Addr {
+			g.Addrs = append(g.Addrs, r.Addr)
+		}
+		byKind[r.Kind]++
+	}
+	s := Summary{ByKind: byKind}
+	for _, g := range groups {
+		sort.Slice(g.Addrs, func(i, j int) bool { return g.Addrs[i] < g.Addrs[j] })
+		g.Addrs = dedupAddrs(g.Addrs)
+		sort.Strings(g.Kinds)
+		s.Groups = append(s.Groups, *g)
+	}
+	sort.Slice(s.Groups, func(i, j int) bool {
+		if s.Groups[i].Count != s.Groups[j].Count {
+			return s.Groups[i].Count > s.Groups[j].Count
+		}
+		if s.Groups[i].PC != s.Groups[j].PC {
+			return s.Groups[i].PC < s.Groups[j].PC
+		}
+		return s.Groups[i].OtherPC < s.Groups[j].OtherPC
+	})
+	return s
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupAddrs(xs []uint64) []uint64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package race_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/race"
+	"repro/workloads"
+)
+
+func TestSummarizeGroupsBySitePair(t *testing.T) {
+	rep := race.Report{Races: []race.Race{
+		{Kind: "write-write", Addr: 0x100, PC: 10, OtherPC: 20},
+		{Kind: "write-write", Addr: 0x104, PC: 20, OtherPC: 10}, // same pair, swapped
+		{Kind: "write-read", Addr: 0x200, PC: 30, OtherPC: 40},
+		{Kind: "write-write", Addr: 0x104, PC: 10, OtherPC: 20}, // duplicate addr
+	}}
+	s := race.Summarize(rep)
+	if len(s.Groups) != 2 {
+		t.Fatalf("groups = %d", len(s.Groups))
+	}
+	g := s.Groups[0] // largest first
+	if g.PC != 10 || g.OtherPC != 20 || g.Count != 3 {
+		t.Errorf("group = %+v", g)
+	}
+	if len(g.Addrs) != 2 || g.Addrs[0] != 0x100 || g.Addrs[1] != 0x104 {
+		t.Errorf("addrs = %#x", g.Addrs)
+	}
+	if s.ByKind["write-write"] != 3 || s.ByKind["write-read"] != 1 {
+		t.Errorf("byKind = %v", s.ByKind)
+	}
+	if !strings.Contains(g.String(), "3 report(s)") {
+		t.Errorf("string = %q", g.String())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := race.Summarize(race.Report{})
+	if len(s.Groups) != 0 || len(s.ByKind) != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+// x264's 60 standalone races come from one site pair: the summary view
+// collapses them into a single group the way Inspector XE's report does.
+func TestSummarizeX264(t *testing.T) {
+	spec, err := workloads.ByName("x264")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := race.Run(spec.Program(), race.Options{Granularity: race.Byte, Seed: 42})
+	s := race.Summarize(rep)
+	if len(rep.Races) != 72 {
+		t.Fatalf("raw reports = %d", len(rep.Races))
+	}
+	if len(s.Groups) >= len(rep.Races)/2 {
+		t.Errorf("summary barely grouped: %d groups for %d reports",
+			len(s.Groups), len(rep.Races))
+	}
+	if s.Groups[0].Count < 50 {
+		t.Errorf("the standalone-race group should dominate: %+v", s.Groups[0])
+	}
+}

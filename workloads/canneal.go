@@ -1,0 +1,75 @@
+package workloads
+
+import "repro/internal/sim"
+
+// Canneal models PARSEC's simulated-annealing netlist router: workers pick
+// random element pairs and swap them. Properties the model reproduces:
+//
+//   - all accesses are aligned 4-byte words, so byte and word granularity
+//     create identical shadow state (Table 1/3: canneal's numbers are the
+//     same for byte and word);
+//   - elements are visited in random order across epochs, so neighbouring
+//     locations almost never carry equal clocks at the second-epoch
+//     decision — dynamic granularity shares little and, as the paper notes
+//     for canneal, improves neither time nor memory;
+//   - swaps are lock-protected except for one deliberately unprotected
+//     element pair, read and written by every worker: one race location
+//     under the first-race-per-location policy (the second element's
+//     report lands on a distinct address, giving two raced addresses; the
+//     paper does not disclose canneal's count, so the model seeds a small
+//     nonzero one).
+func Canneal() Spec {
+	const workers = 4
+	return Spec{
+		Name:        "canneal",
+		Threads:     workers + 1,
+		Races:       2,
+		Description: "random lock-protected element swaps, one unprotected pair",
+		Build: func(scale int) sim.Program {
+			return sim.Program{Name: "canneal", Main: func(m *sim.Thread) {
+				elems := 4096 * scale
+				swapsPerWorker := 9000 * scale
+				const (
+					siteInit = 600 + iota
+					siteSwap
+					siteHot
+				)
+				arr := m.Malloc(uint64(elems) * 4)
+				lock := m.NewLock()
+				hot := m.Malloc(8) // the unprotected pair: two words
+
+				m.At(siteInit)
+				m.WriteBlock(arr, 4, elems)
+
+				var hs []*sim.Thread
+				for w := 0; w < workers; w++ {
+					hs = append(hs, m.Go(func(t *sim.Thread) {
+						rng := t.Rand()
+						for s := 0; s < swapsPerWorker; s++ {
+							i := rng.Intn(elems)
+							j := rng.Intn(elems)
+							t.Lock(lock)
+							t.At(siteSwap)
+							t.Read(arr+uint64(i)*4, 4)
+							t.Read(arr+uint64(j)*4, 4)
+							t.Write(arr+uint64(i)*4, 4)
+							t.Write(arr+uint64(j)*4, 4)
+							t.Unlock(lock)
+							if s%512 == 0 {
+								// The annealing temperature pair, updated
+								// without the lock: races.
+								t.At(siteHot)
+								t.Read(hot, 4)
+								t.Write(hot, 4)
+								t.Write(hot+4, 4)
+							}
+						}
+					}))
+				}
+				joinAll(m, hs)
+				m.Free(arr)
+				m.Free(hot)
+			}}
+		},
+	}
+}

@@ -1,0 +1,29 @@
+package workloads_test
+
+import (
+	"fmt"
+
+	"repro/race"
+	"repro/workloads"
+)
+
+// Running one of the paper's benchmarks under the paper's detector.
+func Example() {
+	spec, err := workloads.ByName("ffmpeg")
+	if err != nil {
+		panic(err)
+	}
+	rep := race.Run(spec.Program(), race.Options{
+		Granularity: race.Dynamic,
+		Seed:        42,
+	})
+	fmt.Printf("%s: %d race(s) at dynamic granularity\n", spec.Name, len(rep.Races))
+
+	// The same program at word granularity shows the masking false alarms
+	// the paper describes.
+	rep = race.Run(spec.Program(), race.Options{Granularity: race.Word, Seed: 42})
+	fmt.Printf("%s: %d race(s) at word granularity\n", spec.Name, len(rep.Races))
+	// Output:
+	// ffmpeg: 1 race(s) at dynamic granularity
+	// ffmpeg: 4 race(s) at word granularity
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import "repro/internal/sim"
+
+// Facesim models the PARSEC face-simulation benchmark: an iterative physics
+// solver over a particle mesh. The properties the model reproduces:
+//
+//   - all data accesses are 8-byte (double) loads/stores, so word
+//     granularity buys nothing over byte granularity (Table 1: facesim's
+//     slowdown and memory are unchanged byte → word);
+//   - the mesh is initialized in one sweep by the main thread, then
+//     partitioned across workers that walk their partitions sequentially
+//     every iteration, separated by barriers — neighbouring elements keep
+//     carrying the same clock, so dynamic granularity coalesces each
+//     partition into a handful of shared clocks (Table 3: vectors drop
+//     ~6×) and raises the same-epoch percentage (Table 4);
+//   - per-iteration stencil reads of neighbouring elements create repeated
+//     same-epoch accesses even at byte granularity;
+//   - two genuine races: an unprotected global residual accumulator and an
+//     unprotected convergence flag, both written by every worker.
+func Facesim() Spec {
+	const workers = 4
+	return Spec{
+		Name:        "facesim",
+		Threads:     workers + 1,
+		Races:       2,
+		Description: "barrier-phased stencil solver over a particle mesh (8B elements)",
+		Build: func(scale int) sim.Program {
+			return sim.Program{Name: "facesim", Main: func(m *sim.Thread) {
+				// The particle count is deliberately not a multiple of
+				// workers×(block size): partition boundaries fall inside
+				// shadow blocks, which is what exposes the no-Init-state
+				// false alarms of Table 5.
+				n := 6144*scale + 6
+				iters := 6
+				const (
+					siteInit = 100 + iota
+					siteReadSelf
+					siteReadNbr
+					siteWriteForce
+					siteWriteMesh
+					siteResidual
+					siteFlag
+				)
+				mesh := m.Malloc(uint64(n) * 8)
+				force := m.Malloc(uint64(n) * 8)
+				residual := m.Malloc(8) // racy accumulator
+				flag := m.Malloc(8)     // racy convergence flag
+
+				// Whole-mesh initialization by main before workers exist.
+				m.At(siteInit)
+				m.WriteBlock(mesh, 8, n)
+				m.WriteBlock(force, 8, n)
+
+				bar := m.NewBarrier(workers + 1)
+				part := n / workers
+				var hs []*sim.Thread
+				for w := 0; w < workers; w++ {
+					w := w
+					hs = append(hs, m.Go(func(t *sim.Thread) {
+						lo := w * part
+						hi := lo + part
+						for it := 0; it < iters; it++ {
+							for i := lo; i < hi; i++ {
+								t.At(siteReadSelf)
+								t.Read(mesh+uint64(i)*8, 8)
+								if i+1 < hi {
+									// Stencil read of the neighbour: a
+									// same-epoch re-read at any granularity.
+									t.At(siteReadNbr)
+									t.Read(mesh+uint64(i+1)*8, 8)
+								}
+								t.At(siteWriteForce)
+								t.Write(force+uint64(i)*8, 8)
+								t.At(siteWriteMesh)
+								t.Write(mesh+uint64(i)*8, 8)
+							}
+							// Unprotected global accumulator: data race.
+							t.At(siteResidual)
+							t.Read(residual, 8)
+							t.Write(residual, 8)
+							t.Barrier(bar)
+						}
+						// Unprotected convergence flag: data race.
+						t.At(siteFlag)
+						t.Write(flag, 8)
+					}))
+				}
+				for it := 0; it < iters; it++ {
+					m.Barrier(bar)
+				}
+				joinAll(m, hs)
+				m.Free(mesh)
+				m.Free(force)
+				m.Free(residual)
+				m.Free(flag)
+			}}
+		},
+	}
+}

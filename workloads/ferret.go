@@ -1,0 +1,142 @@
+package workloads
+
+import "repro/internal/sim"
+
+// Ferret models PARSEC's content-based similarity search: a four-stage
+// pipeline (load → extract → index → rank) connected by bounded queues.
+// Properties the model reproduces:
+//
+//   - pipeline items are heap structs mixing byte-sized flags with 4-byte
+//     feature words; the per-stage byte flags give word granularity
+//     something to merge (Table 3: ferret's vector count drops noticeably
+//     byte → word), and whole-struct streaming gives dynamic granularity
+//     much more (Table 1/3: dynamic beats word);
+//   - every item is written by one stage and read by the next, with the
+//     queues' lock/cond handoffs providing the happens-before edges;
+//   - three genuine races: two adjacent unprotected byte fields of a
+//     global configuration struct (merged into one report under word
+//     granularity) and an unprotected word counter.
+func Ferret() Spec {
+	const (
+		flagBytes = 4  // per-item stage flags, 1 byte per stage
+		vecWords  = 24 // per-item feature vector of 4-byte words
+	)
+	return Spec{
+		Name:        "ferret",
+		Threads:     5,
+		Races:       3,
+		Description: "4-stage similarity-search pipeline over mixed byte/word items",
+		Build: func(scale int) sim.Program {
+			return sim.Program{Name: "ferret", Main: func(m *sim.Thread) {
+				items := 900 * scale
+				const (
+					siteLoadFlag = 200 + iota
+					siteLoadVec
+					siteExtract
+					siteIndexRead
+					siteRank
+					siteCfgA
+					siteCfgB
+					siteCounter
+					siteTable
+				)
+				itemSize := uint64(flagBytes + 4*vecWords)
+				cfg := m.Malloc(8)     // bytes 0 and 1 raced by two stages
+				counter := m.Malloc(8) // raced word counter
+				tableLock := m.NewLock()
+				table := m.Malloc(256 * 4) // index table, read under lock
+
+				q1 := newQueue(m, 8)
+				q2 := newQueue(m, 8)
+				q3 := newQueue(m, 8)
+
+				load := m.Go(func(t *sim.Thread) {
+					for i := 0; i < items; i++ {
+						it := t.Malloc(itemSize)
+						t.At(siteLoadFlag)
+						t.Write(it, 1) // flags[0]
+						t.At(siteLoadVec)
+						t.WriteBlock(it+flagBytes, 4, vecWords)
+						t.At(siteCfgA) // unprotected byte, also written by rank: race
+						t.Write(cfg, 1)
+						t.At(siteCounter) // unprotected counter, also in rank: race
+						t.Read(counter, 4)
+						t.Write(counter, 4)
+						q1.put(t, it)
+					}
+					q1.close(t)
+				})
+				extract := m.Go(func(t *sim.Thread) {
+					for {
+						it, ok := q1.get(t)
+						if !ok {
+							break
+						}
+						t.At(siteExtract)
+						// Stage-local accumulator lives on the stack: the
+						// detectors' non-shared filter drops these.
+						t.Read(t.Local(0), 8)
+						t.Write(t.Local(0), 8)
+						t.Write(it+1, 1) // flags[1]
+						// Feature extraction iterates over the vector:
+						// repeated same-epoch passes, as in the original.
+						t.ReadBlock(it+flagBytes, 4, vecWords)
+						t.ReadBlock(it+flagBytes, 4, vecWords)
+						t.WriteBlock(it+flagBytes, 4, vecWords)
+						t.ReadBlock(it+flagBytes, 4, vecWords)
+						t.At(siteCfgB) // unprotected byte, also written by rank: race
+						t.Write(cfg+1, 1)
+						q2.put(t, it)
+					}
+					q2.close(t)
+				})
+				index := m.Go(func(t *sim.Thread) {
+					for {
+						it, ok := q2.get(t)
+						if !ok {
+							break
+						}
+						t.Write(it+2, 1) // flags[2]
+						t.At(siteIndexRead)
+						t.ReadBlock(it+flagBytes, 4, vecWords)
+						t.ReadBlock(it+flagBytes, 4, vecWords)
+						t.Lock(tableLock)
+						t.At(siteTable)
+						t.Read(table+uint64(it%64)*4, 4)
+						t.Write(table+uint64(it%64)*4, 4)
+						t.Unlock(tableLock)
+						q3.put(t, it)
+					}
+					q3.close(t)
+				})
+				rank := m.Go(func(t *sim.Thread) {
+					for {
+						it, ok := q3.get(t)
+						if !ok {
+							break
+						}
+						t.At(siteRank)
+						t.Write(it+3, 1) // flags[3]
+						t.ReadBlock(it+flagBytes, 4, vecWords)
+						t.ReadBlock(it+flagBytes, 4, vecWords)
+						// Rank re-writes both config bytes with no backward
+						// happens-before edge to load/extract: two byte races
+						// that word granularity merges into one.
+						t.At(siteCfgA)
+						t.Write(cfg, 1)
+						t.At(siteCfgB)
+						t.Write(cfg+1, 1)
+						t.At(siteCounter)
+						t.Read(counter, 4)
+						t.Write(counter, 4)
+						t.Free(it)
+					}
+				})
+				joinAll(m, []*sim.Thread{load, extract, index, rank})
+				m.Free(cfg)
+				m.Free(counter)
+				m.Free(table)
+			}}
+		},
+	}
+}

@@ -1,0 +1,109 @@
+package workloads
+
+import "repro/internal/sim"
+
+// FFmpeg models the multimedia transcoder the paper adds to PARSEC: a
+// demuxer feeding two decoder worker threads. Properties the model
+// reproduces:
+//
+//   - frame data contains sub-word (2-byte) samples, so word granularity
+//     genuinely shrinks the shadow state (Table 3: ffmpeg's vector count
+//     drops ~2.7× byte → word) and dynamic granularity shrinks it further;
+//   - a shared codec-context struct packs byte fields protected by
+//     *different* locks into the same words; word granularity masks those
+//     distinct locations together and reports false alarms (Table 1's
+//     note: "more data races from ffmpeg by the word detector ... are
+//     false alarms"), while byte and dynamic granularity keep them apart;
+//   - exactly one genuine race: the two workers update a status word
+//     without protection — the paper manually confirmed this one ("a data
+//     race by the two worker threads accessing a shared variable without
+//     protection"), which DRD missed in its run.
+func FFmpeg() Spec {
+	return Spec{
+		Name:        "ffmpeg",
+		Threads:     3,
+		Races:       1,
+		Description: "demuxer + two decoders; per-field locks inside shared words",
+		Build: func(scale int) sim.Program {
+			return sim.Program{Name: "ffmpeg", Main: func(m *sim.Thread) {
+				packets := 260 * scale
+				const frameHalves = 192 // 2-byte samples per frame
+				const (
+					siteDemux = 900 + iota
+					siteDecode
+					siteFieldA
+					siteFieldB
+					siteStatus
+				)
+				// ctx packs three byte-field pairs, one pair per word; the
+				// even byte of each pair is guarded by lockA, the odd byte
+				// by lockB. It is initialized in one sweep by the main
+				// thread — the paper's "initialized together, protected
+				// separately afterwards" pattern.
+				ctx := m.Malloc(12)
+				for i := 0; i < 12; i++ {
+					m.Write(ctx+uint64(i), 1)
+				}
+				lockA := m.NewLock()
+				lockB := m.NewLock()
+				status := m.Malloc(4) // the one genuine race
+
+				q := newQueue(m, 6)
+
+				demux := func(t *sim.Thread) {
+					for p := 0; p < packets; p++ {
+						pkt := t.Malloc(frameHalves * 2)
+						t.At(siteDemux)
+						t.WriteBlock(pkt, 2, frameHalves)
+						q.put(t, pkt)
+					}
+					q.close(t)
+				}
+				decoder := func(t *sim.Thread) {
+					// Decoders reuse a pooled frame buffer across packets,
+					// as FFmpeg's frame pools do: after the first two
+					// packets the buffer's locations settle into Shared
+					// clock nodes, so each later packet's sweep costs one
+					// clock update per node instead of per sample.
+					out := t.Malloc(frameHalves * 2)
+					for {
+						pkt, ok := q.get(t)
+						if !ok {
+							break
+						}
+						t.At(siteDecode)
+						t.ReadBlock(pkt, 2, frameHalves)
+						t.WriteBlock(out, 2, frameHalves)
+						t.ReadBlock(out, 2, frameHalves)
+						// Per-field locking: correct at byte granularity,
+						// false alarms at word granularity.
+						t.Lock(lockA)
+						t.At(siteFieldA)
+						for w := 0; w < 3; w++ {
+							t.Write(ctx+uint64(w)*4, 1)
+						}
+						t.Unlock(lockA)
+						t.Lock(lockB)
+						t.At(siteFieldB)
+						for w := 0; w < 3; w++ {
+							t.Write(ctx+uint64(w)*4+1, 1)
+						}
+						t.Unlock(lockB)
+						// The genuine race: unprotected status update.
+						t.At(siteStatus)
+						t.Read(status, 4)
+						t.Write(status, 4)
+						t.Free(pkt)
+					}
+					t.Free(out)
+				}
+				d1 := m.Go(decoder)
+				d2 := m.Go(decoder)
+				demux(m)
+				joinAll(m, []*sim.Thread{d1, d2})
+				m.Free(ctx)
+				m.Free(status)
+			}}
+		},
+	}
+}

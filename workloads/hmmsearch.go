@@ -1,0 +1,75 @@
+package workloads
+
+import "repro/internal/sim"
+
+// Hmmsearch models HMMER's profile-HMM sequence search: workers repeatedly
+// score sequences against a small shared model table. Properties the model
+// reproduces:
+//
+//   - a tiny shared footprint (the paper measures only 367 vector clocks
+//     at byte granularity — the model table plus a few globals) with a
+//     very high same-epoch percentage, because the model table is re-read
+//     on every iteration within an epoch;
+//   - lock-protected result aggregation;
+//   - exactly one genuine race: an unprotected "best score" word, the
+//     single race every tool in the paper's comparison agreed on.
+func Hmmsearch() Spec {
+	const workers = 2
+	return Spec{
+		Name:        "hmmsearch",
+		Threads:     workers + 1,
+		Races:       1,
+		Description: "HMM scoring over a small shared model table",
+		Build: func(scale int) sim.Program {
+			return sim.Program{Name: "hmmsearch", Main: func(m *sim.Thread) {
+				seqsPerWorker := 450 * scale
+				const modelWords = 80
+				const (
+					siteModel = 1100 + iota
+					siteScore
+					siteResult
+					siteBest
+				)
+				model := m.Malloc(modelWords * 4)
+				results := m.Malloc(64 * 4)
+				best := m.Malloc(4) // the racy best-score word
+				resLock := m.NewLock()
+
+				m.At(siteModel)
+				m.WriteBlock(model, 4, modelWords)
+
+				var hs []*sim.Thread
+				for w := 0; w < workers; w++ {
+					w := w
+					hs = append(hs, m.Go(func(t *sim.Thread) {
+						score := t.Malloc(modelWords * 4) // private DP row
+						for s := 0; s < seqsPerWorker; s++ {
+							t.At(siteScore)
+							for i := 0; i < modelWords; i++ {
+								t.Read(model+uint64(i)*4, 4)
+								t.Write(score+uint64(i)*4, 4)
+							}
+							if s%16 == 0 {
+								t.Lock(resLock)
+								t.At(siteResult)
+								t.Read(results+uint64(w)*4, 4)
+								t.Write(results+uint64(w)*4, 4)
+								t.Unlock(resLock)
+							}
+							if s%64 == 0 {
+								t.At(siteBest) // unprotected: the one race
+								t.Read(best, 4)
+								t.Write(best, 4)
+							}
+						}
+						t.Free(score)
+					}))
+				}
+				joinAll(m, hs)
+				m.Free(model)
+				m.Free(results)
+				m.Free(best)
+			}}
+		},
+	}
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+// queue is a bounded producer/consumer queue built from a mutex and two
+// condition variables — the pthread idiom the pipeline benchmarks (ferret,
+// dedup, pbzip2, x264) use. Besides providing real blocking semantics, each
+// operation reads and writes the queue's simulated header words (head,
+// tail, count) under the lock, so the queues themselves contribute
+// lock-protected shared accesses to the event stream, as they do in the
+// original programs.
+type queue struct {
+	lock     event.LockID
+	notEmpty int
+	notFull  int
+	capacity int
+
+	hdr    uint64 // simulated address of {head, tail, count} words
+	buf    []uint64
+	closed bool
+}
+
+const (
+	qSitePut  = 9000
+	qSiteGet  = 9001
+	qSiteDone = 9002
+)
+
+// newQueue creates a queue with the given capacity. The creating thread
+// allocates the simulated header.
+func newQueue(t *sim.Thread, capacity int) *queue {
+	return &queue{
+		lock:     t.NewLock(),
+		notEmpty: t.NewCond(),
+		notFull:  t.NewCond(),
+		capacity: capacity,
+		hdr:      t.Malloc(12),
+	}
+}
+
+// touch performs the header accesses a real ring buffer would.
+func (q *queue) touch(t *sim.Thread, site uint32) {
+	t.At(site)
+	t.Read(q.hdr+8, 4)  // count
+	t.Write(q.hdr, 4)   // head or tail
+	t.Write(q.hdr+8, 4) // count
+}
+
+// put enqueues v, blocking while the queue is full.
+func (q *queue) put(t *sim.Thread, v uint64) {
+	t.Lock(q.lock)
+	for len(q.buf) >= q.capacity {
+		t.Wait(q.notFull, q.lock)
+	}
+	q.buf = append(q.buf, v)
+	q.touch(t, qSitePut)
+	t.Signal(q.notEmpty)
+	t.Unlock(q.lock)
+}
+
+// get dequeues one value; ok is false once the queue is closed and drained.
+func (q *queue) get(t *sim.Thread) (v uint64, ok bool) {
+	t.Lock(q.lock)
+	for len(q.buf) == 0 && !q.closed {
+		t.Wait(q.notEmpty, q.lock)
+	}
+	if len(q.buf) == 0 {
+		t.Unlock(q.lock)
+		return 0, false
+	}
+	v = q.buf[0]
+	q.buf = q.buf[1:]
+	q.touch(t, qSiteGet)
+	t.Signal(q.notFull)
+	t.Unlock(q.lock)
+	return v, true
+}
+
+// close marks the queue closed and wakes all consumers.
+func (q *queue) close(t *sim.Thread) {
+	t.Lock(q.lock)
+	q.closed = true
+	t.At(qSiteDone)
+	t.Write(q.hdr+8, 4)
+	t.Broadcast(q.notEmpty)
+	t.Unlock(q.lock)
+}

@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+// Raytrace models PARSEC's real-time raytracer: a read-mostly scene
+// traversed in data-dependent (effectively random) order by every worker,
+// plus per-worker framebuffer tiles. Properties the model reproduces:
+//
+//   - accesses are word-sized and word-aligned, so word granularity
+//     changes nothing (Table 1: byte ≈ word for raytrace);
+//   - scene reads arrive in random order from many threads, so
+//     neighbouring locations rarely carry equal clocks at their
+//     second-epoch access — dynamic granularity finds little to share and
+//     buys neither time nor memory (the paper singles raytrace out for
+//     exactly this);
+//   - the scene is guarded by a reader-writer lock: every ray traversal
+//     holds the read lock, and a worker occasionally write-locks to apply
+//     a scene update (a dynamic scene), exercising the rwlock
+//     happens-before rules;
+//   - two genuine application races (an unprotected ray counter and a
+//     shutdown flag) plus two races attributed to the pthread module,
+//     which the dynamic detector suppresses but a DRD-style tool reports
+//     (Table 6's raytrace note).
+func Raytrace() Spec {
+	const workers = 4
+	return Spec{
+		Name:        "raytrace",
+		Threads:     workers + 1,
+		Races:       2,
+		Description: "random-order read-mostly scene traversal with private tiles",
+		Build: func(scale int) sim.Program {
+			return sim.Program{Name: "raytrace", Main: func(m *sim.Thread) {
+				sceneWords := 3072 * scale
+				raysPerWorker := 4000 * scale
+				const (
+					siteScene = 400 + iota
+					siteTile
+					siteCounter
+					siteFlag
+					siteAccum
+				)
+				scene := m.Malloc(uint64(sceneWords) * 4)
+				// Tile size deliberately misaligned with shadow blocks
+				// (Table 5's no-Init-state false alarms at tile seams).
+				const tileWords = 1000
+				fb := m.Malloc(uint64(workers) * tileWords * 4)
+				counter := m.Malloc(4) // racy ray counter
+				flag := m.Malloc(4)    // racy shutdown flag
+				pthreadGuts := m.Malloc(8)
+				statsLock := m.NewLock()
+				stats := m.Malloc(16)
+				sceneLock := m.NewRWLock()
+
+				m.At(siteScene)
+				m.WriteBlock(scene, 4, sceneWords)
+				// Clear the framebuffer in one sweep (initialized together,
+				// then written tile-by-tile by separate workers).
+				m.At(siteTile)
+				m.WriteBlock(fb, 4, workers*tileWords)
+
+				var hs []*sim.Thread
+				for w := 0; w < workers; w++ {
+					w := w
+					hs = append(hs, m.Go(func(t *sim.Thread) {
+						rng := t.Rand()
+						tile := fb + uint64(w)*tileWords*4
+						for r := 0; r < raysPerWorker; r++ {
+							// The ray itself lives on the stack; its
+							// accesses are filtered as non-shared.
+							t.Write(t.Local(16), 8)
+							// Data-dependent traversal under the scene's
+							// read lock: a few random scene nodes per ray.
+							t.RLock(sceneLock)
+							t.At(siteScene)
+							for d := 0; d < 3; d++ {
+								idx := rng.Intn(sceneWords)
+								t.Read(scene+uint64(idx)*4, 4)
+							}
+							t.RUnlock(sceneLock)
+							if r%512 == 0 {
+								// Occasional scene update (dynamic scene):
+								// exclusive access via the write lock.
+								t.Lock(sceneLock)
+								t.At(siteScene)
+								t.Write(scene+uint64(rng.Intn(sceneWords))*4, 4)
+								t.Unlock(sceneLock)
+							}
+							t.Read(t.Local(16), 8)
+							t.At(siteTile)
+							t.Write(tile+uint64(r%tileWords)*4, 4)
+							if r%64 == 0 {
+								t.At(siteCounter) // unprotected: race
+								t.Read(counter, 4)
+								t.Write(counter, 4)
+								t.Lock(statsLock)
+								t.At(siteAccum)
+								t.Read(stats, 8)
+								t.Write(stats, 8)
+								t.Unlock(statsLock)
+							}
+						}
+						t.At(siteFlag) // unprotected: race
+						t.Write(flag, 4)
+						// Accesses attributed to the pthread library
+						// (thread teardown bookkeeping): racy, but hidden
+						// by the dynamic detector's suppression rules.
+						t.AtModule(event.ModulePthread, 77)
+						t.Read(pthreadGuts, 8)
+						t.Write(pthreadGuts, 8)
+					}))
+				}
+				joinAll(m, hs)
+				m.Free(scene)
+				m.Free(fb)
+				m.Free(counter)
+				m.Free(flag)
+				m.Free(pthreadGuts)
+				m.Free(stats)
+			}}
+		},
+	}
+}

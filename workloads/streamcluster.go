@@ -1,0 +1,138 @@
+package workloads
+
+import "repro/internal/sim"
+
+// Streamcluster models PARSEC's online clustering kernel: barrier-phased
+// passes over a points array with a small shared center table. Properties
+// the model reproduces:
+//
+//   - all accesses are aligned words, so byte and word granularity behave
+//     identically (Table 1);
+//   - each worker sweeps its partition every phase, so dynamic granularity
+//     coalesces partitions into few clocks and sharply raises the
+//     same-epoch percentage (Table 4: 51% → 97%);
+//   - three genuine races on unprotected global counters;
+//   - two *false alarms specific to dynamic granularity* (Table 1 reports
+//     more races for streamcluster under dynamic; the paper verified they
+//     are false): pairs of adjacent center entries end up sharing a clock,
+//     one entry is then updated with proper lock ordering by another
+//     thread (contaminating the shared clock), and the first thread's next
+//     write to *its own* entry looks racy.
+func Streamcluster() Spec {
+	const workers = 4
+	return Spec{
+		Name:        "streamcluster",
+		Threads:     workers + 1,
+		Races:       3,
+		Description: "barrier-phased partition sweeps; shared-clock false-alarm pairs",
+		Build: func(scale int) sim.Program {
+			return sim.Program{Name: "streamcluster", Main: func(m *sim.Thread) {
+				// Not a multiple of workers×(block size): partition
+				// boundaries land inside shadow blocks (Table 5's
+				// no-Init-state false alarms).
+				points := 4096*scale + 4
+				phases := 5
+				const (
+					siteInit = 800 + iota
+					sitePoint
+					siteAssign
+					siteCenterA
+					siteCenterB
+					siteCost // three sites: siteCost, siteCost+1, siteCost+2
+				)
+				pts := m.Malloc(uint64(points) * 4)
+				assign := m.Malloc(uint64(points) * 4)
+				costs := m.Malloc(3 * 4) // three racy counters
+				// Two word pairs, 16 bytes apart so the pairs themselves
+				// never share a node with each other.
+				centers := m.Malloc(32)
+				pairOff := []uint64{0, 24}
+				handA := m.NewLock()
+				epochCut := m.NewLock()
+
+				m.At(siteInit)
+				m.WriteBlock(pts, 4, points)
+				// The assignment array is zeroed in one sweep, then written
+				// partition-by-partition by separate workers.
+				m.WriteBlock(assign, 4, points)
+
+				stage := 0
+				bar := m.NewBarrier(workers + 1)
+				part := points / workers
+
+				var hs []*sim.Thread
+				for w := 0; w < workers; w++ {
+					w := w
+					hs = append(hs, m.Go(func(t *sim.Thread) {
+						if w == 0 {
+							// Build two shared center-pair nodes: write both
+							// words of each pair in two successive epochs.
+							writePairs := func() {
+								t.At(siteCenterA)
+								for _, off := range pairOff {
+									t.Write(centers+off, 4)
+									t.Write(centers+off+4, 4)
+								}
+							}
+							t.Lock(epochCut)
+							writePairs()
+							t.Unlock(epochCut) // epoch boundary
+							writePairs()       // final decision: Shared
+							t.Lock(handA)
+							t.Unlock(handA) // publish w0's clock
+							stage = 1
+							spinWait(t, func() bool { return stage >= 2 })
+							// w1 contaminated the shared clocks; these
+							// writes to w0's own words are now reported
+							// under dynamic granularity: 2 false alarms.
+							t.At(siteCenterA)
+							t.Write(centers+pairOff[0], 4)
+							t.Write(centers+pairOff[1], 4)
+							stage = 3
+						}
+						if w == 1 {
+							spinWait(t, func() bool { return stage >= 1 })
+							t.Lock(handA)
+							t.Unlock(handA) // one-way edge w0 → w1
+							t.At(siteCenterB)
+							// Properly ordered updates of the pairs' second
+							// words: no race, but the shared nodes' clocks
+							// become w1's.
+							t.Write(centers+pairOff[0]+4, 4)
+							t.Write(centers+pairOff[1]+4, 4)
+							stage = 2
+						}
+						lo := w * part
+						hi := lo + part
+						for ph := 0; ph < phases; ph++ {
+							for i := lo; i < hi; i++ {
+								t.At(sitePoint)
+								t.Read(pts+uint64(i)*4, 4)
+								t.Read(pts+uint64(i)*4, 4) // distance recompute
+								t.At(siteAssign)
+								t.Write(assign+uint64(i)*4, 4)
+							}
+							// Unprotected cost counters: three races, each
+							// at its own code site (so per-site tools also
+							// report three).
+							for c := 0; c < 3; c++ {
+								t.At(siteCost + uint32(c))
+								t.Read(costs+uint64(c)*4, 4)
+								t.Write(costs+uint64(c)*4, 4)
+							}
+							t.Barrier(bar)
+						}
+					}))
+				}
+				for ph := 0; ph < phases; ph++ {
+					m.Barrier(bar)
+				}
+				joinAll(m, hs)
+				m.Free(pts)
+				m.Free(assign)
+				m.Free(costs)
+				m.Free(centers)
+			}}
+		},
+	}
+}

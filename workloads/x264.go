@@ -1,0 +1,140 @@
+package workloads
+
+import "repro/internal/sim"
+
+// X264 models PARSEC's H.264 encoder: pipelined frame workers sharing
+// per-macroblock status bytes. x264 is the paper's precision showcase
+// (the race-count discussion around Table 1), and the model reproduces all
+// three effects:
+//
+//   - a region of twelve adjacent *byte* status flags raced by an
+//     unsynchronized worker: byte granularity reports each byte, while
+//     word granularity masks each group of four into one report (the
+//     paper's 1132 vs 993);
+//   - four padding bytes written only by worker 0 but adjacent to the racy
+//     flags: under dynamic granularity they share a clock with the flags,
+//     inherit worker 1's clock through a legitimate shared update, and
+//     produce four extra reports — the paper found exactly this ("4 write
+//     locations which were sharing a vector clock with one location having
+//     a data race", 1136 vs 1132);
+//   - sixty standalone word-sized racy locations reported identically at
+//     every granularity, keeping the ratios between the three counts
+//     moderate, as in the paper.
+//
+// Expected reports: byte 72, word 63, dynamic 76.
+//
+// The false-positive choreography needs cross-thread ordering *without*
+// happens-before edges; spinWait provides it by burning scheduler turns
+// instead of synchronizing.
+func X264() Spec {
+	const workers = 4
+	return Spec{
+		Name:        "x264",
+		Threads:     workers + 1,
+		Races:       72, // 12 racy flag bytes + 60 standalone words
+		Description: "frame pipeline with racy per-macroblock byte flags",
+		Build: func(scale int) sim.Program {
+			return sim.Program{Name: "x264", Main: func(m *sim.Thread) {
+				framesPerWorker := 55 * scale
+				const frameWords = 256
+				const (
+					sitePad = 500 + iota
+					siteFlagW0
+					siteFlagW1
+					siteFlagW2
+					siteStandalone
+					siteFrame
+					siteRef
+				)
+				// status: bytes 0..3 pad (worker 0 only), 4..15 racy flags.
+				status := m.Malloc(16)
+				standalone := m.Malloc(60 * 16)
+				saAddr := func(i int) uint64 { return standalone + uint64(i)*16 }
+				refLock := m.NewLock()
+				ref := m.Malloc(frameWords * 4)
+				epochCut := m.NewLock() // only delimits worker 0's epochs
+				handoff := m.NewLock()  // carries the one-way w0 → w1 edge
+				m.At(siteRef)
+				m.WriteBlock(ref, 4, frameWords)
+
+				stage := 0 // Go-level choreography; not simulated memory
+
+				encode := func(t *sim.Thread) {
+					for f := 0; f < framesPerWorker; f++ {
+						fr := t.Malloc(frameWords * 4)
+						t.At(siteFrame)
+						t.WriteBlock(fr, 4, frameWords)
+						t.Lock(refLock)
+						t.ReadBlock(ref, 4, 16)
+						t.Unlock(refLock)
+						t.ReadBlock(fr, 4, frameWords)
+						t.Free(fr)
+					}
+				}
+				sweepStatus := func(t *sim.Thread, lo, hi int, site uint32) {
+					t.At(site)
+					for i := lo; i < hi; i++ {
+						t.Write(status+uint64(i), 1)
+					}
+				}
+
+				var hs []*sim.Thread
+				// Worker 0: owns the pads; builds the shared clock node.
+				hs = append(hs, m.Go(func(t *sim.Thread) {
+					t.Lock(epochCut)
+					sweepStatus(t, 0, 4, sitePad) // first epoch: pads+flags
+					sweepStatus(t, 4, 16, siteFlagW0)
+					t.Unlock(epochCut) // epoch boundary
+					// Second epoch: the final sharing decision folds pads
+					// and flags into one Shared clock.
+					sweepStatus(t, 0, 4, sitePad)
+					sweepStatus(t, 4, 16, siteFlagW0)
+					t.Lock(handoff)
+					t.Unlock(handoff) // publishes w0's clock for w1
+					stage = 1
+					spinWait(t, func() bool { return stage >= 2 })
+					// Unaware of w1's ordered update: under dynamic
+					// granularity the pads inherited w1's clock through
+					// the shared node — four false races. At byte/word
+					// granularity the pads are private to w0: no report.
+					sweepStatus(t, 0, 4, sitePad)
+					stage = 3
+					encode(t)
+				}))
+				// Worker 1: properly synchronized flag update (no race
+				// with w0), which contaminates the shared node's clock.
+				hs = append(hs, m.Go(func(t *sim.Thread) {
+					spinWait(t, func() bool { return stage >= 1 })
+					t.Lock(handoff)
+					t.Unlock(handoff) // one-way edge: w0 → w1
+					sweepStatus(t, 4, 16, siteFlagW1)
+					stage = 2
+					encode(t)
+				}))
+				// Worker 2: unsynchronized flag writes — the real races —
+				// plus half of the standalone racy words.
+				hs = append(hs, m.Go(func(t *sim.Thread) {
+					spinWait(t, func() bool { return stage >= 3 })
+					sweepStatus(t, 4, 16, siteFlagW2)
+					t.At(siteStandalone)
+					for i := 0; i < 60; i++ {
+						t.Write(saAddr(i), 4)
+					}
+					encode(t)
+				}))
+				// Worker 3: the other unsynchronized standalone writer.
+				hs = append(hs, m.Go(func(t *sim.Thread) {
+					t.At(siteStandalone)
+					for i := 0; i < 60; i++ {
+						t.Write(saAddr(i), 4)
+					}
+					encode(t)
+				}))
+				joinAll(m, hs)
+				m.Free(status)
+				m.Free(standalone)
+				m.Free(ref)
+			}}
+		},
+	}
+}
