@@ -9,6 +9,7 @@ package repro_test
 
 import (
 	"flag"
+	"fmt"
 	"testing"
 
 	"repro/internal/tables"
@@ -253,6 +254,43 @@ func BenchmarkFigure4Indexing(b *testing.B) {
 		}}
 		race.Run(prog, race.Options{Granularity: race.Byte})
 	})
+}
+
+// pipelineBaseline records the serial (Workers=0) throughput of the last
+// BenchmarkPipeline sweep so the parallel sub-benchmarks can report their
+// speedup relative to it. Sub-benchmarks run in declaration order, so the
+// baseline is always populated first.
+var pipelineBaseline float64
+
+// BenchmarkPipeline sweeps the sharded detection pipeline's worker count
+// over the benchmark suite at dynamic granularity. Workers=0 is the serial
+// detector (the baseline); each sub-benchmark reports absolute event
+// throughput (Mevents/s) and its speedup over the serial run. Parallel
+// speedup requires GOMAXPROCS ≥ workers+1 (the execution engine itself
+// occupies one core); on a single-core runner the sweep degenerates to
+// measuring transport overhead, which is itself a useful number.
+func BenchmarkPipeline(b *testing.B) {
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				events = 0
+				for _, s := range benchSet() {
+					rep := race.Run(s.Program(), race.Options{
+						Granularity: race.Dynamic, Seed: 42, Workers: workers,
+					})
+					events += rep.Run.Events
+				}
+			}
+			perSec := float64(events) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(perSec/1e6, "Mevents/s")
+			if workers == 0 {
+				pipelineBaseline = perSec
+			} else if pipelineBaseline > 0 {
+				b.ReportMetric(perSec/pipelineBaseline, "speedup")
+			}
+		})
+	}
 }
 
 // BenchmarkWriteGuidedReads is the ablation bench for the Section VII

@@ -7,6 +7,7 @@
 //	benchtables -table 1        # one table
 //	benchtables -figure 4       # one figure demo
 //	benchtables -bench ferret,dedup -scale 2 -seed 7
+//	benchtables -pipeline-json BENCH_pipeline.json   # worker-sweep bench
 //
 // Every number is measured in-process; nothing is replayed from files. See
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -33,6 +34,11 @@ func main() {
 		bench   = flag.String("bench", "", "comma-separated benchmark subset")
 		memMB   = flag.Int64("comparator-mem-mb", 0, "comparator memory budget in MB (0 = default)")
 		timeout = flag.Duration("comparator-timeout", 30*time.Second, "comparator wall-time budget")
+
+		pipelineJSON = flag.String("pipeline-json", "",
+			"write the sharded-pipeline worker-sweep bench to this file (e.g. BENCH_pipeline.json)")
+		pipelineWorkers = flag.String("pipeline-workers", "",
+			"comma-separated worker counts for -pipeline-json (default 0,1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -67,6 +73,35 @@ func main() {
 		cfg.Benchmarks = strings.Split(*bench, ",")
 	}
 	r := tables.NewRunner(cfg)
+
+	if *pipelineJSON != "" {
+		var sweep []int
+		if *pipelineWorkers != "" {
+			for _, tok := range strings.Split(*pipelineWorkers, ",") {
+				var w int
+				if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &w); err != nil || w < 0 {
+					fmt.Fprintf(os.Stderr, "bad -pipeline-workers entry %q\n", tok)
+					os.Exit(2)
+				}
+				sweep = append(sweep, w)
+			}
+		}
+		f, err := os.Create(*pipelineJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = r.WritePipelineJSON(f, sweep)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *pipelineJSON)
+		return
+	}
 
 	if *asJSON {
 		if err := r.WriteJSON(os.Stdout); err != nil {

@@ -8,6 +8,7 @@
 //	racedetect -list
 //	racedetect -bench ffmpeg
 //	racedetect -bench x264 -tool fasttrack -granularity word -v
+//	racedetect -bench ferret -workers 4   # sharded parallel detection
 //	racedetect -bench dedup -tool drd -mem-limit-mb 48
 //	racedetect -bench raytrace -sample   # LiteRace-style sampling front end
 package main
@@ -38,6 +39,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "wall-time budget (0 = unlimited)")
 		verbose = flag.Bool("v", false, "print each race report")
 		sample  = flag.Bool("sample", false, "wrap FastTrack in a LiteRace-style sampler")
+		workers = flag.Int("workers", 0,
+			"sharded detection workers for fasttrack (0 = serial); needs GOMAXPROCS > workers for speedup")
 	)
 	flag.Parse()
 
@@ -57,7 +60,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := race.Options{Seed: *seed, Timeout: *timeout, MemLimitBytes: *memMB << 20}
+	opts := race.Options{Seed: *seed, Timeout: *timeout, MemLimitBytes: *memMB << 20, Workers: *workers}
 	switch *tool {
 	case "fasttrack":
 		opts.Tool = race.FastTrack
@@ -97,6 +100,9 @@ func main() {
 	fmt.Printf("tool        %v", rep.Tool)
 	if rep.Tool == race.FastTrack {
 		fmt.Printf(" (%v granularity)", rep.Granularity)
+		if *workers > 0 {
+			fmt.Printf(", %d detection workers", *workers)
+		}
 	}
 	fmt.Println()
 	fmt.Printf("accesses    %d shared accesses, %d heap ops\n",

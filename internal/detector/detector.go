@@ -32,6 +32,7 @@ import (
 	"repro/internal/epochbitmap"
 	"repro/internal/event"
 	"repro/internal/fasttrack"
+	"repro/internal/shadow"
 	"repro/internal/vc"
 )
 
@@ -96,6 +97,30 @@ type Config struct {
 	// modules (the paper suppresses libc and ld, as DRD does). Nil means
 	// the default suppression set; use an empty non-nil slice for none.
 	Suppress []event.Module
+
+	// Shards and Shard make the detector shard-constructible for the
+	// parallel pipeline (internal/pipeline): when Shards > 1 the detector
+	// owns only the shadow blocks b (b = addr >> shadow.BlockShift) with
+	// b % Shards == Shard. The caller must route it exactly the memory
+	// accesses of its blocks (split at block boundaries) plus every sync
+	// event; the detector then restricts its shadow planes and epoch
+	// bitmaps to that block subset and clamps range operations (Free) to
+	// it. Shards == 0 or 1 means unsharded (the serial detector).
+	Shards int
+	Shard  int
+}
+
+// Sharded reports whether the configuration restricts the detector to a
+// block subset.
+func (c Config) Sharded() bool { return c.Shards > 1 }
+
+// Owns reports whether addr falls in the configured block subset (always
+// true for an unsharded detector).
+func (c Config) Owns(addr uint64) bool {
+	if !c.Sharded() {
+		return true
+	}
+	return int(addr>>shadow.BlockShift%uint64(c.Shards)) == c.Shard
 }
 
 // DefaultSuppress is the default suppression set: the paper applies DRD-like
@@ -163,6 +188,14 @@ type Detector struct {
 	bitmaps  []*epochbitmap.Bitmap
 	suppress [8]bool
 
+	// One-entry bitmap cache: event streams run many consecutive accesses
+	// by the same thread (a scheduling quantum is 64 events), so the
+	// per-access bitmap lookup almost always resolves to the previous
+	// thread's bitmap. Bitmap pointers are stable, so the cache never needs
+	// invalidation.
+	lastTid vc.TID
+	lastBM  *epochbitmap.Bitmap
+
 	// racedLocs dedups reports across the read and write planes: one
 	// location's first race is reported once even when both its read and
 	// write shadow nodes go racy.
@@ -178,6 +211,7 @@ func New(cfg Config) *Detector {
 		cfg:       cfg,
 		th:        fasttrack.NewThreads(),
 		racedLocs: make(map[uint64]bool),
+		lastTid:   vc.NoTID,
 	}
 	d.read = dyngran.NewPlane(dyngran.ReadPlane, &d.stats.Plane)
 	d.write = dyngran.NewPlane(dyngran.WritePlane, &d.stats.Plane)
@@ -214,13 +248,17 @@ func (d *Detector) Stats() Stats {
 }
 
 func (d *Detector) bitmap(t vc.TID) *epochbitmap.Bitmap {
+	if t == d.lastTid {
+		return d.lastBM
+	}
 	for int(t) >= len(d.bitmaps) {
 		d.bitmaps = append(d.bitmaps, nil)
 	}
 	if d.bitmaps[t] == nil {
 		d.bitmaps[t] = epochbitmap.New()
 	}
-	return d.bitmaps[t]
+	d.lastTid, d.lastBM = t, d.bitmaps[t]
+	return d.lastBM
 }
 
 // footprint computes the tracked address range of an access under the
@@ -713,10 +751,41 @@ func (d *Detector) BarrierDepart(tid vc.TID, b event.BarrierID) {
 func (d *Detector) Malloc(vc.TID, uint64, uint64) {}
 
 // Free discards the shadow state of the freed range in both planes — the
-// sequential-deletion path the Figure 4 indexing arrays exist for.
+// sequential-deletion path the Figure 4 indexing arrays exist for. A
+// sharded detector walks only its owned blocks, so a free of a large
+// allocation costs each pipeline worker O(range/Shards) rather than
+// O(range).
 func (d *Detector) Free(_ vc.TID, addr uint64, size uint64) {
 	lo, hi := d.footprint(addr, size)
-	d.read.DropRange(lo, hi)
-	d.write.DropRange(lo, hi)
+	if d.cfg.Sharded() {
+		d.freeOwnedBlocks(lo, hi)
+	} else {
+		d.read.DropRange(lo, hi)
+		d.write.DropRange(lo, hi)
+	}
 	d.trackTotal()
+}
+
+// freeOwnedBlocks applies DropRange to the intersection of [lo, hi) with
+// every owned shadow block.
+func (d *Detector) freeOwnedBlocks(lo, hi uint64) {
+	if hi <= lo {
+		return
+	}
+	shards := uint64(d.cfg.Shards)
+	shard := uint64(d.cfg.Shard)
+	b := lo >> shadow.BlockShift
+	b += (shard - b%shards + shards) % shards // first owned block ≥ lo's
+	for ; b<<shadow.BlockShift < hi; b += shards {
+		segLo := b << shadow.BlockShift
+		if segLo < lo {
+			segLo = lo
+		}
+		segHi := (b + 1) << shadow.BlockShift
+		if segHi > hi {
+			segHi = hi
+		}
+		d.read.DropRange(segLo, segHi)
+		d.write.DropRange(segLo, segHi)
+	}
 }

@@ -77,11 +77,37 @@ func (b *Bitmap) chunkFor(key uint64) *chunk {
 	return c
 }
 
+// laneRep replicates a 2-bit lane pattern across all 32 lanes of a word:
+// 0b01 → 0x5555…, 0b10 → 0xAAAA…, 0b11 → all ones.
+const laneRep = 0x5555555555555555
+
 // testAndSet visits each address in [lo, hi) and reports whether every
 // address already had the required bits. mask selects which of the two bits
 // per address must already be present for the access to count as
 // same-epoch; set selects which bits to record.
+//
+// Ranges that fall inside one 64-bit word (≤ 31 addresses, which covers
+// every real access footprint) take a branch-free single-word fast path:
+// the per-address loop collapses to three masked word operations. This is
+// the detector's hottest code — it runs on every shared access — so the
+// fast path is what keeps the same-epoch filter effectively free.
 func (b *Bitmap) testAndSet(lo, hi uint64, need, set uint64) bool {
+	if n := hi - lo; n > 0 && n <= 31 {
+		off := (lo & chunkMask) * 2
+		if sh := off & 63; sh+2*n <= 64 {
+			c := b.chunkFor(lo >> chunkShift)
+			w := &c.bits[off>>6]
+			rangeMask := (uint64(1)<<(2*n) - 1) << sh
+			// A lane (address) counts as covered when ANY of its required
+			// bits is present; collapse each lane's two bits onto its low
+			// bit and compare against the full lane set.
+			x := *w & (need * laneRep) & rangeMask
+			lanes := (laneRep << sh) & rangeMask
+			all := (x|x>>1)&lanes == lanes
+			*w |= (set * laneRep) & rangeMask
+			return all
+		}
+	}
 	all := true
 	for lo < hi {
 		key := lo >> chunkShift

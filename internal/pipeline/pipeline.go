@@ -1,0 +1,361 @@
+// Package pipeline is the sharded parallel detection engine: it decouples
+// event generation (the execution engine, which is inherently serial) from
+// race analysis (which parallelizes by address) so detection runs at the
+// throughput of N cores instead of one.
+//
+// # Architecture
+//
+// The Pipeline is an event.Sink. The execution thread encodes every
+// instrumentation event into fixed-size records (internal/event's batch
+// encoding, sync.Pool-recycled) and routes them:
+//
+//   - Memory accesses go to exactly one worker, selected by shadow block
+//     number (addr >> shadow.BlockShift mod Workers). Accesses whose
+//     footprint crosses a 128-byte block boundary are split at the
+//     boundary, so a shadow block — and therefore any shared clock, which
+//     never spans blocks (dyngran.canMerge) — lives on exactly one shard.
+//   - Synchronization events (acquire/release, fork/join, barriers) and
+//     heap events are sequence-numbered and broadcast to every worker in
+//     stream order.
+//
+// Each worker owns a shard-constructed detector.Detector holding the
+// shadow planes and epoch bitmaps of its block subset plus a full replica
+// of the per-thread/lock/barrier vector clocks (rebuilt from the broadcast
+// sync stream). Every worker therefore observes the identical
+// happens-before order, and per-location analysis is the same FastTrack
+// computation the serial detector performs — sharding changes where a
+// location is analyzed, never how.
+//
+// # Precision
+//
+// Per-address shadow state is independent between sync points: the FastTrack
+// checks for a location consult only that location's read/write history and
+// the accessing thread's clock. Dynamic-granularity sharing is confined to
+// one 128-address block by construction (the paper's Figure 4 indexing
+// arrays bound sharing at one hash entry), so block-sharded workers make
+// exactly the sharing decisions the serial detector makes. The only
+// semantic difference is that a single access whose footprint straddles a
+// block boundary is analyzed as two block-local accesses; the race/equivalence
+// test asserts that the reported race set is identical to serial mode for
+// every workload and granularity.
+//
+// # Determinism
+//
+// Routing is a pure function of the event stream, and each worker consumes
+// its FIFO in order, so results are independent of worker scheduling. Race
+// reports are merged by the global sequence number of the event that
+// completed the race (ties broken by address), making the merged report
+// deterministic for any worker count.
+package pipeline
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/shadow"
+	"repro/internal/vc"
+)
+
+// Options configure a pipeline.
+type Options struct {
+	// Workers is the number of detection workers (≥ 1).
+	Workers int
+	// Detector is the FastTrack configuration applied to every worker; the
+	// pipeline fills in the Shard/Shards fields.
+	Detector detector.Config
+	// ChannelDepth is the per-worker batch queue depth (0 = default 8).
+	// Deeper queues absorb bursts; the queue bounds memory because batches
+	// are fixed-size.
+	ChannelDepth int
+}
+
+// Result is the merged outcome of a pipeline run.
+type Result struct {
+	// Races are the merged race reports ordered by the sequence number of
+	// the completing event (the deterministic analogue of serial detection
+	// order).
+	Races []detector.Race
+	// Stats aggregates the per-worker detector statistics. Accesses and
+	// NonShared are counted at the router (once per original access);
+	// memory components are sums of per-worker peaks, which bounds — and
+	// for component peaks slightly overstates — the true simultaneous
+	// total.
+	Stats detector.Stats
+	// Events is the total number of events routed.
+	Events uint64
+}
+
+// seqRace tags a reported race with its completing event's sequence number.
+type seqRace struct {
+	seq  uint64
+	race detector.Race
+}
+
+type worker struct {
+	ch    chan *event.Batch
+	det   *detector.Detector
+	races []seqRace
+}
+
+// run drains the worker's batch queue, applying each record to the shard
+// detector and tagging any race the record completed with its sequence
+// number. It owns det exclusively; the channel provides the memory fence
+// between router and worker.
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for b := range w.ch {
+		for i := range b.Recs {
+			r := &b.Recs[i]
+			before := len(w.det.Races())
+			event.ApplyRec(w.det, r)
+			if after := w.det.Races(); len(after) > before {
+				for _, rc := range after[before:] {
+					w.races = append(w.races, seqRace{seq: r.Seq, race: rc})
+				}
+			}
+		}
+		event.PutBatch(b)
+	}
+}
+
+// Pipeline routes an instrumentation event stream to sharded detection
+// workers. It implements event.Sink; all Sink methods must be called from
+// the (single) execution thread. Call Wait after the run to drain the
+// workers and obtain the merged Result.
+type Pipeline struct {
+	workers []*worker
+	pending []*event.Batch // per-worker batch being filled
+	wg      sync.WaitGroup
+
+	seq       uint64
+	events    uint64
+	accesses  uint64
+	nonshared uint64
+
+	done   bool
+	result Result
+}
+
+// New starts a pipeline with opts.Workers detection workers.
+func New(opts Options) *Pipeline {
+	n := opts.Workers
+	if n < 1 {
+		n = 1
+	}
+	depth := opts.ChannelDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	p := &Pipeline{
+		workers: make([]*worker, n),
+		pending: make([]*event.Batch, n),
+	}
+	for i := range p.workers {
+		cfg := opts.Detector
+		if n > 1 {
+			cfg.Shards, cfg.Shard = n, i
+		}
+		w := &worker{
+			ch:  make(chan *event.Batch, depth),
+			det: detector.New(cfg),
+		}
+		p.workers[i] = w
+		p.wg.Add(1)
+		go w.run(&p.wg)
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pipeline) Workers() int { return len(p.workers) }
+
+// push appends a record to worker w's pending batch, shipping the batch
+// when it reaches transport capacity.
+func (p *Pipeline) push(w int, r event.Rec) {
+	b := p.pending[w]
+	if b == nil {
+		b = event.GetBatch()
+		p.pending[w] = b
+	}
+	b.Append(r)
+	if b.Full() {
+		p.workers[w].ch <- b
+		p.pending[w] = nil
+	}
+}
+
+// access routes one memory access, splitting its footprint at shadow-block
+// boundaries so each piece lands on the worker owning its block.
+func (p *Pipeline) access(op event.Op, tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	p.seq++
+	p.events++
+	if event.NonShared(addr) {
+		p.nonshared++
+		return // the serial detector's first-line filter, hoisted to the router
+	}
+	p.accesses++
+	n := uint64(len(p.workers))
+	lo, hi := addr, addr+uint64(size)
+	for lo < hi {
+		end := (lo | (shadow.BlockSize - 1)) + 1
+		if end > hi {
+			end = hi
+		}
+		w := int(lo >> shadow.BlockShift % n)
+		p.push(w, event.Rec{
+			Op: op, Tid: tid, Addr: lo, Size: uint32(end - lo), PC: pc, Seq: p.seq,
+		})
+		lo = end
+	}
+}
+
+// broadcast sends one sequence-numbered record to every worker, in stream
+// order relative to each worker's accesses.
+func (p *Pipeline) broadcast(r event.Rec) {
+	p.seq++
+	p.events++
+	r.Seq = p.seq
+	for w := range p.workers {
+		p.push(w, r)
+	}
+}
+
+// ---- event.Sink ----
+
+// Read routes a shared read to its block's worker.
+func (p *Pipeline) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	p.access(event.OpRead, tid, addr, size, pc)
+}
+
+// Write routes a shared write to its block's worker.
+func (p *Pipeline) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	p.access(event.OpWrite, tid, addr, size, pc)
+}
+
+// Acquire broadcasts a lock acquisition to every clock replica.
+func (p *Pipeline) Acquire(tid vc.TID, l event.LockID) {
+	p.broadcast(event.Rec{Op: event.OpAcquire, Tid: tid, Aux: uint64(l)})
+}
+
+// Release broadcasts a lock release (a new epoch for tid on every shard).
+func (p *Pipeline) Release(tid vc.TID, l event.LockID) {
+	p.broadcast(event.Rec{Op: event.OpRelease, Tid: tid, Aux: uint64(l)})
+}
+
+// AcquireShared broadcasts a rwlock read-lock.
+func (p *Pipeline) AcquireShared(tid vc.TID, l event.LockID) {
+	p.broadcast(event.Rec{Op: event.OpAcquireShared, Tid: tid, Aux: uint64(l)})
+}
+
+// ReleaseShared broadcasts a rwlock read-unlock.
+func (p *Pipeline) ReleaseShared(tid vc.TID, l event.LockID) {
+	p.broadcast(event.Rec{Op: event.OpReleaseShared, Tid: tid, Aux: uint64(l)})
+}
+
+// Fork broadcasts thread creation.
+func (p *Pipeline) Fork(parent, child vc.TID) {
+	p.broadcast(event.Rec{Op: event.OpFork, Tid: parent, Aux: uint64(child)})
+}
+
+// Join broadcasts thread join.
+func (p *Pipeline) Join(parent, child vc.TID) {
+	p.broadcast(event.Rec{Op: event.OpJoin, Tid: parent, Aux: uint64(child)})
+}
+
+// BarrierArrive broadcasts a barrier arrival.
+func (p *Pipeline) BarrierArrive(tid vc.TID, b event.BarrierID) {
+	p.broadcast(event.Rec{Op: event.OpBarrierArrive, Tid: tid, Aux: uint64(b)})
+}
+
+// BarrierDepart broadcasts a barrier departure.
+func (p *Pipeline) BarrierDepart(tid vc.TID, b event.BarrierID) {
+	p.broadcast(event.Rec{Op: event.OpBarrierDepart, Tid: tid, Aux: uint64(b)})
+}
+
+// Malloc broadcasts heap allocation (a no-op for the detector, but kept in
+// stream order so every replica sees the same event sequence).
+func (p *Pipeline) Malloc(tid vc.TID, addr uint64, size uint64) {
+	p.broadcast(event.Rec{Op: event.OpMalloc, Tid: tid, Addr: addr, Aux: size})
+}
+
+// Free broadcasts deallocation; each worker drops only its own blocks'
+// shadow state.
+func (p *Pipeline) Free(tid vc.TID, addr uint64, size uint64) {
+	p.broadcast(event.Rec{Op: event.OpFree, Tid: tid, Addr: addr, Aux: size})
+}
+
+// Wait flushes pending batches, waits for every worker to drain, and merges
+// the per-worker reports into a deterministic Result. It is idempotent;
+// the Pipeline must not receive further events afterwards.
+func (p *Pipeline) Wait() Result {
+	if p.done {
+		return p.result
+	}
+	p.done = true
+	for w, b := range p.pending {
+		if b != nil && len(b.Recs) > 0 {
+			p.workers[w].ch <- b
+		}
+		p.pending[w] = nil
+	}
+	for _, w := range p.workers {
+		close(w.ch)
+	}
+	p.wg.Wait()
+	p.result = p.merge()
+	return p.result
+}
+
+// merge combines worker outcomes: races ordered by completing-event
+// sequence, statistics summed, with router-side counts (one per original
+// access) replacing the per-shard access tallies.
+func (p *Pipeline) merge() Result {
+	var tagged []seqRace
+	var st detector.Stats
+	for _, w := range p.workers {
+		tagged = append(tagged, w.races...)
+		ws := w.det.Stats()
+		st.SameEpoch += ws.SameEpoch
+		st.HashPeakBytes += ws.HashPeakBytes
+		st.VCPeakBytes += ws.VCPeakBytes
+		st.BitmapPeakBytes += ws.BitmapPeakBytes
+		st.TotalPeakBytes += ws.TotalPeakBytes
+		st.Races += ws.Races
+		st.Suppressed += ws.Suppressed
+		st.SharingComparisons += ws.SharingComparisons
+		st.Plane.NodesCur += ws.Plane.NodesCur
+		st.Plane.NodesPeak += ws.Plane.NodesPeak
+		st.Plane.VCBytesCur += ws.Plane.VCBytesCur
+		st.Plane.VCBytesPeak += ws.Plane.VCBytesPeak
+		st.Plane.NodeAllocs += ws.Plane.NodeAllocs
+		st.Plane.LocCreations += ws.Plane.LocCreations
+		st.Plane.LiveLocs += ws.Plane.LiveLocs
+		st.Plane.Merges += ws.Plane.Merges
+		st.Plane.Splits += ws.Plane.Splits
+		st.Plane.Races += ws.Plane.Races
+		// Sharing ratio: weight each shard's peak-time ratio by its peak
+		// node count (the serial statistic is LiveLocs/Nodes at the peak).
+		if ws.Plane.NodesPeak > 0 {
+			st.Plane.AvgSharingAtPeak += ws.Plane.AvgSharing() * float64(ws.Plane.NodesPeak)
+		}
+	}
+	if st.Plane.NodesPeak > 0 {
+		st.Plane.AvgSharingAtPeak /= float64(st.Plane.NodesPeak)
+	}
+	st.Accesses = p.accesses
+	st.NonShared = p.nonshared
+
+	sort.Slice(tagged, func(i, j int) bool {
+		if tagged[i].seq != tagged[j].seq {
+			return tagged[i].seq < tagged[j].seq
+		}
+		return tagged[i].race.Addr < tagged[j].race.Addr
+	})
+	races := make([]detector.Race, len(tagged))
+	for i, t := range tagged {
+		races[i] = t.race
+	}
+	return Result{Races: races, Stats: st, Events: p.events}
+}

@@ -19,8 +19,14 @@ package shadow
 // BlockSize is m, the number of addresses covered by one hash entry.
 const BlockSize = 128
 
+// BlockShift is log2(BlockSize): addr >> BlockShift is the block number an
+// address belongs to. The sharded detection pipeline routes accesses to
+// workers by block number, so one hash entry (and therefore any shared
+// clock, which never spans entries) always lives on exactly one shard.
+const BlockShift = 7
+
 const (
-	blockShift = 7
+	blockShift = BlockShift
 	blockMask  = BlockSize - 1
 
 	denseSlots  = BlockSize     // byte-granular indexing array
@@ -43,6 +49,14 @@ type Table[T comparable] struct {
 	buckets []*entry[T]
 	mask    uint64
 	entries int
+
+	// One-entry lookup cache: consecutive accesses overwhelmingly hit the
+	// same 128-address block, so remembering the last entry resolved turns
+	// the common-case lookup into one comparison (no hashing, no chain
+	// walk). Entries stay valid across grow (rehashing relinks the same
+	// entry objects); only remove must invalidate.
+	lastKey uint64
+	lastEnt *entry[T]
 
 	// memory accounting
 	curBytes  int64
@@ -92,8 +106,12 @@ func hashBlock(key uint64) uint64 {
 }
 
 func (t *Table[T]) find(key uint64) *entry[T] {
+	if t.lastEnt != nil && t.lastKey == key {
+		return t.lastEnt
+	}
 	for e := t.buckets[hashBlock(key)>>32&t.mask]; e != nil; e = e.next {
 		if e.key == key {
+			t.lastKey, t.lastEnt = key, e
 			return e
 		}
 	}
@@ -101,9 +119,13 @@ func (t *Table[T]) find(key uint64) *entry[T] {
 }
 
 func (t *Table[T]) findOrCreate(key uint64) *entry[T] {
+	if t.lastEnt != nil && t.lastKey == key {
+		return t.lastEnt
+	}
 	idx := hashBlock(key) >> 32 & t.mask
 	for e := t.buckets[idx]; e != nil; e = e.next {
 		if e.key == key {
+			t.lastKey, t.lastEnt = key, e
 			return e
 		}
 	}
@@ -115,6 +137,7 @@ func (t *Table[T]) findOrCreate(key uint64) *entry[T] {
 	if t.entries > len(t.buckets)*4 {
 		t.grow()
 	}
+	t.lastKey, t.lastEnt = key, e
 	return e
 }
 
@@ -134,6 +157,9 @@ func (t *Table[T]) grow() {
 }
 
 func (t *Table[T]) remove(e *entry[T]) {
+	if t.lastEnt == e {
+		t.lastEnt = nil
+	}
 	idx := hashBlock(e.key) >> 32 & t.mask
 	p := &t.buckets[idx]
 	for *p != nil {

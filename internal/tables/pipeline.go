@@ -1,0 +1,98 @@
+package tables
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+
+	"repro/race"
+)
+
+// DefaultPipelineWorkers is the worker sweep the pipeline bench covers:
+// serial (0), single background worker (transport cost in isolation), then
+// powers of two.
+var DefaultPipelineWorkers = []int{0, 1, 2, 4, 8}
+
+// PipelineRow is one (benchmark, worker count) cell of the sharded-pipeline
+// throughput sweep.
+type PipelineRow struct {
+	Program string `json:"program"`
+	// Workers is the detection worker count (0 = serial detector on the
+	// execution thread).
+	Workers int `json:"workers"`
+	// Seconds is the best wall time of the instrumented run, including
+	// draining the workers.
+	Seconds float64 `json:"seconds"`
+	// EventsPerSec is total engine events divided by Seconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is EventsPerSec relative to the same benchmark's serial
+	// (Workers = 0) row.
+	Speedup float64 `json:"speedup"`
+	// Races is the merged race count — equal across the sweep by the
+	// pipeline's equivalence guarantee, recorded so regressions are visible
+	// in the JSON diff.
+	Races int `json:"races"`
+}
+
+// PipelineBench sweeps the pipeline worker counts over the runner's
+// benchmarks at dynamic granularity. Rows are grouped per benchmark in
+// sweep order, serial first.
+func (r *Runner) PipelineBench(workerCounts []int) []PipelineRow {
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultPipelineWorkers
+	}
+	var rows []PipelineRow
+	for _, s := range r.specs {
+		serialEPS := 0.0
+		for _, w := range workerCounts {
+			opts := race.Options{
+				Tool:        race.FastTrack,
+				Granularity: race.Dynamic,
+				Workers:     w,
+			}
+			rep := r.Report(s, opts)
+			row := PipelineRow{
+				Program: s.Name,
+				Workers: w,
+				Seconds: rep.Elapsed.Seconds(),
+				Races:   len(rep.Races),
+			}
+			if row.Seconds > 0 {
+				row.EventsPerSec = float64(rep.Run.Events) / row.Seconds
+			}
+			if w == 0 {
+				serialEPS = row.EventsPerSec
+			}
+			if serialEPS > 0 {
+				row.Speedup = row.EventsPerSec / serialEPS
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// PipelineBenchJSON is the machine-readable BENCH_pipeline.json document.
+type PipelineBenchJSON struct {
+	Config struct {
+		Scale      int   `json:"scale"`
+		Seed       int64 `json:"seed"`
+		GOMAXPROCS int   `json:"gomaxprocs"`
+	} `json:"config"`
+	Rows []PipelineRow `json:"rows"`
+}
+
+// WritePipelineJSON runs the worker sweep and writes BENCH_pipeline.json.
+// GOMAXPROCS is recorded because the sweep's speedups are only meaningful
+// relative to the cores available: with GOMAXPROCS=1 the rows measure
+// transport overhead, not parallel speedup.
+func (r *Runner) WritePipelineJSON(w io.Writer, workerCounts []int) error {
+	var out PipelineBenchJSON
+	out.Config.Scale = r.cfg.Scale
+	out.Config.Seed = r.cfg.Seed
+	out.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	out.Rows = r.PipelineBench(workerCounts)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,55 @@
+package tables
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestPipelineBenchRows checks the worker sweep produces one row per
+// (benchmark, worker count), serial rows have speedup 1, and the race count
+// is constant across the sweep (the pipeline's equivalence guarantee).
+func TestPipelineBenchRows(t *testing.T) {
+	r := NewRunner(Config{Benchmarks: []string{"streamcluster", "pbzip2"}, TimingRuns: 1, Seed: 42})
+	sweep := []int{0, 2, 4}
+	rows := r.PipelineBench(sweep)
+	if want := len(r.Specs()) * len(sweep); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	races := map[string]int{}
+	for _, row := range rows {
+		if row.Workers == 0 {
+			if row.Speedup != 1 {
+				t.Errorf("%s serial row speedup = %v, want 1", row.Program, row.Speedup)
+			}
+			races[row.Program] = row.Races
+		} else if row.Races != races[row.Program] {
+			t.Errorf("%s workers=%d races = %d, serial found %d",
+				row.Program, row.Workers, row.Races, races[row.Program])
+		}
+		if row.Seconds <= 0 || row.EventsPerSec <= 0 {
+			t.Errorf("%s workers=%d has non-positive timing (%v s, %v ev/s)",
+				row.Program, row.Workers, row.Seconds, row.EventsPerSec)
+		}
+	}
+}
+
+// TestWritePipelineJSON checks the emitted document round-trips and carries
+// the config header.
+func TestWritePipelineJSON(t *testing.T) {
+	r := NewRunner(Config{Benchmarks: []string{"streamcluster"}, TimingRuns: 1, Seed: 42})
+	var buf bytes.Buffer
+	if err := r.WritePipelineJSON(&buf, []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var doc PipelineBenchJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Config.Seed != 42 || doc.Config.GOMAXPROCS < 1 {
+		t.Fatalf("bad config header: %+v", doc.Config)
+	}
+	if len(doc.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(doc.Rows))
+	}
+}

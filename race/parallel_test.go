@@ -1,0 +1,155 @@
+package race
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/workloads"
+)
+
+// sortRaces normalizes a race list for set comparison: serial detection
+// order and the pipeline's sequence-merged order may differ, but the sets
+// must be identical.
+func sortRaces(rs []Race) []Race {
+	out := append([]Race(nil), rs...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Addr != b.Addr:
+			return a.Addr < b.Addr
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.Tid != b.Tid:
+			return a.Tid < b.Tid
+		case a.OtherTid != b.OtherTid:
+			return a.OtherTid < b.OtherTid
+		case a.PC != b.PC:
+			return a.PC < b.PC
+		case a.OtherPC != b.OtherPC:
+			return a.OtherPC < b.OtherPC
+		default:
+			return a.Size < b.Size
+		}
+	})
+	return out
+}
+
+// TestParallelEquivalence is the acceptance gate for the sharded pipeline:
+// for every workload and every granularity, Workers: 4 must report exactly
+// the serial race set and the same access count.
+func TestParallelEquivalence(t *testing.T) {
+	grans := []Granularity{Byte, Word, Dynamic}
+	for _, spec := range workloads.All() {
+		for _, g := range grans {
+			serial := Run(spec.Program(), Options{Granularity: g, Seed: 42})
+			par := Run(spec.Program(), Options{Granularity: g, Seed: 42, Workers: 4})
+
+			if serial.Run.Accesses != par.Run.Accesses {
+				t.Errorf("%s/%s: Run.Accesses %d (serial) vs %d (workers=4)",
+					spec.Name, g, serial.Run.Accesses, par.Run.Accesses)
+			}
+			if serial.Detector.Accesses != par.Detector.Accesses {
+				t.Errorf("%s/%s: Detector.Accesses %d (serial) vs %d (workers=4)",
+					spec.Name, g, serial.Detector.Accesses, par.Detector.Accesses)
+			}
+			want, got := sortRaces(serial.Races), sortRaces(par.Races)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%s: race sets differ\nserial (%d): %v\nworkers=4 (%d): %v",
+					spec.Name, g, len(want), want, len(got), got)
+			}
+		}
+	}
+}
+
+// TestParallelDeterministic checks that repeated parallel runs with the same
+// seed produce byte-identical reports including race order — the merge is
+// deterministic regardless of worker goroutine scheduling.
+func TestParallelDeterministic(t *testing.T) {
+	spec, err := workloads.ByName("pbzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Granularity: Dynamic, Seed: 3, Workers: 4}
+	a := Run(spec.Program(), opts)
+	for i := 0; i < 3; i++ {
+		b := Run(spec.Program(), opts)
+		if !reflect.DeepEqual(a.Races, b.Races) {
+			t.Fatalf("run %d: parallel race order differs between identical runs", i)
+		}
+	}
+}
+
+// TestEngineOptionsMapping pins the Options→sim.Options mapping. It fails in
+// two ways: if a populated engine-facing option does not reach sim.Options
+// (the regression this test was written against — Timeout and MaxEvents were
+// silently dropped), and if sim.Options grows a field this mapping does not
+// know about.
+func TestEngineOptionsMapping(t *testing.T) {
+	o := Options{
+		Seed:      17,
+		Quantum:   9,
+		MaxEvents: 12345,
+		Timeout:   time.Minute,
+	}
+	before := time.Now()
+	so := o.engineOptions()
+
+	if so.Seed != o.Seed {
+		t.Errorf("Seed not mapped: %d", so.Seed)
+	}
+	if so.Quantum != o.Quantum {
+		t.Errorf("Quantum not mapped: %d", so.Quantum)
+	}
+	if so.MaxEvents != o.MaxEvents {
+		t.Errorf("MaxEvents not mapped: %d", so.MaxEvents)
+	}
+	if so.Deadline.Before(before.Add(o.Timeout)) || so.Deadline.After(time.Now().Add(o.Timeout)) {
+		t.Errorf("Deadline not derived from Timeout: %v", so.Deadline)
+	}
+	// Zero Timeout must leave the Deadline unset (unlimited).
+	if z := (Options{}).engineOptions(); !z.Deadline.IsZero() {
+		t.Errorf("zero Timeout produced Deadline %v", z.Deadline)
+	}
+
+	// Exhaustiveness: every sim.Options field must be one this test checks.
+	// A new engine knob has to be added both to the mapping and here.
+	known := map[string]bool{"Seed": true, "Quantum": true, "MaxEvents": true, "Deadline": true}
+	rt := reflect.TypeOf(sim.Options{})
+	for i := 0; i < rt.NumField(); i++ {
+		if !known[rt.Field(i).Name] {
+			t.Errorf("sim.Options has field %q unknown to Options.engineOptions; extend the mapping and this test", rt.Field(i).Name)
+		}
+	}
+}
+
+// TestMaxEventsReachesEngine verifies the full path: a Run with MaxEvents
+// set must abort the engine (panic) when the workload exceeds the budget.
+func TestMaxEventsReachesEngine(t *testing.T) {
+	spec, err := workloads.ByName("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxEvents did not reach the engine: no abort")
+		}
+	}()
+	Run(spec.Program(), Options{Seed: 1, MaxEvents: 10})
+}
+
+// TestWorkersIgnoredForSerialTools checks non-FastTrack tools run serially
+// and still work when Workers is set.
+func TestWorkersIgnoredForSerialTools(t *testing.T) {
+	spec, err := workloads.ByName("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(spec.Program(), Options{Tool: DJITPlus, Seed: 42, Workers: 4})
+	ser := Run(spec.Program(), Options{Tool: DJITPlus, Seed: 42})
+	if !reflect.DeepEqual(sortRaces(rep.Races), sortRaces(ser.Races)) {
+		t.Fatal("Workers changed a serial tool's report")
+	}
+}

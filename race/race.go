@@ -38,6 +38,7 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/lockset"
 	"repro/internal/multirace"
+	"repro/internal/pipeline"
 	"repro/internal/segment"
 	"repro/internal/sim"
 )
@@ -128,6 +129,17 @@ type Options struct {
 	Seed int64
 	// Quantum is the scheduler quantum in events (0 = default).
 	Quantum int
+	// MaxEvents aborts the run (via engine panic) after this many events;
+	// 0 = unlimited. Guards against runaway workloads.
+	MaxEvents uint64
+
+	// Workers enables the sharded parallel detection pipeline: events are
+	// batched and routed to this many detection workers by shadow-block
+	// number. 0 runs the detector serially on the execution thread,
+	// preserving the exact serial memory accounting; 1 moves detection to a
+	// single background worker (useful for overlap measurement). Workers
+	// applies to FastTrack only; the other tools always run serially.
+	Workers int
 
 	// NoInitState and NoInitSharing are the Table 5 state-machine
 	// ablations; WriteGuidedReads and ReshareInterval are the Section VII
@@ -230,52 +242,75 @@ type Report struct {
 	TimedOut bool
 }
 
+// engineOptions maps the engine-facing subset of Options onto sim.Options.
+// Every sim.Options field must be produced here — TestEngineOptionsMapping
+// pins the field set so a new engine knob cannot silently fail to reach the
+// engine (the bug this method replaced: Timeout and MaxEvents were dropped).
+func (o Options) engineOptions() sim.Options {
+	so := sim.Options{Seed: o.Seed, Quantum: o.Quantum, MaxEvents: o.MaxEvents}
+	if o.Timeout > 0 {
+		so.Deadline = time.Now().Add(o.Timeout)
+	}
+	return so
+}
+
+// fillFastTrack maps FastTrack detector output into the unified report; the
+// serial detector and the sharded pipeline share it, so both modes populate
+// the report identically.
+func fillFastTrack(r *Report, st detector.Stats, races []detector.Race) {
+	r.Detector = Stats{
+		Accesses:           st.Accesses,
+		SameEpoch:          st.SameEpoch,
+		HashPeakBytes:      st.HashPeakBytes,
+		VCPeakBytes:        st.VCPeakBytes,
+		BitmapPeakBytes:    st.BitmapPeakBytes,
+		TotalPeakBytes:     st.TotalPeakBytes,
+		MaxVectorClocks:    st.Plane.NodesPeak,
+		AvgSharing:         st.Plane.AvgSharing(),
+		NodeAllocs:         st.Plane.NodeAllocs,
+		LocCreations:       st.Plane.LocCreations,
+		Merges:             st.Plane.Merges,
+		Splits:             st.Plane.Splits,
+		SharingComparisons: st.SharingComparisons,
+	}
+	r.Suppressed = st.Suppressed
+	for _, x := range races {
+		r.Races = append(r.Races, Race{
+			Kind: x.Kind.String(), Addr: x.Addr, Size: x.Size,
+			Tid: int32(x.Tid), PC: uint32(x.PC),
+			OtherTid: int32(x.PrevTid), OtherPC: uint32(x.PrevPC),
+		})
+	}
+}
+
 // Run executes p under the configured detector and returns the report.
 func Run(p Program, opts Options) Report {
-	simOpts := sim.Options{Seed: opts.Seed, Quantum: opts.Quantum}
-	if opts.Timeout > 0 {
-		simOpts.Deadline = time.Now().Add(opts.Timeout)
-	}
+	simOpts := opts.engineOptions()
 	rep := Report{Program: p.Name, Tool: opts.Tool, Granularity: opts.Granularity}
 
 	var sink event.Sink
 	var collect func(*Report)
+	var drain func() // runs inside the timed window, before collect
 	switch opts.Tool {
 	case FastTrack:
-		d := detector.New(detector.Config{
+		cfg := detector.Config{
 			Granularity:      opts.Granularity,
 			NoInitState:      opts.NoInitState,
 			NoInitSharing:    opts.NoInitSharing,
 			WriteGuidedReads: opts.WriteGuidedReads,
 			ReshareInterval:  opts.ReshareInterval,
 			ReadReset:        opts.ReadReset,
-		})
-		sink = d
-		collect = func(r *Report) {
-			st := d.Stats()
-			r.Detector = Stats{
-				Accesses:           st.Accesses,
-				SameEpoch:          st.SameEpoch,
-				HashPeakBytes:      st.HashPeakBytes,
-				VCPeakBytes:        st.VCPeakBytes,
-				BitmapPeakBytes:    st.BitmapPeakBytes,
-				TotalPeakBytes:     st.TotalPeakBytes,
-				MaxVectorClocks:    st.Plane.NodesPeak,
-				AvgSharing:         st.Plane.AvgSharing(),
-				NodeAllocs:         st.Plane.NodeAllocs,
-				LocCreations:       st.Plane.LocCreations,
-				Merges:             st.Plane.Merges,
-				Splits:             st.Plane.Splits,
-				SharingComparisons: st.SharingComparisons,
-			}
-			r.Suppressed = st.Suppressed
-			for _, x := range d.Races() {
-				r.Races = append(r.Races, Race{
-					Kind: x.Kind.String(), Addr: x.Addr, Size: x.Size,
-					Tid: int32(x.Tid), PC: uint32(x.PC),
-					OtherTid: int32(x.PrevTid), OtherPC: uint32(x.PrevPC),
-				})
-			}
+		}
+		if opts.Workers > 0 {
+			pl := pipeline.New(pipeline.Options{Workers: opts.Workers, Detector: cfg})
+			sink = pl
+			var res pipeline.Result
+			drain = func() { res = pl.Wait() }
+			collect = func(r *Report) { fillFastTrack(r, res.Stats, res.Races) }
+		} else {
+			d := detector.New(cfg)
+			sink = d
+			collect = func(r *Report) { fillFastTrack(r, d.Stats(), d.Races()) }
 		}
 	case DJITPlus:
 		d := djit.New(djit.Options{Granule: 1})
@@ -344,6 +379,9 @@ func Run(p Program, opts Options) Report {
 
 	start := time.Now()
 	rep.Run = sim.Run(p, sink, simOpts)
+	if drain != nil {
+		drain() // the timed window includes draining the detection workers
+	}
 	rep.Elapsed = time.Since(start)
 	rep.TimedOut = rep.Run.TimedOut
 	collect(&rep)
