@@ -8,11 +8,15 @@
 package repro_test
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"testing"
 
+	"repro/internal/event"
 	"repro/internal/tables"
+	"repro/internal/vc"
+	"repro/internal/wire"
 	"repro/race"
 	"repro/workloads"
 )
@@ -313,6 +317,54 @@ func BenchmarkWriteGuidedReads(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(comparisons), "comparisons")
+		})
+	}
+}
+
+// BenchmarkWireEncodeDecode measures the remote-detection wire codec: how
+// fast an event batch is framed (AppendBatchFrame) and decoded back into a
+// pooled batch (ReadFrame + DecodeBatch). The encode and decode halves are
+// measured separately because they run on different machines in a real
+// deployment (client vs racedetectd); both report events/s and MB/s.
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	for _, n := range []int{64, event.DefaultBatchSize, 8192} {
+		batch := &event.Batch{Recs: make([]event.Rec, n)}
+		for i := range batch.Recs {
+			op := event.OpRead
+			if i%3 == 0 {
+				op = event.OpWrite
+			}
+			batch.Recs[i] = event.Rec{
+				Op: op, Tid: vc.TID(i % 8), Addr: 0x10000 + uint64(i*8),
+				Size: 4, PC: event.PC(i), Seq: uint64(i),
+			}
+		}
+		frame := wire.AppendBatchFrame(nil, wire.Header{Session: 1}, batch)
+
+		b.Run(fmt.Sprintf("encode/recs=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(len(frame)))
+			buf := make([]byte, 0, len(frame))
+			for i := 0; i < b.N; i++ {
+				buf = wire.AppendBatchFrame(buf[:0], wire.Header{Session: 1}, batch)
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+		})
+		b.Run(fmt.Sprintf("decode/recs=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(len(frame)))
+			rd := bytes.NewReader(frame)
+			for i := 0; i < b.N; i++ {
+				rd.Reset(frame)
+				_, payload, err := wire.NewReader(rd, 0).ReadFrame()
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := wire.DecodeBatch(payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				event.PutBatch(got)
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
 		})
 	}
 }

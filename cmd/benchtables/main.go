@@ -8,6 +8,7 @@
 //	benchtables -figure 4       # one figure demo
 //	benchtables -bench ferret,dedup -scale 2 -seed 7
 //	benchtables -pipeline-json BENCH_pipeline.json   # worker-sweep bench
+//	benchtables -wire-json BENCH_wire.json           # remote-service bench
 //
 // Every number is measured in-process; nothing is replayed from files. See
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -39,6 +40,11 @@ func main() {
 			"write the sharded-pipeline worker-sweep bench to this file (e.g. BENCH_pipeline.json)")
 		pipelineWorkers = flag.String("pipeline-workers", "",
 			"comma-separated worker counts for -pipeline-json (default 0,1,2,4,8)")
+
+		wireJSON = flag.String("wire-json", "",
+			"write the wire codec + loopback remote-overhead bench to this file (e.g. BENCH_wire.json)")
+		wireBatches = flag.String("wire-batches", "",
+			"comma-separated batch sizes for -wire-json's codec rows (default 64,2048,8192)")
 	)
 	flag.Parse()
 
@@ -100,6 +106,35 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *pipelineJSON)
+		return
+	}
+
+	if *wireJSON != "" {
+		var sizes []int
+		if *wireBatches != "" {
+			for _, tok := range strings.Split(*wireBatches, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &n); err != nil || n <= 0 {
+					fmt.Fprintf(os.Stderr, "bad -wire-batches entry %q\n", tok)
+					os.Exit(2)
+				}
+				sizes = append(sizes, n)
+			}
+		}
+		f, err := os.Create(*wireJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = r.WriteWireJSON(f, sizes)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *wireJSON)
 		return
 	}
 

@@ -11,6 +11,7 @@
 //	racedetect -bench ferret -workers 4   # sharded parallel detection
 //	racedetect -bench dedup -tool drd -mem-limit-mb 48
 //	racedetect -bench raytrace -sample   # LiteRace-style sampling front end
+//	racedetect -bench x264 -remote localhost:7474   # stream to racedetectd
 package main
 
 import (
@@ -41,6 +42,10 @@ func main() {
 		sample  = flag.Bool("sample", false, "wrap FastTrack in a LiteRace-style sampler")
 		workers = flag.Int("workers", 0,
 			"sharded detection workers for fasttrack (0 = serial); needs GOMAXPROCS > workers for speedup")
+		remote = flag.String("remote", "",
+			"stream events to a racedetectd at this address instead of detecting in-process (fasttrack only)")
+		remoteSync = flag.Bool("remote-sync", false,
+			"with -remote: strict-ordering synchronous streaming (each batch acknowledged before the next)")
 	)
 	flag.Parse()
 
@@ -60,7 +65,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := race.Options{Seed: *seed, Timeout: *timeout, MemLimitBytes: *memMB << 20, Workers: *workers}
+	opts := race.Options{
+		Seed: *seed, Timeout: *timeout, MemLimitBytes: *memMB << 20,
+		Workers: *workers, Remote: *remote, RemoteSync: *remoteSync,
+	}
 	switch *tool {
 	case "fasttrack":
 		opts.Tool = race.FastTrack
@@ -94,7 +102,11 @@ func main() {
 		runSampled(prog, spec, *seed, baseTime)
 		return
 	}
-	rep := race.Run(prog, opts)
+	rep, err := race.RunE(prog, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racedetect:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("benchmark   %s (scale %d, %d threads)\n", spec.Name, *scale, rep.Run.Threads)
 	fmt.Printf("tool        %v", rep.Tool)
@@ -102,6 +114,9 @@ func main() {
 		fmt.Printf(" (%v granularity)", rep.Granularity)
 		if *workers > 0 {
 			fmt.Printf(", %d detection workers", *workers)
+		}
+		if *remote != "" {
+			fmt.Printf(", remote %s", *remote)
 		}
 	}
 	fmt.Println()

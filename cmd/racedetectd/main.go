@@ -1,0 +1,111 @@
+// Command racedetectd is the remote detection service: a long-lived TCP
+// server that accepts wire-protocol event streams from instrumented
+// producers (race.Options.Remote, racedetect -remote, tracereplay
+// -remote), runs one sharded detection pipeline per session, and returns
+// each session's race report when the producer closes its stream.
+//
+// An HTTP sidecar exposes /healthz and /metrics (Prometheus text format:
+// sessions, batches, events, queue depth, races found).
+//
+// Usage:
+//
+//	racedetectd                              # listen on :7474, sidecar on :7475
+//	racedetectd -listen :9000 -http :9001
+//	racedetectd -max-sessions 128 -workers-per-session 8 -read-timeout 1m
+//	racedetectd -http ""                     # disable the sidecar
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, live sessions are
+// given -drain-timeout to finish, then connections are force-closed (and
+// their pipelines reclaimed) before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":7474", "TCP address for the wire protocol")
+		httpAddr    = flag.String("http", ":7475", `HTTP sidecar address for /healthz and /metrics ("" disables)`)
+		maxSessions = flag.Int("max-sessions", 64, "maximum concurrently open sessions")
+		maxFrameKB  = flag.Int("max-frame-kb", 1024, "maximum frame payload in KiB")
+		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline")
+		window      = flag.Int("window", 64, "maximum granted in-flight batch window per session")
+		workersPer  = flag.Int("workers-per-session", 4, "detection shard cap per session")
+		linger      = flag.Duration("session-linger", 10*time.Second, "how long a disconnected session stays resumable")
+		drainT      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		quiet       = flag.Bool("q", false, "suppress per-session log lines")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "racedetectd: ", log.LstdFlags)
+	opts := server.Options{
+		MaxSessions:   *maxSessions,
+		MaxFrameBytes: uint32(*maxFrameKB) << 10,
+		ReadTimeout:   *readTimeout,
+		Window:        *window,
+		MaxWorkers:    *workersPer,
+		SessionLinger: *linger,
+	}
+	if !*quiet {
+		opts.Logf = logger.Printf
+	}
+	srv := server.New(opts)
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("listening on %s (max %d sessions, %d workers/session)",
+		l.Addr(), *maxSessions, *workersPer)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
+		go func() {
+			logger.Printf("sidecar on %s (/healthz, /metrics)", *httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("sidecar: %v", err)
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("%v: draining (budget %v)", s, *drainT)
+	case err := <-serveErr:
+		if err != nil && err != server.ErrServerClosed {
+			logger.Fatal(err)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	drainErr := srv.Shutdown(ctx)
+	if httpSrv != nil {
+		httpSrv.Shutdown(context.Background())
+	}
+	if drainErr != nil {
+		logger.Printf("forced close after drain budget: %v", drainErr)
+		fmt.Fprintln(os.Stderr, "racedetectd: unclean drain")
+		os.Exit(1)
+	}
+	logger.Printf("clean drain, bye")
+}

@@ -9,6 +9,12 @@
 //	tracereplay -record -bench ferret -out ferret.trace
 //	tracereplay -replay ferret.trace -tool fasttrack -granularity dynamic
 //	tracereplay -replay ferret.trace -tool drd
+//	tracereplay -replay ferret.trace -remote localhost:7474
+//
+// With -remote the recorded stream is not detected in-process: it is
+// streamed to a racedetectd detection service and the server's report is
+// printed, so one recorded execution can be analyzed on a different
+// machine (or by a long-lived service) without re-running the program.
 package main
 
 import (
@@ -17,10 +23,12 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/detector"
 	"repro/internal/segment"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/wire"
 	"repro/workloads"
 )
 
@@ -35,6 +43,10 @@ func main() {
 		tool   = flag.String("tool", "fasttrack", "replay tool: fasttrack | drd")
 		gran   = flag.String("granularity", "dynamic", "byte | word | dynamic")
 		v      = flag.Bool("v", false, "print each race")
+		remote = flag.String("remote", "",
+			"replay into a racedetectd at this address instead of an in-process detector")
+		workers = flag.Int("workers", 0,
+			"with -remote: detection workers to request from the server (0 = server default)")
 	)
 	flag.Parse()
 
@@ -68,6 +80,10 @@ func main() {
 		}
 		defer f.Close()
 		start := time.Now()
+		if *remote != "" {
+			replayRemote(f, *remote, *gran, *workers, *v, start)
+			return
+		}
 		switch *tool {
 		case "fasttrack":
 			g := map[string]detector.Granularity{
@@ -101,6 +117,41 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// replayRemote streams a recorded trace to a racedetectd and prints the
+// service's report.
+func replayRemote(f *os.File, addr, gran string, workers int, verbose bool, start time.Time) {
+	g, ok := map[string]detector.Granularity{
+		"byte": detector.Byte, "word": detector.Word, "dynamic": detector.Dynamic,
+	}[gran]
+	if !ok {
+		fatal(fmt.Errorf("unknown granularity %q", gran))
+	}
+	cl, err := client.Dial(client.Options{
+		Addr:  addr,
+		Hello: wire.Hello{Granularity: uint8(g), Workers: workers},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Replay(f, cl); err != nil {
+		fatal(err)
+	}
+	rep, err := cl.Close()
+	if err != nil {
+		fatal(err)
+	}
+	st := cl.Stats()
+	fmt.Printf("remote fasttrack/%s over %d accesses in %v: %d races, %d peak clocks, %.2f MB peak\n",
+		gran, rep.Stats.Accesses, time.Since(start).Round(time.Microsecond),
+		len(rep.Races), rep.Stats.NodesPeak, float64(rep.Stats.TotalPeakBytes)/(1<<20))
+	fmt.Printf("transport   %d batches, %d events to %s\n", st.Batches, st.Events, addr)
+	if verbose {
+		for _, r := range rep.DetectorRaces() {
+			fmt.Printf("  %v\n", r)
+		}
 	}
 }
 

@@ -1,0 +1,581 @@
+// Package client streams an instrumentation event stream to a remote
+// racedetectd (internal/server) over the wire protocol. Client implements
+// event.Sink, so anything that can drive a detector in-process — the
+// execution engine, a recorded trace replay — can instead stream to a
+// detection service with one line changed (race.Options.Remote).
+//
+// # Streaming model
+//
+// Events are encoded into fixed-size batches on the caller's thread
+// (event.Encoder, sync.Pool-recycled) and framed with a per-session batch
+// sequence number. In the default asynchronous mode a background sender
+// goroutine writes frames while the producer keeps running; the producer
+// only blocks when the negotiated in-flight window is full (the server
+// acknowledges applied sequences, so a slow detection pipeline
+// back-pressures the producer instead of growing unbounded buffers).
+// Options.Sync is the strict-ordering fallback: every batch is written on
+// the caller's thread and acknowledged before the next is encoded, which
+// pins the producer to the server's pace — useful for debugging and for
+// producers that must not run ahead of detection.
+//
+// # Reconnect
+//
+// Unacknowledged frames are retained until acked. If the connection
+// drops, the client redials with exponential backoff and resumes its
+// session (Hello.Resume); the server replies with the last applied batch
+// sequence, the client replays only the frames past it, and server-side
+// sequence dedup makes the overlap harmless. A session the server has
+// already expired is a permanent error — the stream cannot be replayed
+// from the beginning — and is reported from Close.
+//
+// Close flushes the partial batch, drains the sender, sends the Close
+// frame, and blocks for the server's race report (flush-on-close).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+	"repro/internal/wire"
+)
+
+// Options configure a client connection.
+type Options struct {
+	// Addr is the racedetectd TCP address (host:port).
+	Addr string
+	// Hello carries the detection configuration to negotiate (granularity,
+	// shard count, detector knobs). Version, Resume and Window are managed
+	// by the client and ignored here.
+	Hello wire.Hello
+	// Window is the requested in-flight batch window (default 32; the
+	// server may grant less).
+	Window int
+	// Sync selects the strict-ordering fallback: batches are written
+	// synchronously on the caller's thread and each is acknowledged before
+	// the next send. Default is asynchronous streaming.
+	Sync bool
+	// DialTimeout bounds one dial attempt (default 5s).
+	DialTimeout time.Duration
+	// MaxAttempts bounds dial attempts per connect or reconnect
+	// (default 5).
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the exponential retry backoff
+	// (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// ReportTimeout bounds the wait for the final report after Close
+	// (default 60s).
+	ReportTimeout time.Duration
+	// Logf, when non-nil, receives reconnect/resume diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.ReportTimeout <= 0 {
+		o.ReportTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// Stats counts the client's transport work.
+type Stats struct {
+	Batches    uint64 // batch frames written (excluding resends)
+	Events     uint64 // event records encoded
+	Reconnects uint64 // successful re-dials after a drop
+	Resends    uint64 // frames replayed on resume
+}
+
+// RemoteError is a server-reported protocol error (an Error frame).
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("racedetectd: %s: %s", e.Code, e.Message)
+}
+
+// permanent reports whether retrying the connection could ever succeed.
+func (e *RemoteError) permanent() bool {
+	switch e.Code {
+	case wire.CodeBadVersion, wire.CodeBadOptions, wire.CodeNoSession, wire.CodeProtocol:
+		return true
+	}
+	return false // session-limit, draining: the operator may free capacity
+}
+
+// sentFrame is one encoded batch frame retained until acknowledged.
+type sentFrame struct {
+	seq    uint64
+	data   []byte
+	events int
+}
+
+// Client is a remote-detection event.Sink. The Sink methods must be
+// called from a single goroutine (the standard Sink contract); Close may
+// be called once after the stream ends.
+type Client struct {
+	opts Options
+	enc  event.Encoder
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	conn     net.Conn
+	gen      int // connection generation, bumps on every successful dial
+	connDead bool
+
+	sessionID uint64
+	window    int
+	batchSeq  uint64
+	acked     uint64
+	unacked   []sentFrame
+
+	err         error
+	report      *wire.Report
+	reportReady bool
+
+	outbox   chan sentFrame // async mode only
+	sendDone chan struct{}
+
+	stats Stats
+}
+
+// Dial connects to a racedetectd and negotiates a session. The returned
+// Client is ready to receive events.
+func Dial(opts Options) (*Client, error) {
+	c := &Client{opts: opts.withDefaults()}
+	if c.opts.Sync {
+		// Strict ordering keeps exactly one batch in flight; a window of 1
+		// also forces the server's ack cadence to every batch, which the
+		// per-batch ack wait depends on.
+		c.opts.Window = 1
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.enc.Flush = c.flushBatch
+
+	c.mu.Lock()
+	err := c.connectLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if !c.opts.Sync {
+		c.outbox = make(chan sentFrame, c.opts.Window)
+		c.sendDone = make(chan struct{})
+		go c.sender()
+	}
+	return c, nil
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// SessionID returns the server-assigned session identifier.
+func (c *Client) SessionID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionID
+}
+
+// Stats returns a snapshot of the transport counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Err returns the first fatal transport error, if any. Events sent after
+// a fatal error are dropped; Close reports the same error.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// ---- connection management ----
+
+// connectLocked dials (with backoff), performs the Hello/HelloAck
+// handshake — resuming the existing session when one is open — replays
+// unacknowledged frames, and starts the receiver goroutine. Called with
+// c.mu held. On permanent failure it sets c.err.
+func (c *Client) connectLocked() error {
+	if c.err != nil {
+		return c.err
+	}
+	resuming := c.sessionID != 0
+	backoff := c.opts.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > c.opts.BackoffMax {
+				backoff = c.opts.BackoffMax
+			}
+		}
+		conn, ack, err := c.handshake()
+		if err != nil {
+			lastErr = err
+			var re *RemoteError
+			if errors.As(err, &re) && re.permanent() {
+				c.err = err
+				c.cond.Broadcast()
+				return err
+			}
+			c.logf("connect attempt %d/%d failed: %v", attempt+1, c.opts.MaxAttempts, err)
+			continue
+		}
+		c.conn = conn
+		c.connDead = false
+		c.gen++
+		c.sessionID = ack.SessionID
+		c.window = ack.Window
+		if ack.ResumeSeq > c.acked {
+			c.acked = ack.ResumeSeq
+			c.pruneAckedLocked()
+		}
+		if resuming {
+			c.stats.Reconnects++
+			c.logf("resumed session %d at seq %d, replaying %d frame(s)",
+				ack.SessionID, ack.ResumeSeq, len(c.unacked))
+		}
+		// Replay everything past the server's resume point.
+		for _, sf := range c.unacked {
+			if err := c.writeLocked(sf.data); err != nil {
+				lastErr = err
+				c.markDeadLocked()
+				break
+			}
+			if resuming {
+				c.stats.Resends++
+			}
+		}
+		if c.connDead {
+			continue
+		}
+		go c.receive(conn, c.gen)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("client: could not connect to %s", c.opts.Addr)
+	}
+	c.err = fmt.Errorf("client: giving up after %d attempts: %w", c.opts.MaxAttempts, lastErr)
+	c.cond.Broadcast()
+	return c.err
+}
+
+// handshake dials and exchanges Hello/HelloAck on a fresh connection.
+func (c *Client) handshake() (net.Conn, wire.HelloAck, error) {
+	var ack wire.HelloAck
+	conn, err := net.DialTimeout("tcp", c.opts.Addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, ack, err
+	}
+	hello := c.opts.Hello
+	hello.Version = wire.Version
+	hello.Resume = c.sessionID
+	hello.Window = c.opts.Window
+	frame, err := wire.AppendControlFrame(nil, wire.Header{Type: wire.TypeHello}, hello)
+	if err != nil {
+		conn.Close()
+		return nil, ack, err
+	}
+	conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	if _, err := conn.Write(frame); err != nil {
+		conn.Close()
+		return nil, ack, err
+	}
+	rd := wire.NewReader(conn, 0)
+	h, payload, err := rd.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return nil, ack, err
+	}
+	switch h.Type {
+	case wire.TypeHelloAck:
+		if err := wire.UnmarshalControl(payload, &ack); err != nil {
+			conn.Close()
+			return nil, ack, err
+		}
+		conn.SetDeadline(time.Time{})
+		return conn, ack, nil
+	case wire.TypeError:
+		var ep wire.ErrorPayload
+		conn.Close()
+		if err := wire.UnmarshalControl(payload, &ep); err != nil {
+			return nil, ack, err
+		}
+		return nil, ack, &RemoteError{Code: ep.Code, Message: ep.Message}
+	default:
+		conn.Close()
+		return nil, ack, fmt.Errorf("client: unexpected handshake frame %v", h.Type)
+	}
+}
+
+func (c *Client) writeLocked(frame []byte) error {
+	_, err := c.conn.Write(frame)
+	return err
+}
+
+func (c *Client) markDeadLocked() {
+	c.connDead = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+func (c *Client) pruneAckedLocked() {
+	i := 0
+	for i < len(c.unacked) && c.unacked[i].seq <= c.acked {
+		i++
+	}
+	if i > 0 {
+		c.unacked = append(c.unacked[:0], c.unacked[i:]...)
+	}
+}
+
+// receive is the per-connection reader: it applies acks (freeing the
+// window), captures the final report, and marks the connection dead on
+// any read error so the send path reconnects.
+func (c *Client) receive(conn net.Conn, gen int) {
+	rd := wire.NewReader(conn, 0)
+	for {
+		h, payload, err := rd.ReadFrame()
+		c.mu.Lock()
+		if c.gen != gen {
+			c.mu.Unlock()
+			return // superseded by a reconnect
+		}
+		if err != nil {
+			c.markDeadLocked()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		switch h.Type {
+		case wire.TypeAck, wire.TypeFlushAck:
+			if h.Seq > c.acked {
+				c.acked = h.Seq
+				c.pruneAckedLocked()
+			}
+			c.cond.Broadcast()
+		case wire.TypeReport:
+			var rep wire.Report
+			if err := wire.UnmarshalControl(payload, &rep); err != nil {
+				c.err = err
+			} else {
+				c.report = &rep
+				c.reportReady = true
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		case wire.TypeError:
+			var ep wire.ErrorPayload
+			if err := wire.UnmarshalControl(payload, &ep); err != nil {
+				c.err = err
+			} else {
+				c.err = &RemoteError{Code: ep.Code, Message: ep.Message}
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+	}
+}
+
+// ---- send path ----
+
+// flushBatch is the Encoder's Flush hook: it frames the batch, recycles
+// it, and hands the frame to the sender (async) or sends it inline and
+// waits for its ack (sync).
+func (c *Client) flushBatch(b *event.Batch) {
+	n := len(b.Recs)
+	c.mu.Lock()
+	c.batchSeq++
+	seq := c.batchSeq
+	session := c.sessionID
+	fatal := c.err != nil
+	c.mu.Unlock()
+	if fatal {
+		event.PutBatch(b)
+		return // the stream is already lost; drop cheaply
+	}
+	frame := wire.AppendBatchFrame(nil, wire.Header{Session: session, Seq: seq}, b)
+	event.PutBatch(b)
+	sf := sentFrame{seq: seq, data: frame, events: n}
+	if c.opts.Sync {
+		c.send(sf, true)
+		return
+	}
+	c.outbox <- sf // bounded; the sender always drains, even after errors
+}
+
+// sender is the async-mode writer goroutine.
+func (c *Client) sender() {
+	for sf := range c.outbox {
+		c.send(sf, false)
+	}
+	close(c.sendDone)
+}
+
+// send writes one frame, respecting the in-flight window, reconnecting as
+// needed; with waitAck it also blocks until the frame is acknowledged
+// (strict ordering). Fatal errors are recorded in c.err and the frame is
+// dropped.
+func (c *Client) send(sf sentFrame, waitAck bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.err == nil {
+		if c.connDead || c.conn == nil {
+			if c.connectLocked() != nil {
+				return
+			}
+			continue
+		}
+		if sf.seq-c.acked > uint64(c.window) {
+			c.cond.Wait() // window full: wait for acks (or conn death)
+			continue
+		}
+		if err := c.writeLocked(sf.data); err != nil {
+			c.markDeadLocked()
+			continue
+		}
+		c.unacked = append(c.unacked, sf)
+		c.stats.Batches++
+		c.stats.Events += uint64(sf.events)
+		break
+	}
+	if !waitAck {
+		return
+	}
+	for c.err == nil && c.acked < sf.seq {
+		if c.connDead || c.conn == nil {
+			if c.connectLocked() != nil {
+				return // reconnect replays unacked frames, including sf
+			}
+			continue
+		}
+		c.cond.Wait()
+	}
+}
+
+// ---- event.Sink ----
+
+// Read encodes a shared-memory read.
+func (c *Client) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	c.enc.Read(tid, addr, size, pc)
+}
+
+// Write encodes a shared-memory write.
+func (c *Client) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
+	c.enc.Write(tid, addr, size, pc)
+}
+
+// Acquire encodes a lock acquisition.
+func (c *Client) Acquire(tid vc.TID, l event.LockID) { c.enc.Acquire(tid, l) }
+
+// Release encodes a lock release.
+func (c *Client) Release(tid vc.TID, l event.LockID) { c.enc.Release(tid, l) }
+
+// AcquireShared encodes a rwlock read-lock.
+func (c *Client) AcquireShared(tid vc.TID, l event.LockID) { c.enc.AcquireShared(tid, l) }
+
+// ReleaseShared encodes a rwlock read-unlock.
+func (c *Client) ReleaseShared(tid vc.TID, l event.LockID) { c.enc.ReleaseShared(tid, l) }
+
+// Fork encodes thread creation.
+func (c *Client) Fork(parent, child vc.TID) { c.enc.Fork(parent, child) }
+
+// Join encodes a thread join.
+func (c *Client) Join(parent, child vc.TID) { c.enc.Join(parent, child) }
+
+// BarrierArrive encodes a barrier arrival.
+func (c *Client) BarrierArrive(tid vc.TID, b event.BarrierID) { c.enc.BarrierArrive(tid, b) }
+
+// BarrierDepart encodes a barrier departure.
+func (c *Client) BarrierDepart(tid vc.TID, b event.BarrierID) { c.enc.BarrierDepart(tid, b) }
+
+// Malloc encodes a heap allocation.
+func (c *Client) Malloc(tid vc.TID, addr, size uint64) { c.enc.Malloc(tid, addr, size) }
+
+// Free encodes a heap deallocation.
+func (c *Client) Free(tid vc.TID, addr, size uint64) { c.enc.Free(tid, addr, size) }
+
+// ---- shutdown ----
+
+// Close flushes the partial batch, drains the sender, sends the Close
+// frame and waits for the server's race report. It returns the report or
+// the first fatal transport error.
+func (c *Client) Close() (*wire.Report, error) {
+	c.enc.Close() // flush the partial batch through flushBatch
+	if !c.opts.Sync {
+		close(c.outbox)
+		<-c.sendDone
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if c.err != nil {
+			break
+		}
+		if c.connDead || c.conn == nil {
+			if c.connectLocked() != nil {
+				break
+			}
+		}
+		frame := wire.AppendFrame(nil, wire.Header{
+			Type: wire.TypeClose, Session: c.sessionID, Seq: c.batchSeq,
+		}, nil)
+		if err := c.writeLocked(frame); err != nil {
+			c.markDeadLocked()
+			continue
+		}
+		// Bound the report wait: the receiver's blocked read fails at the
+		// deadline and marks the connection dead, which wakes us.
+		c.conn.SetReadDeadline(time.Now().Add(c.opts.ReportTimeout))
+		for c.err == nil && !c.reportReady && !c.connDead {
+			c.cond.Wait()
+		}
+		if c.reportReady {
+			c.conn.Close()
+			return c.report, nil
+		}
+		// Connection died before the report arrived; reconnect resumes the
+		// session (the server has not seen Close, so it lingers) and
+		// retries the Close.
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	if c.err == nil {
+		c.err = fmt.Errorf("client: no report after %d close attempts", c.opts.MaxAttempts)
+	}
+	return nil, c.err
+}

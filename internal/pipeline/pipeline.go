@@ -171,6 +171,18 @@ func New(opts Options) *Pipeline {
 // Workers returns the worker count.
 func (p *Pipeline) Workers() int { return len(p.workers) }
 
+// QueueDepth returns the number of batches currently queued to workers
+// (not yet picked up). It is safe to call concurrently with routing; the
+// value is a snapshot, exported by the remote-detection server as its
+// per-session queue-depth gauge.
+func (p *Pipeline) QueueDepth() int {
+	depth := 0
+	for _, w := range p.workers {
+		depth += len(w.ch)
+	}
+	return depth
+}
+
 // push appends a record to worker w's pending batch, shipping the batch
 // when it reaches transport capacity.
 func (p *Pipeline) push(w int, r event.Rec) {

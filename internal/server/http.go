@@ -1,0 +1,88 @@
+// HTTP sidecar: liveness and metrics for racedetectd. The metrics page is
+// Prometheus text exposition format (counters suffixed _total, gauges
+// bare), so a standard scraper can graph sessions, batch/event throughput,
+// queue depths and races found without any extra dependency.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// MetricsSnapshot is a point-in-time view of the server's counters.
+type MetricsSnapshot struct {
+	SessionsActive  int64 // open sessions (attached + lingering)
+	SessionsTotal   int64 // sessions ever opened
+	SessionsAborted int64 // sessions dropped without a Close
+	BatchesTotal    int64 // batch frames applied
+	EventsTotal     int64 // event records applied
+	RacesTotal      int64 // races in completed sessions' reports
+	BytesReadTotal  int64 // wire bytes ingested (headers + payloads)
+	FramesRejected  int64 // frames refused (magic/CRC/size/protocol)
+	QueueDepth      int64 // batches queued to detection workers right now
+	UptimeSeconds   float64
+	Draining        bool
+}
+
+// Metrics returns a snapshot of the server counters and gauges.
+func (s *Server) Metrics() MetricsSnapshot {
+	m := MetricsSnapshot{
+		SessionsTotal:   s.sessionsTotal.Load(),
+		SessionsAborted: s.sessionsAborted.Load(),
+		BatchesTotal:    s.batchesTotal.Load(),
+		EventsTotal:     s.eventsTotal.Load(),
+		RacesTotal:      s.racesTotal.Load(),
+		BytesReadTotal:  s.bytesRead.Load(),
+		FramesRejected:  s.framesRejected.Load(),
+		UptimeSeconds:   time.Since(s.startTime).Seconds(),
+	}
+	s.mu.Lock()
+	m.SessionsActive = int64(len(s.sessions))
+	m.Draining = s.draining
+	for _, sess := range s.sessions {
+		m.QueueDepth += int64(sess.pl.QueueDepth())
+	}
+	s.mu.Unlock()
+	return m
+}
+
+// HTTPHandler returns the sidecar handler serving /healthz and /metrics.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		m := s.Metrics()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b int64
+		if m.Draining {
+			b = 1
+		}
+		writeMetric(w, "racedetectd_sessions_active", "gauge", "Open detection sessions (attached or lingering).", float64(m.SessionsActive))
+		writeMetric(w, "racedetectd_sessions_total", "counter", "Sessions ever opened.", float64(m.SessionsTotal))
+		writeMetric(w, "racedetectd_sessions_aborted_total", "counter", "Sessions dropped without a clean Close.", float64(m.SessionsAborted))
+		writeMetric(w, "racedetectd_batches_total", "counter", "Batch frames applied to detection pipelines.", float64(m.BatchesTotal))
+		writeMetric(w, "racedetectd_events_total", "counter", "Event records applied to detection pipelines.", float64(m.EventsTotal))
+		writeMetric(w, "racedetectd_races_total", "counter", "Races reported by completed sessions.", float64(m.RacesTotal))
+		writeMetric(w, "racedetectd_bytes_read_total", "counter", "Wire bytes ingested (headers and payloads).", float64(m.BytesReadTotal))
+		writeMetric(w, "racedetectd_frames_rejected_total", "counter", "Frames refused (bad magic, CRC, size, or protocol).", float64(m.FramesRejected))
+		writeMetric(w, "racedetectd_queue_depth", "gauge", "Batches queued to detection workers across sessions.", float64(m.QueueDepth))
+		writeMetric(w, "racedetectd_draining", "gauge", "1 while the server is shutting down.", float64(b))
+		writeMetric(w, "racedetectd_uptime_seconds", "gauge", "Seconds since the server started.", m.UptimeSeconds)
+	})
+	return mux
+}
+
+func writeMetric(w http.ResponseWriter, name, kind, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, kind, name, v)
+}

@@ -1,0 +1,658 @@
+// Package server implements racedetectd's ingest tier: a TCP server that
+// owns one sharded detection pipeline per client session, fed by the wire
+// protocol (internal/wire). It is the service face of the detector — the
+// happens-before analysis runs here, off the critical path of the traced
+// program, the way SmartTrack- and RV-Predict-style tools decouple
+// instrumentation from analysis.
+//
+// # Session model
+//
+// One Hello frame opens (or resumes) a session; a session owns one
+// pipeline.Pipeline configured from the negotiated granularity and shard
+// count. Batch frames are decoded into pooled batches and replayed into
+// the pipeline in sequence order; the server acknowledges applied batch
+// sequences on a negotiated cadence, which gives the client a bounded
+// in-flight window (backpressure: if the detection workers fall behind,
+// acks slow, the window fills, and the producer blocks instead of
+// ballooning server memory). Close drains the pipeline and returns the
+// merged race report.
+//
+// A connection drop without Close detaches the session; it lingers for
+// Options.SessionLinger so the client can reconnect and resume (replaying
+// only unacknowledged batches — the sequence numbers dedup the overlap),
+// after which it is aborted and its worker goroutines reclaimed.
+//
+// # Limits
+//
+// Per-connection read deadlines, a frame-size ceiling, and a session cap
+// bound the damage of slow, bloated, or excessive clients. Shutdown stops
+// accepting, aborts lingering sessions, and waits for live sessions to
+// finish until the context expires, then force-closes — the SIGTERM drain
+// path of cmd/racedetectd.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// Options configure a Server. The zero value is usable: every field has a
+// production-lean default.
+type Options struct {
+	// MaxSessions caps concurrently open sessions (default 64).
+	MaxSessions int
+	// MaxFrameBytes caps one frame's payload (default wire.DefaultMaxFrameBytes).
+	MaxFrameBytes uint32
+	// ReadTimeout is the per-frame read deadline (default 30s). A client
+	// that stalls longer is treated as disconnected.
+	ReadTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 10s).
+	WriteTimeout time.Duration
+	// Window caps the granted in-flight batch window (default 64).
+	Window int
+	// AckEvery caps the acknowledgement cadence in batches (default 8; the
+	// granted cadence never exceeds half the granted window).
+	AckEvery int
+	// MaxWorkers caps the per-session detection shard count a Hello may
+	// request (default 4; requests of 0 get 1).
+	MaxWorkers int
+	// SessionLinger keeps a detached session resumable after its
+	// connection drops before aborting it (default 10s).
+	SessionLinger time.Duration
+	// Logf, when non-nil, receives one line per session lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
+	}
+	if o.MaxFrameBytes == 0 {
+		o.MaxFrameBytes = wire.DefaultMaxFrameBytes
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.AckEvery <= 0 {
+		o.AckEvery = 8
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = 4
+	}
+	if o.SessionLinger <= 0 {
+		o.SessionLinger = 10 * time.Second
+	}
+	return o
+}
+
+// session is one client detection session. Its pipeline is fed only by
+// the connection that currently owns it; ownership hand-off (detach on
+// disconnect, attach on resume) is guarded by the server mutex.
+type session struct {
+	id       uint64
+	hello    wire.Hello
+	pl       *pipeline.Pipeline
+	window   int
+	ackEvery int
+
+	// lastSeq is the highest batch sequence applied; lastAcked the highest
+	// acknowledged. Only the owning connection touches them.
+	lastSeq   uint64
+	lastAcked uint64
+
+	attached bool        // guarded by Server.mu
+	conn     net.Conn    // owning connection while attached; guarded by Server.mu
+	linger   *time.Timer // guarded by Server.mu
+
+	// closedFrame is set on a session resumed from the closed-report
+	// cache: the detection work is done and only the encoded Report frame
+	// remains to re-deliver. Such a session has no pipeline.
+	closedFrame []byte
+}
+
+// closedReport retains a closed session's encoded Report frame for
+// SessionLinger, so a client whose connection died between the server
+// writing the report and reading it can resume and retry its Close —
+// without this window the report would be lost exactly once.
+type closedReport struct {
+	lastSeq  uint64
+	window   int
+	ackEvery int
+	frame    []byte
+	timer    *time.Timer
+}
+
+// Server accepts wire-protocol connections and runs detection sessions.
+type Server struct {
+	opts Options
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	sessions  map[uint64]*session
+	closed    map[uint64]*closedReport
+	nextID    uint64
+	draining  bool
+	wg        sync.WaitGroup
+
+	sessionsTotal   atomic.Int64
+	sessionsAborted atomic.Int64
+	batchesTotal    atomic.Int64
+	eventsTotal     atomic.Int64
+	racesTotal      atomic.Int64
+	bytesRead       atomic.Int64
+	framesRejected  atomic.Int64
+
+	startTime time.Time
+}
+
+// New returns a server with opts (zero-value fields defaulted).
+func New(opts Options) *Server {
+	return &Server{
+		opts:      opts.withDefaults(),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		sessions:  make(map[uint64]*session),
+		closed:    make(map[uint64]*closedReport),
+		startTime: time.Now(),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// ErrServerClosed is returned by Serve after Shutdown closes the listener.
+var ErrServerClosed = errors.New("server: closed")
+
+// ListenAndServe listens on addr (TCP) and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections from l until l is closed (by Shutdown or the
+// caller). Each connection runs its own handler goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Shutdown drains the server: it stops accepting, aborts lingering
+// detached sessions, and waits for active connections to finish until ctx
+// expires, after which remaining connections are force-closed (their
+// sessions are aborted cleanly — pipelines drained, goroutines reclaimed).
+// Returns nil on a clean drain, ctx.Err() when force-close was needed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	// Abort sessions nobody is attached to; nothing will resume them now.
+	var detached []*session
+	for _, sess := range s.sessions {
+		if !sess.attached {
+			detached = append(detached, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range detached {
+		s.abortSession(sess)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// ---- connection handling ----
+
+// protoErr is a session-fatal protocol violation reported to the client.
+type protoErr struct {
+	code string
+	msg  string
+}
+
+func (e *protoErr) Error() string { return fmt.Sprintf("%s: %s", e.code, e.msg) }
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	var sess *session
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		if sess != nil {
+			s.detachSession(sess)
+		}
+	}()
+
+	rd := wire.NewReader(conn, s.opts.MaxFrameBytes)
+	var scratch []byte
+	var prevBytes int64
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		h, payload, err := rd.ReadFrame()
+		if cur := int64(rd.PayloadBytes()) + int64(rd.Frames())*wire.HeaderSize; cur != prevBytes {
+			s.bytesRead.Add(cur - prevBytes)
+			prevBytes = cur
+		}
+		if err != nil {
+			if errors.Is(err, wire.ErrBadMagic) || errors.Is(err, wire.ErrCRC) || errors.Is(err, wire.ErrTooLarge) {
+				s.framesRejected.Add(1)
+				scratch = s.writeError(conn, scratch, wire.CodeProtocol, err.Error())
+			}
+			return
+		}
+		sess, scratch, err = s.dispatch(conn, sess, h, payload, scratch)
+		if err != nil {
+			var pe *protoErr
+			if errors.As(err, &pe) {
+				s.framesRejected.Add(1)
+				scratch = s.writeError(conn, scratch, pe.code, pe.msg)
+			}
+			return
+		}
+		if sess == nil && h.Type == wire.TypeClose {
+			return // clean end of session
+		}
+	}
+}
+
+// dispatch handles one decoded frame. It returns the (possibly changed)
+// session; a *protoErr error is reported to the client before the
+// connection closes.
+func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload []byte, scratch []byte) (*session, []byte, error) {
+	out := scratch
+	switch h.Type {
+	case wire.TypeHello:
+		if sess != nil {
+			return sess, out, &protoErr{wire.CodeProtocol, "duplicate hello"}
+		}
+		var hello wire.Hello
+		if err := wire.UnmarshalControl(payload, &hello); err != nil {
+			return nil, out, &protoErr{wire.CodeProtocol, err.Error()}
+		}
+		newSess, ack, err := s.openSession(hello, conn)
+		if err != nil {
+			return nil, out, err
+		}
+		out = out[:0]
+		out, merr := wire.AppendControlFrame(out, wire.Header{Type: wire.TypeHelloAck, Session: newSess.id}, ack)
+		if merr != nil {
+			s.detachSession(newSess)
+			return nil, out, merr
+		}
+		if werr := s.writeFrame(conn, out); werr != nil {
+			s.detachSession(newSess)
+			return nil, out, werr
+		}
+		if newSess.closedFrame != nil {
+			s.logf("session %d: resumed after close (report pending re-delivery)", newSess.id)
+		} else {
+			s.logf("session %d: %s (granularity %s, %d workers, window %d, resume-seq %d)",
+				newSess.id, map[bool]string{true: "resumed", false: "opened"}[hello.Resume != 0],
+				detector.Granularity(hello.Granularity), newSess.pl.Workers(), newSess.window, ack.ResumeSeq)
+		}
+		return newSess, out, nil
+
+	case wire.TypeBatch:
+		if sess == nil {
+			return nil, out, &protoErr{wire.CodeNoSession, "batch before hello"}
+		}
+		if h.Seq <= sess.lastSeq {
+			// Duplicate from a resume replay; acknowledge so the client's
+			// window frees up, but do not re-apply.
+			out = out[:0]
+			out = wire.AppendFrame(out, wire.Header{Type: wire.TypeAck, Session: sess.id, Seq: sess.lastSeq}, nil)
+			sess.lastAcked = sess.lastSeq
+			return sess, out, s.writeFrame(conn, out)
+		}
+		if sess.closedFrame != nil {
+			// Resumed after a clean close: every real batch was already
+			// applied (the dedup branch above covers replays), so a new
+			// sequence number cannot be legitimate.
+			return sess, out, &protoErr{wire.CodeProtocol,
+				fmt.Sprintf("batch %d after session close", h.Seq)}
+		}
+		if h.Seq != sess.lastSeq+1 {
+			return sess, out, &protoErr{wire.CodeProtocol,
+				fmt.Sprintf("batch sequence gap: got %d, want %d", h.Seq, sess.lastSeq+1)}
+		}
+		b, err := wire.DecodeBatch(payload)
+		if err != nil {
+			return sess, out, &protoErr{wire.CodeProtocol, err.Error()}
+		}
+		n := len(b.Recs)
+		b.Apply(sess.pl)
+		event.PutBatch(b)
+		sess.lastSeq = h.Seq
+		s.batchesTotal.Add(1)
+		s.eventsTotal.Add(int64(n))
+		if sess.lastSeq-sess.lastAcked >= uint64(sess.ackEvery) {
+			out = out[:0]
+			out = wire.AppendFrame(out, wire.Header{Type: wire.TypeAck, Session: sess.id, Seq: sess.lastSeq}, nil)
+			sess.lastAcked = sess.lastSeq
+			return sess, out, s.writeFrame(conn, out)
+		}
+		return sess, out, nil
+
+	case wire.TypeFlush:
+		if sess == nil {
+			return nil, out, &protoErr{wire.CodeNoSession, "flush before hello"}
+		}
+		out = out[:0]
+		out = wire.AppendFrame(out, wire.Header{Type: wire.TypeFlushAck, Session: sess.id, Seq: sess.lastSeq}, nil)
+		sess.lastAcked = sess.lastSeq
+		return sess, out, s.writeFrame(conn, out)
+
+	case wire.TypeClose:
+		if sess == nil {
+			return nil, out, &protoErr{wire.CodeNoSession, "close before hello"}
+		}
+		if sess.closedFrame != nil {
+			// Re-deliver the retained report to a client that lost its
+			// connection after the original Close was processed.
+			if werr := s.writeFrame(conn, sess.closedFrame); werr != nil {
+				return sess, out, werr
+			}
+			s.dropClosed(sess.id)
+			s.logf("session %d: report re-delivered", sess.id)
+			return nil, out, nil
+		}
+		res := sess.pl.Wait() // idempotent: a retried Close reuses the merged result
+		rep := wire.FromResult(res)
+		out = out[:0]
+		out, merr := wire.AppendControlFrame(out, wire.Header{Type: wire.TypeReport, Session: sess.id, Seq: sess.lastSeq}, rep)
+		if merr != nil {
+			return nil, out, merr
+		}
+		if werr := s.writeFrame(conn, out); werr != nil {
+			// The client never saw the report; keep the session so a
+			// reconnect can resume and retry the Close.
+			return sess, out, werr
+		}
+		s.racesTotal.Add(int64(len(rep.Races)))
+		s.retireSession(sess, out)
+		s.logf("session %d: closed (%d batches, %d events, %d races)",
+			sess.id, sess.lastSeq, res.Events, len(rep.Races))
+		return nil, out, nil
+
+	default:
+		return sess, out, &protoErr{wire.CodeProtocol, fmt.Sprintf("unexpected frame %v", h.Type)}
+	}
+}
+
+func (s *Server) writeFrame(conn net.Conn, frame []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	_, err := conn.Write(frame)
+	return err
+}
+
+func (s *Server) writeError(conn net.Conn, scratch []byte, code, msg string) []byte {
+	out := scratch[:0]
+	out, err := wire.AppendControlFrame(out, wire.Header{Type: wire.TypeError}, wire.ErrorPayload{Code: code, Message: msg})
+	if err == nil {
+		s.writeFrame(conn, out)
+	}
+	return out
+}
+
+// ---- session lifecycle ----
+
+// openSession validates a Hello and creates a new session or resumes a
+// detached one.
+func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.HelloAck, error) {
+	var ack wire.HelloAck
+	if hello.Version != wire.Version {
+		return nil, ack, &protoErr{wire.CodeBadVersion,
+			fmt.Sprintf("protocol version %d, want %d", hello.Version, wire.Version)}
+	}
+	if g := detector.Granularity(hello.Granularity); g != detector.Byte && g != detector.Word && g != detector.Dynamic {
+		return nil, ack, &protoErr{wire.CodeBadOptions, fmt.Sprintf("unknown granularity %d", hello.Granularity)}
+	}
+	if hello.Workers < 0 {
+		return nil, ack, &protoErr{wire.CodeBadOptions, fmt.Sprintf("negative workers %d", hello.Workers)}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ack, &protoErr{wire.CodeDraining, "server is draining"}
+	}
+
+	if hello.Resume != 0 {
+		sess, ok := s.sessions[hello.Resume]
+		if !ok {
+			if cr, ok := s.closed[hello.Resume]; ok {
+				// The session closed cleanly but the client may not have
+				// received the report; hand back a pipeline-less session
+				// that can only re-deliver the retained report frame.
+				sess := &session{
+					id: hello.Resume, window: cr.window, ackEvery: cr.ackEvery,
+					lastSeq: cr.lastSeq, lastAcked: cr.lastSeq,
+					closedFrame: cr.frame, attached: true,
+				}
+				ack = wire.HelloAck{SessionID: sess.id, Window: cr.window,
+					AckEvery: cr.ackEvery, ResumeSeq: cr.lastSeq}
+				return sess, ack, nil
+			}
+			return nil, ack, &protoErr{wire.CodeNoSession,
+				fmt.Sprintf("session %d not resumable (expired or never existed)", hello.Resume)}
+		}
+		if sess.attached {
+			// The resume raced the old connection's teardown (the client
+			// noticed the drop before we did). Close the stale connection
+			// so its handler detaches promptly, and tell the client to
+			// retry — CodeBusy is transient, not permanent.
+			if sess.conn != nil {
+				sess.conn.Close()
+			}
+			return nil, ack, &protoErr{wire.CodeBusy,
+				fmt.Sprintf("session %d still attached to its previous connection; retry", hello.Resume)}
+		}
+		if sess.linger != nil {
+			sess.linger.Stop()
+			sess.linger = nil
+		}
+		sess.attached = true
+		sess.conn = conn
+		ack = wire.HelloAck{SessionID: sess.id, Window: sess.window, AckEvery: sess.ackEvery, ResumeSeq: sess.lastSeq}
+		return sess, ack, nil
+	}
+
+	if len(s.sessions) >= s.opts.MaxSessions {
+		return nil, ack, &protoErr{wire.CodeSessionLimit,
+			fmt.Sprintf("session limit %d reached", s.opts.MaxSessions)}
+	}
+	workers := hello.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > s.opts.MaxWorkers {
+		workers = s.opts.MaxWorkers
+	}
+	window := hello.Window
+	if window <= 0 || window > s.opts.Window {
+		window = s.opts.Window
+	}
+	ackEvery := s.opts.AckEvery
+	if ackEvery > window/2 {
+		ackEvery = window / 2
+	}
+	if ackEvery < 1 {
+		ackEvery = 1
+	}
+	s.nextID++
+	sess := &session{
+		id:    s.nextID,
+		hello: hello,
+		pl: pipeline.New(pipeline.Options{
+			Workers: workers,
+			Detector: detector.Config{
+				Granularity:      detector.Granularity(hello.Granularity),
+				NoInitState:      hello.NoInitState,
+				NoInitSharing:    hello.NoInitSharing,
+				WriteGuidedReads: hello.WriteGuidedReads,
+				ReadReset:        hello.ReadReset,
+				ReshareInterval:  hello.ReshareInterval,
+			},
+		}),
+		window:   window,
+		ackEvery: ackEvery,
+		attached: true,
+		conn:     conn,
+	}
+	s.sessions[sess.id] = sess
+	s.sessionsTotal.Add(1)
+	ack = wire.HelloAck{SessionID: sess.id, Window: window, AckEvery: ackEvery}
+	return sess, ack, nil
+}
+
+// detachSession is called when a connection drops without Close: the
+// session lingers for resume, then is aborted.
+func (s *Server) detachSession(sess *session) {
+	s.mu.Lock()
+	if _, live := s.sessions[sess.id]; !live {
+		s.mu.Unlock()
+		return // already closed by a Close frame
+	}
+	sess.attached = false
+	sess.conn = nil
+	if s.draining {
+		s.mu.Unlock()
+		s.abortSession(sess)
+		return
+	}
+	sess.linger = time.AfterFunc(s.opts.SessionLinger, func() { s.abortSession(sess) })
+	s.mu.Unlock()
+	s.logf("session %d: detached (lingering %v for resume)", sess.id, s.opts.SessionLinger)
+}
+
+// abortSession discards a session that will never complete: the pipeline
+// is drained so its worker goroutines exit, and the partial result is
+// dropped.
+func (s *Server) abortSession(sess *session) {
+	s.mu.Lock()
+	if _, live := s.sessions[sess.id]; !live || sess.attached {
+		// Already closed, or resumed between the linger firing and now.
+		s.mu.Unlock()
+		return
+	}
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	sess.pl.Wait()
+	s.sessionsAborted.Add(1)
+	s.logf("session %d: aborted (client never closed)", sess.id)
+}
+
+// retireSession removes a cleanly closed session and retains its encoded
+// Report frame for SessionLinger. TCP write success does not mean the
+// client read the report — if the connection dies in that window, the
+// client resumes the session id and retries its Close against the
+// retained frame instead of losing the report forever.
+func (s *Server) retireSession(sess *session, reportFrame []byte) {
+	cr := &closedReport{
+		lastSeq:  sess.lastSeq,
+		window:   sess.window,
+		ackEvery: sess.ackEvery,
+		frame:    append([]byte(nil), reportFrame...),
+	}
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	if sess.linger != nil {
+		sess.linger.Stop()
+		sess.linger = nil
+	}
+	cr.timer = time.AfterFunc(s.opts.SessionLinger, func() { s.dropClosed(sess.id) })
+	s.closed[sess.id] = cr
+	s.mu.Unlock()
+}
+
+// dropClosed discards a retained closed-session report.
+func (s *Server) dropClosed(id uint64) {
+	s.mu.Lock()
+	if cr, ok := s.closed[id]; ok {
+		cr.timer.Stop()
+		delete(s.closed, id)
+	}
+	s.mu.Unlock()
+}
+
+// SessionCount returns the number of open sessions (attached or
+// lingering).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

@@ -100,10 +100,10 @@ func NewRunner(cfg Config) *Runner {
 func (r *Runner) Specs() []workloads.Spec { return r.specs }
 
 func optsKey(o race.Options) string {
-	return fmt.Sprintf("%v/%v/nis=%v/nish=%v/wgr=%v/rs=%d/mem=%d/to=%v/w=%d/me=%d",
+	return fmt.Sprintf("%v/%v/nis=%v/nish=%v/wgr=%v/rs=%d/mem=%d/to=%v/w=%d/me=%d/rem=%s/rsync=%v",
 		o.Tool, o.Granularity, o.NoInitState, o.NoInitSharing,
 		o.WriteGuidedReads, o.ReshareInterval, o.MemLimitBytes, o.Timeout,
-		o.Workers, o.MaxEvents)
+		o.Workers, o.MaxEvents, o.Remote, o.RemoteSync)
 }
 
 // bestDuration returns the minimum of ds: for a deterministic CPU-bound

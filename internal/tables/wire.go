@@ -1,0 +1,208 @@
+package tables
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"runtime"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/server"
+	"repro/internal/vc"
+	"repro/internal/wire"
+	"repro/race"
+)
+
+// DefaultWireBatchSizes is the batch-size sweep of the encode/decode
+// micro-bench: a small batch (framing overhead dominates), the encoder's
+// default, and a large batch (payload throughput dominates).
+var DefaultWireBatchSizes = []int{64, event.DefaultBatchSize, 8192}
+
+// WireCodecRow is one batch size of the encode/decode micro-bench: how
+// fast a batch can be framed and how fast a frame can be decoded back
+// into a pooled batch, with no network or detector in the path.
+type WireCodecRow struct {
+	BatchRecs     int     `json:"batch_recs"`
+	FrameBytes    int     `json:"frame_bytes"`
+	BytesPerEvent float64 `json:"bytes_per_event"`
+	// EncodeEventsPerSec / DecodeEventsPerSec are record throughputs of
+	// AppendBatchFrame and ReadFrame+DecodeBatch respectively.
+	EncodeEventsPerSec float64 `json:"encode_events_per_sec"`
+	DecodeEventsPerSec float64 `json:"decode_events_per_sec"`
+	EncodeMBPerSec     float64 `json:"encode_mb_per_sec"`
+	DecodeMBPerSec     float64 `json:"decode_mb_per_sec"`
+}
+
+// wireBenchRecs builds a deterministic batch of n access-heavy records.
+func wireBenchRecs(n int, seed int64) []event.Rec {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]event.Rec, n)
+	for i := range recs {
+		op := event.OpRead
+		if i%3 == 0 {
+			op = event.OpWrite
+		}
+		recs[i] = event.Rec{
+			Op: op, Tid: vc.TID(rng.Intn(8)),
+			Addr: 0x10000 + uint64(rng.Intn(1<<20)),
+			Size: 4, PC: event.PC(rng.Uint32()), Seq: uint64(i),
+		}
+	}
+	return recs
+}
+
+// WireCodecBench measures frame encode and decode throughput for each
+// batch size, without touching the network.
+func WireCodecBench(batchSizes []int) []WireCodecRow {
+	if len(batchSizes) == 0 {
+		batchSizes = DefaultWireBatchSizes
+	}
+	const target = 50 * time.Millisecond
+	rows := make([]WireCodecRow, 0, len(batchSizes))
+	for _, n := range batchSizes {
+		b := &event.Batch{Recs: wireBenchRecs(n, int64(n))}
+		h := wire.Header{Session: 1}
+		frame := wire.AppendBatchFrame(nil, h, b)
+
+		// Encode: reuse the buffer, as the client's flush path does.
+		buf := frame[:0]
+		iters, elapsed := 0, time.Duration(0)
+		for start := time.Now(); elapsed < target; elapsed = time.Since(start) {
+			buf = wire.AppendBatchFrame(buf[:0], h, b)
+			iters++
+		}
+		encEPS := float64(iters) * float64(n) / elapsed.Seconds()
+
+		// Decode: frame reader + batch decode into a pooled batch.
+		payload := frame[wire.HeaderSize:]
+		iters, elapsed = 0, 0
+		for start := time.Now(); elapsed < target; elapsed = time.Since(start) {
+			got, err := wire.DecodeBatch(payload)
+			if err != nil {
+				panic(err)
+			}
+			event.PutBatch(got)
+			iters++
+		}
+		decEPS := float64(iters) * float64(n) / elapsed.Seconds()
+
+		perEvent := float64(len(frame)) / float64(n)
+		rows = append(rows, WireCodecRow{
+			BatchRecs:          n,
+			FrameBytes:         len(frame),
+			BytesPerEvent:      perEvent,
+			EncodeEventsPerSec: encEPS,
+			DecodeEventsPerSec: decEPS,
+			EncodeMBPerSec:     encEPS * perEvent / (1 << 20),
+			DecodeMBPerSec:     decEPS * perEvent / (1 << 20),
+		})
+	}
+	return rows
+}
+
+// RemoteRow compares one benchmark run in-process against the same run
+// streamed to a loopback racedetectd: the Overhead column is the cost of
+// the wire protocol plus a process-boundary detector (lower bound, since
+// loopback has no real network latency).
+type RemoteRow struct {
+	Program       string  `json:"program"`
+	LocalSeconds  float64 `json:"local_seconds"`
+	RemoteSeconds float64 `json:"remote_seconds"`
+	// Overhead is RemoteSeconds / LocalSeconds for the same seed and
+	// granularity (local runs the serial detector).
+	Overhead     float64 `json:"overhead"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Batches      uint64  `json:"batches"`
+	Races        int     `json:"races"`
+}
+
+// RemoteBench runs the runner's benchmarks at dynamic granularity twice —
+// in-process and through a loopback detection server — and reports the
+// remote overhead. The loopback server lives for the duration of the
+// sweep.
+func (r *Runner) RemoteBench() ([]RemoteRow, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Options{})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	}()
+	addr := l.Addr().String()
+
+	var rows []RemoteRow
+	for _, s := range r.specs {
+		local := r.Report(s, race.Options{Granularity: race.Dynamic})
+		prog := s.Build(r.cfg.Scale)
+		var remote race.Report
+		times := make([]time.Duration, 0, r.cfg.TimingRuns)
+		for i := 0; i < r.cfg.TimingRuns; i++ {
+			runtime.GC()
+			remote, err = race.RunE(prog, race.Options{
+				Granularity: race.Dynamic, Seed: r.cfg.Seed,
+				Workers: 2, Remote: addr,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: remote run: %w", s.Name, err)
+			}
+			times = append(times, remote.Elapsed)
+		}
+		row := RemoteRow{
+			Program:       s.Name,
+			LocalSeconds:  local.Elapsed.Seconds(),
+			RemoteSeconds: bestDuration(times).Seconds(),
+			Races:         len(remote.Races),
+		}
+		if row.LocalSeconds > 0 {
+			row.Overhead = row.RemoteSeconds / row.LocalSeconds
+		}
+		if row.RemoteSeconds > 0 {
+			row.EventsPerSec = float64(remote.Run.Events) / row.RemoteSeconds
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WireBenchJSON is the machine-readable BENCH_wire.json document: the
+// codec micro-bench plus the loopback remote-overhead sweep.
+type WireBenchJSON struct {
+	Config struct {
+		Scale      int   `json:"scale"`
+		Seed       int64 `json:"seed"`
+		GOMAXPROCS int   `json:"gomaxprocs"`
+		RecBytes   int   `json:"rec_bytes"`
+		HeaderSize int   `json:"header_size"`
+	} `json:"config"`
+	Codec  []WireCodecRow `json:"codec"`
+	Remote []RemoteRow    `json:"remote"`
+}
+
+// WriteWireJSON runs both wire benches and writes BENCH_wire.json.
+func (r *Runner) WriteWireJSON(w io.Writer, batchSizes []int) error {
+	var out WireBenchJSON
+	out.Config.Scale = r.cfg.Scale
+	out.Config.Seed = r.cfg.Seed
+	out.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	out.Config.RecBytes = wire.RecSize
+	out.Config.HeaderSize = wire.HeaderSize
+	out.Codec = WireCodecBench(batchSizes)
+	rows, err := r.RemoteBench()
+	if err != nil {
+		return err
+	}
+	out.Remote = rows
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

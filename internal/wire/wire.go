@@ -1,0 +1,431 @@
+// Package wire is the network framing of the detection event stream: a
+// versioned, length-prefixed binary encoding of event.Batch plus the
+// session control frames (Hello/HelloAck negotiation, Ack windowing,
+// Flush, Close/Report) that let an instrumented producer stream its
+// events to a remote racedetectd and retrieve the race report when the
+// run ends.
+//
+// # Frame layout
+//
+// Every frame is a fixed 32-byte header followed by a payload:
+//
+//	offset  size  field
+//	0       4     magic "RDw1" (protocol version is part of the magic)
+//	4       1     frame type (Hello, Batch, Ack, ...)
+//	5       1     flags (reserved, must be 0)
+//	6       2     shard hint (little-endian uint16; 0 = unsharded stream)
+//	8       8     session id
+//	16      8     sequence number (meaning depends on frame type)
+//	24      4     payload length
+//	28      4     CRC-32C (Castagnoli) of the payload
+//	32      ...   payload
+//
+// Batch payloads are a packed array of 37-byte records (one per
+// event.Rec); control payloads are JSON, which keeps negotiation
+// extensible without burning protocol versions. The shard hint lets a
+// multi-process ingest tier route frames to shard queues without decoding
+// the payload; the reference client always streams the full event stream
+// of one execution and sets it to 0.
+//
+// # Sequence numbers and windowing
+//
+// Batch frames carry a per-session, strictly increasing batch sequence
+// number starting at 1. The server acknowledges progress with Ack frames
+// whose sequence is the highest batch applied; the client keeps at most a
+// negotiated window of unacknowledged batches in flight, which bounds both
+// client resend memory and server ingest queues (backpressure). A batch
+// whose sequence is not lastApplied+1 is either a duplicate from a resume
+// replay (seq <= lastApplied: acknowledged and dropped) or a protocol
+// error (a gap).
+//
+// Decoding is allocation-recycled: Reader reuses one payload buffer, and
+// DecodeBatch fills batches from event's sync.Pool, so a server ingesting
+// a steady stream allocates nothing per frame.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+// Magic identifies protocol version 1 frames ("RDw1" little-endian).
+const Magic uint32 = 0x31774452
+
+// Version is the protocol version negotiated in Hello frames. It is
+// carried redundantly with the magic so a future magic-compatible revision
+// can still refuse clients by version.
+const Version = 1
+
+// HeaderSize is the fixed frame-header length in bytes.
+const HeaderSize = 32
+
+// RecSize is the packed on-wire size of one event record.
+const RecSize = 37
+
+// DefaultMaxFrameBytes bounds the payload length a Reader accepts. One
+// full event.Batch is DefaultBatchSize*RecSize ≈ 76 KiB; 1 MiB leaves
+// generous headroom for report payloads while keeping a malicious length
+// prefix from ballooning server memory.
+const DefaultMaxFrameBytes = 1 << 20
+
+// Type enumerates the frame types.
+type Type uint8
+
+// Frame types. Client→server: Hello, Batch, Flush, Close. Server→client:
+// HelloAck, Ack, FlushAck, Report, Error.
+const (
+	TypeHello Type = 1 + iota
+	TypeHelloAck
+	TypeBatch
+	TypeAck
+	TypeFlush
+	TypeFlushAck
+	TypeClose
+	TypeReport
+	TypeError
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeHelloAck:
+		return "hello-ack"
+	case TypeBatch:
+		return "batch"
+	case TypeAck:
+		return "ack"
+	case TypeFlush:
+		return "flush"
+	case TypeFlushAck:
+		return "flush-ack"
+	case TypeClose:
+		return "close"
+	case TypeReport:
+		return "report"
+	case TypeError:
+		return "error"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Header is the decoded fixed frame header (CRC and length are handled by
+// the codec and not exposed).
+type Header struct {
+	Type    Type
+	Flags   uint8
+	Shard   uint16
+	Session uint64
+	Seq     uint64
+}
+
+// Framing errors. Reader returns ErrBadMagic/ErrTooLarge/ErrCRC for frames
+// that must not be processed; io errors (including io.ErrUnexpectedEOF for
+// truncation) pass through unchanged.
+var (
+	ErrBadMagic = errors.New("wire: bad frame magic")
+	ErrTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrCRC      = errors.New("wire: payload CRC mismatch")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one framed payload to dst and returns the extended
+// slice. The payload may be nil (control frames without a body).
+func AppendFrame(dst []byte, h Header, payload []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	putHeader(dst[off:], h, uint32(len(payload)), crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+func putHeader(b []byte, h Header, length, crc uint32) {
+	binary.LittleEndian.PutUint32(b[0:], Magic)
+	b[4] = byte(h.Type)
+	b[5] = h.Flags
+	binary.LittleEndian.PutUint16(b[6:], h.Shard)
+	binary.LittleEndian.PutUint64(b[8:], h.Session)
+	binary.LittleEndian.PutUint64(b[16:], h.Seq)
+	binary.LittleEndian.PutUint32(b[24:], length)
+	binary.LittleEndian.PutUint32(b[28:], crc)
+}
+
+// AppendBatchFrame encodes b's records as a Batch frame appended to dst.
+// The frame's sequence number is h.Seq (the caller's batch counter); the
+// records' own Seq fields ride along inside the payload so a decoded batch
+// is bit-identical to the encoded one.
+func AppendBatchFrame(dst []byte, h Header, b *event.Batch) []byte {
+	h.Type = TypeBatch
+	off := len(dst)
+	n := len(b.Recs) * RecSize
+	dst = append(dst, make([]byte, HeaderSize+n)...)
+	payload := dst[off+HeaderSize:]
+	for i := range b.Recs {
+		PutRec(payload[i*RecSize:], &b.Recs[i])
+	}
+	putHeader(dst[off:], h, uint32(n), crc32.Checksum(payload[:n], castagnoli))
+	return dst
+}
+
+// PutRec packs one record into b (little-endian, RecSize bytes):
+//
+//	0   Op    uint8
+//	1   Tid   int32
+//	5   Size  uint32
+//	9   PC    uint32
+//	13  Addr  uint64
+//	21  Aux   uint64
+//	29  Seq   uint64
+func PutRec(b []byte, r *event.Rec) {
+	_ = b[RecSize-1]
+	b[0] = byte(r.Op)
+	binary.LittleEndian.PutUint32(b[1:], uint32(r.Tid))
+	binary.LittleEndian.PutUint32(b[5:], r.Size)
+	binary.LittleEndian.PutUint32(b[9:], uint32(r.PC))
+	binary.LittleEndian.PutUint64(b[13:], r.Addr)
+	binary.LittleEndian.PutUint64(b[21:], r.Aux)
+	binary.LittleEndian.PutUint64(b[29:], r.Seq)
+}
+
+// GetRec unpacks one record from b (the inverse of PutRec).
+func GetRec(b []byte, r *event.Rec) {
+	_ = b[RecSize-1]
+	r.Op = event.Op(b[0])
+	r.Tid = vc.TID(binary.LittleEndian.Uint32(b[1:]))
+	r.Size = binary.LittleEndian.Uint32(b[5:])
+	r.PC = event.PC(binary.LittleEndian.Uint32(b[9:]))
+	r.Addr = binary.LittleEndian.Uint64(b[13:])
+	r.Aux = binary.LittleEndian.Uint64(b[21:])
+	r.Seq = binary.LittleEndian.Uint64(b[29:])
+}
+
+// MaxOp is the highest valid operation code; DecodeBatchInto rejects
+// records beyond it so corrupted frames cannot smuggle unknown ops into a
+// detector dispatch.
+const MaxOp = event.OpFree
+
+// DecodeBatchInto decodes a Batch payload into b (appending to b.Recs).
+// The payload must be a whole number of records with valid op codes.
+func DecodeBatchInto(payload []byte, b *event.Batch) error {
+	if len(payload)%RecSize != 0 {
+		return fmt.Errorf("wire: batch payload length %d is not a multiple of %d", len(payload), RecSize)
+	}
+	n := len(payload) / RecSize
+	for i := 0; i < n; i++ {
+		var r event.Rec
+		GetRec(payload[i*RecSize:], &r)
+		if r.Op > MaxOp {
+			return fmt.Errorf("wire: record %d has unknown op %d", i, r.Op)
+		}
+		b.Recs = append(b.Recs, r)
+	}
+	return nil
+}
+
+// DecodeBatch decodes a Batch payload into a pooled batch. The caller owns
+// the batch and should return it with event.PutBatch.
+func DecodeBatch(payload []byte) (*event.Batch, error) {
+	b := event.GetBatch()
+	if err := DecodeBatchInto(payload, b); err != nil {
+		event.PutBatch(b)
+		return nil, err
+	}
+	return b, nil
+}
+
+// Reader decodes frames from a byte stream, reusing one payload buffer
+// across calls (the returned payload is valid only until the next
+// ReadFrame).
+type Reader struct {
+	r        io.Reader
+	max      uint32
+	head     [HeaderSize]byte
+	payload  []byte
+	nFrames  uint64
+	nPayload uint64
+}
+
+// NewReader wraps r with the given payload size limit (0 selects
+// DefaultMaxFrameBytes).
+func NewReader(r io.Reader, maxFrameBytes uint32) *Reader {
+	if maxFrameBytes == 0 {
+		maxFrameBytes = DefaultMaxFrameBytes
+	}
+	return &Reader{r: r, max: maxFrameBytes}
+}
+
+// Frames returns the number of frames decoded; PayloadBytes the payload
+// bytes consumed. Servers export both as metrics.
+func (rd *Reader) Frames() uint64 { return rd.nFrames }
+
+// PayloadBytes returns the total payload bytes decoded.
+func (rd *Reader) PayloadBytes() uint64 { return rd.nPayload }
+
+// ReadFrame reads and validates one frame. It returns io.EOF only on a
+// clean boundary (no bytes of a new frame read); a frame truncated mid-way
+// returns io.ErrUnexpectedEOF.
+func (rd *Reader) ReadFrame() (Header, []byte, error) {
+	var h Header
+	if _, err := io.ReadFull(rd.r, rd.head[:]); err != nil {
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			// io.ReadFull returns EOF only when zero bytes were read.
+			return h, nil, err
+		}
+		return h, nil, err
+	}
+	if binary.LittleEndian.Uint32(rd.head[0:]) != Magic {
+		return h, nil, ErrBadMagic
+	}
+	h.Type = Type(rd.head[4])
+	h.Flags = rd.head[5]
+	h.Shard = binary.LittleEndian.Uint16(rd.head[6:])
+	h.Session = binary.LittleEndian.Uint64(rd.head[8:])
+	h.Seq = binary.LittleEndian.Uint64(rd.head[16:])
+	length := binary.LittleEndian.Uint32(rd.head[24:])
+	crc := binary.LittleEndian.Uint32(rd.head[28:])
+	if length > rd.max {
+		return h, nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, length, rd.max)
+	}
+	if cap(rd.payload) < int(length) {
+		rd.payload = make([]byte, length)
+	}
+	payload := rd.payload[:length]
+	if _, err := io.ReadFull(rd.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return h, nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return h, nil, ErrCRC
+	}
+	rd.nFrames++
+	rd.nPayload += uint64(length)
+	return h, payload, nil
+}
+
+// ---- control payloads ----
+
+// Hello is the client's opening negotiation. Granularity and the detector
+// knobs mirror detector.Config; Workers requests the server-side shard
+// count (0 lets the server choose). Resume names an existing session to
+// re-attach to after a connection drop; the server replies with the last
+// batch sequence it applied so the client can replay only unacknowledged
+// batches.
+type Hello struct {
+	Version          int    `json:"version"`
+	Resume           uint64 `json:"resume,omitempty"`
+	Granularity      uint8  `json:"granularity"`
+	Workers          int    `json:"workers"`
+	Window           int    `json:"window"`
+	NoInitState      bool   `json:"no_init_state,omitempty"`
+	NoInitSharing    bool   `json:"no_init_sharing,omitempty"`
+	WriteGuidedReads bool   `json:"write_guided_reads,omitempty"`
+	ReadReset        bool   `json:"read_reset,omitempty"`
+	ReshareInterval  uint8  `json:"reshare_interval,omitempty"`
+}
+
+// HelloAck is the server's negotiation reply. Window is the granted
+// in-flight batch window (≤ the requested one); AckEvery is the server's
+// acknowledgement cadence (always ≤ Window/2, or 1, so the window cannot
+// wedge); ResumeSeq is the last applied batch sequence (0 for a fresh
+// session).
+type HelloAck struct {
+	SessionID uint64 `json:"session_id"`
+	Window    int    `json:"window"`
+	AckEvery  int    `json:"ack_every"`
+	ResumeSeq uint64 `json:"resume_seq"`
+}
+
+// Report is the server's end-of-session payload: the merged pipeline
+// result in the same shape race.Run consumes in-process, so a remote run
+// fills the unified race.Report identically to a local one.
+type Report struct {
+	Races  []ReportRace `json:"races"`
+	Stats  ReportStats  `json:"stats"`
+	Events uint64       `json:"events"`
+}
+
+// ReportRace mirrors detector.Race field-for-field with stable JSON names,
+// so the wire schema does not silently drift when the detector grows.
+type ReportRace struct {
+	Kind    uint8  `json:"kind"`
+	Addr    uint64 `json:"addr"`
+	Size    uint32 `json:"size"`
+	Tid     int32  `json:"tid"`
+	PC      uint32 `json:"pc"`
+	PrevTid int32  `json:"prev_tid"`
+	PrevPC  uint32 `json:"prev_pc"`
+}
+
+// ReportStats carries the detector statistics a remote client needs to
+// fill race.Report.Detector (the Table 2/3/4 columns).
+type ReportStats struct {
+	Accesses           uint64  `json:"accesses"`
+	SameEpoch          uint64  `json:"same_epoch"`
+	NonShared          uint64  `json:"non_shared"`
+	HashPeakBytes      int64   `json:"hash_peak_bytes"`
+	VCPeakBytes        int64   `json:"vc_peak_bytes"`
+	BitmapPeakBytes    int64   `json:"bitmap_peak_bytes"`
+	TotalPeakBytes     int64   `json:"total_peak_bytes"`
+	Races              uint64  `json:"races"`
+	Suppressed         uint64  `json:"suppressed"`
+	SharingComparisons uint64  `json:"sharing_comparisons"`
+	NodesPeak          int64   `json:"nodes_peak"`
+	AvgSharing         float64 `json:"avg_sharing"`
+	NodeAllocs         uint64  `json:"node_allocs"`
+	LocCreations       uint64  `json:"loc_creations"`
+	Merges             uint64  `json:"merges"`
+	Splits             uint64  `json:"splits"`
+}
+
+// ErrorPayload is the body of a TypeError frame. Code is a stable,
+// machine-matchable identifier; Message is for humans.
+type ErrorPayload struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes sent by the server.
+const (
+	CodeBadVersion   = "bad-version"
+	CodeBadOptions   = "bad-options"
+	CodeSessionLimit = "session-limit"
+	CodeNoSession    = "no-session"
+	CodeProtocol     = "protocol"
+	CodeDraining     = "draining"
+	// CodeBusy rejects a resume that raced the old connection's teardown:
+	// the session is still attached, but will detach as soon as the server
+	// notices the dead connection (which the rejection accelerates by
+	// closing it). Retryable.
+	CodeBusy = "busy"
+)
+
+// MarshalControl encodes a control payload as JSON.
+func MarshalControl(v any) ([]byte, error) { return json.Marshal(v) }
+
+// UnmarshalControl decodes a control payload, rejecting unknown shapes
+// loosely (unknown fields are ignored for forward compatibility).
+func UnmarshalControl(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: bad control payload: %w", err)
+	}
+	return nil
+}
+
+// AppendControlFrame marshals v and appends it as a frame of type h.Type.
+func AppendControlFrame(dst []byte, h Header, v any) ([]byte, error) {
+	payload, err := MarshalControl(v)
+	if err != nil {
+		return dst, err
+	}
+	return AppendFrame(dst, h, payload), nil
+}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/detector"
 	"repro/internal/djit"
 	"repro/internal/event"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/segment"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Program, Thread and RunStats re-export the execution-engine API so
@@ -159,6 +161,61 @@ type Options struct {
 	// Timeout abandons the run after this wall time (the paper's ">24
 	// hours" rows). 0 = unlimited.
 	Timeout time.Duration
+
+	// Remote streams the event stream to a racedetectd detection service at
+	// this TCP address instead of detecting in-process. Granularity, Workers
+	// and the FastTrack ablation knobs above are negotiated with the server;
+	// FastTrack is the only tool with a remote implementation. Empty =
+	// in-process detection.
+	Remote string
+	// RemoteSync selects the client's strict-ordering fallback: each event
+	// batch is written and acknowledged before the producer continues,
+	// instead of streaming asynchronously behind a bounded window.
+	RemoteSync bool
+}
+
+// OptionsError reports an invalid Options field. It is the (typed) error
+// returned by Validate and RunE, and the panic value of Run, so callers
+// can distinguish misconfiguration from transport or engine failures.
+type OptionsError struct {
+	Field  string // the Options field that is invalid
+	Reason string
+}
+
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("race: invalid Options.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the option combination before any detector state is
+// built. It returns a *OptionsError describing the first problem found,
+// or nil. Run and RunE call it; it is exported so front-ends (flag
+// parsing, config files) can reject bad configurations early.
+func (o Options) Validate() error {
+	if o.Tool > MultiRace {
+		return &OptionsError{"Tool", fmt.Sprintf("unknown tool %d", o.Tool)}
+	}
+	if o.Granularity > Dynamic {
+		return &OptionsError{"Granularity", fmt.Sprintf("unknown granularity %d", o.Granularity)}
+	}
+	if o.Workers < 0 {
+		return &OptionsError{"Workers", fmt.Sprintf("negative worker count %d", o.Workers)}
+	}
+	if o.Quantum < 0 {
+		return &OptionsError{"Quantum", fmt.Sprintf("negative scheduler quantum %d", o.Quantum)}
+	}
+	if o.Timeout < 0 {
+		return &OptionsError{"Timeout", fmt.Sprintf("negative timeout %v", o.Timeout)}
+	}
+	if o.MemLimitBytes < 0 {
+		return &OptionsError{"MemLimitBytes", fmt.Sprintf("negative memory limit %d", o.MemLimitBytes)}
+	}
+	if o.Remote != "" && o.Tool != FastTrack {
+		return &OptionsError{"Remote", fmt.Sprintf("remote detection supports the fasttrack tool only, not %v", o.Tool)}
+	}
+	if o.RemoteSync && o.Remote == "" {
+		return &OptionsError{"RemoteSync", "requires Remote to be set"}
+	}
+	return nil
 }
 
 // Race is one reported data race in unified form.
@@ -284,7 +341,66 @@ func fillFastTrack(r *Report, st detector.Stats, races []detector.Race) {
 }
 
 // Run executes p under the configured detector and returns the report.
+// It panics with a *OptionsError on invalid options and with a transport
+// error when a Remote run fails; RunE is the error-returning form.
 func Run(p Program, opts Options) Report {
+	rep, err := RunE(p, opts)
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// RunE is Run with an error return: invalid options yield a
+// *OptionsError, and remote-detection transport failures (connection
+// refused and not recovered, server-side rejection) are reported instead
+// of panicking.
+func RunE(p Program, opts Options) (Report, error) {
+	if err := opts.Validate(); err != nil {
+		return Report{}, err
+	}
+	if opts.Remote != "" {
+		return runRemote(p, opts)
+	}
+	return runLocal(p, opts), nil
+}
+
+// runRemote streams the program's events to a racedetectd and fills the
+// report from the service's end-of-session reply. The timed window covers
+// the instrumented run plus the flush-and-report exchange, mirroring the
+// local pipeline mode where drain time is part of Elapsed.
+func runRemote(p Program, opts Options) (Report, error) {
+	rep := Report{Program: p.Name, Tool: opts.Tool, Granularity: opts.Granularity}
+	cl, err := client.Dial(client.Options{
+		Addr: opts.Remote,
+		Sync: opts.RemoteSync,
+		Hello: wire.Hello{
+			Granularity:      uint8(opts.Granularity),
+			Workers:          opts.Workers,
+			NoInitState:      opts.NoInitState,
+			NoInitSharing:    opts.NoInitSharing,
+			WriteGuidedReads: opts.WriteGuidedReads,
+			ReadReset:        opts.ReadReset,
+			ReshareInterval:  opts.ReshareInterval,
+		},
+	})
+	if err != nil {
+		return rep, err
+	}
+	start := time.Now()
+	rep.Run = sim.Run(p, cl, opts.engineOptions())
+	wrep, err := cl.Close()
+	rep.Elapsed = time.Since(start)
+	rep.TimedOut = rep.Run.TimedOut
+	if err != nil {
+		return rep, err
+	}
+	fillFastTrack(&rep, wrep.DetectorStats(), wrep.DetectorRaces())
+	return rep, nil
+}
+
+// runLocal executes p under an in-process detector.
+func runLocal(p Program, opts Options) Report {
 	simOpts := opts.engineOptions()
 	rep := Report{Program: p.Name, Tool: opts.Tool, Granularity: opts.Granularity}
 

@@ -1,0 +1,117 @@
+package race
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/workloads"
+)
+
+// startDetectd starts a loopback racedetectd for the duration of the test.
+func startDetectd(t *testing.T, opts server.Options) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(opts)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		if err := <-done; err != nil && err != server.ErrServerClosed {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return l.Addr().String()
+}
+
+// TestRemoteEquivalence is the acceptance gate for the remote detection
+// service: for every workload and every granularity, streaming to a
+// loopback racedetectd must reproduce the in-process race set and access
+// statistics exactly.
+func TestRemoteEquivalence(t *testing.T) {
+	addr := startDetectd(t, server.Options{})
+	grans := []Granularity{Byte, Word, Dynamic}
+	for _, spec := range workloads.All() {
+		for _, g := range grans {
+			local := Run(spec.Program(), Options{Granularity: g, Seed: 42})
+			remote, err := RunE(spec.Program(), Options{
+				Granularity: g, Seed: 42, Workers: 2, Remote: addr,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: remote run: %v", spec.Name, g, err)
+			}
+
+			if local.Run.Accesses != remote.Run.Accesses {
+				t.Errorf("%s/%s: Run.Accesses %d (local) vs %d (remote)",
+					spec.Name, g, local.Run.Accesses, remote.Run.Accesses)
+			}
+			if local.Detector.Accesses != remote.Detector.Accesses {
+				t.Errorf("%s/%s: Detector.Accesses %d (local) vs %d (remote)",
+					spec.Name, g, local.Detector.Accesses, remote.Detector.Accesses)
+			}
+			if local.Detector.SameEpoch != remote.Detector.SameEpoch {
+				t.Errorf("%s/%s: Detector.SameEpoch %d (local) vs %d (remote)",
+					spec.Name, g, local.Detector.SameEpoch, remote.Detector.SameEpoch)
+			}
+			want, got := sortRaces(local.Races), sortRaces(remote.Races)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%s: race sets differ\nlocal (%d): %v\nremote (%d): %v",
+					spec.Name, g, len(want), want, len(got), got)
+			}
+		}
+	}
+}
+
+// TestRemoteSyncMode checks the strict-ordering fallback produces the same
+// report as the default asynchronous stream.
+func TestRemoteSyncMode(t *testing.T) {
+	addr := startDetectd(t, server.Options{})
+	spec, err := workloads.ByName("pbzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := Run(spec.Program(), Options{Granularity: Dynamic, Seed: 42})
+	remote, err := RunE(spec.Program(), Options{
+		Granularity: Dynamic, Seed: 42, Workers: 2,
+		Remote: addr, RemoteSync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := sortRaces(local.Races), sortRaces(remote.Races)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("sync-mode race set differs:\nlocal (%d): %v\nremote (%d): %v",
+			len(want), want, len(got), got)
+	}
+	if local.Detector.Accesses != remote.Detector.Accesses {
+		t.Fatalf("Detector.Accesses %d (local) vs %d (remote sync)",
+			local.Detector.Accesses, remote.Detector.Accesses)
+	}
+}
+
+// TestRemoteConnectionRefused checks a dead address surfaces as an error
+// from RunE, not a panic or a hang.
+func TestRemoteConnectionRefused(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	spec, err := workloads.ByName("pbzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunE(spec.Program(), Options{Remote: addr})
+	if err == nil {
+		t.Fatal("RunE to a dead address succeeded")
+	}
+}
