@@ -297,6 +297,59 @@ func BenchmarkPipeline(b *testing.B) {
 	}
 }
 
+// telemetryBaseline records the disabled-telemetry throughput per worker
+// count of the last BenchmarkTelemetryOverhead sweep so the enabled
+// sub-benchmarks can report the relative overhead. Sub-benchmarks run in
+// declaration order, so "disabled" always populates its entry before the
+// matching "enabled" reads it.
+var telemetryBaseline = map[int]float64{}
+
+// BenchmarkTelemetryOverhead measures the cost of the telemetry layer in
+// both of its states over the benchmark suite at dynamic granularity:
+//
+//	disabled — Options.Telemetry nil, the default. Every instrumented
+//	           site still executes its nil-receiver counter call, so this
+//	           sub-benchmark IS the regression guard for the "disabled is
+//	           free" contract: its throughput must stay within a few
+//	           percent of the pre-instrumentation BenchmarkPipeline.
+//	enabled  — a live registry attached; counters, gauges and latency
+//	           histograms all record.
+//
+// Workers=0 puts every increment on the execution thread's critical
+// path; workers=2 additionally exercises the per-shard counters, the
+// queue-depth gauge and the batch latency histograms.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	for _, workers := range []int{0, 2} {
+		for _, enabled := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d/disabled", workers)
+			if enabled {
+				name = fmt.Sprintf("workers=%d/enabled", workers)
+			}
+			b.Run(name, func(b *testing.B) {
+				var events uint64
+				for i := 0; i < b.N; i++ {
+					events = 0
+					opts := race.Options{Granularity: race.Dynamic, Seed: 42, Workers: workers}
+					if enabled {
+						opts.Telemetry = race.NewTelemetry()
+					}
+					for _, s := range benchSet() {
+						rep := race.Run(s.Program(), opts)
+						events += rep.Run.Events
+					}
+				}
+				perSec := float64(events) * float64(b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(perSec/1e6, "Mevents/s")
+				if !enabled {
+					telemetryBaseline[workers] = perSec
+				} else if base := telemetryBaseline[workers]; base > 0 {
+					b.ReportMetric(100*(base-perSec)/base, "overhead%")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkWriteGuidedReads is the ablation bench for the Section VII
 // future-work extension implemented here.
 func BenchmarkWriteGuidedReads(b *testing.B) {

@@ -9,6 +9,7 @@
 //	benchtables -bench ferret,dedup -scale 2 -seed 7
 //	benchtables -pipeline-json BENCH_pipeline.json   # worker-sweep bench
 //	benchtables -wire-json BENCH_wire.json           # remote-service bench
+//	benchtables -obs-json BENCH_obs.json             # telemetry overhead bench
 //
 // Every number is measured in-process; nothing is replayed from files. See
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -45,6 +46,11 @@ func main() {
 			"write the wire codec + loopback remote-overhead bench to this file (e.g. BENCH_wire.json)")
 		wireBatches = flag.String("wire-batches", "",
 			"comma-separated batch sizes for -wire-json's codec rows (default 64,2048,8192)")
+
+		obsJSON = flag.String("obs-json", "",
+			"write the telemetry overhead bench to this file (e.g. BENCH_obs.json)")
+		obsWorkers = flag.String("obs-workers", "",
+			"comma-separated worker counts for -obs-json (default 0,2)")
 	)
 	flag.Parse()
 
@@ -106,6 +112,35 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *pipelineJSON)
+		return
+	}
+
+	if *obsJSON != "" {
+		var sweep []int
+		if *obsWorkers != "" {
+			for _, tok := range strings.Split(*obsWorkers, ",") {
+				var w int
+				if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &w); err != nil || w < 0 {
+					fmt.Fprintf(os.Stderr, "bad -obs-workers entry %q\n", tok)
+					os.Exit(2)
+				}
+				sweep = append(sweep, w)
+			}
+		}
+		f, err := os.Create(*obsJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = r.WriteObsJSON(f, sweep)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *obsJSON)
 		return
 	}
 

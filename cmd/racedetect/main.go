@@ -12,6 +12,8 @@
 //	racedetect -bench dedup -tool drd -mem-limit-mb 48
 //	racedetect -bench raytrace -sample   # LiteRace-style sampling front end
 //	racedetect -bench x264 -remote localhost:7474   # stream to racedetectd
+//	racedetect -bench ffmpeg -workers 4 -metrics-addr :7070 -stats-interval 1s
+//	racedetect -bench ferret -trace-out ferret-trace.json   # phase trace
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/sampling"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/race"
 	"repro/workloads"
 )
@@ -46,6 +49,12 @@ func main() {
 			"stream events to a racedetectd at this address instead of detecting in-process (fasttrack only)")
 		remoteSync = flag.Bool("remote-sync", false,
 			"with -remote: strict-ordering synchronous streaming (each batch acknowledged before the next)")
+		statsInterval = flag.Duration("stats-interval", 0,
+			"print a one-line progress report to stderr every interval (0 disables)")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live run telemetry over HTTP on this address (/metrics, /debug/vars, /debug/pprof)")
+		traceOut = flag.String("trace-out", "",
+			"write a Chrome trace_event JSON phase trace to this file")
 	)
 	flag.Parse()
 
@@ -68,6 +77,10 @@ func main() {
 	opts := race.Options{
 		Seed: *seed, Timeout: *timeout, MemLimitBytes: *memMB << 20,
 		Workers: *workers, Remote: *remote, RemoteSync: *remoteSync,
+		StatsInterval: *statsInterval, MetricsAddr: *metricsAddr,
+	}
+	if *traceOut != "" {
+		opts.Tracer = race.NewTracer()
 	}
 	switch *tool {
 	case "fasttrack":
@@ -97,7 +110,9 @@ func main() {
 	}
 
 	prog := spec.Build(*scale)
+	endBase := opts.Tracer.Span("baseline")
 	baseStats, baseTime := race.Baseline(prog, *seed)
+	endBase()
 	if *sample {
 		runSampled(prog, spec, *seed, baseTime)
 		return
@@ -106,6 +121,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racedetect:", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, opts.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "racedetect:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("benchmark   %s (scale %d, %d threads)\n", spec.Name, *scale, rep.Run.Threads)
@@ -167,6 +188,20 @@ func runSampled(prog race.Program, spec workloads.Spec, seed int64, baseTime tim
 	for _, r := range under.Races() {
 		fmt.Printf("  %v\n", r)
 	}
+}
+
+// writeTrace dumps the run's phase trace as Chrome trace_event JSON
+// (open in chrome://tracing, Perfetto, or speedscope).
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }

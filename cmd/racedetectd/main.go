@@ -4,8 +4,10 @@
 // -remote), runs one sharded detection pipeline per session, and returns
 // each session's race report when the producer closes its stream.
 //
-// An HTTP sidecar exposes /healthz and /metrics (Prometheus text format:
-// sessions, batches, events, queue depth, races found).
+// An HTTP sidecar exposes /healthz, /metrics (Prometheus text format:
+// sessions, batches, events, queue depth, races found, plus every live
+// session's session-labeled pipeline and detector series), /sessions (JSON
+// introspection of live sessions), and /debug/vars (expvar-style JSON).
 //
 // Usage:
 //
@@ -28,11 +30,22 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
+
+// version reports the binary's module version from the embedded build
+// info, or "devel" for a plain `go build` of a dirty tree.
+func version() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
 
 func main() {
 	var (
@@ -67,14 +80,18 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("listening on %s (max %d sessions, %d workers/session)",
-		l.Addr(), *maxSessions, *workersPer)
+	// One structured startup line: everything an operator needs to know
+	// about this instance's configuration, in key=value form.
+	logger.Printf("start listen=%s http=%q version=%s go=%s pid=%d max_sessions=%d workers_per_session=%d "+
+		"max_frame_kb=%d window=%d read_timeout=%v session_linger=%v drain_timeout=%v",
+		l.Addr(), *httpAddr, version(), runtime.Version(), os.Getpid(),
+		*maxSessions, *workersPer, *maxFrameKB, *window, *readTimeout, *linger, *drainT)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
 		go func() {
-			logger.Printf("sidecar on %s (/healthz, /metrics)", *httpAddr)
+			logger.Printf("sidecar on %s (/healthz, /metrics, /sessions, /debug/vars)", *httpAddr)
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Printf("sidecar: %v", err)
 			}

@@ -10,6 +10,8 @@
 //	tracereplay -replay ferret.trace -tool fasttrack -granularity dynamic
 //	tracereplay -replay ferret.trace -tool drd
 //	tracereplay -replay ferret.trace -remote localhost:7474
+//	tracereplay -replay ferret.trace -metrics-addr :7070 -stats-interval 1s
+//	tracereplay -record -bench ferret -out ferret.trace -trace-out phases.json
 //
 // With -remote the recorded stream is not detected in-process: it is
 // streamed to a racedetectd detection service and the server's report is
@@ -20,6 +22,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -27,6 +31,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/segment"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/workloads"
@@ -47,8 +52,36 @@ func main() {
 			"replay into a racedetectd at this address instead of an in-process detector")
 		workers = flag.Int("workers", 0,
 			"with -remote: detection workers to request from the server (0 = server default)")
+		statsInterval = flag.Duration("stats-interval", 0,
+			"print a one-line progress report to stderr every interval (0 disables)")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live replay telemetry over HTTP on this address (/metrics, /debug/vars, /debug/pprof)")
+		traceOut = flag.String("trace-out", "",
+			"write a Chrome trace_event JSON phase trace to this file")
 	)
 	flag.Parse()
+
+	obs, err := startObs(*metricsAddr, *statsInterval)
+	if err != nil {
+		fatal(err)
+	}
+	defer obs.stop()
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tracer.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	switch {
 	case *record:
@@ -61,7 +94,9 @@ func main() {
 			fatal(err)
 		}
 		rec := trace.NewRecorder(f)
+		endRecord := tracer.Span("record", map[string]any{"bench": spec.Name})
 		st := sim.Run(spec.Build(*scale), rec, sim.Options{Seed: *seed})
+		endRecord()
 		if err := rec.Close(); err != nil {
 			fatal(err)
 		}
@@ -81,7 +116,9 @@ func main() {
 		defer f.Close()
 		start := time.Now()
 		if *remote != "" {
-			replayRemote(f, *remote, *gran, *workers, *v, start)
+			endReplay := tracer.Span("replay-remote", map[string]any{"addr": *remote})
+			replayRemote(f, *remote, *gran, *workers, *v, start, obs.reg)
+			endReplay()
 			return
 		}
 		switch *tool {
@@ -89,8 +126,15 @@ func main() {
 			g := map[string]detector.Granularity{
 				"byte": detector.Byte, "word": detector.Word, "dynamic": detector.Dynamic,
 			}[*gran]
-			d := detector.New(detector.Config{Granularity: g})
-			if err := trace.Replay(f, d); err != nil {
+			cfg := detector.Config{Granularity: g}
+			if obs.reg != nil {
+				cfg.Metrics = detector.NewMetrics(obs.reg)
+			}
+			d := detector.New(cfg)
+			endReplay := tracer.Span("replay", map[string]any{"tool": "fasttrack", "granularity": *gran})
+			err := trace.Replay(f, d)
+			endReplay()
+			if err != nil {
 				fatal(err)
 			}
 			st := d.Stats()
@@ -104,7 +148,10 @@ func main() {
 			}
 		case "drd":
 			d := segment.New(segment.Options{})
-			if err := trace.Replay(f, d); err != nil {
+			endReplay := tracer.Span("replay", map[string]any{"tool": "drd"})
+			err := trace.Replay(f, d)
+			endReplay()
+			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("drd replay in %v: %d races, %.2f MB peak\n",
@@ -121,8 +168,9 @@ func main() {
 }
 
 // replayRemote streams a recorded trace to a racedetectd and prints the
-// service's report.
-func replayRemote(f *os.File, addr, gran string, workers int, verbose bool, start time.Time) {
+// service's report. reg, when non-nil, receives the client's wire metrics
+// (client_batches_total, client_encode_ns, …) for the -metrics-addr page.
+func replayRemote(f *os.File, addr, gran string, workers int, verbose bool, start time.Time, reg *telemetry.Registry) {
 	g, ok := map[string]detector.Granularity{
 		"byte": detector.Byte, "word": detector.Word, "dynamic": detector.Dynamic,
 	}[gran]
@@ -130,8 +178,9 @@ func replayRemote(f *os.File, addr, gran string, workers int, verbose bool, star
 		fatal(fmt.Errorf("unknown granularity %q", gran))
 	}
 	cl, err := client.Dial(client.Options{
-		Addr:  addr,
-		Hello: wire.Hello{Granularity: uint8(g), Workers: workers},
+		Addr:      addr,
+		Telemetry: reg,
+		Hello:     wire.Hello{Granularity: uint8(g), Workers: workers},
 	})
 	if err != nil {
 		fatal(err)
@@ -152,6 +201,69 @@ func replayRemote(f *os.File, addr, gran string, workers int, verbose bool, star
 		for _, r := range rep.DetectorRaces() {
 			fmt.Printf("  %v\n", r)
 		}
+	}
+}
+
+// obs owns tracereplay's optional telemetry side-cars: a metric registry
+// served over HTTP (-metrics-addr) and a periodic one-line progress report
+// to stderr (-stats-interval). When neither flag is set the registry stays
+// nil and the replay paths run uninstrumented.
+type obs struct {
+	reg  *telemetry.Registry
+	ln   net.Listener
+	quit chan struct{}
+	done chan struct{}
+}
+
+// startObs creates the registry and starts the side-cars the flags asked
+// for. With both flags unset it returns an inert obs (reg == nil).
+func startObs(addr string, interval time.Duration) (*obs, error) {
+	o := &obs{}
+	if addr == "" && interval <= 0 {
+		return o, nil
+	}
+	o.reg = telemetry.New()
+	if addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("metrics endpoint: %w", err)
+		}
+		o.ln = ln
+		go (&http.Server{Handler: o.reg.Handler()}).Serve(ln)
+	}
+	if interval > 0 {
+		o.quit = make(chan struct{})
+		o.done = make(chan struct{})
+		go func() {
+			defer close(o.done)
+			start := time.Now()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-o.quit:
+					return
+				case <-t.C:
+					fmt.Fprintf(os.Stderr, "progress t=%.1fs accesses=%d races=%d streamed=%d\n",
+						time.Since(start).Seconds(),
+						o.reg.CounterValue("detector_accesses_total"),
+						o.reg.CounterValue("detector_races_total"),
+						o.reg.CounterValue("client_events_total"))
+				}
+			}
+		}()
+	}
+	return o, nil
+}
+
+// stop joins the progress goroutine and closes the metrics listener.
+func (o *obs) stop() {
+	if o.quit != nil {
+		close(o.quit)
+		<-o.done
+	}
+	if o.ln != nil {
+		o.ln.Close()
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"sync"
 
 	"repro/internal/event"
+	"repro/internal/telemetry"
 	"repro/internal/vc"
 	"repro/internal/wire"
 )
@@ -74,6 +75,11 @@ type Options struct {
 	ReportTimeout time.Duration
 	// Logf, when non-nil, receives reconnect/resume diagnostics.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, receives the client transport instrument
+	// families: batch/event/reconnect/resend counters (mirroring Stats),
+	// a frame-encode latency histogram and an ack round-trip histogram.
+	// Nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +136,35 @@ type sentFrame struct {
 	seq    uint64
 	data   []byte
 	events int
+	// sentAt is the wall time of the frame's last (re)transmission; the
+	// ack round-trip histogram observes now-sentAt when the frame is
+	// pruned. Zero when telemetry is disabled.
+	sentAt time.Time
+}
+
+// clientMetrics is the transport instrument set; the zero value (all-nil
+// instruments) is the disabled set and every update is a no-op.
+type clientMetrics struct {
+	batches    *telemetry.Counter
+	events     *telemetry.Counter
+	reconnects *telemetry.Counter
+	resends    *telemetry.Counter
+	encodeNS   *telemetry.Histogram
+	ackRTT     *telemetry.Histogram
+}
+
+func newClientMetrics(r *telemetry.Registry) clientMetrics {
+	if r == nil {
+		return clientMetrics{}
+	}
+	return clientMetrics{
+		batches:    r.Counter("client_batches_total", "Batch frames written (excluding resends)."),
+		events:     r.Counter("client_events_total", "Event records streamed."),
+		reconnects: r.Counter("client_reconnects_total", "Successful re-dials after a connection drop."),
+		resends:    r.Counter("client_resends_total", "Frames replayed on session resume."),
+		encodeNS:   r.Histogram("client_encode_ns", "Per-batch frame encode latency."),
+		ackRTT:     r.Histogram("client_ack_rtt_ns", "Send-to-ack round trip per acknowledged frame."),
+	}
 }
 
 // Client is a remote-detection event.Sink. The Sink methods must be
@@ -159,12 +194,14 @@ type Client struct {
 	sendDone chan struct{}
 
 	stats Stats
+	met   clientMetrics
 }
 
 // Dial connects to a racedetectd and negotiates a session. The returned
 // Client is ready to receive events.
 func Dial(opts Options) (*Client, error) {
 	c := &Client{opts: opts.withDefaults()}
+	c.met = newClientMetrics(c.opts.Telemetry)
 	if c.opts.Sync {
 		// Strict ordering keeps exactly one batch in flight; a window of 1
 		// also forces the server's ack cadence to every batch, which the
@@ -260,18 +297,24 @@ func (c *Client) connectLocked() error {
 		}
 		if resuming {
 			c.stats.Reconnects++
+			c.met.reconnects.Inc()
 			c.logf("resumed session %d at seq %d, replaying %d frame(s)",
 				ack.SessionID, ack.ResumeSeq, len(c.unacked))
 		}
 		// Replay everything past the server's resume point.
-		for _, sf := range c.unacked {
+		for i := range c.unacked {
+			sf := &c.unacked[i]
 			if err := c.writeLocked(sf.data); err != nil {
 				lastErr = err
 				c.markDeadLocked()
 				break
 			}
+			if c.met.ackRTT != nil {
+				sf.sentAt = time.Now() // RTT restarts at the retransmission
+			}
 			if resuming {
 				c.stats.Resends++
+				c.met.resends.Inc()
 			}
 		}
 		if c.connDead {
@@ -351,6 +394,9 @@ func (c *Client) markDeadLocked() {
 func (c *Client) pruneAckedLocked() {
 	i := 0
 	for i < len(c.unacked) && c.unacked[i].seq <= c.acked {
+		if sf := &c.unacked[i]; !sf.sentAt.IsZero() {
+			c.met.ackRTT.ObserveSince(sf.sentAt)
+		}
 		i++
 	}
 	if i > 0 {
@@ -426,7 +472,14 @@ func (c *Client) flushBatch(b *event.Batch) {
 		event.PutBatch(b)
 		return // the stream is already lost; drop cheaply
 	}
+	var encStart time.Time
+	if c.met.encodeNS != nil {
+		encStart = time.Now()
+	}
 	frame := wire.AppendBatchFrame(nil, wire.Header{Session: session, Seq: seq}, b)
+	if c.met.encodeNS != nil {
+		c.met.encodeNS.ObserveSince(encStart)
+	}
 	event.PutBatch(b)
 	sf := sentFrame{seq: seq, data: frame, events: n}
 	if c.opts.Sync {
@@ -466,9 +519,14 @@ func (c *Client) send(sf sentFrame, waitAck bool) {
 			c.markDeadLocked()
 			continue
 		}
+		if c.met.ackRTT != nil {
+			sf.sentAt = time.Now()
+		}
 		c.unacked = append(c.unacked, sf)
 		c.stats.Batches++
 		c.stats.Events += uint64(sf.events)
+		c.met.batches.Inc()
+		c.met.events.Add(uint64(sf.events))
 		break
 	}
 	if !waitAck {

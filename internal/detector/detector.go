@@ -98,6 +98,12 @@ type Config struct {
 	// the default suppression set; use an empty non-nil slice for none.
 	Suppress []event.Module
 
+	// Metrics is the telemetry instrument set the detector updates (see
+	// NewMetrics). Nil disables instrumentation at the cost of one
+	// predictable branch per site. Sharded detectors may share one Metrics:
+	// all instruments are atomic, and summed families stay consistent.
+	Metrics *Metrics
+
 	// Shards and Shard make the detector shard-constructible for the
 	// parallel pipeline (internal/pipeline): when Shards > 1 the detector
 	// owns only the shadow blocks b (b = addr >> shadow.BlockShift) with
@@ -201,6 +207,11 @@ type Detector struct {
 	// write shadow nodes go racy.
 	racedLocs map[uint64]bool
 
+	// met is never nil (New installs the disabled set when Config.Metrics
+	// is nil), so increments need no guard beyond the instruments' own
+	// nil-receiver checks.
+	met *Metrics
+
 	stats Stats
 	races []Race
 }
@@ -213,8 +224,14 @@ func New(cfg Config) *Detector {
 		racedLocs: make(map[uint64]bool),
 		lastTid:   vc.NoTID,
 	}
+	d.met = cfg.Metrics
+	if d.met == nil {
+		d.met = noopDetectorMetrics
+	}
 	d.read = dyngran.NewPlane(dyngran.ReadPlane, &d.stats.Plane)
 	d.write = dyngran.NewPlane(dyngran.WritePlane, &d.stats.Plane)
+	d.read.SetMetrics(d.met.Read)
+	d.write.SetMetrics(d.met.Write)
 	sup := cfg.Suppress
 	if sup == nil {
 		sup = DefaultSuppress
@@ -291,6 +308,7 @@ func (d *Detector) trackTotal() {
 func (d *Detector) report(kind fasttrack.RaceKind, lo, hi uint64, tid vc.TID, pc event.PC, prevTid vc.TID, prevPC event.PC) {
 	if d.suppress[pc.Module()] || d.suppress[prevPC.Module()] {
 		d.stats.Suppressed++
+		d.met.Suppressed.Inc()
 		return
 	}
 	if d.racedLocs[lo] {
@@ -298,6 +316,7 @@ func (d *Detector) report(kind fasttrack.RaceKind, lo, hi uint64, tid vc.TID, pc
 	}
 	d.racedLocs[lo] = true
 	d.stats.Races++
+	d.met.Races.Inc()
 	d.races = append(d.races, Race{
 		Kind: kind, Addr: lo, Size: uint32(hi - lo),
 		Tid: tid, PC: pc, PrevTid: prevTid, PrevPC: prevPC,
@@ -329,13 +348,16 @@ func (d *Detector) checkReadPlane(lo, hi uint64, tc *vc.VC) (vc.TID, event.PC, b
 func (d *Detector) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
 	if event.NonShared(addr) {
 		d.stats.NonShared++
+		d.met.NonShared.Inc()
 		return
 	}
 	d.stats.Accesses++
+	d.met.Accesses.Inc()
 	lo, hi := d.footprint(addr, uint64(size))
 	bm := d.bitmap(tid)
 	if bm.Write(lo, hi) {
 		d.stats.SameEpoch++
+		d.met.SameEpoch.Inc()
 		return
 	}
 	tc := d.th.Clock(tid)
@@ -357,6 +379,7 @@ func (d *Detector) writeSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc *
 	if n == nil {
 		// First access of the location.
 		d.stats.Plane.LocCreations++
+		d.met.LocCreations.Inc()
 		rTid, rPC, raced := d.checkReadPlane(lo, hi, tc)
 		if !raced && d.firstEpochSharing() {
 			if ext, ok := p.TryExtendLeft(lo, hi, e, nil); ok {
@@ -370,6 +393,7 @@ func (d *Detector) writeSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc *
 		if raced {
 			n.State = dyngran.Race
 			n.Reported = true
+			p.Met.ToRace.Inc()
 			d.report(fasttrack.ReadWrite, lo, hi, tid, pc, rTid, rPC)
 			return
 		}
@@ -391,6 +415,7 @@ func (d *Detector) writeSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc *
 		n.PC = pc
 		n = p.DecideSecondEpoch(n)
 		d.stats.SharingComparisons += 2
+		d.met.SharingComparisons.Add(2)
 
 	case dyngran.Shared:
 		if d.raceOnWrite(n, lo, hi, tid, tc, pc) {
@@ -434,6 +459,8 @@ func (d *Detector) maybeReshare(p *dyngran.Plane, n *dyngran.Node, bm *epochbitm
 	}
 	n.Settled = 0
 	d.stats.SharingComparisons += 2
+	d.met.SharingComparisons.Add(2)
+	d.met.Reshares.Inc()
 	n = p.DecideSecondEpoch(n)
 	d.markShared(p, n, bm)
 }
@@ -466,13 +493,16 @@ func (d *Detector) raceOnWrite(n *dyngran.Node, lo, hi uint64, tid vc.TID, tc *v
 func (d *Detector) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
 	if event.NonShared(addr) {
 		d.stats.NonShared++
+		d.met.NonShared.Inc()
 		return
 	}
 	d.stats.Accesses++
+	d.met.Accesses.Inc()
 	lo, hi := d.footprint(addr, uint64(size))
 	bm := d.bitmap(tid)
 	if bm.Read(lo, hi) {
 		d.stats.SameEpoch++
+		d.met.SameEpoch.Inc()
 		return
 	}
 	tc := d.th.Clock(tid)
@@ -490,6 +520,7 @@ func (d *Detector) readSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc *v
 	p := d.read
 	if n == nil {
 		d.stats.Plane.LocCreations++
+		d.met.LocCreations.Inc()
 		wTid, wPC, raced := d.checkWritePlane(lo, hi, tc)
 		if !raced && d.firstEpochSharing() {
 			fresh := fasttrack.Read{E: e}
@@ -504,6 +535,7 @@ func (d *Detector) readSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc *v
 		if raced {
 			n.State = dyngran.Race
 			n.Reported = true
+			p.Met.ToRace.Inc()
 			d.report(fasttrack.WriteRead, lo, hi, tid, pc, wTid, wPC)
 			return
 		}
@@ -529,6 +561,7 @@ func (d *Detector) readSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc *v
 		} else {
 			n.State = dyngran.Private
 			n.InitShared = false
+			p.Met.ToPrivate.Inc()
 		}
 
 	case dyngran.Shared:
@@ -626,11 +659,13 @@ func (d *Detector) firstEpochSharing() bool {
 func (d *Detector) decideFirstAccess(p *dyngran.Plane, n *dyngran.Node) {
 	if d.cfg.Granularity != Dynamic {
 		n.State = dyngran.Private
+		p.Met.ToPrivate.Inc()
 		return
 	}
 	if d.cfg.NoInitState {
 		// Table 5 ablation: one final decision, made now.
 		d.stats.SharingComparisons += 2
+		d.met.SharingComparisons.Add(2)
 		p.DecideSecondEpoch(n)
 		return
 	}
@@ -639,6 +674,7 @@ func (d *Detector) decideFirstAccess(p *dyngran.Plane, n *dyngran.Node) {
 		return
 	}
 	d.stats.SharingComparisons += 2
+	d.met.SharingComparisons.Add(2)
 	p.TryFirstEpochShare(n)
 }
 
@@ -652,10 +688,13 @@ func (d *Detector) decideReadSharing(p *dyngran.Plane, n *dyngran.Node) *dyngran
 		if w := d.write.Tab.Get(n.Lo); w != nil && w.State == dyngran.Private {
 			n.State = dyngran.Private
 			n.InitShared = false
+			p.Met.ToPrivate.Inc()
+			p.Met.ShareRejected.Inc()
 			return n
 		}
 	}
 	d.stats.SharingComparisons += 2
+	d.met.SharingComparisons.Add(2)
 	return p.DecideSecondEpoch(n)
 }
 

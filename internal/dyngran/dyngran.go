@@ -151,11 +151,23 @@ type Plane struct {
 	Kind Kind
 	Tab  *shadow.Table[*Node]
 	St   *Stats
+	// Met is the plane's telemetry instrument set; never nil (NewPlane
+	// installs the disabled set). Replace via SetMetrics to enable.
+	Met *Metrics
 }
 
 // NewPlane returns an empty plane of the given kind sharing stats st.
 func NewPlane(kind Kind, st *Stats) *Plane {
-	return &Plane{Kind: kind, Tab: shadow.New[*Node](), St: st}
+	return &Plane{Kind: kind, Tab: shadow.New[*Node](), St: st, Met: noopMetrics}
+}
+
+// SetMetrics installs the plane's telemetry instruments (nil restores the
+// disabled set).
+func (p *Plane) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = noopMetrics
+	}
+	p.Met = m
 }
 
 // SameHistory reports whether two nodes carry the same vector clock in this
@@ -173,8 +185,12 @@ func (p *Plane) account(n *Node, sign int64) {
 	p.St.VCBytesCur += sign * n.bytes()
 	p.St.NodesCur += sign
 	p.St.LiveLocs += sign * int64(n.Locs)
+	if sign < 0 {
+		p.Met.NodeReleases.Inc()
+	}
 	if sign > 0 {
 		p.St.NodeAllocs++
+		p.Met.NodeAllocs.Inc()
 		if p.St.NodesCur > p.St.NodesPeak {
 			p.St.NodesPeak = p.St.NodesCur
 		}
@@ -198,6 +214,9 @@ func (p *Plane) AccountInflation(delta int64) {
 // slots at it, and accounts it. The caller fills in the clock afterwards.
 func (p *Plane) NewNode(lo, hi uint64, state State) *Node {
 	n := &Node{Lo: lo, Hi: hi, Locs: 1, State: state}
+	if state == Init {
+		p.Met.ToInit.Inc()
+	}
 	p.account(n, +1)
 	p.Tab.SetRange(lo, hi, n)
 	return n
@@ -241,6 +260,7 @@ func (p *Plane) hasCells(lo, hi uint64) bool {
 // state. Split reuses n for one of the resulting pieces to limit churn.
 func (p *Plane) Split(n *Node, lo, hi uint64) *Node {
 	p.St.Splits++
+	p.Met.Splits.Inc()
 	if n.Lo == lo && n.Hi == hi {
 		return n // nothing to carve
 	}
@@ -297,6 +317,7 @@ func (p *Plane) Merge(dst, src *Node) *Node {
 		return dst
 	}
 	p.St.Merges++
+	p.Met.Merges.Inc()
 	p.Tab.SetRange(src.Lo, src.Hi, dst)
 	if src.Lo < dst.Lo {
 		dst.Lo = src.Lo
@@ -384,6 +405,8 @@ func (p *Plane) TryExtendLeft(lo, hi uint64, w vc.Epoch, r *fasttrack.Read) (*No
 	left.InitShared = true
 	p.St.locsDelta(1)
 	p.St.Merges++
+	p.Met.Merges.Inc()
+	p.Met.FirstShareTaken.Inc()
 	return left, true
 }
 
@@ -393,15 +416,23 @@ func (p *Plane) TryExtendLeft(lo, hi uint64, w vc.Epoch, r *fasttrack.Read) (*No
 func (p *Plane) TryFirstEpochShare(n *Node) *Node {
 	left, right := p.Neighbors(n.Lo, n.Hi)
 	merged := n
+	shared := false
 	if left != nil && left != n && left.State == Init && canMerge(left, n) &&
 		p.SameHistory(left, n) {
 		merged = p.Merge(left, merged)
+		shared = true
 	}
 	if right != nil && right != merged && right.State == Init && canMerge(merged, right) &&
 		p.SameHistory(right, merged) {
 		merged = p.Merge(merged, right)
+		shared = true
 	}
 	merged.InitShared = merged.Locs > 1
+	if shared {
+		p.Met.FirstShareTaken.Inc()
+	} else {
+		p.Met.FirstShareRejected.Inc()
+	}
 	return merged
 }
 
@@ -425,8 +456,12 @@ func (p *Plane) DecideSecondEpoch(n *Node) *Node {
 	}
 	if shared {
 		merged.State = Shared
+		p.Met.ShareTaken.Inc()
+		p.Met.ToShared.Inc()
 	} else {
 		merged.State = Private
+		p.Met.ShareRejected.Inc()
+		p.Met.ToPrivate.Inc()
 	}
 	merged.InitShared = false
 	return merged
@@ -442,6 +477,7 @@ func (p *Plane) SetRace(n *Node, lo, hi uint64) *Node {
 	mid.State = Race
 	mid.InitShared = false
 	mid.Reported = true
+	p.Met.ToRace.Inc()
 	if wasShared {
 		// Mark the split-off remainders Race as well.
 		p.markRaceAround(lo, hi, mid)
@@ -454,11 +490,17 @@ func (p *Plane) SetRace(n *Node, lo, hi uint64) *Node {
 func (p *Plane) markRaceAround(lo, hi uint64, mid *Node) {
 	if lo > 0 {
 		if left := p.Tab.Get(lo - 1); left != nil && left != mid {
+			if left.State != Race {
+				p.Met.ToRace.Inc()
+			}
 			left.State = Race
 			left.InitShared = false
 		}
 	}
 	if right := p.Tab.Get(hi); right != nil && right != mid {
+		if right.State != Race {
+			p.Met.ToRace.Inc()
+		}
 		right.State = Race
 		right.InitShared = false
 	}

@@ -1,0 +1,82 @@
+// Telemetry instruments for one shadow plane. Every counter is bumped at
+// exactly the site that bumps the corresponding Stats field (where one
+// exists), so a run's telemetry reconciles 1:1 against Plane.St — pinned
+// by race.TestTelemetryReconciliation. A zero Metrics (all-nil counters)
+// is the disabled instrument set: every increment is a nil-receiver no-op,
+// keeping the uninstrumented hot path at one predictable branch per site.
+package dyngran
+
+import "repro/internal/telemetry"
+
+// Metrics is the per-plane telemetry instrument set. Construct with
+// NewMetrics; the zero value is valid and disabled.
+type Metrics struct {
+	// Node churn (mirrors Stats.NodeAllocs plus the release side the
+	// tables never needed).
+	NodeAllocs   *telemetry.Counter
+	NodeReleases *telemetry.Counter
+	// Merges and Splits mirror Stats.Merges / Stats.Splits.
+	Merges *telemetry.Counter
+	Splits *telemetry.Counter
+
+	// Figure 2 state-machine transitions: entering Init (node creation),
+	// Shared, Private, and Race.
+	ToInit    *telemetry.Counter
+	ToShared  *telemetry.Counter
+	ToPrivate *telemetry.Counter
+	ToRace    *telemetry.Counter
+
+	// Sharing decisions: first-epoch (Init-state, including the
+	// extend-left fast path) and second-epoch (final), split by verdict.
+	FirstShareTaken    *telemetry.Counter
+	FirstShareRejected *telemetry.Counter
+	ShareTaken         *telemetry.Counter
+	ShareRejected      *telemetry.Counter
+}
+
+// noopMetrics is the shared disabled instrument set installed by NewPlane,
+// so plane code can increment unconditionally.
+var noopMetrics = &Metrics{}
+
+// NewMetrics registers the plane instrument family on r with a plane label
+// ("read" or "write"). A nil registry yields a valid, disabled Metrics.
+func NewMetrics(r *telemetry.Registry, kind Kind) *Metrics {
+	plane := "read"
+	if kind == WritePlane {
+		plane = "write"
+	}
+	l := telemetry.Labels{"plane": plane}
+	m := &Metrics{
+		NodeAllocs:   r.Counter("shadow_node_allocs_total", "Shadow clock-node allocations.", l),
+		NodeReleases: r.Counter("shadow_node_releases_total", "Shadow clock-node releases.", l),
+		Merges:       r.Counter("shadow_node_merges_total", "Clock-sharing merge events (incl. extend-left).", l),
+		Splits:       r.Counter("shadow_node_splits_total", "Clock-sharing split events.", l),
+	}
+	for _, t := range []struct {
+		to string
+		c  **telemetry.Counter
+	}{
+		{"init", &m.ToInit},
+		{"shared", &m.ToShared},
+		{"private", &m.ToPrivate},
+		{"race", &m.ToRace},
+	} {
+		*t.c = r.Counter("detector_state_transitions_total",
+			"Figure 2 state-machine transitions, by destination state.",
+			l, telemetry.Labels{"to": t.to})
+	}
+	for _, t := range []struct {
+		epoch, verdict string
+		c              **telemetry.Counter
+	}{
+		{"first", "taken", &m.FirstShareTaken},
+		{"first", "rejected", &m.FirstShareRejected},
+		{"second", "taken", &m.ShareTaken},
+		{"second", "rejected", &m.ShareRejected},
+	} {
+		*t.c = r.Counter("detector_sharing_decisions_total",
+			"Granularity sharing decisions, by epoch and verdict.",
+			l, telemetry.Labels{"epoch": t.epoch, "verdict": t.verdict})
+	}
+	return m
+}

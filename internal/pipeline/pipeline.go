@@ -49,12 +49,15 @@
 package pipeline
 
 import (
+	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/detector"
 	"repro/internal/event"
 	"repro/internal/shadow"
+	"repro/internal/telemetry"
 	"repro/internal/vc"
 )
 
@@ -69,6 +72,15 @@ type Options struct {
 	// Deeper queues absorb bursts; the queue bounds memory because batches
 	// are fixed-size.
 	ChannelDepth int
+	// Telemetry, when non-nil, receives the pipeline instrument families:
+	// per-shard applied-event counters (pipeline_shard_events_total), batch
+	// dispatch counts and stall/apply latency histograms, a live
+	// queue-depth gauge and a shard-imbalance gauge. Nil disables
+	// instrumentation with at most one predictable branch per batch.
+	// Registration is idempotent, but the gauge funcs bind to the first
+	// pipeline registered on a given registry view — give each concurrent
+	// pipeline its own labeled view (Registry.With).
+	Telemetry *telemetry.Registry
 }
 
 // Result is the merged outcome of a pipeline run.
@@ -97,6 +109,12 @@ type worker struct {
 	ch    chan *event.Batch
 	det   *detector.Detector
 	races []seqRace
+
+	// events counts records applied by this shard; applyNS observes
+	// per-batch apply latency. Both are nil (no-op) when telemetry is
+	// disabled.
+	events  *telemetry.Counter
+	applyNS *telemetry.Histogram
 }
 
 // run drains the worker's batch queue, applying each record to the shard
@@ -106,6 +124,11 @@ type worker struct {
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for b := range w.ch {
+		var start time.Time
+		if w.applyNS != nil {
+			start = time.Now()
+		}
+		w.events.Add(uint64(len(b.Recs)))
 		for i := range b.Recs {
 			r := &b.Recs[i]
 			before := len(w.det.Races())
@@ -117,6 +140,9 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			}
 		}
 		event.PutBatch(b)
+		if w.applyNS != nil {
+			w.applyNS.ObserveSince(start)
+		}
 	}
 }
 
@@ -133,6 +159,12 @@ type Pipeline struct {
 	events    uint64
 	accesses  uint64
 	nonshared uint64
+
+	// batches counts shipped batches; dispatchNS observes the router's
+	// blocking time per ship (non-zero when worker queues are full — the
+	// back-pressure signal). Nil when telemetry is disabled.
+	batches    *telemetry.Counter
+	dispatchNS *telemetry.Histogram
 
 	done   bool
 	result Result
@@ -152,20 +184,74 @@ func New(opts Options) *Pipeline {
 		workers: make([]*worker, n),
 		pending: make([]*event.Batch, n),
 	}
+	reg := opts.Telemetry
+	if reg != nil {
+		p.batches = reg.Counter("pipeline_batches_total", "Event batches shipped to workers.")
+		p.dispatchNS = reg.Histogram("pipeline_dispatch_wait_ns", "Router blocking time per batch ship (back-pressure).")
+	}
+	cfg := opts.Detector
+	if cfg.Metrics == nil && reg != nil {
+		// One shared instrument set: all detector instruments are atomic,
+		// so sharded increments sum exactly like the serial run's.
+		cfg.Metrics = detector.NewMetrics(reg)
+	}
 	for i := range p.workers {
-		cfg := opts.Detector
+		wcfg := cfg
 		if n > 1 {
-			cfg.Shards, cfg.Shard = n, i
+			wcfg.Shards, wcfg.Shard = n, i
 		}
 		w := &worker{
 			ch:  make(chan *event.Batch, depth),
-			det: detector.New(cfg),
+			det: detector.New(wcfg),
+		}
+		if reg != nil {
+			shard := telemetry.Labels{"shard": fmt.Sprint(i)}
+			w.events = reg.Counter("pipeline_shard_events_total", "Records applied, per detection shard.", shard)
+			w.applyNS = reg.Histogram("pipeline_batch_apply_ns", "Per-batch detection apply latency.", shard)
 		}
 		p.workers[i] = w
 		p.wg.Add(1)
 		go w.run(&p.wg)
 	}
+	if reg != nil {
+		reg.GaugeFunc("pipeline_queue_depth", "Batches queued to workers, not yet picked up.",
+			func() float64 { return float64(p.QueueDepth()) })
+		reg.GaugeFunc("pipeline_shard_imbalance", "Max/mean ratio of per-shard applied events (1 = perfectly balanced).",
+			p.shardImbalance)
+	}
 	return p
+}
+
+// shardImbalance returns max/mean of the per-shard applied-event counts
+// (0 before any events; 1 means perfect balance). Only meaningful when
+// telemetry is enabled — the per-shard counters feed it.
+func (p *Pipeline) shardImbalance() float64 {
+	var max, sum uint64
+	for _, w := range p.workers {
+		v := w.events.Load()
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(p.workers))
+	return float64(max) / mean
+}
+
+// ship sends a full or flushed batch to worker w, observing the router's
+// blocking time when instrumented.
+func (p *Pipeline) ship(w int, b *event.Batch) {
+	if p.dispatchNS == nil {
+		p.workers[w].ch <- b
+		return
+	}
+	start := time.Now()
+	p.workers[w].ch <- b
+	p.dispatchNS.ObserveSince(start)
+	p.batches.Inc()
 }
 
 // Workers returns the worker count.
@@ -193,7 +279,7 @@ func (p *Pipeline) push(w int, r event.Rec) {
 	}
 	b.Append(r)
 	if b.Full() {
-		p.workers[w].ch <- b
+		p.ship(w, b)
 		p.pending[w] = nil
 	}
 }
@@ -308,7 +394,7 @@ func (p *Pipeline) Wait() Result {
 	p.done = true
 	for w, b := range p.pending {
 		if b != nil && len(b.Recs) > 0 {
-			p.workers[w].ch <- b
+			p.ship(w, b)
 		}
 		p.pending[w] = nil
 	}

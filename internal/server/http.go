@@ -1,16 +1,23 @@
-// HTTP sidecar: liveness and metrics for racedetectd. The metrics page is
-// Prometheus text exposition format (counters suffixed _total, gauges
-// bare), so a standard scraper can graph sessions, batch/event throughput,
-// queue depths and races found without any extra dependency.
+// HTTP sidecar: liveness, metrics and session introspection for
+// racedetectd. /metrics is the registry's Prometheus text exposition (the
+// racedetectd_* families plus every live session's session-labeled
+// pipeline/detector series), /sessions is a JSON listing of live sessions,
+// and /debug/vars is the registry's expvar-style JSON document — all
+// dependency-free, served by internal/telemetry.
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
+
+	"repro/internal/detector"
 )
 
-// MetricsSnapshot is a point-in-time view of the server's counters.
+// MetricsSnapshot is a point-in-time view of the server's counters. It is
+// captured in one pass under the server lock (see Metrics).
 type MetricsSnapshot struct {
 	SessionsActive  int64 // open sessions (attached + lingering)
 	SessionsTotal   int64 // sessions ever opened
@@ -25,29 +32,86 @@ type MetricsSnapshot struct {
 	Draining        bool
 }
 
-// Metrics returns a snapshot of the server counters and gauges.
+// Metrics returns a consistent snapshot of the server counters and gauges:
+// everything is captured in a single critical section on the server lock.
+// Because the session lifecycle counters are also incremented under that
+// lock, invariants like SessionsActive ≤ SessionsTotal and
+// SessionsAborted ≤ SessionsTotal hold in every snapshot — the old
+// mixed atomic-then-mutex path could observe states violating them.
+// (Batch/event/byte counters advance without the lock; they are monotone,
+// so a snapshot only ever under-reports in-flight work.)
 func (s *Server) Metrics() MetricsSnapshot {
-	m := MetricsSnapshot{
-		SessionsTotal:   s.sessionsTotal.Load(),
-		SessionsAborted: s.sessionsAborted.Load(),
-		BatchesTotal:    s.batchesTotal.Load(),
-		EventsTotal:     s.eventsTotal.Load(),
-		RacesTotal:      s.racesTotal.Load(),
-		BytesReadTotal:  s.bytesRead.Load(),
-		FramesRejected:  s.framesRejected.Load(),
-		UptimeSeconds:   time.Since(s.startTime).Seconds(),
-	}
 	s.mu.Lock()
-	m.SessionsActive = int64(len(s.sessions))
-	m.Draining = s.draining
+	m := MetricsSnapshot{
+		SessionsActive:  int64(len(s.sessions)),
+		SessionsTotal:   int64(s.met.sessionsTotal.Load()),
+		SessionsAborted: int64(s.met.sessionsAborted.Load()),
+		BatchesTotal:    int64(s.met.batchesTotal.Load()),
+		EventsTotal:     int64(s.met.eventsTotal.Load()),
+		RacesTotal:      int64(s.met.racesTotal.Load()),
+		BytesReadTotal:  int64(s.met.bytesRead.Load()),
+		FramesRejected:  int64(s.met.framesRejected.Load()),
+		UptimeSeconds:   time.Since(s.startTime).Seconds(),
+		Draining:        s.draining,
+	}
 	for _, sess := range s.sessions {
-		m.QueueDepth += int64(sess.pl.QueueDepth())
+		if sess.pl != nil {
+			m.QueueDepth += int64(sess.pl.QueueDepth())
+		}
 	}
 	s.mu.Unlock()
 	return m
 }
 
-// HTTPHandler returns the sidecar handler serving /healthz and /metrics.
+// SessionInfo is one live session's introspection record (the /sessions
+// page).
+type SessionInfo struct {
+	ID          uint64  `json:"id"`
+	State       string  `json:"state"` // "attached" or "lingering"
+	Granularity string  `json:"granularity"`
+	Workers     int     `json:"workers"`
+	Window      int     `json:"window"`
+	Batches     uint64  `json:"batches"`
+	Events      uint64  `json:"events"`
+	QueueDepth  int     `json:"queue_depth"`
+	AgeSeconds  float64 `json:"age_seconds"`
+}
+
+// Sessions returns the live sessions' introspection records, sorted by id.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	now := time.Now()
+	for _, sess := range s.sessions {
+		info := SessionInfo{
+			ID:          sess.id,
+			State:       "lingering",
+			Granularity: detector.Granularity(sess.hello.Granularity).String(),
+			Window:      sess.window,
+			Batches:     sess.seqApplied.Load(),
+			Events:      sess.eventsApplied.Load(),
+			AgeSeconds:  now.Sub(sess.opened).Seconds(),
+		}
+		if sess.attached {
+			info.State = "attached"
+		}
+		if sess.pl != nil {
+			info.Workers = sess.pl.Workers()
+			info.QueueDepth = sess.pl.QueueDepth()
+		}
+		out = append(out, info)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HTTPHandler returns the sidecar handler:
+//
+//	/healthz       liveness (503 while draining)
+//	/metrics       Prometheus text exposition of the server registry
+//	/sessions      JSON list of live sessions
+//	/debug/vars    expvar-style JSON snapshot of the registry
 func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -62,27 +126,21 @@ func (s *Server) HTTPHandler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		m := s.Metrics()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		var b int64
-		if m.Draining {
-			b = 1
-		}
-		writeMetric(w, "racedetectd_sessions_active", "gauge", "Open detection sessions (attached or lingering).", float64(m.SessionsActive))
-		writeMetric(w, "racedetectd_sessions_total", "counter", "Sessions ever opened.", float64(m.SessionsTotal))
-		writeMetric(w, "racedetectd_sessions_aborted_total", "counter", "Sessions dropped without a clean Close.", float64(m.SessionsAborted))
-		writeMetric(w, "racedetectd_batches_total", "counter", "Batch frames applied to detection pipelines.", float64(m.BatchesTotal))
-		writeMetric(w, "racedetectd_events_total", "counter", "Event records applied to detection pipelines.", float64(m.EventsTotal))
-		writeMetric(w, "racedetectd_races_total", "counter", "Races reported by completed sessions.", float64(m.RacesTotal))
-		writeMetric(w, "racedetectd_bytes_read_total", "counter", "Wire bytes ingested (headers and payloads).", float64(m.BytesReadTotal))
-		writeMetric(w, "racedetectd_frames_rejected_total", "counter", "Frames refused (bad magic, CRC, size, or protocol).", float64(m.FramesRejected))
-		writeMetric(w, "racedetectd_queue_depth", "gauge", "Batches queued to detection workers across sessions.", float64(m.QueueDepth))
-		writeMetric(w, "racedetectd_draining", "gauge", "1 while the server is shutting down.", float64(b))
-		writeMetric(w, "racedetectd_uptime_seconds", "gauge", "Seconds since the server started.", m.UptimeSeconds)
+		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Draining bool          `json:"draining"`
+			Sessions []SessionInfo `json:"sessions"`
+		}{Draining: s.Metrics().Draining, Sessions: s.Sessions()})
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s.reg.WriteJSON(w)
 	})
 	return mux
-}
-
-func writeMetric(w http.ResponseWriter, name, kind, help string, v float64) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, kind, name, v)
 }

@@ -43,6 +43,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/event"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -71,6 +72,11 @@ type Options struct {
 	SessionLinger time.Duration
 	// Logf, when non-nil, receives one line per session lifecycle event.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, is the registry the server's racedetectd_*
+	// families and per-session (session-labeled) pipeline/detector families
+	// are registered on. Nil makes the server create its own registry, so
+	// the HTTP sidecar always has metrics to serve.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -110,11 +116,18 @@ type session struct {
 	pl       *pipeline.Pipeline
 	window   int
 	ackEvery int
+	opened   time.Time
 
 	// lastSeq is the highest batch sequence applied; lastAcked the highest
 	// acknowledged. Only the owning connection touches them.
 	lastSeq   uint64
 	lastAcked uint64
+
+	// seqApplied/eventsApplied mirror lastSeq and the applied record count
+	// as atomics, so introspection (/sessions) can read them while the
+	// owning connection streams.
+	seqApplied    atomic.Uint64
+	eventsApplied atomic.Uint64
 
 	attached bool        // guarded by Server.mu
 	conn     net.Conn    // owning connection while attached; guarded by Server.mu
@@ -138,9 +151,27 @@ type closedReport struct {
 	timer    *time.Timer
 }
 
+// serverMetrics are the registry-backed racedetectd_* counters. Session
+// lifecycle counters (sessionsTotal, sessionsAborted) are incremented while
+// holding Server.mu, so any snapshot taken under the same lock observes a
+// state where the counter invariants against the session map hold (the old
+// mixed atomic/mutex snapshot could see, e.g., an active session its total
+// had not counted yet).
+type serverMetrics struct {
+	sessionsTotal   *telemetry.Counter
+	sessionsAborted *telemetry.Counter
+	batchesTotal    *telemetry.Counter
+	eventsTotal     *telemetry.Counter
+	racesTotal      *telemetry.Counter
+	bytesRead       *telemetry.Counter
+	framesRejected  *telemetry.Counter
+}
+
 // Server accepts wire-protocol connections and runs detection sessions.
 type Server struct {
 	opts Options
+	reg  *telemetry.Registry
+	met  serverMetrics
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -151,20 +182,12 @@ type Server struct {
 	draining  bool
 	wg        sync.WaitGroup
 
-	sessionsTotal   atomic.Int64
-	sessionsAborted atomic.Int64
-	batchesTotal    atomic.Int64
-	eventsTotal     atomic.Int64
-	racesTotal      atomic.Int64
-	bytesRead       atomic.Int64
-	framesRejected  atomic.Int64
-
 	startTime time.Time
 }
 
 // New returns a server with opts (zero-value fields defaulted).
 func New(opts Options) *Server {
-	return &Server{
+	s := &Server{
 		opts:      opts.withDefaults(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
@@ -172,6 +195,51 @@ func New(opts Options) *Server {
 		closed:    make(map[uint64]*closedReport),
 		startTime: time.Now(),
 	}
+	s.reg = s.opts.Telemetry
+	if s.reg == nil {
+		s.reg = telemetry.New()
+	}
+	s.met = serverMetrics{
+		sessionsTotal:   s.reg.Counter("racedetectd_sessions_total", "Sessions ever opened."),
+		sessionsAborted: s.reg.Counter("racedetectd_sessions_aborted_total", "Sessions dropped without a clean Close."),
+		batchesTotal:    s.reg.Counter("racedetectd_batches_total", "Batch frames applied to detection pipelines."),
+		eventsTotal:     s.reg.Counter("racedetectd_events_total", "Event records applied to detection pipelines."),
+		racesTotal:      s.reg.Counter("racedetectd_races_total", "Races reported by completed sessions."),
+		bytesRead:       s.reg.Counter("racedetectd_bytes_read_total", "Wire bytes ingested (headers and payloads)."),
+		framesRejected:  s.reg.Counter("racedetectd_frames_rejected_total", "Frames refused (bad magic, CRC, size, or protocol)."),
+	}
+	s.reg.GaugeFunc("racedetectd_sessions_active", "Open detection sessions (attached or lingering).",
+		func() float64 { return float64(s.SessionCount()) })
+	s.reg.GaugeFunc("racedetectd_queue_depth", "Batches queued to detection workers across sessions.",
+		func() float64 { return float64(s.queueDepth()) })
+	s.reg.GaugeFunc("racedetectd_draining", "1 while the server is shutting down.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.draining {
+			return 1
+		}
+		return 0
+	})
+	s.reg.GaugeFunc("racedetectd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.startTime).Seconds() })
+	return s
+}
+
+// Registry returns the server's metric registry (never nil) — the same
+// registry the HTTP sidecar exposes.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// queueDepth sums the live sessions' pipeline queues.
+func (s *Server) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	depth := 0
+	for _, sess := range s.sessions {
+		if sess.pl != nil {
+			depth += sess.pl.QueueDepth()
+		}
+	}
+	return depth
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -304,12 +372,12 @@ func (s *Server) handle(conn net.Conn) {
 		conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
 		h, payload, err := rd.ReadFrame()
 		if cur := int64(rd.PayloadBytes()) + int64(rd.Frames())*wire.HeaderSize; cur != prevBytes {
-			s.bytesRead.Add(cur - prevBytes)
+			s.met.bytesRead.Add(uint64(cur - prevBytes))
 			prevBytes = cur
 		}
 		if err != nil {
 			if errors.Is(err, wire.ErrBadMagic) || errors.Is(err, wire.ErrCRC) || errors.Is(err, wire.ErrTooLarge) {
-				s.framesRejected.Add(1)
+				s.met.framesRejected.Inc()
 				scratch = s.writeError(conn, scratch, wire.CodeProtocol, err.Error())
 			}
 			return
@@ -318,7 +386,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			var pe *protoErr
 			if errors.As(err, &pe) {
-				s.framesRejected.Add(1)
+				s.met.framesRejected.Inc()
 				scratch = s.writeError(conn, scratch, pe.code, pe.msg)
 			}
 			return
@@ -397,8 +465,10 @@ func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload [
 		b.Apply(sess.pl)
 		event.PutBatch(b)
 		sess.lastSeq = h.Seq
-		s.batchesTotal.Add(1)
-		s.eventsTotal.Add(int64(n))
+		sess.seqApplied.Store(h.Seq)
+		sess.eventsApplied.Add(uint64(n))
+		s.met.batchesTotal.Inc()
+		s.met.eventsTotal.Add(uint64(n))
 		if sess.lastSeq-sess.lastAcked >= uint64(sess.ackEvery) {
 			out = out[:0]
 			out = wire.AppendFrame(out, wire.Header{Type: wire.TypeAck, Session: sess.id, Seq: sess.lastSeq}, nil)
@@ -442,7 +512,7 @@ func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload [
 			// reconnect can resume and retry the Close.
 			return sess, out, werr
 		}
-		s.racesTotal.Add(int64(len(rep.Races)))
+		s.met.racesTotal.Add(uint64(len(rep.Races)))
 		s.retireSession(sess, out)
 		s.logf("session %d: closed (%d batches, %d events, %d races)",
 			sess.id, sess.lastSeq, res.Events, len(rep.Races))
@@ -567,16 +637,32 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 				ReadReset:        hello.ReadReset,
 				ReshareInterval:  hello.ReshareInterval,
 			},
+			// Per-session labeled view: the session's pipeline/detector
+			// families appear on /metrics as session="<id>" series and are
+			// pruned when the session retires or aborts (the cardinality
+			// valve for a long-lived server).
+			Telemetry: s.reg.With(telemetry.Labels{"session": fmt.Sprint(s.nextID)}),
 		}),
 		window:   window,
 		ackEvery: ackEvery,
+		opened:   time.Now(),
 		attached: true,
 		conn:     conn,
 	}
 	s.sessions[sess.id] = sess
-	s.sessionsTotal.Add(1)
+	s.met.sessionsTotal.Inc()
 	ack = wire.HelloAck{SessionID: sess.id, Window: window, AckEvery: ackEvery}
 	return sess, ack, nil
+}
+
+// pruneSessionSeries drops the session-labeled metric series of a finished
+// session, bounding the exposition's cardinality over the server's life.
+func (s *Server) pruneSessionSeries(id uint64) {
+	label := fmt.Sprint(id)
+	s.reg.Prune(func(_ string, l telemetry.Labels) bool {
+		v, ok := l["session"]
+		return !ok || v != label
+	})
 }
 
 // detachSession is called when a connection drops without Close: the
@@ -610,10 +696,14 @@ func (s *Server) abortSession(sess *session) {
 		return
 	}
 	delete(s.sessions, sess.id)
+	// Counted under the lock so snapshots never see the session both gone
+	// from the map and missing from the aborted total.
+	s.met.sessionsAborted.Inc()
 	s.mu.Unlock()
 	sess.pl.Wait()
-	s.sessionsAborted.Add(1)
-	s.logf("session %d: aborted (client never closed)", sess.id)
+	s.pruneSessionSeries(sess.id)
+	s.logf("session %d: aborted after %d batches, %d events (client never closed)",
+		sess.id, sess.seqApplied.Load(), sess.eventsApplied.Load())
 }
 
 // retireSession removes a cleanly closed session and retains its encoded
@@ -637,6 +727,7 @@ func (s *Server) retireSession(sess *session, reportFrame []byte) {
 	cr.timer = time.AfterFunc(s.opts.SessionLinger, func() { s.dropClosed(sess.id) })
 	s.closed[sess.id] = cr
 	s.mu.Unlock()
+	s.pruneSessionSeries(sess.id)
 }
 
 // dropClosed discards a retained closed-session report.

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -467,5 +468,105 @@ func TestReportRedelivery(t *testing.T) {
 	}
 	if ep.Code != wire.CodeNoSession {
 		t.Fatalf("third resume code %q, want %q", ep.Code, wire.CodeNoSession)
+	}
+}
+
+// TestConcurrentScrape is the -race acceptance test for the consistent
+// metrics snapshot: several scraper goroutines hammer /metrics, /healthz
+// and /sessions while real client sessions stream workloads. The race
+// detector catches unsynchronized counter access; the assertions catch
+// snapshots that violate the lifecycle invariants the single-critical-
+// section Metrics() guarantees.
+func TestConcurrentScrape(t *testing.T) {
+	srv, addr := startServer(t, server.Options{})
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+
+	spec, err := workloads.ByName("pbzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/metrics", "/healthz", "/sessions", "/debug/vars"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(path)
+	}
+	// Snapshot invariants under load: active ≤ total, aborted ≤ total,
+	// and the monotone counters never run backwards.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev server.MetricsSnapshot
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := srv.Metrics()
+			if m.SessionsActive > m.SessionsTotal {
+				t.Errorf("snapshot violates active ≤ total: %+v", m)
+				return
+			}
+			if m.SessionsAborted > m.SessionsTotal {
+				t.Errorf("snapshot violates aborted ≤ total: %+v", m)
+				return
+			}
+			if m.EventsTotal < prev.EventsTotal || m.SessionsTotal < prev.SessionsTotal {
+				t.Errorf("monotone counter ran backwards: %+v after %+v", m, prev)
+				return
+			}
+			prev = m
+		}
+	}()
+
+	const sessions = 4
+	var clients sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		clients.Add(1)
+		go func(seed int64) {
+			defer clients.Done()
+			cl, err := client.Dial(client.Options{
+				Addr:  addr,
+				Hello: wire.Hello{Granularity: uint8(detector.Dynamic), Workers: 2},
+			})
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			sim.Run(spec.Program(), cl, sim.Options{Seed: seed})
+			if _, err := cl.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}(int64(i + 1))
+	}
+	clients.Wait()
+	close(stop)
+	wg.Wait()
+
+	m := srv.Metrics()
+	if m.SessionsTotal != sessions || m.SessionsActive != 0 {
+		t.Fatalf("after %d clean sessions: %+v", sessions, m)
+	}
+	if m.EventsTotal == 0 || m.BatchesTotal == 0 {
+		t.Fatalf("no traffic recorded: %+v", m)
 	}
 }

@@ -1,0 +1,130 @@
+// Observability overhead bench: the BENCH_obs.json generator. For each
+// benchmark the harness runs the FastTrack detector twice per worker
+// count — once with telemetry disabled (Options.Telemetry nil, the
+// default) and once with a live metric registry attached — and reports
+// the throughput of both plus the relative overhead. The disabled rows
+// double as a regression guard: instrumented code paths must stay within
+// a few percent of the pre-instrumentation pipeline (the "disabled is
+// free" contract DESIGN.md §9 documents).
+package tables
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/race"
+)
+
+// DefaultObsWorkers is the worker sweep the overhead bench covers: the
+// serial detector (where every counter increment is on the execution
+// thread's critical path) and a small sharded pipeline (where the
+// per-shard counters and queue gauge are exercised too).
+var DefaultObsWorkers = []int{0, 2}
+
+// ObsRow is one (benchmark, worker count) cell of the telemetry overhead
+// sweep.
+type ObsRow struct {
+	Program string `json:"program"`
+	// Workers is the detection worker count (0 = serial).
+	Workers int `json:"workers"`
+	// DisabledEventsPerSec is throughput with Options.Telemetry nil.
+	DisabledEventsPerSec float64 `json:"disabled_events_per_sec"`
+	// EnabledEventsPerSec is throughput with a live registry attached.
+	EnabledEventsPerSec float64 `json:"enabled_events_per_sec"`
+	// OverheadPct is (disabled − enabled) / disabled × 100 — how much
+	// throughput turning the registry on costs. Noise makes small
+	// negative values possible.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Accesses is the telemetry registry's detector_accesses_total after
+	// the enabled run — recorded so the JSON shows the instrumentation
+	// actually observed the run it was measuring.
+	Accesses uint64 `json:"accesses"`
+	// Races is the race count, equal between the two runs by determinism.
+	Races int `json:"races"`
+}
+
+// obsMeasure runs the benchmark TimingRuns times under opts — with a
+// fresh metric registry per run when instrument is set, so counters stay
+// per-run meaningful — and returns the last run's report, the best wall
+// time, and the last run's registry (nil when not instrumenting). It
+// bypasses the runner's report cache: overhead rows need freshly-timed
+// pairs.
+func (r *Runner) obsMeasure(prog race.Program, opts race.Options, instrument bool) (race.Report, time.Duration, *telemetry.Registry) {
+	var rep race.Report
+	times := make([]time.Duration, 0, r.cfg.TimingRuns)
+	for i := 0; i < r.cfg.TimingRuns; i++ {
+		runtime.GC() // isolate timed runs from each other's garbage
+		if instrument {
+			opts.Telemetry = telemetry.New()
+		}
+		rep = race.Run(prog, opts)
+		times = append(times, rep.Elapsed)
+	}
+	return rep, bestDuration(times), opts.Telemetry
+}
+
+// ObsBench sweeps the telemetry overhead over the runner's benchmarks at
+// dynamic granularity. Rows are grouped per benchmark in sweep order.
+func (r *Runner) ObsBench(workerCounts []int) []ObsRow {
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultObsWorkers
+	}
+	var rows []ObsRow
+	for _, s := range r.specs {
+		prog := s.Build(r.cfg.Scale)
+		for _, w := range workerCounts {
+			opts := race.Options{
+				Tool:        race.FastTrack,
+				Granularity: race.Dynamic,
+				Seed:        r.cfg.Seed,
+				Workers:     w,
+			}
+			repOff, dOff, _ := r.obsMeasure(prog, opts, false)
+			repOn, dOn, reg := r.obsMeasure(prog, opts, true)
+
+			row := ObsRow{
+				Program: s.Name,
+				Workers: w,
+				Races:   len(repOn.Races),
+			}
+			if dOff > 0 {
+				row.DisabledEventsPerSec = float64(repOff.Run.Events) / dOff.Seconds()
+			}
+			if dOn > 0 {
+				row.EnabledEventsPerSec = float64(repOn.Run.Events) / dOn.Seconds()
+			}
+			if row.DisabledEventsPerSec > 0 {
+				row.OverheadPct = 100 * (row.DisabledEventsPerSec - row.EnabledEventsPerSec) /
+					row.DisabledEventsPerSec
+			}
+			row.Accesses = reg.CounterValue("detector_accesses_total")
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// ObsBenchJSON is the machine-readable BENCH_obs.json document.
+type ObsBenchJSON struct {
+	Config struct {
+		Scale      int   `json:"scale"`
+		Seed       int64 `json:"seed"`
+		GOMAXPROCS int   `json:"gomaxprocs"`
+	} `json:"config"`
+	Rows []ObsRow `json:"rows"`
+}
+
+// WriteObsJSON runs the overhead sweep and writes BENCH_obs.json.
+func (r *Runner) WriteObsJSON(w io.Writer, workerCounts []int) error {
+	var out ObsBenchJSON
+	out.Config.Scale = r.cfg.Scale
+	out.Config.Seed = r.cfg.Seed
+	out.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	out.Rows = r.ObsBench(workerCounts)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,200 @@
+// Exporters: Prometheus text exposition, an expvar-style JSON document,
+// and an http.Handler bundling /metrics, /debug/vars and /debug/pprof —
+// the on-demand introspection endpoint behind `racedetect -metrics-addr`
+// and the racedetectd sidecar.
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a sample value the way Prometheus clients do
+// (shortest representation; integers print without a decimal point).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Series of one family are grouped
+// under a single HELP/TYPE header; histograms expand to cumulative
+// _bucket/_sum/_count samples with power-of-two le bounds. Nil-safe (a
+// nil registry writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	var lastName string
+	for _, m := range r.snapshotAll() {
+		if m.Name != lastName {
+			if m.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", m.Name, strings.ReplaceAll(m.Help, "\n", " "))
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind)
+			lastName = m.Name
+		}
+		labels := renderLabels(sortedPairs(m.Labels))
+		if m.Hist == nil {
+			fmt.Fprintf(w, "%s%s %s\n", m.Name, labels, formatValue(m.Value))
+			continue
+		}
+		writePrometheusHistogram(w, m.Name, m.Labels, *m.Hist)
+	}
+}
+
+func sortedPairs(l Labels) []labelPair {
+	pairs := make([]labelPair, 0, len(l))
+	for k, v := range l {
+		pairs = append(pairs, labelPair{k, v})
+	}
+	sortPairs(pairs)
+	return pairs
+}
+
+// writePrometheusHistogram expands one histogram series into cumulative
+// buckets. Empty tail buckets are elided; le="+Inf" always equals _count.
+func writePrometheusHistogram(w io.Writer, name string, l Labels, s HistogramSnapshot) {
+	top := 0
+	for i, n := range s.Buckets {
+		if n > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		pairs := sortedPairs(l)
+		pairs = append(pairs, labelPair{"le", strconv.FormatUint(BucketBound(i), 10)})
+		sortPairs(pairs)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(pairs), cum)
+	}
+	pairs := sortedPairs(l)
+	pairs = append(pairs, labelPair{"le", "+Inf"})
+	sortPairs(pairs)
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(pairs), s.Count)
+	labels := renderLabels(sortedPairs(l))
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}
+
+// jsonHistogram is the JSON rendering of one histogram series.
+type jsonHistogram struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+	// Buckets maps each non-empty bucket's inclusive upper bound to its
+	// (non-cumulative) count.
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// JSONSnapshot returns the expvar-style document: a flat map from series
+// key ("name" or `name{k="v"}`) to value (number, or histogram object).
+// Nil-safe (returns an empty map).
+func (r *Registry) JSONSnapshot() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.snapshotAll() {
+		key := m.Name + renderLabels(sortedPairs(m.Labels))
+		if m.Hist == nil {
+			out[key] = m.Value
+			continue
+		}
+		s := *m.Hist
+		jh := jsonHistogram{
+			Count: s.Count, Sum: s.Sum, Mean: s.Mean(),
+			P50: s.Quantile(0.50), P99: s.Quantile(0.99), Max: s.Quantile(1),
+			Buckets: map[string]uint64{},
+		}
+		for i, n := range s.Buckets {
+			if n > 0 {
+				jh.Buckets[strconv.FormatUint(BucketBound(i), 10)] = n
+			}
+		}
+		out[key] = jh
+	}
+	return out
+}
+
+// WriteJSON writes the expvar-style JSON document (keys sorted, indented).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.JSONSnapshot())
+}
+
+// Publish exposes the registry under name in the process-global expvar
+// namespace (visible on any /debug/vars endpoint in the process).
+// Publishing the same name twice is a no-op — expvar itself panics on
+// duplicates, so this wrapper checks first. Nil-safe.
+func (r *Registry) Publish(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.JSONSnapshot() }))
+}
+
+// Handler returns the introspection endpoint for this registry:
+//
+//	/metrics        Prometheus text exposition
+//	/debug/vars     expvar-style JSON (also at /vars)
+//	/debug/pprof/*  the standard Go profiling handlers
+//	/               plain-text index of the above
+//
+// Safe on a nil registry (the metric pages are empty; pprof still works).
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	vars := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	}
+	mux.HandleFunc("/debug/vars", vars)
+	mux.HandleFunc("/vars", vars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "telemetry endpoints:")
+		for _, p := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+			fmt.Fprintln(w, "  "+p)
+		}
+	})
+	return mux
+}
+
+// Names returns the sorted distinct family names currently registered —
+// handy for docs and introspection tests.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var names []string
+	c := r.core
+	c.mu.Lock()
+	for _, m := range c.ordered {
+		if !seen[m.name] {
+			seen[m.name] = true
+			names = append(names, m.name)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,308 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety pins the disabled-registry contract: a nil registry
+// returns nil instruments and every operation on them is a no-op — the
+// instrumented hot paths must never need a second code path.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(42)
+	if c.Load() != 0 || g.Load() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments accumulated state")
+	}
+	if r.With(Labels{"a": "b"}) != nil {
+		t.Fatal("With on nil registry is not nil")
+	}
+	r.Each(func(Metric) { t.Fatal("nil registry has metrics") })
+	if v := r.CounterValue("c_total"); v != 0 {
+		t.Fatalf("CounterValue on nil registry = %d", v)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("nil registry exposition non-empty: %q", sb.String())
+	}
+	r.Prune(func(string, Labels) bool { return false })
+}
+
+// TestCounterGauge exercises the basic instruments and export formats.
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("events_total", "Events seen.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(7)
+	g.Add(-2)
+	r.GaugeFunc("uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Load())
+	}
+	if g.Load() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Load())
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"# HELP events_total Events seen.",
+		"# TYPE events_total counter",
+		"events_total 42",
+		"# TYPE depth gauge",
+		"depth 5",
+		"uptime_seconds 1.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRegistrationIdempotent: the same (name, labels) returns the same
+// instrument; per-shard label sets get distinct series, and CounterValue
+// sums across them.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	s0 := r.Counter("x_total", "", Labels{"shard": "0"})
+	s1 := r.Counter("x_total", "", Labels{"shard": "1"})
+	if s0 == s1 || s0 == a {
+		t.Fatal("labeled series not distinct")
+	}
+	a.Add(1)
+	s0.Add(2)
+	s1.Add(3)
+	if v := r.CounterValue("x_total"); v != 6 {
+		t.Fatalf("CounterValue = %d, want 6", v)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestWithLabels: base labels from With compose and attach to every
+// registration, and Prune drops a label's series.
+func TestWithLabels(t *testing.T) {
+	r := New()
+	sess := r.With(Labels{"session": "7"}).With(Labels{"role": "ingest"})
+	c := sess.Counter("y_total", "")
+	c.Add(9)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `y_total{role="ingest",session="7"} 9`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, sb.String())
+	}
+
+	r.Prune(func(_ string, l Labels) bool { return l["session"] != "7" })
+	if v := r.CounterValue("y_total"); v != 0 {
+		t.Fatalf("pruned series still counted: %d", v)
+	}
+	// Re-registering after a prune must install a fresh series.
+	c2 := sess.Counter("y_total", "")
+	c2.Inc()
+	if v := r.CounterValue("y_total"); v != 1 {
+		t.Fatalf("post-prune re-registration broken: %d", v)
+	}
+}
+
+// TestHistogramEdges pins the bucketing of the extreme observations: 0
+// lands in the dedicated zero bucket, 1 in the next, and math.MaxUint64
+// in the final bucket — nothing is dropped at either end of the range.
+func TestHistogramEdges(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_ns", "")
+	h.Observe(0)
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(math.MaxUint64)
+
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Buckets[0] != 2 {
+		t.Fatalf("zero bucket = %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[1] != 1 {
+		t.Fatalf("bucket le=1 = %d, want 1", s.Buckets[1])
+	}
+	if s.Buckets[2] != 2 {
+		t.Fatalf("bucket le=3 = %d, want 2 (values 2 and 3)", s.Buckets[2])
+	}
+	if s.Buckets[64] != 1 {
+		t.Fatalf("top bucket = %d, want 1 (MaxUint64)", s.Buckets[64])
+	}
+	if got := BucketBound(0); got != 0 {
+		t.Fatalf("BucketBound(0) = %d", got)
+	}
+	if got := BucketBound(64); got != math.MaxUint64 {
+		t.Fatalf("BucketBound(64) = %d", got)
+	}
+	// Quantiles are bucket upper bounds: the median of {0,0,1,2,3,Max}
+	// falls in the le=3 bucket; the max is MaxUint64.
+	if q := s.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 = %d, want 3", q)
+	}
+	if q := s.Quantile(1); q != math.MaxUint64 {
+		t.Fatalf("p100 = %d, want MaxUint64", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram quantile = %d", q)
+	}
+
+	// Prometheus rendering: cumulative buckets ending in +Inf == count.
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE lat_ns histogram",
+		`lat_ns_bucket{le="0"} 2`,
+		`lat_ns_bucket{le="1"} 3`,
+		`lat_ns_bucket{le="3"} 5`,
+		`lat_ns_bucket{le="+Inf"} 6`,
+		"lat_ns_count 6",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("histogram exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers registration, updates and exports from
+// many goroutines; run under -race this pins the registry's thread
+// safety (concurrent register/export is exactly what a scrape during
+// session churn does to the server registry).
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	const goroutines = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c := r.Counter("conc_total", "", Labels{"g": fmt.Sprint(g % 4)})
+				c.Inc()
+				r.Histogram("conc_ns", "").Observe(uint64(i))
+				if i%10 == 0 {
+					r.Prune(func(name string, l Labels) bool {
+						return name != "ephemeral_total"
+					})
+					r.Counter("ephemeral_total", "", Labels{"g": fmt.Sprint(g)}).Inc()
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+			if err := r.WriteJSON(io.Discard); err != nil {
+				t.Errorf("WriteJSON: %v", err)
+				return
+			}
+			r.CounterValue("conc_total")
+		}
+	}()
+	wg.Wait()
+	<-done
+	if v := r.CounterValue("conc_total"); v != goroutines*rounds {
+		t.Fatalf("conc_total = %d, want %d", v, goroutines*rounds)
+	}
+	if s := r.HistogramValue("conc_ns"); s.Count != goroutines*rounds {
+		t.Fatalf("conc_ns count = %d, want %d", s.Count, goroutines*rounds)
+	}
+}
+
+// TestJSONSnapshot checks the expvar-style document round-trips through
+// encoding/json and carries histogram summaries.
+func TestJSONSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("a_total", "").Add(3)
+	r.Histogram("b_ns", "").Observe(100)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("JSON export does not parse: %v\n%s", err, sb.String())
+	}
+	if doc["a_total"] != 3.0 {
+		t.Fatalf("a_total = %v", doc["a_total"])
+	}
+	h, ok := doc["b_ns"].(map[string]any)
+	if !ok || h["count"] != 1.0 {
+		t.Fatalf("b_ns histogram = %v", doc["b_ns"])
+	}
+}
+
+// TestHandler exercises the bundled HTTP endpoint.
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("served_total", "Requests.").Add(2)
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	get := func(path string) string {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if text := get("/metrics"); !strings.Contains(text, "served_total 2") {
+		t.Errorf("/metrics missing counter:\n%s", text)
+	}
+	if text := get("/debug/vars"); !strings.Contains(text, `"served_total": 2`) {
+		t.Errorf("/debug/vars missing counter:\n%s", text)
+	}
+	if text := get("/"); !strings.Contains(text, "/metrics") {
+		t.Errorf("index missing endpoints:\n%s", text)
+	}
+}

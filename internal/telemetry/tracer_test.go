@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerNil: every tracer method must be a no-op on nil.
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	end := tr.Span("phase")
+	end()
+	tr.Instant("marker", nil)
+	tr.CounterSample("c", map[string]any{"v": 1})
+	if ev := tr.Events(); ev != nil {
+		t.Fatalf("nil tracer recorded %d events", len(ev))
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var f TraceFile
+	if err := json.Unmarshal([]byte(sb.String()), &f); err != nil {
+		t.Fatalf("nil tracer wrote invalid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 0 {
+		t.Fatalf("nil tracer JSON has %d events", len(f.TraceEvents))
+	}
+}
+
+// TestTracerJSONRoundTrip pins the Chrome trace_event well-formedness:
+// the emitted document must parse back with encoding/json and carry the
+// recorded spans with sane phase codes, ordering and durations.
+func TestTracerJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	end := tr.Span("execute", map[string]any{"workload": "ferret"})
+	time.Sleep(2 * time.Millisecond)
+	inner := tr.Span("drain")
+	inner()
+	end()
+	tr.Instant("report-ready", nil)
+	tr.CounterSample("progress", map[string]any{"events": 128})
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var f TraceFile
+	if err := json.Unmarshal([]byte(sb.String()), &f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, sb.String())
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(f.TraceEvents))
+	}
+	byName := map[string]TraceEvent{}
+	for _, ev := range f.TraceEvents {
+		byName[ev.Name] = ev
+		if ev.Pid != 1 || ev.Tid != 1 {
+			t.Errorf("event %s pid/tid = %d/%d", ev.Name, ev.Pid, ev.Tid)
+		}
+	}
+	ex := byName["execute"]
+	if ex.Ph != "X" || ex.Dur <= 0 {
+		t.Fatalf("execute span malformed: %+v", ex)
+	}
+	if ex.Args["workload"] != "ferret" {
+		t.Fatalf("span args lost: %+v", ex.Args)
+	}
+	dr := byName["drain"]
+	if dr.Ts < ex.Ts || dr.Dur > ex.Dur {
+		t.Fatalf("nested span not inside parent: parent %+v child %+v", ex, dr)
+	}
+	if byName["report-ready"].Ph != "i" {
+		t.Fatalf("instant ph = %q", byName["report-ready"].Ph)
+	}
+	if byName["progress"].Ph != "C" {
+		t.Fatalf("counter ph = %q", byName["progress"].Ph)
+	}
+}
+
+// TestTracerConcurrent records spans from several goroutines (run under
+// -race to pin the locking).
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tr.Span("s")()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Events()); n != 400 {
+		t.Fatalf("recorded %d events, want 400", n)
+	}
+}

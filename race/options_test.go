@@ -22,6 +22,9 @@ func TestOptionsValidate(t *testing.T) {
 		{"remote-fasttrack", Options{Remote: "localhost:7474"}, ""},
 		{"remote-sync", Options{Remote: "localhost:7474", RemoteSync: true}, ""},
 		{"limits", Options{MemLimitBytes: 1 << 30, Timeout: time.Second, Quantum: 100}, ""},
+		{"stats-interval", Options{StatsInterval: time.Second}, ""},
+		{"metrics-addr", Options{MetricsAddr: "127.0.0.1:0", Workers: 2}, ""},
+		{"metrics-addr-remote-async", Options{MetricsAddr: "127.0.0.1:0", Remote: "localhost:7474"}, ""},
 
 		{"unknown-tool", Options{Tool: MultiRace + 1}, "Tool"},
 		{"unknown-tool-big", Options{Tool: 200}, "Tool"},
@@ -32,6 +35,10 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative-memlimit", Options{MemLimitBytes: -1}, "MemLimitBytes"},
 		{"remote-wrong-tool", Options{Tool: DRD, Remote: "localhost:7474"}, "Remote"},
 		{"sync-without-remote", Options{RemoteSync: true}, "RemoteSync"},
+		{"negative-stats-interval", Options{StatsInterval: -time.Second}, "StatsInterval"},
+		{"metrics-addr-with-sync", Options{
+			MetricsAddr: "127.0.0.1:0", Remote: "localhost:7474", RemoteSync: true,
+		}, "MetricsAddr"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

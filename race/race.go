@@ -30,6 +30,7 @@ package race
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/client"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/segment"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -172,6 +174,31 @@ type Options struct {
 	// batch is written and acknowledged before the producer continues,
 	// instead of streaming asynchronously behind a bounded window.
 	RemoteSync bool
+
+	// Telemetry, when non-nil, receives the run's live metrics: detector
+	// state transitions and sharing decisions, pipeline per-shard counters
+	// and queue depth, client wire counters. Nil disables instrumentation
+	// at near-zero cost (one predictable branch per site). Use
+	// NewTelemetry to obtain a registry without importing internal
+	// packages. MetricsAddr and StatsInterval install one automatically.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records phase spans (execute, drain, collect,
+	// dial, report) for a Chrome trace_event JSON dump (NewTracer,
+	// Tracer.WriteJSON). Nil disables tracing.
+	Tracer *telemetry.Tracer
+	// MetricsAddr serves the run's telemetry over HTTP (/metrics
+	// Prometheus text, /debug/vars JSON, /debug/pprof/*) on this address
+	// for the duration of the run. Empty = no endpoint. Incompatible with
+	// RemoteSync (the synchronous client blocks the producer; a live
+	// endpoint would mostly show an idle detector — reject rather than
+	// mislead).
+	MetricsAddr string
+	// StatsInterval prints a one-line progress report (accesses,
+	// same-epoch hits, races, queue depth) to StatsWriter every interval.
+	// 0 disables; negative is rejected by Validate.
+	StatsInterval time.Duration
+	// StatsWriter receives the progress lines; nil means os.Stderr.
+	StatsWriter io.Writer
 }
 
 // OptionsError reports an invalid Options field. It is the (typed) error
@@ -214,6 +241,12 @@ func (o Options) Validate() error {
 	}
 	if o.RemoteSync && o.Remote == "" {
 		return &OptionsError{"RemoteSync", "requires Remote to be set"}
+	}
+	if o.StatsInterval < 0 {
+		return &OptionsError{"StatsInterval", fmt.Sprintf("negative interval %v", o.StatsInterval)}
+	}
+	if o.MetricsAddr != "" && o.RemoteSync {
+		return &OptionsError{"MetricsAddr", "incompatible with RemoteSync (synchronous streaming leaves no live detector to observe)"}
 	}
 	return nil
 }
@@ -359,6 +392,11 @@ func RunE(p Program, opts Options) (Report, error) {
 	if err := opts.Validate(); err != nil {
 		return Report{}, err
 	}
+	obs, err := startObservability(&opts)
+	if err != nil {
+		return Report{}, err
+	}
+	defer obs.stop()
 	if opts.Remote != "" {
 		return runRemote(p, opts)
 	}
@@ -371,9 +409,11 @@ func RunE(p Program, opts Options) (Report, error) {
 // local pipeline mode where drain time is part of Elapsed.
 func runRemote(p Program, opts Options) (Report, error) {
 	rep := Report{Program: p.Name, Tool: opts.Tool, Granularity: opts.Granularity}
+	endDial := opts.Tracer.Span("dial", map[string]any{"addr": opts.Remote})
 	cl, err := client.Dial(client.Options{
-		Addr: opts.Remote,
-		Sync: opts.RemoteSync,
+		Addr:      opts.Remote,
+		Sync:      opts.RemoteSync,
+		Telemetry: opts.Telemetry,
 		Hello: wire.Hello{
 			Granularity:      uint8(opts.Granularity),
 			Workers:          opts.Workers,
@@ -384,12 +424,17 @@ func runRemote(p Program, opts Options) (Report, error) {
 			ReshareInterval:  opts.ReshareInterval,
 		},
 	})
+	endDial()
 	if err != nil {
 		return rep, err
 	}
 	start := time.Now()
+	endExec := opts.Tracer.Span("execute", map[string]any{"program": p.Name})
 	rep.Run = sim.Run(p, cl, opts.engineOptions())
+	endExec()
+	endReport := opts.Tracer.Span("report")
 	wrep, err := cl.Close()
+	endReport()
 	rep.Elapsed = time.Since(start)
 	rep.TimedOut = rep.Run.TimedOut
 	if err != nil {
@@ -418,12 +463,19 @@ func runLocal(p Program, opts Options) Report {
 			ReadReset:        opts.ReadReset,
 		}
 		if opts.Workers > 0 {
-			pl := pipeline.New(pipeline.Options{Workers: opts.Workers, Detector: cfg})
+			pl := pipeline.New(pipeline.Options{
+				Workers:   opts.Workers,
+				Detector:  cfg,
+				Telemetry: opts.Telemetry,
+			})
 			sink = pl
 			var res pipeline.Result
 			drain = func() { res = pl.Wait() }
 			collect = func(r *Report) { fillFastTrack(r, res.Stats, res.Races) }
 		} else {
+			if opts.Telemetry != nil {
+				cfg.Metrics = detector.NewMetrics(opts.Telemetry)
+			}
 			d := detector.New(cfg)
 			sink = d
 			collect = func(r *Report) { fillFastTrack(r, d.Stats(), d.Races()) }
@@ -494,13 +546,19 @@ func runLocal(p Program, opts Options) Report {
 	}
 
 	start := time.Now()
+	endExec := opts.Tracer.Span("execute", map[string]any{"program": p.Name, "tool": opts.Tool.String()})
 	rep.Run = sim.Run(p, sink, simOpts)
+	endExec()
 	if drain != nil {
+		endDrain := opts.Tracer.Span("drain")
 		drain() // the timed window includes draining the detection workers
+		endDrain()
 	}
 	rep.Elapsed = time.Since(start)
 	rep.TimedOut = rep.Run.TimedOut
+	endCollect := opts.Tracer.Span("collect")
 	collect(&rep)
+	endCollect()
 	return rep
 }
 
