@@ -10,6 +10,7 @@
 //	benchtables -pipeline-json BENCH_pipeline.json   # worker-sweep bench
 //	benchtables -wire-json BENCH_wire.json           # remote-service bench
 //	benchtables -obs-json BENCH_obs.json             # telemetry overhead bench
+//	benchtables -mem-json BENCH_mem.json             # memory lane (allocs/op, shadow bytes)
 //
 // Every number is measured in-process; nothing is replayed from files. See
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -51,6 +52,9 @@ func main() {
 			"write the telemetry overhead bench to this file (e.g. BENCH_obs.json)")
 		obsWorkers = flag.String("obs-workers", "",
 			"comma-separated worker counts for -obs-json (default 0,2)")
+
+		memJSON = flag.String("mem-json", "",
+			"write the memory lane (shadow bytes, live nodes, allocs/op, GC pauses per workload × granularity) to this file (e.g. BENCH_mem.json)")
 	)
 	flag.Parse()
 
@@ -112,6 +116,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *pipelineJSON)
+		return
+	}
+
+	if *memJSON != "" {
+		f, err := os.Create(*memJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = r.WriteMemJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *memJSON)
 		return
 	}
 

@@ -14,12 +14,15 @@
 //	racedetect -bench x264 -remote localhost:7474   # stream to racedetectd
 //	racedetect -bench ffmpeg -workers 4 -metrics-addr :7070 -stats-interval 1s
 //	racedetect -bench ferret -trace-out ferret-trace.json   # phase trace
+//	racedetect -bench dedup -memprofile dedup.pprof -memstats  # allocation forensics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
@@ -30,6 +33,33 @@ import (
 	"repro/race"
 	"repro/workloads"
 )
+
+// memReport writes the heap profile (if path is non-empty) and prints a
+// one-line allocator summary (if stats). Shared by racedetect and
+// tracereplay via copy: the two commands keep no common package.
+func memReport(path string, stats bool) {
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "racedetect:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush recent allocations into the profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "racedetect:", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote heap profile to %s (inspect with: go tool pprof %s)\n", path, path)
+	}
+	if stats {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		fmt.Fprintf(os.Stderr,
+			"memstats    %d allocs, %.2f MB total, %.2f MB heap peak, %d GC cycles, %.2fms total pause\n",
+			m.Mallocs, float64(m.TotalAlloc)/(1<<20), float64(m.HeapSys)/(1<<20),
+			m.NumGC, float64(m.PauseTotalNs)/1e6)
+	}
+}
 
 func main() {
 	var (
@@ -55,6 +85,10 @@ func main() {
 			"serve live run telemetry over HTTP on this address (/metrics, /debug/vars, /debug/pprof)")
 		traceOut = flag.String("trace-out", "",
 			"write a Chrome trace_event JSON phase trace to this file")
+		memprofile = flag.String("memprofile", "",
+			"write a heap (allocs) profile to this file on exit")
+		memstats = flag.Bool("memstats", false,
+			"print a one-line allocator summary to stderr on exit")
 	)
 	flag.Parse()
 
@@ -115,6 +149,7 @@ func main() {
 	endBase()
 	if *sample {
 		runSampled(prog, spec, *seed, baseTime)
+		memReport(*memprofile, *memstats)
 		return
 	}
 	rep, err := race.RunE(prog, opts)
@@ -169,6 +204,7 @@ func main() {
 			fmt.Printf("  %v\n", x)
 		}
 	}
+	memReport(*memprofile, *memstats)
 }
 
 // runSampled runs the benchmark under a LiteRace-style sampling wrapper

@@ -12,6 +12,7 @@
 //	tracereplay -replay ferret.trace -remote localhost:7474
 //	tracereplay -replay ferret.trace -metrics-addr :7070 -stats-interval 1s
 //	tracereplay -record -bench ferret -out ferret.trace -trace-out phases.json
+//	tracereplay -replay ferret.trace -memprofile replay.pprof -memstats
 //
 // With -remote the recorded stream is not detected in-process: it is
 // streamed to a racedetectd detection service and the server's report is
@@ -25,6 +26,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/client"
@@ -58,8 +61,13 @@ func main() {
 			"serve live replay telemetry over HTTP on this address (/metrics, /debug/vars, /debug/pprof)")
 		traceOut = flag.String("trace-out", "",
 			"write a Chrome trace_event JSON phase trace to this file")
+		memprofile = flag.String("memprofile", "",
+			"write a heap (allocs) profile to this file on exit")
+		memstats = flag.Bool("memstats", false,
+			"print a one-line allocator summary to stderr on exit")
 	)
 	flag.Parse()
+	defer memReport(*memprofile, *memstats)
 
 	obs, err := startObs(*metricsAddr, *statsInterval)
 	if err != nil {
@@ -264,6 +272,32 @@ func (o *obs) stop() {
 	}
 	if o.ln != nil {
 		o.ln.Close()
+	}
+}
+
+// memReport writes the heap profile (if path is non-empty) and prints a
+// one-line allocator summary (if stats). Shared by racedetect and
+// tracereplay via copy: the two commands keep no common package.
+func memReport(path string, stats bool) {
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // flush recent allocations into the profile
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "tracereplay:", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote heap profile to %s (inspect with: go tool pprof %s)\n", path, path)
+	}
+	if stats {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		fmt.Fprintf(os.Stderr,
+			"memstats    %d allocs, %.2f MB total, %.2f MB heap peak, %d GC cycles, %.2fms total pause\n",
+			m.Mallocs, float64(m.TotalAlloc)/(1<<20), float64(m.HeapSys)/(1<<20),
+			m.NumGC, float64(m.PauseTotalNs)/1e6)
 	}
 }
 

@@ -1,0 +1,86 @@
+// Allocation guards for the memory layer: once the working set is warm
+// (shadow entries, bitmap chunks, vector clocks, and node freelists all
+// populated), the detection hot path must not touch the Go heap. These
+// tests pin the zero-alloc steady state with testing.AllocsPerRun so any
+// future escape or missed pool path fails CI rather than showing up as a
+// silent slowdown.
+package detector
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+// TestSameEpochFastPathZeroAlloc pins the most important path of all: a
+// thread re-accessing a location it already owns in the same epoch (the
+// FastTrack same-epoch check, ~70-90% of all accesses in Table 2
+// workloads) performs zero heap allocations at every granularity.
+func TestSameEpochFastPathZeroAlloc(t *testing.T) {
+	for _, g := range []Granularity{Byte, Word, Dynamic} {
+		g := g
+		t.Run(g.String(), func(t *testing.T) {
+			d := New(Config{Granularity: g})
+			const base, n = 0x1000, 256
+			warm := func() {
+				for a := uint64(0); a < n; a += 8 {
+					d.Write(0, base+a, 8, 1)
+					d.Read(0, base+a, 8, 2)
+				}
+			}
+			warm() // populate shadow entries, bitmap chunks, thread state
+			if got := testing.AllocsPerRun(50, warm); got != 0 {
+				t.Fatalf("same-epoch steady state: %v allocs/run, want 0", got)
+			}
+			if races := len(d.Races()); races != 0 {
+				t.Fatalf("unexpected races: %d", races)
+			}
+		})
+	}
+}
+
+// TestSynchronizedSteadyStateZeroAlloc exercises the full churn loop: two
+// threads ping-pong lock-ordered ownership of a warm address range, which
+// drives epoch bumps, lock-clock assignment, dynamic-granularity splits,
+// merges, and node recycling on every cycle. After warm-up the entire
+// cycle — accesses, acquire/release, and malloc/free shadow drops — must
+// run without heap allocation: nodes come from the plane freelist, clocks
+// from the vc pool, and DropRange's collection buffer is reused.
+func TestSynchronizedSteadyStateZeroAlloc(t *testing.T) {
+	for _, g := range []Granularity{Byte, Word, Dynamic} {
+		g := g
+		t.Run(g.String(), func(t *testing.T) {
+			d := New(Config{Granularity: g})
+			const base, span = 0x4000, 512
+			const lk = event.LockID(7)
+			d.Fork(0, 1)
+			cycle := func() {
+				for _, tid := range []vc.TID{0, 1} {
+					d.Acquire(tid, lk)
+					for a := uint64(0); a < span; a += 4 {
+						d.Write(tid, base+a, 4, 10)
+						d.Read(tid, base+a, 4, 11)
+					}
+					// Heap-style churn: drop and re-create a sub-range's
+					// shadow state, recycling its nodes through the freelist.
+					d.Free(tid, base+span, 128)
+					for a := uint64(0); a < 128; a += 8 {
+						d.Write(tid, base+span+a, 8, 12)
+					}
+					d.Release(tid, lk)
+				}
+			}
+			// Warm twice: the first pass allocates the working set, the
+			// second settles freelist and scratch-buffer capacities.
+			cycle()
+			cycle()
+			if got := testing.AllocsPerRun(20, cycle); got != 0 {
+				t.Fatalf("synchronized steady state: %v allocs/run, want 0", got)
+			}
+			if races := len(d.Races()); races != 0 {
+				t.Fatalf("unexpected races: %d (loop must stay race-free)", races)
+			}
+		})
+	}
+}

@@ -181,6 +181,14 @@ type Stats struct {
 	// SharingComparisons counts clock comparisons made for sharing
 	// decisions (the cost the write-guided extension reduces).
 	SharingComparisons uint64
+
+	// VCPoolHits/VCPoolMisses count vector-clock backing-array requests
+	// served from (resp. missed by) the detector's size-classed clock
+	// pool; VCInterns counts read vectors deduplicated through the intern
+	// table. All zero when the memory layer's pooling is not wired (e.g.
+	// a detector built before the pool existed, or non-FastTrack tools).
+	VCPoolHits, VCPoolMisses uint64
+	VCInterns                uint64
 }
 
 // Detector is the race detector; it implements event.Sink.
@@ -212,6 +220,14 @@ type Detector struct {
 	// nil-receiver checks.
 	met *Metrics
 
+	// vcs is the detector's size-classed vector-clock pool; every clock the
+	// detector creates (thread/lock/barrier clocks, read-vector inflations,
+	// copy-on-write splits) allocates and recycles through it. intern
+	// deduplicates equal read vectors behind canonical shared arrays. Both
+	// are single-owner: one detector = one goroutine = one pool.
+	vcs    *vc.Pool
+	intern *vc.Interner
+
 	stats Stats
 	races []Race
 }
@@ -228,8 +244,13 @@ func New(cfg Config) *Detector {
 	if d.met == nil {
 		d.met = noopDetectorMetrics
 	}
+	d.vcs = vc.NewPool()
+	d.intern = vc.NewInterner(d.vcs)
+	d.th.SetPool(d.vcs)
 	d.read = dyngran.NewPlane(dyngran.ReadPlane, &d.stats.Plane)
 	d.write = dyngran.NewPlane(dyngran.WritePlane, &d.stats.Plane)
+	d.read.SetPool(d.vcs)
+	d.write.SetPool(d.vcs)
 	d.read.SetMetrics(d.met.Read)
 	d.write.SetMetrics(d.met.Write)
 	sup := cfg.Suppress
@@ -261,6 +282,8 @@ func (d *Detector) Stats() Stats {
 	if s.TotalPeakBytes < s.HashPeakBytes+s.VCPeakBytes+s.BitmapPeakBytes {
 		s.TotalPeakBytes = s.HashPeakBytes + s.VCPeakBytes + s.BitmapPeakBytes
 	}
+	s.VCPoolHits, s.VCPoolMisses = d.vcs.Stats()
+	s.VCInterns = d.intern.Hits()
 	return s
 }
 
@@ -632,7 +655,12 @@ func (d *Detector) checkWritePlane(lo, hi uint64, tc *vc.VC) (vc.TID, event.PC, 
 // became) read-shared — the paper's "read-read conflict".
 func (d *Detector) updateRead(n *dyngran.Node, tid vc.TID, e vc.Epoch, tc *vc.VC) bool {
 	before := n.R.Bytes()
-	n.R.Update(tid, e, tc)
+	if n.R.UpdateIn(d.vcs, tid, e, tc) {
+		// Fresh inflation: many locations of an initialize-then-read region
+		// inflate to the same small vector; interning folds them into one
+		// canonical shared array (a later mutation copy-on-writes away).
+		n.R.V = d.intern.Intern(n.R.V)
+	}
 	if after := n.R.Bytes(); after != before {
 		d.read.AccountInflation(int64(after - before))
 	}

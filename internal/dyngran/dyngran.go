@@ -117,9 +117,14 @@ type Stats struct {
 	// VCBytesCur/VCBytesPeak track clock storage for Table 2's "Vector
 	// clock" column.
 	VCBytesCur, VCBytesPeak int64
-	// NodeAllocs counts node allocations; LocCreations counts first-access
-	// location creations.
+	// NodeAllocs counts node allocations (logical shadow-node creations;
+	// the paper's "# of vector clock creations"); LocCreations counts
+	// first-access location creations.
 	NodeAllocs, LocCreations uint64
+	// NodeRecycles counts NodeAllocs that were served from the plane's
+	// freelist instead of the Go heap — the allocation-lean hot path's
+	// effectiveness measure (NodeRecycles/NodeAllocs is the recycle rate).
+	NodeRecycles uint64
 	// LiveLocs is the number of locations currently represented by live
 	// nodes; AvgSharingAtPeak is LiveLocs/NodesCur sampled whenever the
 	// node count peaks — Table 3's "avg sharing count" (how many
@@ -146,7 +151,11 @@ func (s *Stats) sampleSharing() {
 }
 
 // Plane is one access plane's shadow state: the Figure 4 indexing table
-// plus allocation accounting.
+// plus allocation accounting. Nodes are allocated from per-plane arena
+// slabs and recycled through a freelist: the split/merge/drop churn of the
+// dynamic-granularity state machine reuses node memory instead of reaching
+// the Go heap once per node. A plane is single-owner (one detector shard),
+// so the freelist needs no synchronization.
 type Plane struct {
 	Kind Kind
 	Tab  *shadow.Table[*Node]
@@ -154,11 +163,50 @@ type Plane struct {
 	// Met is the plane's telemetry instrument set; never nil (NewPlane
 	// installs the disabled set). Replace via SetMetrics to enable.
 	Met *Metrics
+
+	// pool serves vector-clock storage for cloned read vectors (may be
+	// nil: plain heap allocation).
+	pool *vc.Pool
+	// free holds released nodes ready for reuse; arena is the tail of the
+	// current allocation slab.
+	free  []*Node
+	arena []Node
+	// scratch is DropRange's reusable collection buffer, so steady-state
+	// Free events (malloc/free churn) never allocate.
+	scratch []*Node
 }
+
+// arenaChunk is the slab size for node allocation: one heap allocation
+// per 128 nodes instead of one per node.
+const arenaChunk = 128
 
 // NewPlane returns an empty plane of the given kind sharing stats st.
 func NewPlane(kind Kind, st *Stats) *Plane {
 	return &Plane{Kind: kind, Tab: shadow.New[*Node](), St: st, Met: noopMetrics}
+}
+
+// SetPool binds the plane's vector-clock storage (cloned read vectors) to
+// pool p. Nil restores plain heap allocation.
+func (p *Plane) SetPool(pl *vc.Pool) { p.pool = pl }
+
+// alloc returns a zeroed node from the freelist (counted as a recycle) or
+// the arena. Arena nodes and freelist nodes are both all-zero: slabs start
+// zeroed and release() zeroes before pushing.
+func (p *Plane) alloc() *Node {
+	if k := len(p.free); k > 0 {
+		n := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		p.St.NodeRecycles++
+		p.Met.NodeRecycles.Inc()
+		return n
+	}
+	if len(p.arena) == 0 {
+		p.arena = make([]Node, arenaChunk)
+	}
+	n := &p.arena[0]
+	p.arena = p.arena[1:]
+	return n
 }
 
 // SetMetrics installs the plane's telemetry instruments (nil restores the
@@ -213,7 +261,8 @@ func (p *Plane) AccountInflation(delta int64) {
 // NewNode allocates a node covering [lo, hi), points the range's shadow
 // slots at it, and accounts it. The caller fills in the clock afterwards.
 func (p *Plane) NewNode(lo, hi uint64, state State) *Node {
-	n := &Node{Lo: lo, Hi: hi, Locs: 1, State: state}
+	n := p.alloc()
+	n.Lo, n.Hi, n.Locs, n.State = lo, hi, 1, state
 	if state == Init {
 		p.Met.ToInit.Inc()
 	}
@@ -222,27 +271,34 @@ func (p *Plane) NewNode(lo, hi uint64, state State) *Node {
 	return n
 }
 
-// clone allocates a copy of n covering [lo, hi) with an independent clock.
+// clone allocates a copy of n covering [lo, hi) with an independent clock
+// (the read vector, if inflated, is shared copy-on-write through the
+// plane's pool — either side's next mutation splits off its own array).
 func (p *Plane) clone(n *Node, lo, hi uint64, locs int32) *Node {
-	c := &Node{
-		W:          n.W,
-		R:          n.R.Clone(),
-		Lo:         lo,
-		Hi:         hi,
-		Locs:       locs,
-		State:      n.State,
-		InitShared: n.InitShared,
-		Reported:   n.Reported,
-		PC:         n.PC,
-	}
+	c := p.alloc()
+	c.W = n.W
+	c.R = n.R.CloneIn(p.pool)
+	c.Lo, c.Hi = lo, hi
+	c.Locs = locs
+	c.State = n.State
+	c.InitShared = n.InitShared
+	c.Reported = n.Reported
+	c.PC = n.PC
 	p.account(c, +1)
 	p.Tab.SetRange(lo, hi, c)
 	return c
 }
 
-// release drops a node from accounting (its slots must already be
-// repointed or cleared).
-func (p *Plane) release(n *Node) { p.account(n, -1) }
+// release drops a node from accounting and recycles it: the inflated read
+// vector (if any) returns to its pool, the node is zeroed and pushed onto
+// the plane freelist. The caller must already have repointed or cleared
+// every shadow slot that referenced n.
+func (p *Plane) release(n *Node) {
+	p.account(n, -1)
+	n.R.Release()
+	*n = Node{}
+	p.free = append(p.free, n)
+}
 
 // hasCells reports whether any shadow slot in [lo, hi) is set.
 func (p *Plane) hasCells(lo, hi uint64) bool {
@@ -520,7 +576,7 @@ func (p *Plane) DeflateReads(lo, hi uint64, tc *vc.VC) {
 		last = n
 		if n.R.Shared() && n.R.LEQ(tc) {
 			p.AccountInflation(-int64(n.R.Bytes()))
-			n.R = fasttrack.Read{}
+			n.R.Release() // vector storage back to its pool
 		}
 		return true
 	})
@@ -530,13 +586,20 @@ func (p *Plane) DeflateReads(lo, hi uint64, tc *vc.VC) {
 // fully inside the range are released; nodes straddling a boundary are
 // shrunk.
 func (p *Plane) DropRange(lo, hi uint64) {
-	var nodes []*Node
-	var last *Node
+	// Collect each node once. Adjacent-only dedup is not enough: a merge of
+	// two pieces around an interior hole leaves a node whose range contains
+	// slots owned by a later hole-filling node, so the same node can appear
+	// in non-contiguous slot runs — and a double release would push it onto
+	// the freelist twice (aliased reuse). The per-block node count is small
+	// (≤ 32), so a linear membership scan stays cheap.
+	nodes := p.scratch[:0]
 	p.Tab.ForRange(lo, hi, func(_ uint64, n *Node) bool {
-		if n != last {
-			nodes = append(nodes, n)
-			last = n
+		for _, m := range nodes {
+			if m == n {
+				return true
+			}
 		}
+		nodes = append(nodes, n)
 		return true
 	})
 	for _, n := range nodes {
@@ -567,6 +630,10 @@ func (p *Plane) DropRange(lo, hi uint64) {
 			}
 		}
 	}
+	for i := range nodes {
+		nodes[i] = nil // drop references so released nodes aren't pinned
+	}
+	p.scratch = nodes[:0]
 	p.Tab.ClearRange(lo, hi)
 }
 

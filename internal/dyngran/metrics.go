@@ -12,9 +12,12 @@ import "repro/internal/telemetry"
 // NewMetrics; the zero value is valid and disabled.
 type Metrics struct {
 	// Node churn (mirrors Stats.NodeAllocs plus the release side the
-	// tables never needed).
+	// tables never needed). NodeRecycles mirrors Stats.NodeRecycles: the
+	// subset of allocations the plane freelist served without touching the
+	// Go heap.
 	NodeAllocs   *telemetry.Counter
 	NodeReleases *telemetry.Counter
+	NodeRecycles *telemetry.Counter
 	// Merges and Splits mirror Stats.Merges / Stats.Splits.
 	Merges *telemetry.Counter
 	Splits *telemetry.Counter
@@ -49,6 +52,7 @@ func NewMetrics(r *telemetry.Registry, kind Kind) *Metrics {
 	m := &Metrics{
 		NodeAllocs:   r.Counter("shadow_node_allocs_total", "Shadow clock-node allocations.", l),
 		NodeReleases: r.Counter("shadow_node_releases_total", "Shadow clock-node releases.", l),
+		NodeRecycles: r.Counter("shadow_node_recycles_total", "Shadow clock-node allocations served by the plane freelist.", l),
 		Merges:       r.Counter("shadow_node_merges_total", "Clock-sharing merge events (incl. extend-left).", l),
 		Splits:       r.Counter("shadow_node_splits_total", "Clock-sharing split events.", l),
 	}

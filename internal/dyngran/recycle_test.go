@@ -1,0 +1,91 @@
+// Regression tests for node recycling under the hole-merge aliasing
+// pattern. Merge only requires the combined range to fit one indexing
+// block, so merging two pieces around an interior hole leaves a node
+// whose [Lo,Hi) contains slots it does not own; when a later first access
+// fills the hole, the outer node appears in NON-contiguous slot runs.
+// DropRange's collection must still release it exactly once — a double
+// release pushes the node onto the freelist twice, and the two freelist
+// pops then alias the same *Node under two unrelated ranges (observed as
+// a shadow-plane invariant violation and an infinite segment walk).
+package dyngran
+
+import (
+	"testing"
+
+	"repro/internal/vc"
+)
+
+// holeMergePlane builds the aliasing precondition: outer covers
+// [0x100,0x118) in two slot runs with hole owned by mid.
+func holeMergePlane(t *testing.T) (p *Plane, outer, mid *Node) {
+	t.Helper()
+	p, _ = newWritePlane()
+	a := p.NewNode(0x100, 0x108, Init)
+	a.W = vc.MakeEpoch(0, 1)
+	b := p.NewNode(0x110, 0x118, Init)
+	b.W = vc.MakeEpoch(0, 1)
+	outer = p.Merge(a, b) // [0x100,0x118) with unowned hole [0x108,0x110)
+	mid = p.NewNode(0x108, 0x110, Init)
+	mid.W = vc.MakeEpoch(1, 1)
+	if outer.Lo != 0x100 || outer.Hi != 0x118 {
+		t.Fatalf("outer range [%#x,%#x), want [0x100,0x118)", outer.Lo, outer.Hi)
+	}
+	if p.Tab.Get(0x10c) != mid || p.Tab.Get(0x104) != outer || p.Tab.Get(0x114) != outer {
+		t.Fatal("hole-merge precondition not established")
+	}
+	return p, outer, mid
+}
+
+// TestDropRangeHoleMergeSingleRelease drops the whole aliased range and
+// asserts the freelist holds no duplicate, i.e. the outer node was
+// collected once despite owning two slot runs.
+func TestDropRangeHoleMergeSingleRelease(t *testing.T) {
+	p, _, _ := holeMergePlane(t)
+	p.DropRange(0x100, 0x118)
+	seen := map[*Node]bool{}
+	for _, n := range p.free {
+		if seen[n] {
+			t.Fatalf("node %p pushed onto the freelist twice", n)
+		}
+		seen[n] = true
+	}
+	// History: Merge released b (1 header), NewNode(mid) recycled it,
+	// DropRange released outer and mid → exactly 2 headers parked.
+	if len(p.free) != 2 {
+		t.Fatalf("freelist holds %d nodes, want 2", len(p.free))
+	}
+	if p.St.NodesCur != 0 {
+		t.Fatalf("NodesCur after full drop: %d, want 0", p.St.NodesCur)
+	}
+	// Recycled nodes must come back as distinct, empty headers.
+	x := p.NewNode(0x200, 0x208, Init)
+	y := p.NewNode(0x210, 0x218, Init)
+	if x == y {
+		t.Fatal("freelist handed out the same node twice")
+	}
+	if x.R.V != nil || y.R.V != nil || x.Locs != 1 || y.Locs != 1 {
+		t.Fatal("recycled node not reset")
+	}
+}
+
+// TestDropRangePartialOverHole drops only the first slot run of the
+// aliased outer node: the node must survive, shrunk, still owning its
+// second run, and the hole-filling node must be released exactly once.
+func TestDropRangePartialOverHole(t *testing.T) {
+	p, outer, _ := holeMergePlane(t)
+	p.DropRange(0x100, 0x110) // first run of outer + all of mid
+	if got := p.Tab.Get(0x104); got != nil {
+		t.Fatalf("slot 0x104 after drop: %p, want nil", got)
+	}
+	if got := p.Tab.Get(0x114); got != outer {
+		t.Fatalf("slot 0x114 after drop: %p, want surviving outer %p", got, outer)
+	}
+	if outer.Lo != 0x110 || outer.Hi != 0x118 {
+		t.Fatalf("outer shrunk to [%#x,%#x), want [0x110,0x118)", outer.Lo, outer.Hi)
+	}
+	for _, n := range p.free {
+		if n == outer {
+			t.Fatal("live node found on the freelist")
+		}
+	}
+}

@@ -50,7 +50,13 @@ type Threads struct {
 	readers  map[event.LockID]*vc.VC // rwlock reader-release clocks
 	barriers map[event.BarrierID]*vc.VC
 	epochs   uint64 // total epochs started, for statistics
+	pool     *vc.Pool
 }
+
+// SetPool binds every thread/lock/barrier clock created from now on to p,
+// so their growth reallocation recycles through the pool. A nil pool (the
+// default) keeps plain heap allocation.
+func (ts *Threads) SetPool(p *vc.Pool) { ts.pool = p }
 
 // NewThreads returns an empty thread-clock registry.
 func NewThreads() *Threads {
@@ -68,7 +74,7 @@ func (ts *Threads) ensure(t vc.TID) *vc.VC {
 		ts.clocks = append(ts.clocks, nil)
 	}
 	if ts.clocks[t] == nil {
-		c := vc.New(int(t) + 1)
+		c := ts.pool.Get(int(t) + 1)
 		c.Set(t, 1)
 		ts.clocks[t] = c
 		ts.epochs++
@@ -107,7 +113,7 @@ func (ts *Threads) Release(t vc.TID, l event.LockID) {
 	tc := ts.ensure(t)
 	lc := ts.locks[l]
 	if lc == nil {
-		lc = vc.New(tc.Len())
+		lc = ts.pool.Get(tc.Len())
 		ts.locks[l] = lc
 	}
 	lc.Join(tc)
@@ -133,7 +139,7 @@ func (ts *Threads) ReleaseShared(t vc.TID, l event.LockID) {
 	tc := ts.ensure(t)
 	rc := ts.readers[l]
 	if rc == nil {
-		rc = vc.New(tc.Len())
+		rc = ts.pool.Get(tc.Len())
 		ts.readers[l] = rc
 	}
 	rc.Join(tc)
@@ -164,7 +170,7 @@ func (ts *Threads) BarrierArrive(t vc.TID, b event.BarrierID) {
 	tc := ts.ensure(t)
 	bc := ts.barriers[b]
 	if bc == nil {
-		bc = vc.New(tc.Len())
+		bc = ts.pool.Get(tc.Len())
 		ts.barriers[b] = bc
 	}
 	bc.Join(tc)
@@ -238,13 +244,34 @@ func (r *Read) Equal(o *Read) bool {
 	return r.E == o.E
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy. A pool-bound inflated vector clones
+// copy-on-write through its own pool.
 func (r *Read) Clone() Read {
 	n := Read{E: r.E}
 	if r.V != nil {
 		n.V = r.V.Clone()
 	}
 	return n
+}
+
+// CloneIn returns a copy whose inflated vector (if any) shares storage
+// copy-on-write and serves its future growth from pool p (nil = heap).
+func (r *Read) CloneIn(p *vc.Pool) Read {
+	n := Read{E: r.E}
+	if r.V != nil {
+		n.V = r.V.CloneIn(p)
+	}
+	return n
+}
+
+// Release returns the inflated vector (if any) to its pool and resets the
+// representation to "never read". Safe on the zero Read.
+func (r *Read) Release() {
+	if r.V != nil {
+		r.V.Release()
+		r.V = nil
+	}
+	r.E = vc.EpochNone
 }
 
 // Bytes returns the accounting size of the representation beyond its
@@ -261,6 +288,12 @@ func (r *Read) Bytes() int {
 // representation inflates to a vector clock. It reports whether the
 // representation changed from epoch to vector (for accounting).
 func (r *Read) Update(t vc.TID, e vc.Epoch, tc *vc.VC) (inflated bool) {
+	return r.UpdateIn(nil, t, e, tc)
+}
+
+// UpdateIn is Update with the inflation vector (when one is created) served
+// by pool p; a nil pool falls back to plain heap allocation.
+func (r *Read) UpdateIn(p *vc.Pool, t vc.TID, e vc.Epoch, tc *vc.VC) (inflated bool) {
 	if r.V != nil {
 		r.V.Set(t, e.Clock())
 		return false
@@ -270,7 +303,7 @@ func (r *Read) Update(t vc.TID, e vc.Epoch, tc *vc.VC) (inflated bool) {
 		return false
 	}
 	// Concurrent reads: inflate to a full vector holding both.
-	v := vc.New(int(t) + 1)
+	v := p.Get(int(t) + 1)
 	v.Set(r.E.TID(), r.E.Clock())
 	v.Set(t, e.Clock())
 	r.V = v

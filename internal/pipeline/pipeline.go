@@ -428,7 +428,11 @@ func (p *Pipeline) merge() Result {
 		st.Plane.VCBytesCur += ws.Plane.VCBytesCur
 		st.Plane.VCBytesPeak += ws.Plane.VCBytesPeak
 		st.Plane.NodeAllocs += ws.Plane.NodeAllocs
+		st.Plane.NodeRecycles += ws.Plane.NodeRecycles
 		st.Plane.LocCreations += ws.Plane.LocCreations
+		st.VCPoolHits += ws.VCPoolHits
+		st.VCPoolMisses += ws.VCPoolMisses
+		st.VCInterns += ws.VCInterns
 		st.Plane.LiveLocs += ws.Plane.LiveLocs
 		st.Plane.Merges += ws.Plane.Merges
 		st.Plane.Splits += ws.Plane.Splits

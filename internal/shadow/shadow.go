@@ -54,14 +54,29 @@ type Table[T comparable] struct {
 	// same 128-address block, so remembering the last entry resolved turns
 	// the common-case lookup into one comparison (no hashing, no chain
 	// walk). Entries stay valid across grow (rehashing relinks the same
-	// entry objects); only remove must invalidate.
+	// entry objects); only remove must invalidate — which matters doubly
+	// now that removed entries are recycled: a stale cache hit would
+	// resurrect an entry that may already serve a different block.
 	lastKey uint64
 	lastEnt *entry[T]
 
 	// memory accounting
 	curBytes  int64
 	peakBytes int64
+
+	// Recycling: the malloc/free churn of short-lived allocations creates
+	// and removes entries at high rate; headers and indexing arrays are
+	// reused instead of reallocated. Headers come from arena slabs (one
+	// heap allocation per entArenaChunk entries); removed entries push
+	// their zeroed slot arrays onto per-granularity freelists.
+	freeEnts   []*entry[T]
+	freeSparse [][]T
+	freeDense  [][]T
+	entArena   []entry[T]
 }
+
+// entArenaChunk is the entry-header slab size.
+const entArenaChunk = 64
 
 type entry[T comparable] struct {
 	key   uint64 // block number (addr >> blockShift)
@@ -129,7 +144,7 @@ func (t *Table[T]) findOrCreate(key uint64) *entry[T] {
 			return e
 		}
 	}
-	e := &entry[T]{key: key, slots: make([]T, sparseSlots)}
+	e := t.newEntry(key)
 	e.next = t.buckets[idx]
 	t.buckets[idx] = e
 	t.entries++
@@ -156,9 +171,40 @@ func (t *Table[T]) grow() {
 	}
 }
 
+// newEntry returns a sparse entry for block key, served from the recycled
+// headers/arrays when available. Recycled slot arrays were zeroed when
+// their entry was removed, so every array handed out reads as empty.
+func (t *Table[T]) newEntry(key uint64) *entry[T] {
+	var e *entry[T]
+	if k := len(t.freeEnts); k > 0 {
+		e = t.freeEnts[k-1]
+		t.freeEnts[k-1] = nil
+		t.freeEnts = t.freeEnts[:k-1]
+	} else {
+		if len(t.entArena) == 0 {
+			t.entArena = make([]entry[T], entArenaChunk)
+		}
+		e = &t.entArena[0]
+		t.entArena = t.entArena[1:]
+	}
+	e.key = key
+	e.dense = false
+	e.used = 0
+	if k := len(t.freeSparse); k > 0 {
+		e.slots = t.freeSparse[k-1]
+		t.freeSparse[k-1] = nil
+		t.freeSparse = t.freeSparse[:k-1]
+	} else {
+		e.slots = make([]T, sparseSlots)
+	}
+	return e
+}
+
 func (t *Table[T]) remove(e *entry[T]) {
 	if t.lastEnt == e {
-		t.lastEnt = nil
+		// Invalidate the one-entry cache: e is about to be recycled and a
+		// stale hit would read (or write!) slots of an unrelated block.
+		t.lastKey, t.lastEnt = 0, nil
 	}
 	idx := hashBlock(e.key) >> 32 & t.mask
 	p := &t.buckets[idx]
@@ -171,10 +217,30 @@ func (t *Table[T]) remove(e *entry[T]) {
 				n = denseSlots
 			}
 			t.account(-int64(entryHeaderBytes + n*slotBytes))
+			t.recycle(e)
 			return
 		}
 		p = &(*p).next
 	}
+}
+
+// recycle zeroes e's slot array (remove fires at used == 0, so this is
+// normally a no-op pass — it is kept as a hard guarantee that recycled
+// arrays read empty), stashes it on the matching freelist, and parks the
+// header for reuse.
+func (t *Table[T]) recycle(e *entry[T]) {
+	var zero T
+	for i := range e.slots {
+		e.slots[i] = zero
+	}
+	if e.dense {
+		t.freeDense = append(t.freeDense, e.slots)
+	} else {
+		t.freeSparse = append(t.freeSparse, e.slots)
+	}
+	e.slots = nil
+	e.next = nil
+	t.freeEnts = append(t.freeEnts, e)
 }
 
 // expand converts a sparse (word-granular) entry to a dense (byte-granular)
@@ -184,13 +250,22 @@ func (e *entry[T]) expand(t *Table[T]) {
 	if e.dense {
 		return
 	}
-	ns := make([]T, denseSlots)
+	var ns []T
+	if k := len(t.freeDense); k > 0 {
+		ns = t.freeDense[k-1]
+		t.freeDense[k-1] = nil
+		t.freeDense = t.freeDense[:k-1]
+	} else {
+		ns = make([]T, denseSlots)
+	}
 	var zero T
 	for i, v := range e.slots {
 		if v != zero {
 			ns[4*i], ns[4*i+1], ns[4*i+2], ns[4*i+3] = v, v, v, v
+			e.slots[i] = zero // zero the sparse array as we drain it
 		}
 	}
+	t.freeSparse = append(t.freeSparse, e.slots)
 	e.used *= 4
 	e.slots = ns
 	e.dense = true

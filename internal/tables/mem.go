@@ -1,0 +1,174 @@
+// Memory benchmark lane: the BENCH_mem.json generator — the repo's
+// Table-2-style trajectory of shadow-memory and allocator behaviour that
+// future PRs are measured against.
+//
+// For each benchmark × granularity (byte / word / dynamic) the harness runs
+// the FastTrack detector serially and records two independent views of the
+// memory cost:
+//
+//   - the detector's own object-size accounting (peak shadow bytes, peak
+//     live clock nodes, average sharing) — the paper's Table 2/3 measure,
+//     deterministic per seed;
+//   - the Go allocator's view (heap allocations and bytes per routed event,
+//     GC cycles and pause totals during the run), measured as the
+//     runtime.MemStats delta across the run minus the same delta for an
+//     uninstrumented baseline run, so the numbers isolate the detector from
+//     the execution engine.
+//
+// The allocator rows are the regression surface for the allocation-lean
+// memory layer (per-plane node freelists, the size-classed vector-clock
+// pool, read-vector interning): NodeRecycles / VCPoolHits / VCInterns report
+// how much of the churn the pools absorbed, and AllocsPerOp is the headline
+// number CI guards.
+package tables
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+
+	"repro/race"
+)
+
+// MemRow is one (benchmark, granularity) cell of the memory lane.
+type MemRow struct {
+	Program     string `json:"program"`
+	Granularity string `json:"granularity"`
+
+	// Events is the number of instrumentation events routed; Accesses the
+	// shared memory accesses among them (the "op" of the per-op rates).
+	Events   uint64 `json:"events"`
+	Accesses uint64 `json:"accesses"`
+
+	// Detector-side accounting (object sizes, Table 2/3).
+	PeakShadowBytes int64   `json:"peak_shadow_bytes"`
+	HashPeakBytes   int64   `json:"hash_peak_bytes"`
+	VCPeakBytes     int64   `json:"vc_peak_bytes"`
+	BitmapPeakBytes int64   `json:"bitmap_peak_bytes"`
+	LiveNodesPeak   int64   `json:"live_nodes_peak"`
+	AvgSharing      float64 `json:"avg_sharing"`
+
+	// Shadow churn and pool effectiveness.
+	NodeAllocs   uint64 `json:"node_allocs"`
+	NodeRecycles uint64 `json:"node_recycles"`
+	VCPoolHits   uint64 `json:"vc_pool_hits"`
+	VCPoolMisses uint64 `json:"vc_pool_misses"`
+	VCInterns    uint64 `json:"vc_interns"`
+
+	// Go-allocator view: heap allocation count/bytes attributable to the
+	// detector (run delta minus engine-baseline delta; clamped at 0), and
+	// the per-event rates derived from them.
+	HeapAllocs  uint64  `json:"heap_allocs"`
+	HeapBytes   uint64  `json:"heap_bytes"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	// GC behaviour during the instrumented run (raw deltas, not
+	// baseline-subtracted: pauses are a property of the whole process).
+	GCCycles  uint32 `json:"gc_cycles"`
+	GCPauseNs uint64 `json:"gc_pause_ns"`
+
+	// Races pins that the measured run detected what it should (the lane
+	// must never trade precision for allocation counts).
+	Races int `json:"races"`
+}
+
+// memDelta runs f between two runtime.MemStats reads (with a GC fence
+// before the first so prior garbage is not charged to f) and returns the
+// Mallocs / TotalAlloc / NumGC / PauseTotalNs deltas.
+func memDelta(f func()) (mallocs, bytes uint64, gc uint32, pauseNs uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs,
+		after.TotalAlloc - before.TotalAlloc,
+		after.NumGC - before.NumGC,
+		after.PauseTotalNs - before.PauseTotalNs
+}
+
+// MemBench sweeps the memory lane over the runner's benchmarks at every
+// FastTrack granularity. Rows are grouped per benchmark in byte, word,
+// dynamic order.
+func (r *Runner) MemBench() []MemRow {
+	var rows []MemRow
+	for _, s := range r.specs {
+		prog := s.Build(r.cfg.Scale)
+		// Engine baseline: the same execution with a no-op sink. Its
+		// allocation delta is subtracted from every instrumented run so the
+		// per-op rates charge only the detector. One warm-up run first so
+		// one-time engine setup (scheduler tables, goroutine stacks) is not
+		// charged to the baseline either.
+		race.Baseline(prog, r.cfg.Seed)
+		baseMallocs, baseBytes, _, _ := memDelta(func() {
+			race.Baseline(prog, r.cfg.Seed)
+		})
+		for _, g := range []race.Granularity{race.Byte, race.Word, race.Dynamic} {
+			opts := race.Options{
+				Tool:        race.FastTrack,
+				Granularity: g,
+				Seed:        r.cfg.Seed,
+			}
+			var rep race.Report
+			mallocs, bytes, gc, pauseNs := memDelta(func() {
+				rep = race.Run(prog, opts)
+			})
+			d := rep.Detector
+			row := MemRow{
+				Program:         s.Name,
+				Granularity:     g.String(),
+				Events:          rep.Run.Events,
+				Accesses:        d.Accesses,
+				PeakShadowBytes: d.TotalPeakBytes,
+				HashPeakBytes:   d.HashPeakBytes,
+				VCPeakBytes:     d.VCPeakBytes,
+				BitmapPeakBytes: d.BitmapPeakBytes,
+				LiveNodesPeak:   d.MaxVectorClocks,
+				AvgSharing:      d.AvgSharing,
+				NodeAllocs:      d.NodeAllocs,
+				NodeRecycles:    d.NodeRecycles,
+				VCPoolHits:      d.VCPoolHits,
+				VCPoolMisses:    d.VCPoolMisses,
+				VCInterns:       d.VCInterns,
+				GCCycles:        gc,
+				GCPauseNs:       pauseNs,
+				Races:           len(rep.Races),
+			}
+			if mallocs > baseMallocs {
+				row.HeapAllocs = mallocs - baseMallocs
+			}
+			if bytes > baseBytes {
+				row.HeapBytes = bytes - baseBytes
+			}
+			if rep.Run.Events > 0 {
+				row.AllocsPerOp = float64(row.HeapAllocs) / float64(rep.Run.Events)
+				row.BytesPerOp = float64(row.HeapBytes) / float64(rep.Run.Events)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// MemBenchJSON is the machine-readable BENCH_mem.json document.
+type MemBenchJSON struct {
+	Config struct {
+		Scale      int   `json:"scale"`
+		Seed       int64 `json:"seed"`
+		GOMAXPROCS int   `json:"gomaxprocs"`
+	} `json:"config"`
+	Rows []MemRow `json:"rows"`
+}
+
+// WriteMemJSON runs the memory lane and writes BENCH_mem.json.
+func (r *Runner) WriteMemJSON(w io.Writer) error {
+	var out MemBenchJSON
+	out.Config.Scale = r.cfg.Scale
+	out.Config.Seed = r.cfg.Seed
+	out.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	out.Rows = r.MemBench()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,369 @@
+// Allocation-lean clock storage: a size-classed pool for vector-clock
+// backing arrays and headers, copy-on-write sharing with refcounts, and an
+// intern table for high-multiplicity clocks.
+//
+// The paper wins its Table 2 memory numbers by making many locations share
+// one vector clock; this file makes the *allocator* see that sharing too.
+// Three mechanisms compose:
+//
+//   - Pool recycles backing arrays in power-of-two size classes and VC
+//     headers, so the split/inflate/release churn of the dynamic-granularity
+//     state machine stops reaching the Go heap. A Pool is single-owner (one
+//     detector shard = one goroutine = one Pool) and therefore lock-free.
+//   - Clone/CloneIn are copy-on-write: the copy shares the backing array
+//     under an atomic refcount and any mutator unshares first (owned()).
+//     Refcounts are atomic so shares may be *held* and released across
+//     goroutines even though each Pool stays single-owner.
+//   - Interner deduplicates equal clocks behind canonical shared arrays:
+//     read-vector inflation creates the same small vector for every element
+//     of an initialize-then-read region, and interning folds them into one
+//     array per distinct logical time.
+//
+// All of it is optional: a nil *Pool and nil *Interner degrade to plain
+// heap allocation with identical semantics, so the zero VC value and
+// pre-pool call sites keep working unchanged.
+package vc
+
+import "sync/atomic"
+
+const (
+	// poolClasses size classes cover capacities 4, 8, ..., 512 components.
+	// Clocks are indexed by thread id, and the simulated suites run tens of
+	// threads at most; 512 is headroom, beyond it the heap serves directly.
+	poolClasses = 8
+	poolMinCap  = 4
+	poolMaxCap  = poolMinCap << (poolClasses - 1)
+)
+
+// classFor returns the smallest size class whose capacity holds n
+// components; the caller has checked n <= poolMaxCap.
+func classFor(n int) int {
+	c, capc := 0, poolMinCap
+	for capc < n {
+		capc <<= 1
+		c++
+	}
+	return c
+}
+
+// shared is the refcount header of a copy-on-write backing array. refs
+// counts the VC headers currently aliasing the array (including an intern
+// table's canonical holder). It is manipulated atomically so shares can be
+// released from a goroutine other than the pool owner's.
+type shared struct{ refs int32 }
+
+// Pool recycles vector-clock storage for one owner goroutine. The zero
+// value is ready to use; a nil *Pool is valid and degrades every operation
+// to plain allocation (or, for Put, to dropping the value for the GC).
+type Pool struct {
+	slices [poolClasses][][]Clock
+	hdrs   []*VC
+	shs    []*shared
+
+	hits, misses uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Stats returns how many backing-array requests the pool served from its
+// freelists (hits) versus fresh heap allocations (misses).
+func (p *Pool) Stats() (hits, misses uint64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.hits, p.misses
+}
+
+// rawSlice returns a zeroed slice of length n from the pool (or the heap
+// for a nil pool / oversize request).
+func (p *Pool) rawSlice(n int) []Clock {
+	if p == nil || n > poolMaxCap {
+		if p != nil {
+			p.misses++
+		}
+		return make([]Clock, n)
+	}
+	c := classFor(n)
+	if k := len(p.slices[c]); k > 0 {
+		s := p.slices[c][k-1]
+		p.slices[c][k-1] = nil
+		p.slices[c] = p.slices[c][:k-1]
+		p.hits++
+		return s[:n]
+	}
+	p.misses++
+	return make([]Clock, n, poolMinCap<<c)
+}
+
+// putSlice recycles a backing array, zeroing it first so every pooled
+// slice reads as the empty clock (grow exposes capacity without copying).
+func (p *Pool) putSlice(s []Clock) {
+	if p == nil || cap(s) < poolMinCap || cap(s) > poolMaxCap {
+		return
+	}
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = 0
+	}
+	// cap(s) may sit between classes when the slice was not pool-born;
+	// store it in the class it can fully serve.
+	c, capc := 0, poolMinCap
+	for capc*2 <= cap(s) && c+1 < poolClasses {
+		capc *= 2
+		c++
+	}
+	p.slices[c] = append(p.slices[c], s[:0])
+}
+
+// hdr returns a recycled (or fresh) VC header bound to the pool.
+func (p *Pool) hdr() *VC {
+	if p == nil {
+		return &VC{}
+	}
+	if k := len(p.hdrs); k > 0 {
+		v := p.hdrs[k-1]
+		p.hdrs[k-1] = nil
+		p.hdrs = p.hdrs[:k-1]
+		return v
+	}
+	return &VC{pool: p}
+}
+
+func (p *Pool) putHdr(v *VC) {
+	if p == nil {
+		return
+	}
+	v.c, v.sh, v.pool = nil, nil, p
+	p.hdrs = append(p.hdrs, v)
+}
+
+// dropShare releases one reference to sh on behalf of a holder that has
+// just split off (or discarded) its view of the shared array c. When the
+// last reference dies the array and the refcount header are recycled
+// through p. Passing a nil c leaves the array to the GC.
+func (p *Pool) dropShare(sh *shared, c []Clock) {
+	if atomic.AddInt32(&sh.refs, -1) > 0 {
+		return
+	}
+	p.putSlice(c)
+	p.putShared(sh)
+}
+
+// newShared returns a refcount header with refs = 1.
+func (p *Pool) newShared() *shared {
+	if p != nil {
+		if k := len(p.shs); k > 0 {
+			sh := p.shs[k-1]
+			p.shs[k-1] = nil
+			p.shs = p.shs[:k-1]
+			sh.refs = 1
+			return sh
+		}
+	}
+	return &shared{refs: 1}
+}
+
+func (p *Pool) putShared(sh *shared) {
+	if p == nil {
+		return
+	}
+	p.shs = append(p.shs, sh)
+}
+
+// Get returns an empty clock with pooled capacity for n threads, bound to
+// the pool so later growth and copy-on-write splits recycle through it.
+// A nil pool yields a plain heap clock (identical to New).
+func (p *Pool) Get(n int) *VC {
+	v := p.hdr()
+	v.c = p.rawSlice(n)[:0]
+	return v
+}
+
+// Put releases a clock back to the pool. Shared backing arrays are
+// refcounted: the array is recycled only when the last holder releases it;
+// the header is recycled immediately. Put accepts any *VC — including nil,
+// the zero value, and clocks born outside the pool — so release sites need
+// no provenance checks.
+func (p *Pool) Put(v *VC) {
+	if v == nil {
+		return
+	}
+	c, sh := v.c, v.sh
+	v.c, v.sh = nil, nil
+	if sh != nil {
+		if atomic.AddInt32(&sh.refs, -1) > 0 {
+			p.putHdr(v) // array still aliased elsewhere
+			return
+		}
+		p.putShared(sh)
+	}
+	p.putSlice(c)
+	p.putHdr(v)
+}
+
+// ---- copy-on-write plumbing on VC ----
+
+// refs returns the alias count of v's backing array (1 when unshared).
+func (v *VC) refs() int32 {
+	if v.sh == nil {
+		return 1
+	}
+	return atomic.LoadInt32(&v.sh.refs)
+}
+
+// owned makes v safe to mutate: if the backing array is aliased by another
+// holder, v splits off a private copy first (through its pool when bound).
+// Every mutating method calls it; for unshared clocks it is two predictable
+// branches.
+func (v *VC) owned() {
+	sh := v.sh
+	if sh == nil || atomic.LoadInt32(&sh.refs) == 1 {
+		return
+	}
+	c := v.pool.rawSlice(len(v.c))
+	old := v.c
+	copy(c, old)
+	v.c = c
+	v.sh = nil
+	// If we turn out to hold the last reference (a release raced with the
+	// split), recycle the old array and header; the caller's goroutine owns
+	// v.pool, so pushing onto its freelists is safe.
+	v.pool.dropShare(sh, old)
+}
+
+// CloneIn returns a copy of v sharing v's backing array copy-on-write,
+// with the copy's future allocations served by pool p (nil = heap). The
+// clone observes v's value at call time: whichever side mutates first
+// splits off its own array.
+func (v *VC) CloneIn(p *Pool) *VC {
+	n := p.hdr()
+	n.pool = p
+	if len(v.c) == 0 {
+		return n
+	}
+	if v.sh == nil {
+		v.sh = v.pool.newShared()
+	}
+	atomic.AddInt32(&v.sh.refs, 1)
+	n.c = v.c
+	n.sh = v.sh
+	return n
+}
+
+// share adds one reference to v's backing array (creating the refcount
+// header on first share) — the intern table's canonical-holder hook.
+func (v *VC) share() {
+	if v.sh == nil {
+		v.sh = v.pool.newShared()
+	}
+	atomic.AddInt32(&v.sh.refs, 1)
+}
+
+// Release returns v to the pool it was allocated from; clocks born outside
+// any pool are left to the garbage collector. Safe on nil.
+func (v *VC) Release() {
+	if v == nil || v.pool == nil {
+		return
+	}
+	v.pool.Put(v)
+}
+
+// contentHash hashes the clock's logical value (FNV-1a over components,
+// trailing zeros excluded so clocks equal under Equal hash equal).
+func (v *VC) contentHash() uint64 {
+	n := len(v.c)
+	for n > 0 && v.c[n-1] == 0 {
+		n--
+	}
+	h := uint64(1469598103934665603)
+	for i := 0; i < n; i++ {
+		h ^= uint64(v.c[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ---- interning ----
+
+// defaultInternLimit bounds the intern table; past it, Intern prunes
+// dead canonicals and stops inserting while the table stays full.
+const defaultInternLimit = 4096
+
+// Interner deduplicates equal clocks behind canonical shared arrays. Like
+// Pool it is single-owner; a nil *Interner is valid and interns nothing.
+//
+// Invariant: a canonical array is immutable while any holder aliases it —
+// holders get their own VC headers (never the table's), so a holder's
+// mutation copy-on-writes away and the canonical content (and its hash
+// key) stays fixed.
+type Interner struct {
+	pool  *Pool
+	m     map[uint64]*VC
+	limit int
+	hits  uint64
+}
+
+// NewInterner returns an interner recycling through p (which may be nil).
+func NewInterner(p *Pool) *Interner {
+	return &Interner{pool: p, m: make(map[uint64]*VC), limit: defaultInternLimit}
+}
+
+// Hits returns how many clocks were deduplicated against a canonical.
+func (it *Interner) Hits() uint64 {
+	if it == nil {
+		return 0
+	}
+	return it.hits
+}
+
+// Len returns the number of canonical clocks currently held.
+func (it *Interner) Len() int {
+	if it == nil {
+		return 0
+	}
+	return len(it.m)
+}
+
+// Intern returns a clock equal to v backed by a canonical shared array.
+// On a hit the caller's v is released to the pool and a fresh header
+// sharing the canonical array is returned; on a miss v itself is returned
+// and a snapshot share of it is stored as the new canonical. Hash
+// collisions with unequal content simply miss.
+func (it *Interner) Intern(v *VC) *VC {
+	if it == nil || v == nil {
+		return v
+	}
+	h := v.contentHash()
+	if c, ok := it.m[h]; ok {
+		if c.Equal(v) {
+			n := c.CloneIn(it.pool)
+			it.pool.Put(v)
+			it.hits++
+			return n
+		}
+		return v // collision, different value: keep first-come canonical
+	}
+	if len(it.m) >= it.limit {
+		it.Prune()
+		if len(it.m) >= it.limit {
+			return v // table saturated with live clocks
+		}
+	}
+	it.m[h] = v.CloneIn(it.pool)
+	return v
+}
+
+// Prune drops canonicals no live holder aliases anymore (refcount 1 = the
+// table's own share) and recycles their storage.
+func (it *Interner) Prune() {
+	if it == nil {
+		return
+	}
+	for h, c := range it.m {
+		if c.refs() == 1 {
+			delete(it.m, h)
+			it.pool.Put(c)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Edge-case tests for the pooled / copy-on-write / interned clock layer:
+// refcount lifecycles that cross the intern table, COW splits observed by
+// a concurrent reader (meaningful under -race), zero-value and nil-pool
+// degradation, and the allocation-free guarantees the detector hot path
+// depends on.
+package vc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestReleaseAfterIntern pins the canonical-holder refcount protocol: a
+// clock released AFTER being interned must not free the canonical array
+// out from under later holders, and a canonical must survive until its
+// last outside holder is gone, then be reclaimable by Prune.
+func TestReleaseAfterIntern(t *testing.T) {
+	p := NewPool()
+	it := NewInterner(p)
+
+	v := p.Get(4)
+	v.Set(0, 7)
+	v.Set(2, 9)
+	v = it.Intern(v) // miss: v kept, canonical snapshot stored (refs: v + table)
+	if it.Len() != 1 || it.Hits() != 0 {
+		t.Fatalf("after miss: len=%d hits=%d, want 1, 0", it.Len(), it.Hits())
+	}
+
+	w := p.Get(4)
+	w.Set(0, 7)
+	w.Set(2, 9)
+	w = it.Intern(w) // hit: w's storage recycled, returns a share of the canonical
+	if it.Hits() != 1 {
+		t.Fatalf("hits=%d, want 1", it.Hits())
+	}
+	if !w.Equal(v) {
+		t.Fatalf("interned clock %v != original %v", w, v)
+	}
+
+	v.Release() // release the original AFTER interning
+	if got := w.Get(2); got != 9 {
+		t.Fatalf("canonical array damaged by release: w[2]=%d, want 9", got)
+	}
+
+	// Mutating a holder must copy-on-write away, leaving the canonical
+	// (and every other holder) untouched.
+	x := it.Intern(func() *VC { n := p.Get(4); n.Set(0, 7); n.Set(2, 9); return n }())
+	w.Set(1, 100)
+	if got := x.Get(1); got != 0 {
+		t.Fatalf("mutation leaked into canonical: x[1]=%d, want 0", got)
+	}
+
+	// Drop all outside holders: the canonical's refcount falls back to the
+	// table's own share and Prune reclaims it.
+	w.Release()
+	x.Release()
+	it.Prune()
+	if it.Len() != 0 {
+		t.Fatalf("after releasing all holders, Prune left %d canonicals", it.Len())
+	}
+}
+
+// TestCOWSplitWithConcurrentReader holds a clone on another goroutine that
+// reads the shared array while the owner mutates. owned() must split to a
+// private array before writing, so under -race this test proves the COW
+// discipline never writes a shared array.
+func TestCOWSplitWithConcurrentReader(t *testing.T) {
+	p := NewPool()
+	v := p.Get(8)
+	for i := TID(0); i < 8; i++ {
+		v.Set(i, Clock(i+1))
+	}
+	c := v.CloneIn(nil) // reader's view: heap-bound header, shared array
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := TID(0); i < 8; i++ {
+				if got := c.Get(i); got != Clock(i+1) {
+					t.Errorf("clone observed owner's mutation: c[%d]=%d", i, got)
+					return
+				}
+			}
+		}
+	}()
+	for k := 0; k < 1000; k++ {
+		v.Inc(0) // first Inc splits off a private copy; the rest mutate it
+	}
+	close(stop)
+	wg.Wait()
+	if v.Get(0) != 1001 || c.Get(0) != 1 {
+		t.Fatalf("post-split values: v[0]=%d (want 1001), c[0]=%d (want 1)", v.Get(0), c.Get(0))
+	}
+}
+
+// TestZeroValueRoundTrips checks that the zero VC, nil pools, and
+// pool-less clocks keep full semantics: the memory layer must be purely
+// an optimization.
+func TestZeroValueRoundTrips(t *testing.T) {
+	var v VC // zero value, no pool
+	v.Set(3, 5)
+	if v.Get(3) != 5 || v.Len() != 4 {
+		t.Fatalf("zero-value Set/Get: got %v", &v)
+	}
+	c := v.Clone()
+	c.Inc(3)
+	if v.Get(3) != 5 || c.Get(3) != 6 {
+		t.Fatalf("zero-value COW: v=%v c=%v", &v, c)
+	}
+	v.Release() // no pool: must be a safe no-op
+	c.Release()
+	(*VC)(nil).Release() // nil receiver: safe
+
+	var nilPool *Pool
+	g := nilPool.Get(4) // nil pool degrades to plain allocation
+	g.Set(0, 1)
+	nilPool.Put(g) // and Put drops to the GC without panicking
+	if h, m := nilPool.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil pool stats: %d/%d", h, m)
+	}
+
+	p := NewPool()
+	w := p.Get(4)
+	w.Set(1, 2)
+	p.Put(w)
+	r := p.Get(4) // recycled array must read as the empty clock
+	for i := TID(0); i < 4; i++ {
+		if r.Get(i) != 0 {
+			t.Fatalf("recycled slice not zeroed: [%d]=%d", i, r.Get(i))
+		}
+	}
+	if hits, _ := p.Stats(); hits == 0 {
+		t.Fatal("recycle did not register a pool hit")
+	}
+}
+
+// TestEpochLEQZeroAlloc pins the FastTrack same-epoch comparison — the
+// single hottest operation in the detector — at zero allocations.
+func TestEpochLEQZeroAlloc(t *testing.T) {
+	v := New(8)
+	for i := TID(0); i < 8; i++ {
+		v.Set(i, 10)
+	}
+	e := MakeEpoch(3, 7)
+	if got := testing.AllocsPerRun(100, func() {
+		if !e.LEQ(v) {
+			t.Fatal("7@3 should be ≤ [10,10,...]")
+		}
+	}); got != 0 {
+		t.Fatalf("Epoch.LEQ: %v allocs/run, want 0", got)
+	}
+}
+
+// TestJoinEqualLengthZeroAlloc pins the equal-length Join fast path (lock
+// release/acquire between long-lived threads) at zero allocations, with
+// componentwise-max semantics intact.
+func TestJoinEqualLengthZeroAlloc(t *testing.T) {
+	p := NewPool()
+	a, b := p.Get(8), p.Get(8)
+	for i := TID(0); i < 8; i++ {
+		a.Set(i, Clock(10+i))
+		b.Set(i, Clock(17-i))
+	}
+	if got := testing.AllocsPerRun(100, func() { a.Join(b) }); got != 0 {
+		t.Fatalf("equal-length Join: %v allocs/run, want 0", got)
+	}
+	for i := TID(0); i < 8; i++ {
+		want := Clock(10 + i)
+		if w := Clock(17 - i); w > want {
+			want = w
+		}
+		if a.Get(i) != want {
+			t.Fatalf("join[%d]=%d, want %d", i, a.Get(i), want)
+		}
+	}
+}
+
+// TestInternerCollisionAndLimit covers the two degradation paths: a hash
+// collision with unequal content must miss (first-come canonical kept),
+// and a saturated table must pass clocks through unchanged rather than
+// evicting live canonicals.
+func TestInternerCollisionAndLimit(t *testing.T) {
+	p := NewPool()
+	it := NewInterner(p)
+	it.limit = 2
+
+	mk := func(t0 Clock) *VC { v := p.Get(2); v.Set(0, t0); return v }
+	a := it.Intern(mk(1))
+	b := it.Intern(mk(2))
+	if it.Len() != 2 {
+		t.Fatalf("len=%d, want 2", it.Len())
+	}
+	c := mk(3)
+	got := it.Intern(c) // table full of live canonicals: pass-through
+	if got != c || it.Len() != 2 {
+		t.Fatalf("saturated intern: got %p want %p, len=%d", got, c, it.Len())
+	}
+	// Free one canonical's holders; the next insert prunes and succeeds.
+	a.Release()
+	d := mk(4)
+	if it.Intern(d) != d {
+		t.Fatal("miss must return the caller's clock")
+	}
+	if it.Len() != 2 {
+		t.Fatalf("after prune+insert: len=%d, want 2", it.Len())
+	}
+	b.Release()
+	c.Release()
+	d.Release()
+}

@@ -77,8 +77,16 @@ func (e Epoch) String() string {
 // VC is a growable vector clock. The zero value is the empty clock (all
 // components zero). VC values are mutated in place by Join/Set/Inc; use
 // Clone when an independent copy is needed.
+//
+// A clock may be bound to a Pool (pool != nil), in which case its backing
+// array is recycled through the pool on growth and release, and it may
+// share its backing array copy-on-write with other clocks (sh != nil and
+// sh.refs > 1); every mutating method unshares first via owned(). Unbound
+// zero-value clocks behave exactly as before.
 type VC struct {
-	c []Clock
+	c    []Clock
+	sh   *shared // refcount header when the array is (or was) shared
+	pool *Pool   // allocation home; nil = plain heap
 }
 
 // New returns an empty vector clock with capacity for n threads.
@@ -108,17 +116,23 @@ func (v *VC) Get(t TID) Clock {
 
 // Set assigns component t, growing the clock as needed.
 func (v *VC) Set(t TID, c Clock) {
+	v.owned()
 	v.grow(int(t) + 1)
 	v.c[t] = c
 }
 
 // Inc increments component t by one and returns the new value.
 func (v *VC) Inc(t TID) Clock {
+	v.owned()
 	v.grow(int(t) + 1)
 	v.c[t]++
 	return v.c[t]
 }
 
+// grow extends the clock to n components. Callers that mutate have already
+// called owned(); grow itself only reallocates, recycling the old array
+// through the pool when bound. Pooled arrays are zeroed at put, so exposing
+// capacity with a reslice never reveals stale components.
 func (v *VC) grow(n int) {
 	if n <= len(v.c) {
 		return
@@ -127,15 +141,31 @@ func (v *VC) grow(n int) {
 		v.c = v.c[:n]
 		return
 	}
-	nc := make([]Clock, n, max(n, 2*cap(v.c)))
+	want := max(n, 2*cap(v.c))
+	var nc []Clock
+	if v.pool != nil {
+		nc = v.pool.rawSlice(want)[:n]
+	} else {
+		nc = make([]Clock, n, want)
+	}
 	copy(nc, v.c)
+	old := v.c
 	v.c = nc
+	if sh := v.sh; sh != nil {
+		// This header now owns a private copy; drop its share of the old
+		// array (recycled only if we were the last holder).
+		v.sh = nil
+		v.pool.dropShare(sh, old)
+	} else {
+		v.pool.putSlice(old)
+	}
 }
 
 // Join sets v to the element-wise maximum of v and o (v ⊔= o). This is the
 // update applied on lock release (to the lock's clock) and on lock acquire
 // (to the thread's clock).
 func (v *VC) Join(o *VC) {
+	v.owned()
 	v.grow(len(o.c))
 	for i, oc := range o.c {
 		if oc > v.c[i] {
@@ -146,16 +176,21 @@ func (v *VC) Join(o *VC) {
 
 // Assign overwrites v with a copy of o.
 func (v *VC) Assign(o *VC) {
+	v.owned()
 	v.grow(len(o.c))
+	// Zero the tail when shrinking: the backing array may later be
+	// re-exposed by grow (within capacity), which must read as zeros.
+	for i := len(o.c); i < len(v.c); i++ {
+		v.c[i] = 0
+	}
 	v.c = v.c[:len(o.c)]
 	copy(v.c, o.c)
 }
 
-// Clone returns an independent copy of v.
+// Clone returns an independent copy of v. Pool-bound clocks clone
+// copy-on-write through their pool; unbound clocks get a plain deep copy.
 func (v *VC) Clone() *VC {
-	n := &VC{c: make([]Clock, len(v.c))}
-	copy(n.c, v.c)
-	return n
+	return v.CloneIn(v.pool)
 }
 
 // LEQ reports the pointwise order v ≤ o, i.e. every event v has observed is
@@ -200,6 +235,7 @@ func (v *VC) AnyGT(o *VC) TID {
 
 // Reset clears every component to zero, keeping capacity.
 func (v *VC) Reset() {
+	v.owned()
 	for i := range v.c {
 		v.c[i] = 0
 	}

@@ -44,6 +44,7 @@ func TestTelemetryReconciliation(t *testing.T) {
 				{"detector_races_suppressed_total", rep.Suppressed},
 				// Plane-labeled families sum across both shadow planes.
 				{"shadow_node_allocs_total", d.NodeAllocs},
+				{"shadow_node_recycles_total", d.NodeRecycles},
 				{"shadow_node_merges_total", d.Merges},
 				{"shadow_node_splits_total", d.Splits},
 			}

@@ -294,6 +294,16 @@ type Stats struct {
 	NodeAllocs, LocCreations uint64
 	Merges, Splits           uint64
 	SharingComparisons       uint64
+
+	// Memory-layer effectiveness (the BENCH_mem.json lane): NodeRecycles
+	// counts shadow-node creations served from the per-plane freelists
+	// instead of the Go heap; VCPoolHits/VCPoolMisses count vector-clock
+	// backing-array requests served from / missed by the size-classed
+	// clock pool; VCInterns counts read vectors deduplicated through the
+	// intern table. All zero for detectors without the pooled memory layer.
+	NodeRecycles             uint64
+	VCPoolHits, VCPoolMisses uint64
+	VCInterns                uint64
 }
 
 // SameEpochPct returns the same-epoch percentage (Table 4).
@@ -362,6 +372,10 @@ func fillFastTrack(r *Report, st detector.Stats, races []detector.Race) {
 		Merges:             st.Plane.Merges,
 		Splits:             st.Plane.Splits,
 		SharingComparisons: st.SharingComparisons,
+		NodeRecycles:       st.Plane.NodeRecycles,
+		VCPoolHits:         st.VCPoolHits,
+		VCPoolMisses:       st.VCPoolMisses,
+		VCInterns:          st.VCInterns,
 	}
 	r.Suppressed = st.Suppressed
 	for _, x := range races {
