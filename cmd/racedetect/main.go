@@ -12,6 +12,8 @@
 //	racedetect -bench dedup -tool drd -mem-limit-mb 48
 //	racedetect -bench raytrace -sample   # LiteRace-style sampling front end
 //	racedetect -bench x264 -remote localhost:7474   # stream to racedetectd
+//	racedetect -bench x264 -remote localhost:7474 -codec v1   # force packed frames
+//	racedetect -bench ferret -workers 4 -dispatch chan -batch-policy adaptive
 //	racedetect -bench ffmpeg -workers 4 -metrics-addr :7070 -stats-interval 1s
 //	racedetect -bench ferret -trace-out ferret-trace.json   # phase trace
 //	racedetect -bench dedup -memprofile dedup.pprof -memstats  # allocation forensics
@@ -79,6 +81,12 @@ func main() {
 			"stream events to a racedetectd at this address instead of detecting in-process (fasttrack only)")
 		remoteSync = flag.Bool("remote-sync", false,
 			"with -remote: strict-ordering synchronous streaming (each batch acknowledged before the next)")
+		codec = flag.String("codec", "auto",
+			"with -remote: batch codec ceiling to negotiate (auto | v1 packed | v2 columnar)")
+		batchPolicy = flag.String("batch-policy", "fixed",
+			"transport batch sizing: fixed | adaptive (size batches from observed back-pressure)")
+		dispatch = flag.String("dispatch", "ring",
+			"with -workers: router-to-worker transport (ring = lock-free SPSC | chan = channel baseline)")
 		statsInterval = flag.Duration("stats-interval", 0,
 			"print a one-line progress report to stderr every interval (0 disables)")
 		metricsAddr = flag.String("metrics-addr", "",
@@ -112,6 +120,10 @@ func main() {
 		Seed: *seed, Timeout: *timeout, MemLimitBytes: *memMB << 20,
 		Workers: *workers, Remote: *remote, RemoteSync: *remoteSync,
 		StatsInterval: *statsInterval, MetricsAddr: *metricsAddr,
+		Dispatch: *dispatch, BatchPolicy: *batchPolicy,
+	}
+	if *remote != "" || *codec != "auto" {
+		opts.Codec = *codec // Validate rejects a forced codec without -remote
 	}
 	if *traceOut != "" {
 		opts.Tracer = race.NewTracer()

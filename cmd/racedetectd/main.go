@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // version reports the binary's module version from the embedded build
@@ -56,6 +57,7 @@ func main() {
 		readTimeout = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline")
 		window      = flag.Int("window", 64, "maximum granted in-flight batch window per session")
 		workersPer  = flag.Int("workers-per-session", 4, "detection shard cap per session")
+		maxCodec    = flag.String("max-codec", "v2", "highest batch codec to grant (v1 packed | v2 columnar)")
 		linger      = flag.Duration("session-linger", 10*time.Second, "how long a disconnected session stays resumable")
 		drainT      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		quiet       = flag.Bool("q", false, "suppress per-session log lines")
@@ -63,12 +65,17 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "racedetectd: ", log.LstdFlags)
+	codecCeiling, ok := map[string]int{"v1": wire.CodecPacked, "v2": wire.CodecColumnar}[*maxCodec]
+	if !ok {
+		logger.Fatalf("unknown -max-codec %q (want v1 or v2)", *maxCodec)
+	}
 	opts := server.Options{
 		MaxSessions:   *maxSessions,
 		MaxFrameBytes: uint32(*maxFrameKB) << 10,
 		ReadTimeout:   *readTimeout,
 		Window:        *window,
 		MaxWorkers:    *workersPer,
+		MaxCodec:      codecCeiling,
 		SessionLinger: *linger,
 	}
 	if !*quiet {
@@ -83,9 +90,9 @@ func main() {
 	// One structured startup line: everything an operator needs to know
 	// about this instance's configuration, in key=value form.
 	logger.Printf("start listen=%s http=%q version=%s go=%s pid=%d max_sessions=%d workers_per_session=%d "+
-		"max_frame_kb=%d window=%d read_timeout=%v session_linger=%v drain_timeout=%v",
+		"max_frame_kb=%d window=%d max_codec=%s read_timeout=%v session_linger=%v drain_timeout=%v",
 		l.Addr(), *httpAddr, version(), runtime.Version(), os.Getpid(),
-		*maxSessions, *workersPer, *maxFrameKB, *window, *readTimeout, *linger, *drainT)
+		*maxSessions, *workersPer, *maxFrameKB, *window, *maxCodec, *readTimeout, *linger, *drainT)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/detector"
+	"repro/internal/event"
 	"repro/internal/segment"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -55,6 +56,10 @@ func main() {
 			"replay into a racedetectd at this address instead of an in-process detector")
 		workers = flag.Int("workers", 0,
 			"with -remote: detection workers to request from the server (0 = server default)")
+		codec = flag.String("codec", "auto",
+			"with -remote: batch codec ceiling to negotiate (auto | v1 packed | v2 columnar)")
+		batchPolicy = flag.String("batch-policy", "fixed",
+			"with -remote: transport batch sizing (fixed | adaptive)")
 		statsInterval = flag.Duration("stats-interval", 0,
 			"print a one-line progress report to stderr every interval (0 disables)")
 		metricsAddr = flag.String("metrics-addr", "",
@@ -125,7 +130,7 @@ func main() {
 		start := time.Now()
 		if *remote != "" {
 			endReplay := tracer.Span("replay-remote", map[string]any{"addr": *remote})
-			replayRemote(f, *remote, *gran, *workers, *v, start, obs.reg)
+			replayRemote(f, *remote, *gran, *codec, *batchPolicy, *workers, *v, start, obs.reg)
 			endReplay()
 			return
 		}
@@ -178,17 +183,33 @@ func main() {
 // replayRemote streams a recorded trace to a racedetectd and prints the
 // service's report. reg, when non-nil, receives the client's wire metrics
 // (client_batches_total, client_encode_ns, …) for the -metrics-addr page.
-func replayRemote(f *os.File, addr, gran string, workers int, verbose bool, start time.Time, reg *telemetry.Registry) {
+func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int, verbose bool, start time.Time, reg *telemetry.Registry) {
 	g, ok := map[string]detector.Granularity{
 		"byte": detector.Byte, "word": detector.Word, "dynamic": detector.Dynamic,
 	}[gran]
 	if !ok {
 		fatal(fmt.Errorf("unknown granularity %q", gran))
 	}
+	reqCodec, ok := map[string]int{
+		"auto": 0, "": 0, "v1": wire.CodecPacked, "v2": wire.CodecColumnar,
+	}[codec]
+	if !ok {
+		fatal(fmt.Errorf("unknown codec %q (want auto, v1 or v2)", codec))
+	}
+	var policy *event.BatchPolicy
+	switch batchPolicy {
+	case "adaptive":
+		policy = new(event.BatchPolicy)
+	case "", "fixed":
+	default:
+		fatal(fmt.Errorf("unknown batch policy %q (want fixed or adaptive)", batchPolicy))
+	}
 	cl, err := client.Dial(client.Options{
-		Addr:      addr,
-		Telemetry: reg,
-		Hello:     wire.Hello{Granularity: uint8(g), Workers: workers},
+		Addr:        addr,
+		Telemetry:   reg,
+		Codec:       reqCodec,
+		BatchPolicy: policy,
+		Hello:       wire.Hello{Granularity: uint8(g), Workers: workers},
 	})
 	if err != nil {
 		fatal(err)
@@ -204,7 +225,8 @@ func replayRemote(f *os.File, addr, gran string, workers int, verbose bool, star
 	fmt.Printf("remote fasttrack/%s over %d accesses in %v: %d races, %d peak clocks, %.2f MB peak\n",
 		gran, rep.Stats.Accesses, time.Since(start).Round(time.Microsecond),
 		len(rep.Races), rep.Stats.NodesPeak, float64(rep.Stats.TotalPeakBytes)/(1<<20))
-	fmt.Printf("transport   %d batches, %d events to %s\n", st.Batches, st.Events, addr)
+	fmt.Printf("transport   %d batches, %d events to %s (codec %s)\n",
+		st.Batches, st.Events, addr, wire.CodecName(cl.Codec()))
 	if verbose {
 		for _, r := range rep.DetectorRaces() {
 			fmt.Printf("  %v\n", r)

@@ -61,6 +61,17 @@ type Options struct {
 	// synchronously on the caller's thread and each is acknowledged before
 	// the next send. Default is asynchronous streaming.
 	Sync bool
+	// Codec is the requested batch-codec ceiling (0 = the best this build
+	// speaks, wire.CodecMax). wire.CodecPacked forces the v1 fixed-record
+	// format; the server may always grant less (an old server grants v1).
+	// The negotiated codec is fixed for the life of the session — resumes
+	// re-request it and fail permanently if the server switches.
+	Codec int
+	// BatchPolicy, when non-nil, adapts the batch flush threshold to
+	// transport back-pressure: outbox occupancy at ship time and the
+	// server's ack round trip (see event.BatchPolicy). Nil ships fixed
+	// event.DefaultBatchSize batches.
+	BatchPolicy *event.BatchPolicy
 	// DialTimeout bounds one dial attempt (default 5s).
 	DialTimeout time.Duration
 	// MaxAttempts bounds dial attempts per connect or reconnect
@@ -100,6 +111,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ReportTimeout <= 0 {
 		o.ReportTimeout = 60 * time.Second
+	}
+	if o.Codec <= 0 || o.Codec > wire.CodecMax {
+		o.Codec = wire.CodecMax
 	}
 	return o
 }
@@ -151,20 +165,53 @@ type clientMetrics struct {
 	resends    *telemetry.Counter
 	encodeNS   *telemetry.Histogram
 	ackRTT     *telemetry.Histogram
+
+	// rawBytes counts what the stream would cost as packed records
+	// (records × wire.RecSize); payloadV1/payloadV2 count the batch
+	// payload bytes actually encoded, by codec. Their quotient is the
+	// live wire_compression_ratio gauge.
+	rawBytes  *telemetry.Counter
+	payloadV1 *telemetry.Counter
+	payloadV2 *telemetry.Counter
+}
+
+// payload returns the payload-byte counter for codec (nil — a no-op —
+// when telemetry is disabled or the codec is unknown).
+func (m *clientMetrics) payload(codec int) *telemetry.Counter {
+	switch codec {
+	case wire.CodecPacked:
+		return m.payloadV1
+	case wire.CodecColumnar:
+		return m.payloadV2
+	}
+	return nil
 }
 
 func newClientMetrics(r *telemetry.Registry) clientMetrics {
 	if r == nil {
 		return clientMetrics{}
 	}
-	return clientMetrics{
+	m := clientMetrics{
 		batches:    r.Counter("client_batches_total", "Batch frames written (excluding resends)."),
 		events:     r.Counter("client_events_total", "Event records streamed."),
 		reconnects: r.Counter("client_reconnects_total", "Successful re-dials after a connection drop."),
 		resends:    r.Counter("client_resends_total", "Frames replayed on session resume."),
 		encodeNS:   r.Histogram("client_encode_ns", "Per-batch frame encode latency."),
 		ackRTT:     r.Histogram("client_ack_rtt_ns", "Send-to-ack round trip per acknowledged frame."),
+		rawBytes:   r.Counter("wire_raw_bytes_total", "Batch bytes the stream would cost as packed records (records x 37)."),
+		payloadV1:  r.Counter("wire_payload_bytes_total", "Batch payload bytes encoded, by codec.", telemetry.Labels{"codec": "v1"}),
+		payloadV2:  r.Counter("wire_payload_bytes_total", "Batch payload bytes encoded, by codec.", telemetry.Labels{"codec": "v2"}),
 	}
+	raw, v1, v2 := m.rawBytes, m.payloadV1, m.payloadV2
+	r.GaugeFunc("wire_compression_ratio", "Raw packed bytes over encoded payload bytes (1 = no compression).",
+		func() float64 {
+			p := v1.Load() + v2.Load()
+			if p == 0 {
+				return 0
+			}
+			return float64(raw.Load()) / float64(p)
+		})
+	return m
 }
 
 // Client is a remote-detection event.Sink. The Sink methods must be
@@ -182,6 +229,7 @@ type Client struct {
 
 	sessionID uint64
 	window    int
+	codec     int // negotiated batch codec, fixed for the session's life
 	batchSeq  uint64
 	acked     uint64
 	unacked   []sentFrame
@@ -217,6 +265,9 @@ func Dial(opts Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p := c.opts.BatchPolicy; p != nil {
+		c.enc.Target = p.Target()
+	}
 	if !c.opts.Sync {
 		c.outbox = make(chan sentFrame, c.opts.Window)
 		c.sendDone = make(chan struct{})
@@ -236,6 +287,14 @@ func (c *Client) SessionID() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sessionID
+}
+
+// Codec returns the negotiated batch codec (wire.CodecPacked or
+// wire.CodecColumnar).
+func (c *Client) Codec() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.codec
 }
 
 // Stats returns a snapshot of the transport counters.
@@ -286,6 +345,20 @@ func (c *Client) connectLocked() error {
 			c.logf("connect attempt %d/%d failed: %v", attempt+1, c.opts.MaxAttempts, err)
 			continue
 		}
+		granted := wire.NegotiateCodec(ack.Codec) // absent field = pre-codec server = v1
+		if granted > c.opts.Codec {
+			granted = c.opts.Codec // never exceed what we asked for
+		}
+		if resuming && granted != c.codec {
+			// The retained unacked frames are encoded in the session codec;
+			// a server that switches mid-session would misdecode the replay.
+			conn.Close()
+			c.err = fmt.Errorf("client: server switched codec %s -> %s on resume",
+				wire.CodecName(c.codec), wire.CodecName(granted))
+			c.cond.Broadcast()
+			return c.err
+		}
+		c.codec = granted
 		c.conn = conn
 		c.connDead = false
 		c.gen++
@@ -309,7 +382,7 @@ func (c *Client) connectLocked() error {
 				c.markDeadLocked()
 				break
 			}
-			if c.met.ackRTT != nil {
+			if c.trackRTT() {
 				sf.sentAt = time.Now() // RTT restarts at the retransmission
 			}
 			if resuming {
@@ -342,6 +415,10 @@ func (c *Client) handshake() (net.Conn, wire.HelloAck, error) {
 	hello.Version = wire.Version
 	hello.Resume = c.sessionID
 	hello.Window = c.opts.Window
+	hello.Codec = c.opts.Codec
+	if c.sessionID != 0 {
+		hello.Codec = c.codec // resume: re-request the session codec exactly
+	}
 	frame, err := wire.AppendControlFrame(nil, wire.Header{Type: wire.TypeHello}, hello)
 	if err != nil {
 		conn.Close()
@@ -391,11 +468,19 @@ func (c *Client) markDeadLocked() {
 	}
 }
 
+// trackRTT reports whether send times must be stamped: the ack-RTT
+// histogram and the adaptive batch policy both consume them.
+func (c *Client) trackRTT() bool {
+	return c.met.ackRTT != nil || c.opts.BatchPolicy != nil
+}
+
 func (c *Client) pruneAckedLocked() {
 	i := 0
 	for i < len(c.unacked) && c.unacked[i].seq <= c.acked {
 		if sf := &c.unacked[i]; !sf.sentAt.IsZero() {
-			c.met.ackRTT.ObserveSince(sf.sentAt)
+			rtt := time.Since(sf.sentAt)
+			c.met.ackRTT.Observe(uint64(rtt.Nanoseconds()))
+			c.opts.BatchPolicy.ObserveRTT(rtt)
 		}
 		i++
 	}
@@ -457,15 +542,18 @@ func (c *Client) receive(conn net.Conn, gen int) {
 
 // ---- send path ----
 
-// flushBatch is the Encoder's Flush hook: it frames the batch, recycles
-// it, and hands the frame to the sender (async) or sends it inline and
-// waits for its ack (sync).
+// flushBatch is the Encoder's Flush hook: it frames the batch in the
+// session codec, recycles it, and hands the frame to the sender (async)
+// or sends it inline and waits for its ack (sync). It also services the
+// adaptive policy: outbox occupancy is observed at ship time, and the
+// encoder's next flush threshold is refreshed from the policy target.
 func (c *Client) flushBatch(b *event.Batch) {
 	n := len(b.Recs)
 	c.mu.Lock()
 	c.batchSeq++
 	seq := c.batchSeq
 	session := c.sessionID
+	codec := c.codec
 	fatal := c.err != nil
 	c.mu.Unlock()
 	if fatal {
@@ -476,15 +564,29 @@ func (c *Client) flushBatch(b *event.Batch) {
 	if c.met.encodeNS != nil {
 		encStart = time.Now()
 	}
-	frame := wire.AppendBatchFrame(nil, wire.Header{Session: session, Seq: seq}, b)
+	frame := wire.AppendBatchFrameCodec(nil, wire.Header{Session: session, Seq: seq}, b, codec)
 	if c.met.encodeNS != nil {
 		c.met.encodeNS.ObserveSince(encStart)
 	}
 	event.PutBatch(b)
+	c.met.rawBytes.Add(uint64(n) * wire.RecSize)
+	c.met.payload(codec).Add(uint64(len(frame) - wire.HeaderSize))
 	sf := sentFrame{seq: seq, data: frame, events: n}
 	if c.opts.Sync {
 		c.send(sf, true)
+		if p := c.opts.BatchPolicy; p != nil {
+			c.enc.Target = p.Target() // RTT observations arrived with the ack
+		}
 		return
+	}
+	if p := c.opts.BatchPolicy; p != nil {
+		// Producer's view of the consumer queue at ship time: an empty
+		// outbox means the sender is keeping up (favor latency), a full
+		// one means the window or the wire is the bottleneck (favor
+		// throughput). The receiver goroutine feeds ack RTTs concurrently;
+		// Target is read here, on the event thread, only.
+		p.ObserveQueue(len(c.outbox), cap(c.outbox))
+		c.enc.Target = p.Target()
 	}
 	c.outbox <- sf // bounded; the sender always drains, even after errors
 }
@@ -519,7 +621,7 @@ func (c *Client) send(sf sentFrame, waitAck bool) {
 			c.markDeadLocked()
 			continue
 		}
-		if c.met.ackRTT != nil {
+		if c.trackRTT() {
 			sf.sentAt = time.Now()
 		}
 		c.unacked = append(c.unacked, sf)

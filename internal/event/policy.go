@@ -1,0 +1,121 @@
+// Adaptive batch sizing: the transport producer (pipeline router, remote
+// client) picks its flush threshold from observed back-pressure instead
+// of a fixed constant. Small batches when the consumer is starved — a
+// waiting detection worker gets work after ~Min records instead of a full
+// batch, cutting delivery latency — and large batches when the consumer
+// is behind, amortizing per-batch transport cost (ring slot hand-off,
+// frame header + CRC, ack round trip) over more records exactly when
+// throughput is what matters.
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Batch sizing bounds. MinBatchTarget is small enough that a starved
+// consumer waits microseconds for work; the maximum is the fixed batch
+// capacity, so adaptive batches always fit a pooled batch without
+// reallocation.
+const (
+	MinBatchTarget     = 64
+	DefaultBatchTarget = 512
+)
+
+// BatchPolicy adapts a producer's batch flush threshold between
+// MinBatchTarget and DefaultBatchSize from two back-pressure signals:
+//
+//   - ObserveQueue(queued, capacity): the producer's view of the consumer
+//     queue at ship time. An empty queue means the consumer drained
+//     everything we sent — it is starved, so halve the target for
+//     latency. A queue at or past half capacity means the consumer is
+//     behind — double the target for throughput.
+//   - ObserveRTT(rtt): the remote path's acknowledgement round trip. The
+//     policy tracks the fastest RTT seen (the uncongested floor); an RTT
+//     beyond 4× the floor means the server is queueing — grow batches; an
+//     RTT within 2× of the floor means the pipe is clear — shrink.
+//
+// Both signals move the target by powers of two, so the trajectory is a
+// deterministic function of the observation sequence (unit-tested as
+// such). The zero value is ready to use and starts at DefaultBatchTarget.
+//
+// Target is safe to read concurrently with observations (the remote
+// client observes RTTs on its receiver goroutine while the event thread
+// reads the target); the Observe methods themselves are serialized
+// internally.
+type BatchPolicy struct {
+	mu     sync.Mutex
+	target atomic.Int64
+	minRTT time.Duration
+}
+
+// Target returns the current flush threshold in records.
+func (p *BatchPolicy) Target() int {
+	if p == nil {
+		return DefaultBatchSize
+	}
+	if t := p.target.Load(); t != 0 {
+		return int(t)
+	}
+	return DefaultBatchTarget
+}
+
+func (p *BatchPolicy) load() int64 {
+	if t := p.target.Load(); t != 0 {
+		return t
+	}
+	return DefaultBatchTarget
+}
+
+// grow doubles the target toward the batch capacity.
+func (p *BatchPolicy) grow() {
+	t := p.load() * 2
+	if t > DefaultBatchSize {
+		t = DefaultBatchSize
+	}
+	p.target.Store(t)
+}
+
+// shrink halves the target toward the latency floor.
+func (p *BatchPolicy) shrink() {
+	t := p.load() / 2
+	if t < MinBatchTarget {
+		t = MinBatchTarget
+	}
+	p.target.Store(t)
+}
+
+// ObserveQueue feeds the producer's view of the consumer queue (in
+// batches) at ship time.
+func (p *BatchPolicy) ObserveQueue(queued, capacity int) {
+	if p == nil || capacity <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case queued == 0:
+		p.shrink() // consumer starved: favor latency
+	case 2*queued >= capacity:
+		p.grow() // consumer behind: favor throughput
+	}
+}
+
+// ObserveRTT feeds one acknowledgement round trip (remote path).
+func (p *BatchPolicy) ObserveRTT(rtt time.Duration) {
+	if p == nil || rtt <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.minRTT == 0 || rtt < p.minRTT {
+		p.minRTT = rtt
+	}
+	switch {
+	case rtt > 4*p.minRTT:
+		p.grow() // acks queueing behind detection: favor throughput
+	case rtt <= 2*p.minRTT:
+		p.shrink() // pipe clear: favor latency
+	}
+}

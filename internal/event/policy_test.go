@@ -1,0 +1,156 @@
+package event
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatchPolicyQueueTrajectory pins the exact target trajectory for a
+// fixed queue-observation sequence: the policy is a deterministic function
+// of its inputs, so the whole path is asserted, not just endpoints.
+func TestBatchPolicyQueueTrajectory(t *testing.T) {
+	var p BatchPolicy
+	if got := p.Target(); got != DefaultBatchTarget {
+		t.Fatalf("zero value target = %d, want %d", got, DefaultBatchTarget)
+	}
+	const capacity = 8
+	steps := []struct {
+		queued int
+		want   int
+	}{
+		{0, 256},                // starved: shrink
+		{0, 128},                // starved: shrink
+		{0, 64},                 // starved: shrink
+		{0, MinBatchTarget},     // clamped at the floor
+		{3, MinBatchTarget},     // mid-queue: hold
+		{4, 128},                // half full: grow
+		{7, 256},                // nearly full: grow
+		{8, 512},                // full: grow
+		{8, 1024},               // full: grow
+		{8, DefaultBatchSize},   // grow
+		{100, DefaultBatchSize}, // clamped at batch capacity
+		{1, DefaultBatchSize},   // below half: hold
+		{0, 1024},               // starved again: shrink
+	}
+	for i, s := range steps {
+		p.ObserveQueue(s.queued, capacity)
+		if got := p.Target(); got != s.want {
+			t.Fatalf("step %d: ObserveQueue(%d, %d) -> target %d, want %d",
+				i, s.queued, capacity, got, s.want)
+		}
+	}
+}
+
+// TestBatchPolicyRTTTrajectory pins the RTT-driven trajectory: the first
+// observation sets the floor (and, being within 2x of itself, shrinks);
+// congested RTTs beyond 4x the floor grow; a new faster floor re-bases
+// the thresholds.
+func TestBatchPolicyRTTTrajectory(t *testing.T) {
+	var p BatchPolicy
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	steps := []struct {
+		rtt  time.Duration
+		want int
+	}{
+		{ms(10), 256},              // floor=10ms; 10 <= 2*10: shrink
+		{ms(25), 256},              // 25 in (2x, 4x]: hold
+		{ms(50), 512},              // 50 > 4*10: grow
+		{ms(50), 1024},             // still congested: grow
+		{ms(50), DefaultBatchSize}, // grow
+		{ms(50), DefaultBatchSize}, // clamped
+		{ms(12), 1024},             // 12 <= 2*10: pipe clear, shrink
+		{ms(2), 512},               // new floor=2ms and 2 <= 4: shrink
+		{ms(9), 1024},              // 9 > 4*2: the re-based floor bites
+	}
+	for i, s := range steps {
+		p.ObserveRTT(s.rtt)
+		if got := p.Target(); got != s.want {
+			t.Fatalf("step %d: ObserveRTT(%v) -> target %d, want %d", i, s.rtt, got, s.want)
+		}
+	}
+}
+
+// TestBatchPolicyIgnoresDegenerateInputs pins that nil policies and
+// nonsense observations are inert: callers never need to guard.
+func TestBatchPolicyIgnoresDegenerateInputs(t *testing.T) {
+	var nilPolicy *BatchPolicy
+	nilPolicy.ObserveQueue(3, 8)
+	nilPolicy.ObserveRTT(time.Millisecond)
+	if got := nilPolicy.Target(); got != DefaultBatchSize {
+		t.Fatalf("nil policy target = %d, want %d", got, DefaultBatchSize)
+	}
+
+	var p BatchPolicy
+	p.ObserveQueue(0, 0)  // zero capacity: ignored
+	p.ObserveQueue(5, -1) // negative capacity: ignored
+	p.ObserveRTT(0)       // zero RTT: ignored
+	p.ObserveRTT(-time.Second)
+	if got := p.Target(); got != DefaultBatchTarget {
+		t.Fatalf("degenerate observations moved target to %d", got)
+	}
+}
+
+// TestBatchPolicyConcurrentReads exercises the documented concurrency
+// contract under the race detector: observations on two goroutines while a
+// third reads the target.
+func TestBatchPolicyConcurrentReads(t *testing.T) {
+	var p BatchPolicy
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			p.ObserveQueue(i%9, 8)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 1000; i++ {
+			p.ObserveRTT(time.Duration(i%20+1) * time.Millisecond)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			if tgt := p.Target(); tgt < MinBatchTarget || tgt > DefaultBatchSize {
+				t.Errorf("target %d out of [%d, %d]", tgt, MinBatchTarget, DefaultBatchSize)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestEncoderTarget pins that the encoder flushes at the adaptive target,
+// re-reads it between batches, and clamps nonsense values to the batch
+// capacity.
+func TestEncoderTarget(t *testing.T) {
+	var sizes []int
+	e := &Encoder{Flush: func(b *Batch) {
+		sizes = append(sizes, len(b.Recs))
+		PutBatch(b)
+	}}
+	e.Target = MinBatchTarget
+	for i := 0; i < MinBatchTarget; i++ {
+		e.Read(1, uint64(i), 8, 0)
+	}
+	e.Target = 2 * MinBatchTarget // grow mid-stream, as flushBatch would
+	for i := 0; i < 2*MinBatchTarget; i++ {
+		e.Read(1, uint64(i), 8, 0)
+	}
+	e.Target = DefaultBatchSize + 1 // out of range: treated as capacity
+	for i := 0; i < 3; i++ {
+		e.Read(1, uint64(i), 8, 0)
+	}
+	e.Close()
+	want := []int{MinBatchTarget, 2 * MinBatchTarget, 3}
+	if len(sizes) != len(want) {
+		t.Fatalf("flushed %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("flushed %v, want %v", sizes, want)
+		}
+	}
+}

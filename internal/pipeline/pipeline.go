@@ -68,10 +68,22 @@ type Options struct {
 	// Detector is the FastTrack configuration applied to every worker; the
 	// pipeline fills in the Shard/Shards fields.
 	Detector detector.Config
-	// ChannelDepth is the per-worker batch queue depth (0 = default 8).
-	// Deeper queues absorb bursts; the queue bounds memory because batches
-	// are fixed-size.
+	// ChannelDepth is the per-worker batch queue depth (0 = default 8;
+	// rounded up to a power of two for ring dispatch). Deeper queues
+	// absorb bursts; the queue bounds memory because batches are
+	// fixed-size.
 	ChannelDepth int
+	// Dispatch selects the router→worker transport: "" or "ring" for the
+	// lock-free SPSC ring (default), "chan" for the buffered-channel
+	// baseline the dispatch benchmarks compare against.
+	Dispatch string
+	// BatchPolicy, when non-nil, adapts the router's batch flush
+	// threshold to worker-queue back-pressure (see event.BatchPolicy):
+	// small batches while workers are starved, full batches while they
+	// are behind. Nil ships fixed event.DefaultBatchSize batches.
+	// Batch sizing never affects results — reports merge by sequence
+	// number — only the latency/throughput trade.
+	BatchPolicy *event.BatchPolicy
 	// Telemetry, when non-nil, receives the pipeline instrument families:
 	// per-shard applied-event counters (pipeline_shard_events_total), batch
 	// dispatch counts and stall/apply latency histograms, a live
@@ -106,7 +118,7 @@ type seqRace struct {
 }
 
 type worker struct {
-	ch    chan *event.Batch
+	q     batchQueue
 	det   *detector.Detector
 	races []seqRace
 
@@ -119,11 +131,16 @@ type worker struct {
 
 // run drains the worker's batch queue, applying each record to the shard
 // detector and tagging any race the record completed with its sequence
-// number. It owns det exclusively; the channel provides the memory fence
+// number. It owns det exclusively; the queue's publication ordering (ring
+// cursor release/acquire, or the channel hand-off) is the memory fence
 // between router and worker.
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
-	for b := range w.ch {
+	for {
+		b, ok := w.q.recv()
+		if !ok {
+			return
+		}
 		var start time.Time
 		if w.applyNS != nil {
 			start = time.Now()
@@ -153,6 +170,7 @@ func (w *worker) run(wg *sync.WaitGroup) {
 type Pipeline struct {
 	workers []*worker
 	pending []*event.Batch // per-worker batch being filled
+	policy  *event.BatchPolicy
 	wg      sync.WaitGroup
 
 	seq       uint64
@@ -183,11 +201,19 @@ func New(opts Options) *Pipeline {
 	p := &Pipeline{
 		workers: make([]*worker, n),
 		pending: make([]*event.Batch, n),
+		policy:  opts.BatchPolicy,
 	}
 	reg := opts.Telemetry
+	var prodParks, consParks *telemetry.Counter
 	if reg != nil {
 		p.batches = reg.Counter("pipeline_batches_total", "Event batches shipped to workers.")
 		p.dispatchNS = reg.Histogram("pipeline_dispatch_wait_ns", "Router blocking time per batch ship (back-pressure).")
+		prodParks = reg.Counter("pipeline_ring_parks_total", "Ring park events by side.", telemetry.Labels{"side": "producer"})
+		consParks = reg.Counter("pipeline_ring_parks_total", "Ring park events by side.", telemetry.Labels{"side": "consumer"})
+	}
+	newQueue := func() batchQueue { return newRing(depth, prodParks, consParks) }
+	if opts.Dispatch == "chan" {
+		newQueue = func() batchQueue { return newChanQueue(depth) }
 	}
 	cfg := opts.Detector
 	if cfg.Metrics == nil && reg != nil {
@@ -201,7 +227,7 @@ func New(opts Options) *Pipeline {
 			wcfg.Shards, wcfg.Shard = n, i
 		}
 		w := &worker{
-			ch:  make(chan *event.Batch, depth),
+			q:   newQueue(),
 			det: detector.New(wcfg),
 		}
 		if reg != nil {
@@ -216,10 +242,26 @@ func New(opts Options) *Pipeline {
 	if reg != nil {
 		reg.GaugeFunc("pipeline_queue_depth", "Batches queued to workers, not yet picked up.",
 			func() float64 { return float64(p.QueueDepth()) })
+		reg.GaugeFunc("pipeline_ring_occupancy", "Mean per-worker queue occupancy as a fraction of capacity (0 = drained, 1 = full).",
+			p.ringOccupancy)
 		reg.GaugeFunc("pipeline_shard_imbalance", "Max/mean ratio of per-shard applied events (1 = perfectly balanced).",
 			p.shardImbalance)
+		reg.GaugeFunc("pipeline_batch_target", "Adaptive batch flush threshold in records (DefaultBatchSize when fixed).",
+			func() float64 { return float64(p.policy.Target()) })
 	}
 	return p
+}
+
+// ringOccupancy returns the mean occupied fraction of the worker queues —
+// the producer-side back-pressure signal, as a gauge.
+func (p *Pipeline) ringOccupancy() float64 {
+	var frac float64
+	for _, w := range p.workers {
+		if c := w.q.capacity(); c > 0 {
+			frac += float64(w.q.len()) / float64(c)
+		}
+	}
+	return frac / float64(len(p.workers))
 }
 
 // shardImbalance returns max/mean of the per-shard applied-event counts
@@ -242,14 +284,19 @@ func (p *Pipeline) shardImbalance() float64 {
 }
 
 // ship sends a full or flushed batch to worker w, observing the router's
-// blocking time when instrumented.
+// blocking time when instrumented and feeding the adaptive policy the
+// queue occupancy it saw at ship time.
 func (p *Pipeline) ship(w int, b *event.Batch) {
+	q := p.workers[w].q
+	if p.policy != nil {
+		p.policy.ObserveQueue(q.len(), q.capacity())
+	}
 	if p.dispatchNS == nil {
-		p.workers[w].ch <- b
+		q.send(b)
 		return
 	}
 	start := time.Now()
-	p.workers[w].ch <- b
+	q.send(b)
 	p.dispatchNS.ObserveSince(start)
 	p.batches.Inc()
 }
@@ -264,13 +311,14 @@ func (p *Pipeline) Workers() int { return len(p.workers) }
 func (p *Pipeline) QueueDepth() int {
 	depth := 0
 	for _, w := range p.workers {
-		depth += len(w.ch)
+		depth += w.q.len()
 	}
 	return depth
 }
 
 // push appends a record to worker w's pending batch, shipping the batch
-// when it reaches transport capacity.
+// when it reaches the flush threshold (the adaptive policy's current
+// target, or full transport capacity when no policy is set).
 func (p *Pipeline) push(w int, r event.Rec) {
 	b := p.pending[w]
 	if b == nil {
@@ -278,7 +326,14 @@ func (p *Pipeline) push(w int, r event.Rec) {
 		p.pending[w] = b
 	}
 	b.Append(r)
-	if b.Full() {
+	if p.policy == nil {
+		if b.Full() {
+			p.ship(w, b)
+			p.pending[w] = nil
+		}
+		return
+	}
+	if len(b.Recs) >= p.policy.Target() {
 		p.ship(w, b)
 		p.pending[w] = nil
 	}
@@ -399,7 +454,7 @@ func (p *Pipeline) Wait() Result {
 		p.pending[w] = nil
 	}
 	for _, w := range p.workers {
-		close(w.ch)
+		w.q.close()
 	}
 	p.wg.Wait()
 	p.result = p.merge()

@@ -1,0 +1,264 @@
+package server_test
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/detector"
+	"repro/internal/event"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/wire"
+	"repro/workloads"
+)
+
+// handshake dials addr, sends hello, and returns the connection, a frame
+// reader on it, and the decoded HelloAck. The connection is closed at
+// test cleanup.
+func handshake(t *testing.T, addr string, hello wire.Hello) (net.Conn, *wire.Reader, wire.HelloAck) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	payload, err := wire.MarshalControl(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire.AppendFrame(nil, wire.Header{Type: wire.TypeHello}, payload)); err != nil {
+		t.Fatal(err)
+	}
+	rd := wire.NewReader(conn, 0)
+	h, body, err := rd.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != wire.TypeHelloAck {
+		t.Fatalf("handshake reply %v (%s)", h.Type, body)
+	}
+	var ack wire.HelloAck
+	if err := wire.UnmarshalControl(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	return conn, rd, ack
+}
+
+// TestCodecNegotiationMatrix pins the granted codec for every pairing of
+// client ceiling (0 = pre-codec client whose Hello has no codec field at
+// all, thanks to omitempty) and server ceiling: the grant is the minimum
+// of the two, with absence meaning v1.
+func TestCodecNegotiationMatrix(t *testing.T) {
+	servers := map[int]string{}
+	for _, max := range []int{wire.CodecPacked, wire.CodecColumnar} {
+		_, addr := startServer(t, server.Options{MaxCodec: max})
+		servers[max] = addr
+	}
+	cases := []struct {
+		client, server, want int
+	}{
+		{0, wire.CodecColumnar, wire.CodecPacked}, // old client, new server
+		{wire.CodecPacked, wire.CodecColumnar, wire.CodecPacked},
+		{wire.CodecColumnar, wire.CodecColumnar, wire.CodecColumnar},
+		{0, wire.CodecPacked, wire.CodecPacked},
+		{wire.CodecColumnar, wire.CodecPacked, wire.CodecPacked}, // new client, old server
+		{99, wire.CodecColumnar, wire.CodecColumnar},             // future client is capped
+	}
+	for _, c := range cases {
+		_, _, ack := handshake(t, servers[c.server], wire.Hello{
+			Version: wire.Version, Granularity: uint8(detector.Dynamic),
+			Workers: 1, Codec: c.client,
+		})
+		if ack.Codec != c.want {
+			t.Errorf("client ceiling %d x server ceiling %d: granted %d, want %d",
+				c.client, c.server, ack.Codec, c.want)
+		}
+	}
+}
+
+// TestOldClientNewServer emulates a pre-codec client byte for byte: its
+// Hello carries no codec field, it streams packed v1 batch frames with
+// wire.AppendBatchFrame, and it ignores the codec field of the ack. A
+// current server must grant v1, decode the packed frames, and return the
+// right report.
+func TestOldClientNewServer(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	conn, rd, ack := handshake(t, addr, wire.Hello{
+		Version: wire.Version, Granularity: uint8(detector.Dynamic), Workers: 1,
+	})
+	if ack.Codec != wire.CodecPacked {
+		t.Fatalf("granted codec %d to a pre-codec hello, want %d", ack.Codec, wire.CodecPacked)
+	}
+
+	b := &event.Batch{}
+	b.Append(event.Rec{Op: event.OpWrite, Tid: 0, Addr: 0x2000, Size: 4, Seq: 1})
+	b.Append(event.Rec{Op: event.OpWrite, Tid: 1, Addr: 0x2000, Size: 4, Seq: 2})
+	if _, err := conn.Write(wire.AppendBatchFrame(nil, wire.Header{Session: ack.SessionID, Seq: 1}, b)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire.AppendFrame(nil, wire.Header{Type: wire.TypeClose, Session: ack.SessionID, Seq: 1}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	var rep wire.Report
+	for {
+		h, payload, err := rd.ReadFrame()
+		if err != nil {
+			t.Fatalf("reading report: %v", err)
+		}
+		if h.Type == wire.TypeError {
+			t.Fatalf("server error: %s", payload)
+		}
+		if h.Type == wire.TypeReport {
+			if err := wire.UnmarshalControl(payload, &rep); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if rep.Events != 2 || len(rep.Races) != 1 {
+		t.Fatalf("old-client session report: events=%d races=%v", rep.Events, rep.Races)
+	}
+}
+
+// TestNewClientOldServer runs a current client against a server capped at
+// the packed codec (the stand-in for a pre-codec server deployment): the
+// client must settle on v1 and the full workload report must still match
+// the in-process reference.
+func TestNewClientOldServer(t *testing.T) {
+	_, addr := startServer(t, server.Options{MaxCodec: wire.CodecPacked})
+	spec, err := workloads.ByName("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := detector.New(detector.Config{Granularity: detector.Dynamic})
+	sim.Run(spec.Program(), ref, sim.Options{Seed: 42})
+
+	cl, err := client.Dial(client.Options{
+		Addr:  addr,
+		Hello: wire.Hello{Granularity: uint8(detector.Dynamic), Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Codec() != wire.CodecPacked {
+		t.Fatalf("client settled on codec %d against a v1-only server, want %d",
+			cl.Codec(), wire.CodecPacked)
+	}
+	sim.Run(spec.Program(), cl, sim.Options{Seed: 42})
+	rep, err := cl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortDetRaces(ref.Races())
+	got := sortDetRaces(rep.DetectorRaces())
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("race sets differ:\nin-process (%d): %v\nremote v1 (%d): %v",
+			len(want), want, len(got), got)
+	}
+	if rep.Stats.Accesses != ref.Stats().Accesses {
+		t.Fatalf("Accesses: in-process %d, remote %d", ref.Stats().Accesses, rep.Stats.Accesses)
+	}
+}
+
+// TestResumeKeepsSessionCodec pins the resume invariant: the codec is
+// fixed when the session opens, and a resume handshake is granted exactly
+// the stored codec no matter what the reconnecting hello asks for.
+func TestResumeKeepsSessionCodec(t *testing.T) {
+	srv, addr := startServer(t, server.Options{SessionLinger: 5 * time.Second})
+	conn, _, ack := handshake(t, addr, wire.Hello{
+		Version: wire.Version, Granularity: uint8(detector.Dynamic),
+		Workers: 1, Codec: wire.CodecColumnar,
+	})
+	if ack.Codec != wire.CodecColumnar {
+		t.Fatalf("granted %d, want columnar", ack.Codec)
+	}
+	b := &event.Batch{}
+	b.Append(event.Rec{Op: event.OpWrite, Tid: 0, Addr: 0x3000, Size: 4, Seq: 1})
+	b.Append(event.Rec{Op: event.OpWrite, Tid: 1, Addr: 0x3000, Size: 4, Seq: 2})
+	if _, err := conn.Write(wire.AppendBatchFrameCodec(nil,
+		wire.Header{Session: ack.SessionID, Seq: 1}, b, wire.CodecColumnar)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "batch to be applied", 5*time.Second, func() bool {
+		return srv.Metrics().EventsTotal >= 2
+	})
+	conn.Close() // vanish mid-stream; the session lingers
+
+	// A resume that races the old connection's teardown is refused with the
+	// retryable busy code, exactly as a reconnecting client would see.
+	var (
+		conn2 net.Conn
+		rd2   *wire.Reader
+		rack  wire.HelloAck
+	)
+	resume := wire.Hello{
+		Version: wire.Version, Resume: ack.SessionID,
+		Granularity: uint8(detector.Dynamic), Workers: 1, Codec: wire.CodecColumnar,
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _ := wire.MarshalControl(resume)
+		if _, err := c.Write(wire.AppendFrame(nil, wire.Header{Type: wire.TypeHello}, payload)); err != nil {
+			t.Fatal(err)
+		}
+		rd := wire.NewReader(c, 0)
+		h, body, err := rd.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Type == wire.TypeError {
+			var ep wire.ErrorPayload
+			if err := wire.UnmarshalControl(body, &ep); err != nil {
+				t.Fatal(err)
+			}
+			c.Close()
+			if ep.Code != wire.CodeBusy || time.Now().After(deadline) {
+				t.Fatalf("resume refused: %+v", ep)
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if h.Type != wire.TypeHelloAck {
+			t.Fatalf("resume reply %v", h.Type)
+		}
+		if err := wire.UnmarshalControl(body, &rack); err != nil {
+			t.Fatal(err)
+		}
+		conn2, rd2 = c, rd
+		t.Cleanup(func() { c.Close() })
+		break
+	}
+	if rack.SessionID != ack.SessionID || rack.Codec != wire.CodecColumnar {
+		t.Fatalf("resume ack %+v, want session %d codec %d", rack, ack.SessionID, wire.CodecColumnar)
+	}
+	if rack.ResumeSeq != 1 {
+		t.Fatalf("resume seq %d, want 1", rack.ResumeSeq)
+	}
+	if _, err := conn2.Write(wire.AppendFrame(nil,
+		wire.Header{Type: wire.TypeClose, Session: ack.SessionID, Seq: 1}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		h, payload, err := rd2.ReadFrame()
+		if err != nil {
+			t.Fatalf("reading report: %v", err)
+		}
+		if h.Type == wire.TypeReport {
+			var rep wire.Report
+			if err := wire.UnmarshalControl(payload, &rep); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Events != 2 || len(rep.Races) != 1 {
+				t.Fatalf("resumed session report: events=%d races=%v", rep.Events, rep.Races)
+			}
+			return
+		}
+	}
+}

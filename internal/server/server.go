@@ -67,6 +67,11 @@ type Options struct {
 	// MaxWorkers caps the per-session detection shard count a Hello may
 	// request (default 4; requests of 0 get 1).
 	MaxWorkers int
+	// MaxCodec caps the batch codec this server grants (default
+	// wire.CodecMax). Setting wire.CodecPacked pins every session to the
+	// v1 packed format — operationally a downgrade switch, and in tests a
+	// stand-in for a pre-columnar server build.
+	MaxCodec int
 	// SessionLinger keeps a detached session resumable after its
 	// connection drops before aborting it (default 10s).
 	SessionLinger time.Duration
@@ -104,6 +109,9 @@ func (o Options) withDefaults() Options {
 	if o.SessionLinger <= 0 {
 		o.SessionLinger = 10 * time.Second
 	}
+	if o.MaxCodec <= 0 || o.MaxCodec > wire.CodecMax {
+		o.MaxCodec = wire.CodecMax
+	}
 	return o
 }
 
@@ -116,6 +124,7 @@ type session struct {
 	pl       *pipeline.Pipeline
 	window   int
 	ackEvery int
+	codec    int // granted batch codec; every Batch frame decodes with it
 	opened   time.Time
 
 	// lastSeq is the highest batch sequence applied; lastAcked the highest
@@ -147,6 +156,7 @@ type closedReport struct {
 	lastSeq  uint64
 	window   int
 	ackEvery int
+	codec    int
 	frame    []byte
 	timer    *time.Timer
 }
@@ -428,9 +438,10 @@ func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload [
 		if newSess.closedFrame != nil {
 			s.logf("session %d: resumed after close (report pending re-delivery)", newSess.id)
 		} else {
-			s.logf("session %d: %s (granularity %s, %d workers, window %d, resume-seq %d)",
+			s.logf("session %d: %s (granularity %s, %d workers, window %d, codec %s, resume-seq %d)",
 				newSess.id, map[bool]string{true: "resumed", false: "opened"}[hello.Resume != 0],
-				detector.Granularity(hello.Granularity), newSess.pl.Workers(), newSess.window, ack.ResumeSeq)
+				detector.Granularity(hello.Granularity), newSess.pl.Workers(), newSess.window,
+				wire.CodecName(newSess.codec), ack.ResumeSeq)
 		}
 		return newSess, out, nil
 
@@ -457,7 +468,7 @@ func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload [
 			return sess, out, &protoErr{wire.CodeProtocol,
 				fmt.Sprintf("batch sequence gap: got %d, want %d", h.Seq, sess.lastSeq+1)}
 		}
-		b, err := wire.DecodeBatch(payload)
+		b, err := wire.DecodeBatchCodec(payload, sess.codec)
 		if err != nil {
 			return sess, out, &protoErr{wire.CodeProtocol, err.Error()}
 		}
@@ -554,6 +565,13 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 	if hello.Workers < 0 {
 		return nil, ack, &protoErr{wire.CodeBadOptions, fmt.Sprintf("negative workers %d", hello.Workers)}
 	}
+	// Negotiate the batch codec: the client's ceiling capped by this
+	// server's (absent field → the original packed format, so pre-codec
+	// peers interoperate transparently).
+	codec := wire.NegotiateCodec(hello.Codec)
+	if codec > s.opts.MaxCodec {
+		codec = s.opts.MaxCodec
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -570,11 +588,11 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 				// that can only re-deliver the retained report frame.
 				sess := &session{
 					id: hello.Resume, window: cr.window, ackEvery: cr.ackEvery,
-					lastSeq: cr.lastSeq, lastAcked: cr.lastSeq,
+					codec: cr.codec, lastSeq: cr.lastSeq, lastAcked: cr.lastSeq,
 					closedFrame: cr.frame, attached: true,
 				}
 				ack = wire.HelloAck{SessionID: sess.id, Window: cr.window,
-					AckEvery: cr.ackEvery, ResumeSeq: cr.lastSeq}
+					AckEvery: cr.ackEvery, ResumeSeq: cr.lastSeq, Codec: cr.codec}
 				return sess, ack, nil
 			}
 			return nil, ack, &protoErr{wire.CodeNoSession,
@@ -597,7 +615,11 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 		}
 		sess.attached = true
 		sess.conn = conn
-		ack = wire.HelloAck{SessionID: sess.id, Window: sess.window, AckEvery: sess.ackEvery, ResumeSeq: sess.lastSeq}
+		// A resumed session keeps the codec negotiated at open: the
+		// retained unacked frames the client will replay are encoded in
+		// it, so renegotiating mid-session could misinterpret them.
+		ack = wire.HelloAck{SessionID: sess.id, Window: sess.window, AckEvery: sess.ackEvery,
+			ResumeSeq: sess.lastSeq, Codec: sess.codec}
 		return sess, ack, nil
 	}
 
@@ -645,13 +667,14 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 		}),
 		window:   window,
 		ackEvery: ackEvery,
+		codec:    codec,
 		opened:   time.Now(),
 		attached: true,
 		conn:     conn,
 	}
 	s.sessions[sess.id] = sess
 	s.met.sessionsTotal.Inc()
-	ack = wire.HelloAck{SessionID: sess.id, Window: window, AckEvery: ackEvery}
+	ack = wire.HelloAck{SessionID: sess.id, Window: window, AckEvery: ackEvery, Codec: codec}
 	return sess, ack, nil
 }
 
@@ -716,6 +739,7 @@ func (s *Server) retireSession(sess *session, reportFrame []byte) {
 		lastSeq:  sess.lastSeq,
 		window:   sess.window,
 		ackEvery: sess.ackEvery,
+		codec:    sess.codec,
 		frame:    append([]byte(nil), reportFrame...),
 	}
 	s.mu.Lock()

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"io"
 	"runtime"
+	"time"
 
+	"repro/internal/telemetry"
 	"repro/race"
+	"repro/workloads"
 )
 
 // DefaultPipelineWorkers is the worker sweep the pipeline bench covers:
@@ -13,13 +16,16 @@ import (
 // powers of two.
 var DefaultPipelineWorkers = []int{0, 1, 2, 4, 8}
 
-// PipelineRow is one (benchmark, worker count) cell of the sharded-pipeline
-// throughput sweep.
+// PipelineRow is one (benchmark, worker count, dispatch) cell of the
+// sharded-pipeline throughput sweep.
 type PipelineRow struct {
 	Program string `json:"program"`
 	// Workers is the detection worker count (0 = serial detector on the
 	// execution thread).
 	Workers int `json:"workers"`
+	// Dispatch is the router→worker transport: "ring" (lock-free SPSC)
+	// or "chan" (buffered-channel baseline); empty for serial rows.
+	Dispatch string `json:"dispatch,omitempty"`
 	// Seconds is the best wall time of the instrumented run, including
 	// draining the workers.
 	Seconds float64 `json:"seconds"`
@@ -28,15 +34,74 @@ type PipelineRow struct {
 	// Speedup is EventsPerSec relative to the same benchmark's serial
 	// (Workers = 0) row.
 	Speedup float64 `json:"speedup"`
+	// DispatchWaitP50Ns / DispatchWaitP99Ns are quantile upper bounds of
+	// the router's per-batch blocking time in the transport send — the
+	// number the SPSC ring exists to shrink versus the channel baseline.
+	DispatchWaitP50Ns uint64 `json:"dispatch_wait_p50_ns,omitempty"`
+	DispatchWaitP99Ns uint64 `json:"dispatch_wait_p99_ns,omitempty"`
+	// RingParks counts producer+consumer park events (0 for chan rows:
+	// the baseline transport parks inside the runtime where we cannot
+	// count it).
+	RingParks uint64 `json:"ring_parks,omitempty"`
 	// Races is the merged race count — equal across the sweep by the
 	// pipeline's equivalence guarantee, recorded so regressions are visible
 	// in the JSON diff.
 	Races int `json:"races"`
 }
 
-// PipelineBench sweeps the pipeline worker counts over the runner's
-// benchmarks at dynamic granularity. Rows are grouped per benchmark in
-// sweep order, serial first.
+// pipelineDispatches is the transport sweep for Workers > 0 rows.
+var pipelineDispatches = []string{"ring", "chan"}
+
+// pipelineCell measures one (benchmark, workers, dispatch) cell: best
+// wall time over the configured timing runs, with the dispatch-wait
+// histogram of the final run (the distribution is stable across runs of a
+// deterministic workload; the final run avoids mixing warm-up noise in).
+func (r *Runner) pipelineCell(s workloads.Spec, w int, dispatch string) PipelineRow {
+	prog := s.Build(r.cfg.Scale)
+	opts := race.Options{
+		Tool:        race.FastTrack,
+		Granularity: race.Dynamic,
+		Seed:        r.cfg.Seed,
+		Workers:     w,
+		Dispatch:    dispatch,
+	}
+	var (
+		rep race.Report
+		reg *telemetry.Registry
+	)
+	times := make([]time.Duration, 0, r.cfg.TimingRuns)
+	for i := 0; i < r.cfg.TimingRuns; i++ {
+		runtime.GC() // isolate timed runs from each other's garbage
+		if w > 0 {
+			reg = telemetry.New()
+			opts.Telemetry = reg
+		}
+		rep = race.Run(prog, opts)
+		times = append(times, rep.Elapsed)
+	}
+	row := PipelineRow{
+		Program:  s.Name,
+		Workers:  w,
+		Dispatch: dispatch,
+		Seconds:  bestDuration(times).Seconds(),
+		Races:    len(rep.Races),
+	}
+	if row.Seconds > 0 {
+		row.EventsPerSec = float64(rep.Run.Events) / row.Seconds
+	}
+	if w > 0 {
+		snap := reg.HistogramValue("pipeline_dispatch_wait_ns")
+		row.DispatchWaitP50Ns = snap.Quantile(0.50)
+		row.DispatchWaitP99Ns = snap.Quantile(0.99)
+		row.RingParks = reg.CounterValue("pipeline_ring_parks_total")
+	}
+	return row
+}
+
+// PipelineBench sweeps worker counts and dispatch transports over the
+// runner's benchmarks at dynamic granularity. Rows are grouped per
+// benchmark in sweep order: the serial row first, then ring and chan rows
+// for each worker count.
 func (r *Runner) PipelineBench(workerCounts []int) []PipelineRow {
 	if len(workerCounts) == 0 {
 		workerCounts = DefaultPipelineWorkers
@@ -45,28 +110,20 @@ func (r *Runner) PipelineBench(workerCounts []int) []PipelineRow {
 	for _, s := range r.specs {
 		serialEPS := 0.0
 		for _, w := range workerCounts {
-			opts := race.Options{
-				Tool:        race.FastTrack,
-				Granularity: race.Dynamic,
-				Workers:     w,
-			}
-			rep := r.Report(s, opts)
-			row := PipelineRow{
-				Program: s.Name,
-				Workers: w,
-				Seconds: rep.Elapsed.Seconds(),
-				Races:   len(rep.Races),
-			}
-			if row.Seconds > 0 {
-				row.EventsPerSec = float64(rep.Run.Events) / row.Seconds
-			}
+			dispatches := pipelineDispatches
 			if w == 0 {
-				serialEPS = row.EventsPerSec
+				dispatches = []string{""}
 			}
-			if serialEPS > 0 {
-				row.Speedup = row.EventsPerSec / serialEPS
+			for _, d := range dispatches {
+				row := r.pipelineCell(s, w, d)
+				if w == 0 {
+					serialEPS = row.EventsPerSec
+				}
+				if serialEPS > 0 {
+					row.Speedup = row.EventsPerSec / serialEPS
+				}
+				rows = append(rows, row)
 			}
-			rows = append(rows, row)
 		}
 	}
 	return rows

@@ -103,7 +103,8 @@ func optsKey(o race.Options) string {
 	return fmt.Sprintf("%v/%v/nis=%v/nish=%v/wgr=%v/rs=%d/mem=%d/to=%v/w=%d/me=%d/rem=%s/rsync=%v",
 		o.Tool, o.Granularity, o.NoInitState, o.NoInitSharing,
 		o.WriteGuidedReads, o.ReshareInterval, o.MemLimitBytes, o.Timeout,
-		o.Workers, o.MaxEvents, o.Remote, o.RemoteSync)
+		o.Workers, o.MaxEvents, o.Remote, o.RemoteSync) +
+		fmt.Sprintf("/cod=%s/disp=%s/bp=%s", o.Codec, o.Dispatch, o.BatchPolicy)
 }
 
 // bestDuration returns the minimum of ds: for a deterministic CPU-bound

@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+// streamRecs builds a batch with the locality shape of a real event
+// stream: threads run in scheduler-quantum-long runs, addresses walk in
+// small strides, PCs repeat from a small site set, seqs increment by one.
+func streamRecs(n int) []event.Rec {
+	recs := make([]event.Rec, n)
+	addr := uint64(0x10000)
+	for i := range recs {
+		tid := vc.TID(i / 64 % 4) // quantum of 64 events per thread
+		op := event.OpRead
+		if i%4 == 0 {
+			op = event.OpWrite
+		}
+		addr += uint64(8 * (i%3 + 1)) // stride-predictable
+		recs[i] = event.Rec{
+			Op: op, Tid: tid, Addr: addr, Size: 8,
+			PC:  event.MakePC(event.ModuleApp, uint32(i%7)),
+			Seq: uint64(i + 1),
+		}
+	}
+	return recs
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	cases := map[string][]event.Rec{
+		"empty":  nil,
+		"single": {{Op: event.OpWrite, Tid: 3, Addr: 0xdeadbeef, Size: 4, PC: 17, Seq: 1}},
+		"stream": streamRecs(2048),
+		"extremes": {
+			{Op: event.OpMalloc, Tid: -1, Addr: math.MaxUint64, Aux: math.MaxUint64, Seq: math.MaxUint64},
+			{Op: event.OpFree, Tid: math.MaxInt32, Addr: 0, Aux: 0, Seq: 0},
+			{Op: event.OpRead, Tid: math.MinInt32, Addr: 1, Size: math.MaxUint32, PC: math.MaxUint32, Seq: 9},
+		},
+	}
+	for name, recs := range cases {
+		t.Run(name, func(t *testing.T) {
+			payload := AppendColumnar(nil, recs)
+			var got event.Batch
+			if err := DecodeColumnarInto(payload, &got); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if len(got.Recs) != len(recs) {
+				t.Fatalf("decoded %d records, want %d", len(got.Recs), len(recs))
+			}
+			if len(recs) > 0 && !reflect.DeepEqual(got.Recs, recs) {
+				t.Fatalf("round trip mismatch")
+			}
+		})
+	}
+}
+
+func TestColumnarFrameRoundTrip(t *testing.T) {
+	b := &event.Batch{Recs: streamRecs(500)}
+	frame := AppendBatchFrameCodec(nil, Header{Session: 42, Seq: 9}, b, CodecColumnar)
+	h, payload, err := NewReader(bytes.NewReader(frame), 0).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TypeBatch || h.Session != 42 || h.Seq != 9 {
+		t.Fatalf("header mangled: %+v", h)
+	}
+	got, err := DecodeBatchCodec(payload, CodecColumnar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer event.PutBatch(got)
+	if !reflect.DeepEqual(got.Recs, b.Recs) {
+		t.Fatal("frame round trip mismatch")
+	}
+}
+
+// TestPackedCodecUnchanged pins that CodecPacked through the codec-aware
+// entry points is byte-identical to the original v1 framing — the
+// compatibility contract a forced-v1 session depends on.
+func TestPackedCodecUnchanged(t *testing.T) {
+	b := &event.Batch{Recs: streamRecs(100)}
+	h := Header{Session: 7, Seq: 3}
+	v1 := AppendBatchFrame(nil, h, b)
+	viaCodec := AppendBatchFrameCodec(nil, h, b, CodecPacked)
+	if !bytes.Equal(v1, viaCodec) {
+		t.Fatal("AppendBatchFrameCodec(CodecPacked) is not byte-identical to AppendBatchFrame")
+	}
+	got, err := DecodeBatchCodec(v1[HeaderSize:], CodecPacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer event.PutBatch(got)
+	if !reflect.DeepEqual(got.Recs, b.Recs) {
+		t.Fatal("packed decode mismatch")
+	}
+}
+
+func TestNegotiateCodec(t *testing.T) {
+	cases := []struct{ req, want int }{
+		{0, CodecPacked},   // pre-codec peer
+		{-3, CodecPacked},  // nonsense
+		{1, CodecPacked},   // forced v1
+		{2, CodecColumnar}, // current
+		{99, CodecMax},     // future peer: capped at what this build speaks
+	}
+	for _, c := range cases {
+		if got := NegotiateCodec(c.req); got != c.want {
+			t.Errorf("NegotiateCodec(%d) = %d, want %d", c.req, got, c.want)
+		}
+	}
+	if CodecName(CodecPacked) != "v1" || CodecName(CodecColumnar) != "v2" {
+		t.Error("codec names drifted from the v1/v2 labels metrics and flags use")
+	}
+}
+
+// TestColumnarRejectsMalformed drives the decoder over targeted
+// corruptions; none may decode, and none may panic.
+func TestColumnarRejectsMalformed(t *testing.T) {
+	recs := streamRecs(32)
+	payload := AppendColumnar(nil, recs)
+
+	t.Run("truncations", func(t *testing.T) {
+		for cut := 0; cut < len(payload); cut++ {
+			var b event.Batch
+			if err := DecodeColumnarInto(payload[:cut], &b); err == nil {
+				t.Fatalf("truncation at %d of %d accepted", cut, len(payload))
+			}
+			if len(b.Recs) != 0 {
+				t.Fatalf("failed decode left %d partial records", len(b.Recs))
+			}
+		}
+	})
+	t.Run("trailing-bytes", func(t *testing.T) {
+		var b event.Batch
+		if err := DecodeColumnarInto(append(append([]byte{}, payload...), 0), &b); err == nil {
+			t.Fatal("trailing byte accepted")
+		}
+	})
+	t.Run("lying-count", func(t *testing.T) {
+		var b event.Batch
+		// Claim 2^40 records in a short payload: must be rejected before
+		// any allocation is sized from the count.
+		lie := appendUvarint(nil, 1<<40)
+		if err := DecodeColumnarInto(lie, &b); err == nil {
+			t.Fatal("absurd record count accepted")
+		}
+	})
+	t.Run("bad-op", func(t *testing.T) {
+		bad := AppendColumnar(nil, recs[:1])
+		// Payload: count varint (1 byte) then the op byte.
+		bad[1] = byte(MaxOp) + 1
+		var b event.Batch
+		if err := DecodeColumnarInto(bad, &b); err == nil {
+			t.Fatal("unknown op accepted")
+		}
+	})
+	t.Run("run-overflow", func(t *testing.T) {
+		// count=1, op run claims 2 records.
+		bad := []byte{1, byte(event.OpRead), 2}
+		var b event.Batch
+		if err := DecodeColumnarInto(bad, &b); err == nil {
+			t.Fatal("op run past record count accepted")
+		}
+	})
+}
+
+// TestColumnarZeroAlloc pins the codec's steady-state allocation budget:
+// with reused buffers and pooled batches, encode and decode of a full
+// batch allocate nothing.
+func TestColumnarZeroAlloc(t *testing.T) {
+	recs := streamRecs(event.DefaultBatchSize)
+	src := &event.Batch{Recs: recs}
+	buf := AppendBatchFrameCodec(nil, Header{Session: 1}, src, CodecColumnar)
+	payload := append([]byte(nil), buf[HeaderSize:]...)
+	dst := event.GetBatch()
+	defer event.PutBatch(dst)
+
+	if got := testing.AllocsPerRun(50, func() {
+		buf = AppendBatchFrameCodec(buf[:0], Header{Session: 1}, src, CodecColumnar)
+	}); got != 0 {
+		t.Errorf("columnar encode: %v allocs/run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(50, func() {
+		dst.Recs = dst.Recs[:0]
+		if err := DecodeColumnarInto(payload, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("columnar decode: %v allocs/run, want 0", got)
+	}
+}
+
+// MaxColumnarBytesPerRecord is the committed regression threshold for the
+// columnar codec on a locality-typical stream (CI fails if the encoding
+// regresses above it). The packed codec costs a fixed 37 bytes per
+// record; the columnar codec's budget is ≤ 7 — comfortably past the ≥4×
+// reduction this transport promises, with headroom over the ~4.5 B/record
+// the current encoder achieves so byte-level tweaks don't flake the gate.
+const MaxColumnarBytesPerRecord = 7.0
+
+func TestColumnarBytesPerRecordThreshold(t *testing.T) {
+	recs := streamRecs(event.DefaultBatchSize)
+	payload := AppendColumnar(nil, recs)
+	got := float64(len(payload)) / float64(len(recs))
+	t.Logf("columnar: %.2f bytes/record (packed: %d)", got, RecSize)
+	if got > MaxColumnarBytesPerRecord {
+		t.Fatalf("columnar codec regressed to %.2f bytes/record on the locality stream, budget %.1f",
+			got, MaxColumnarBytesPerRecord)
+	}
+	if ratio := float64(RecSize) / got; ratio < 4 {
+		t.Fatalf("compression vs packed is %.1fx, want >= 4x", ratio)
+	}
+}

@@ -33,20 +33,27 @@ func recsFromBytes(data []byte) []event.Rec {
 	return recs
 }
 
-// FuzzWireRoundTrip asserts two properties over arbitrary input:
+// FuzzWireRoundTrip asserts three properties over arbitrary input:
 //
 //  1. Round trip: a batch derived from the input encodes to a frame that
 //     decodes back to exactly the same records, and truncating or
 //     corrupting any byte of the frame is rejected (never mis-decoded).
-//  2. Robustness: feeding the raw input directly to the frame reader and
-//     batch decoder never panics and never over-allocates past the frame
-//     limit, whatever the bytes say.
+//  2. Columnar round trip: the same batch through the delta-varint
+//     columnar codec (codec v2) is also the identity, including for the
+//     arbitrary field extremes the input derives — the wraparound delta
+//     arithmetic must hold for any record, not just realistic streams.
+//  3. Robustness: feeding the raw input directly to the frame reader and
+//     both batch decoders never panics and never over-allocates past the
+//     frame limit, whatever the bytes say.
 func FuzzWireRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xA5}, 64))
 	seed := AppendBatchFrame(nil, Header{Session: 1, Seq: 1},
 		&event.Batch{Recs: []event.Rec{{Op: event.OpWrite, Addr: 0x1000, Size: 4, Seq: 1}}})
 	f.Add(seed)
+	f.Add(AppendBatchFrameCodec(nil, Header{Session: 2, Seq: 2},
+		&event.Batch{Recs: []event.Rec{{Op: event.OpRead, Addr: 0x2000, Size: 8, Seq: 1}}},
+		CodecColumnar))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Property 1: encode→frame→decode is the identity.
@@ -98,7 +105,34 @@ func FuzzWireRoundTrip(f *testing.F) {
 			}
 		}
 
-		// Property 2: arbitrary bytes never panic the reader/decoder.
+		// Property 2: the columnar codec is also the identity, for the same
+		// arbitrary records, and its frames survive the frame layer.
+		cframe := AppendBatchFrameCodec(nil, Header{Session: 99, Seq: 7}, b, CodecColumnar)
+		ch, cpayload, err := NewReader(bytes.NewReader(cframe), 0).ReadFrame()
+		if err != nil {
+			t.Fatalf("own columnar frame rejected: %v", err)
+		}
+		if ch.Type != TypeBatch || ch.Session != 99 || ch.Seq != 7 {
+			t.Fatalf("columnar header mangled: %+v", ch)
+		}
+		cgot, err := DecodeBatchCodec(cpayload, CodecColumnar)
+		if err != nil {
+			t.Fatalf("own columnar payload rejected: %v", err)
+		}
+		if len(cgot.Recs) != len(recs) || (len(recs) > 0 && !reflect.DeepEqual(cgot.Recs, recs)) {
+			t.Fatalf("columnar round trip mismatch: %d vs %d recs", len(cgot.Recs), len(recs))
+		}
+		event.PutBatch(cgot)
+		// Truncated columnar payloads must never decode.
+		if len(cpayload) > 0 {
+			cut := int(uint(len(data)) % uint(len(cpayload)))
+			var tb event.Batch
+			if err := DecodeColumnarInto(cpayload[:cut], &tb); err == nil && len(recs) > 0 {
+				t.Fatalf("truncated columnar payload (%d of %d bytes) accepted", cut, len(cpayload))
+			}
+		}
+
+		// Property 3: arbitrary bytes never panic the reader/decoders.
 		rd := NewReader(bytes.NewReader(data), 4096)
 		for {
 			_, p, err := rd.ReadFrame()
@@ -108,6 +142,11 @@ func FuzzWireRoundTrip(f *testing.F) {
 			if bb, err := DecodeBatch(p); err == nil {
 				event.PutBatch(bb)
 			}
+			if bb, err := DecodeBatchCodec(p, CodecColumnar); err == nil {
+				event.PutBatch(bb)
+			}
 		}
+		var rb event.Batch
+		_ = DecodeColumnarInto(data, &rb) // arbitrary bytes as a columnar payload
 	})
 }

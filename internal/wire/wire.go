@@ -20,9 +20,12 @@
 //	28      4     CRC-32C (Castagnoli) of the payload
 //	32      ...   payload
 //
-// Batch payloads are a packed array of 37-byte records (one per
-// event.Rec); control payloads are JSON, which keeps negotiation
-// extensible without burning protocol versions. The shard hint lets a
+// Batch payloads carry event records in the session's negotiated codec:
+// the original packed array of 37-byte records (CodecPacked) or the
+// columnar delta-varint format (CodecColumnar, see columnar.go). Control
+// payloads are JSON, which keeps negotiation extensible without burning
+// protocol versions — the codec itself is negotiated through the
+// Hello/HelloAck JSON exchange. The shard hint lets a
 // multi-process ingest tier route frames to shard queues without decoding
 // the payload; the reference client always streams the full event stream
 // of one execution and sets it to 0.
@@ -137,6 +140,9 @@ var (
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum is the payload CRC-32C every frame carries.
+func checksum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
 
 // AppendFrame appends one framed payload to dst and returns the extended
 // slice. The payload may be nil (control frames without a body).
@@ -321,16 +327,20 @@ func (rd *Reader) ReadFrame() (Header, []byte, error) {
 // batch sequence it applied so the client can replay only unacknowledged
 // batches.
 type Hello struct {
-	Version          int    `json:"version"`
-	Resume           uint64 `json:"resume,omitempty"`
-	Granularity      uint8  `json:"granularity"`
-	Workers          int    `json:"workers"`
-	Window           int    `json:"window"`
-	NoInitState      bool   `json:"no_init_state,omitempty"`
-	NoInitSharing    bool   `json:"no_init_sharing,omitempty"`
-	WriteGuidedReads bool   `json:"write_guided_reads,omitempty"`
-	ReadReset        bool   `json:"read_reset,omitempty"`
-	ReshareInterval  uint8  `json:"reshare_interval,omitempty"`
+	Version int    `json:"version"`
+	Resume  uint64 `json:"resume,omitempty"`
+	// Codec is the highest batch codec the client speaks (CodecPacked,
+	// CodecColumnar). Absent (0) from pre-codec clients, which the server
+	// maps to CodecPacked — see NegotiateCodec.
+	Codec            int   `json:"codec,omitempty"`
+	Granularity      uint8 `json:"granularity"`
+	Workers          int   `json:"workers"`
+	Window           int   `json:"window"`
+	NoInitState      bool  `json:"no_init_state,omitempty"`
+	NoInitSharing    bool  `json:"no_init_sharing,omitempty"`
+	WriteGuidedReads bool  `json:"write_guided_reads,omitempty"`
+	ReadReset        bool  `json:"read_reset,omitempty"`
+	ReshareInterval  uint8 `json:"reshare_interval,omitempty"`
 }
 
 // HelloAck is the server's negotiation reply. Window is the granted
@@ -343,6 +353,10 @@ type HelloAck struct {
 	Window    int    `json:"window"`
 	AckEvery  int    `json:"ack_every"`
 	ResumeSeq uint64 `json:"resume_seq"`
+	// Codec is the granted batch codec: min(client ceiling, server
+	// ceiling). Absent (0) from pre-codec servers, which the client maps
+	// to CodecPacked. Every Batch frame of the session uses this codec.
+	Codec int `json:"codec,omitempty"`
 }
 
 // Report is the server's end-of-session payload: the merged pipeline

@@ -174,6 +174,22 @@ type Options struct {
 	// batch is written and acknowledged before the producer continues,
 	// instead of streaming asynchronously behind a bounded window.
 	RemoteSync bool
+	// Codec picks the batch codec ceiling a Remote session may negotiate:
+	// "" or "auto" requests the best both sides speak (currently the v2
+	// delta-varint columnar format), "v1" forces the original packed
+	// records, "v2" requests columnar explicitly. The server may always
+	// grant less; detection results are identical either way.
+	Codec string
+	// Dispatch selects the router→worker transport of the local sharded
+	// pipeline (Workers > 0): "" or "ring" for the lock-free SPSC ring,
+	// "chan" for the buffered-channel baseline (benchmark comparisons).
+	Dispatch string
+	// BatchPolicy selects transport batch sizing: "" or "fixed" ships
+	// full event.DefaultBatchSize batches; "adaptive" sizes batches from
+	// observed back-pressure (worker-queue occupancy locally; outbox
+	// occupancy and ack RTT on the Remote path). Purely a
+	// latency/throughput trade — reports are identical.
+	BatchPolicy string
 
 	// Telemetry, when non-nil, receives the run's live metrics: detector
 	// state transitions and sharing decisions, pipeline per-shard counters
@@ -241,6 +257,24 @@ func (o Options) Validate() error {
 	}
 	if o.RemoteSync && o.Remote == "" {
 		return &OptionsError{"RemoteSync", "requires Remote to be set"}
+	}
+	switch o.Codec {
+	case "", "auto", "v1", "v2":
+	default:
+		return &OptionsError{"Codec", fmt.Sprintf("unknown codec %q (want auto, v1 or v2)", o.Codec)}
+	}
+	if o.Codec != "" && o.Codec != "auto" && o.Remote == "" {
+		return &OptionsError{"Codec", "requires Remote to be set (in-process detection has no wire codec)"}
+	}
+	switch o.Dispatch {
+	case "", "ring", "chan":
+	default:
+		return &OptionsError{"Dispatch", fmt.Sprintf("unknown dispatch %q (want ring or chan)", o.Dispatch)}
+	}
+	switch o.BatchPolicy {
+	case "", "fixed", "adaptive":
+	default:
+		return &OptionsError{"BatchPolicy", fmt.Sprintf("unknown batch policy %q (want fixed or adaptive)", o.BatchPolicy)}
 	}
 	if o.StatsInterval < 0 {
 		return &OptionsError{"StatsInterval", fmt.Sprintf("negative interval %v", o.StatsInterval)}
@@ -354,6 +388,27 @@ func (o Options) engineOptions() sim.Options {
 	return so
 }
 
+// wireCodec maps the Options.Codec string onto the wire codec ceiling the
+// client requests (0 = best available).
+func (o Options) wireCodec() int {
+	switch o.Codec {
+	case "v1":
+		return wire.CodecPacked
+	case "v2":
+		return wire.CodecColumnar
+	}
+	return 0 // auto: the client requests wire.CodecMax
+}
+
+// batchPolicy returns a fresh adaptive policy when requested, else nil
+// (fixed-size batches).
+func (o Options) batchPolicy() *event.BatchPolicy {
+	if o.BatchPolicy == "adaptive" {
+		return new(event.BatchPolicy)
+	}
+	return nil
+}
+
 // fillFastTrack maps FastTrack detector output into the unified report; the
 // serial detector and the sharded pipeline share it, so both modes populate
 // the report identically.
@@ -425,9 +480,11 @@ func runRemote(p Program, opts Options) (Report, error) {
 	rep := Report{Program: p.Name, Tool: opts.Tool, Granularity: opts.Granularity}
 	endDial := opts.Tracer.Span("dial", map[string]any{"addr": opts.Remote})
 	cl, err := client.Dial(client.Options{
-		Addr:      opts.Remote,
-		Sync:      opts.RemoteSync,
-		Telemetry: opts.Telemetry,
+		Addr:        opts.Remote,
+		Sync:        opts.RemoteSync,
+		Telemetry:   opts.Telemetry,
+		Codec:       opts.wireCodec(),
+		BatchPolicy: opts.batchPolicy(),
 		Hello: wire.Hello{
 			Granularity:      uint8(opts.Granularity),
 			Workers:          opts.Workers,
@@ -478,9 +535,11 @@ func runLocal(p Program, opts Options) Report {
 		}
 		if opts.Workers > 0 {
 			pl := pipeline.New(pipeline.Options{
-				Workers:   opts.Workers,
-				Detector:  cfg,
-				Telemetry: opts.Telemetry,
+				Workers:     opts.Workers,
+				Detector:    cfg,
+				Telemetry:   opts.Telemetry,
+				Dispatch:    opts.Dispatch,
+				BatchPolicy: opts.batchPolicy(),
 			})
 			sink = pl
 			var res pipeline.Result

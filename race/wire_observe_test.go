@@ -1,0 +1,134 @@
+package race
+
+import (
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+	"repro/workloads"
+)
+
+// codecPayloadBytes returns the wire_payload_bytes_total series for one
+// codec label (0 when the series was never registered).
+func codecPayloadBytes(reg *telemetry.Registry, codec string) uint64 {
+	var v uint64
+	reg.Each(func(m telemetry.Metric) {
+		if m.Name == "wire_payload_bytes_total" && m.Labels["codec"] == codec {
+			v = uint64(m.Value)
+		}
+	})
+	return v
+}
+
+// TestWireTelemetryReconciliation pins the wire byte accounting the same
+// way TestTelemetryReconciliation pins the detector counters: on a
+// forced-v1 remote run every streamed record costs exactly wire.RecSize
+// payload bytes, so raw bytes, v1 payload bytes, and events x 37 must all
+// agree to the byte; on a default (columnar) run the v2 payload must beat
+// the packed baseline by the >=4x the issue promises, and the live
+// compression-ratio gauge must say so too.
+func TestWireTelemetryReconciliation(t *testing.T) {
+	addr := startDetectd(t, server.Options{})
+	spec, err := workloads.ByName("pbzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(codec string) *telemetry.Registry {
+		reg := telemetry.New()
+		if _, err := RunE(spec.Program(), Options{
+			Granularity: Dynamic, Seed: 42, Workers: 2,
+			Remote: addr, Codec: codec, Telemetry: reg,
+		}); err != nil {
+			t.Fatalf("codec %q: %v", codec, err)
+		}
+		return reg
+	}
+
+	// Forced v1: the stream is the packed baseline, so the accounting is
+	// exact, not approximate.
+	reg := run("v1")
+	events := reg.CounterValue("client_events_total")
+	raw := reg.CounterValue("wire_raw_bytes_total")
+	if events == 0 {
+		t.Fatal("v1 run streamed no events")
+	}
+	if want := events * wire.RecSize; raw != want {
+		t.Errorf("wire_raw_bytes_total = %d, want events x %d = %d", raw, wire.RecSize, want)
+	}
+	if v1 := codecPayloadBytes(reg, "v1"); v1 != raw {
+		t.Errorf("v1 payload bytes = %d, want raw %d (packed batches carry records verbatim)", v1, raw)
+	}
+	if v2 := codecPayloadBytes(reg, "v2"); v2 != 0 {
+		t.Errorf("v2 payload bytes = %d on a forced-v1 session", v2)
+	}
+	if ratio := reg.GaugeValue("wire_compression_ratio"); ratio != 1 {
+		t.Errorf("wire_compression_ratio = %v on a forced-v1 session, want 1", ratio)
+	}
+
+	// Default negotiation grants columnar; the >=4x bytes-per-record win is
+	// the tentpole's acceptance bar, asserted here on live counters.
+	reg = run("")
+	events = reg.CounterValue("client_events_total")
+	raw = reg.CounterValue("wire_raw_bytes_total")
+	v2 := codecPayloadBytes(reg, "v2")
+	if events == 0 || raw != events*wire.RecSize {
+		t.Fatalf("columnar run accounting broken: events=%d raw=%d", events, raw)
+	}
+	if v2 == 0 {
+		t.Fatal("columnar run recorded no v2 payload bytes")
+	}
+	if v1 := codecPayloadBytes(reg, "v1"); v1 != 0 {
+		t.Errorf("v1 payload bytes = %d on a columnar session", v1)
+	}
+	if v2*4 > raw {
+		t.Errorf("columnar payload %d bytes for %d raw: less than 4x compression (%.2f B/event)",
+			v2, raw, float64(v2)/float64(events))
+	}
+	if ratio := reg.GaugeValue("wire_compression_ratio"); ratio < 4 {
+		t.Errorf("wire_compression_ratio = %.2f, want >= 4", ratio)
+	}
+}
+
+// TestRingTelemetry checks the ring dispatch registers its occupancy and
+// park instrumentation and the adaptive policy exports a live batch
+// target, on an ordinary local sharded run.
+func TestRingTelemetry(t *testing.T) {
+	spec, err := workloads.ByName("ffmpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	if _, err := RunE(spec.Program(), Options{
+		Granularity: Dynamic, Seed: 42, Workers: 2,
+		BatchPolicy: "adaptive", Telemetry: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	families := map[string]bool{}
+	parkSides := map[string]bool{}
+	reg.Each(func(m telemetry.Metric) {
+		families[m.Name] = true
+		if m.Name == "pipeline_ring_parks_total" {
+			parkSides[m.Labels["side"]] = true
+		}
+	})
+	for _, want := range []string{
+		"pipeline_ring_parks_total",
+		"pipeline_ring_occupancy",
+		"pipeline_batch_target",
+	} {
+		if !families[want] {
+			t.Errorf("ring run did not register %s", want)
+		}
+	}
+	for _, side := range []string{"producer", "consumer"} {
+		if !parkSides[side] {
+			t.Errorf("pipeline_ring_parks_total missing side=%q series", side)
+		}
+	}
+	if target := reg.GaugeValue("pipeline_batch_target"); target < 64 || target > 2048 {
+		t.Errorf("pipeline_batch_target = %v, want within [64, 2048]", target)
+	}
+}
