@@ -2,7 +2,7 @@
 // per table and figure. Each reports the table's key quantities through
 // b.ReportMetric, so `go test -bench=. -benchmem` prints the reproduction
 // numbers next to the timing. cmd/benchtables renders the same data in the
-// paper's full layout over all eleven workloads; the benches run a
+// paper's full layout over all fourteen workloads; the benches run a
 // representative subset per iteration to stay inside normal bench budgets
 // (use -bench-workloads=all to sweep everything).
 package repro_test

@@ -1,5 +1,5 @@
 // Command benchtables regenerates the paper's evaluation tables (1–6) and
-// figure demonstrations from live runs of the eleven benchmark workloads.
+// figure demonstrations from live runs of the fourteen benchmark workloads.
 //
 // Usage:
 //
@@ -11,6 +11,7 @@
 //	benchtables -wire-json BENCH_wire.json           # remote-service bench
 //	benchtables -obs-json BENCH_obs.json             # telemetry overhead bench
 //	benchtables -mem-json BENCH_mem.json             # memory lane (allocs/op, shadow bytes)
+//	benchtables -clock-json BENCH_clock.json         # structure-aware clock lane (ns/event, peak clock bytes)
 //
 // Every number is measured in-process; nothing is replayed from files. See
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -55,6 +56,9 @@ func main() {
 
 		memJSON = flag.String("mem-json", "",
 			"write the memory lane (shadow bytes, live nodes, allocs/op, GC pauses per workload × granularity) to this file (e.g. BENCH_mem.json)")
+
+		clockJSON = flag.String("clock-json", "",
+			"write the structure-aware clock lane (general vs compact ns/event and peak clock bytes per Go-native workload) to this file (e.g. BENCH_clock.json)")
 	)
 	flag.Parse()
 
@@ -134,6 +138,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *memJSON)
+		return
+	}
+
+	if *clockJSON != "" {
+		f, err := os.Create(*clockJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = r.WriteClockJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *clockJSON)
 		return
 	}
 

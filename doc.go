@@ -7,7 +7,7 @@
 //
 // The public API lives in the race package (detectors and reports) and the
 // workloads package (the eleven benchmark programs of the paper's
-// evaluation). The execution substrate that replaces the paper's Intel PIN
+// evaluation plus three Go-native synchronization families). The execution substrate that replaces the paper's Intel PIN
 // instrumentation, the shadow-memory structures, and every detector
 // implementation live under internal/; see DESIGN.md for the system
 // inventory and EXPERIMENTS.md for the paper-vs-measured record of every

@@ -7,7 +7,7 @@ import (
 	"repro/workloads"
 )
 
-// TestEveryWorkloadUnderEveryTool is the grand smoke matrix: all eleven
+// TestEveryWorkloadUnderEveryTool is the grand smoke matrix: all fourteen
 // benchmarks under all six detectors complete, report deterministic
 // counts, and respect per-tool soundness expectations.
 func TestEveryWorkloadUnderEveryTool(t *testing.T) {

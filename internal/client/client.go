@@ -687,6 +687,32 @@ func (c *Client) Malloc(tid vc.TID, addr, size uint64) { c.enc.Malloc(tid, addr,
 // Free encodes a heap deallocation.
 func (c *Client) Free(tid vc.TID, addr, size uint64) { c.enc.Free(tid, addr, size) }
 
+// ---- event.GoSink ----
+
+// ChanSend encodes a channel send.
+func (c *Client) ChanSend(tid vc.TID, ch event.ChanID, capacity int) {
+	c.enc.ChanSend(tid, ch, capacity)
+}
+
+// ChanRecv encodes a channel receive.
+func (c *Client) ChanRecv(tid vc.TID, ch event.ChanID, capacity int) {
+	c.enc.ChanRecv(tid, ch, capacity)
+}
+
+// ChanAck encodes an unbuffered send completion.
+func (c *Client) ChanAck(tid vc.TID, ch event.ChanID, capacity int) {
+	c.enc.ChanAck(tid, ch, capacity)
+}
+
+// WGAdd encodes a WaitGroup counter increment.
+func (c *Client) WGAdd(tid vc.TID, wg event.WGID, delta int) { c.enc.WGAdd(tid, wg, delta) }
+
+// WGDone encodes a WaitGroup decrement.
+func (c *Client) WGDone(tid vc.TID, wg event.WGID) { c.enc.WGDone(tid, wg) }
+
+// WGWait encodes a WaitGroup wait completion.
+func (c *Client) WGWait(tid vc.TID, wg event.WGID) { c.enc.WGWait(tid, wg) }
+
 // ---- shutdown ----
 
 // Close flushes the partial batch, drains the sender, sends the Close

@@ -29,6 +29,12 @@ const (
 	OpBarrierDepart
 	OpMalloc
 	OpFree
+	OpChanSend
+	OpChanRecv
+	OpChanAck
+	OpWGAdd
+	OpWGDone
+	OpWGWait
 )
 
 func (o Op) String() string {
@@ -57,6 +63,18 @@ func (o Op) String() string {
 		return "malloc"
 	case OpFree:
 		return "free"
+	case OpChanSend:
+		return "chan-send"
+	case OpChanRecv:
+		return "chan-recv"
+	case OpChanAck:
+		return "chan-ack"
+	case OpWGAdd:
+		return "wg-add"
+	case OpWGDone:
+		return "wg-done"
+	case OpWGWait:
+		return "wg-wait"
 	default:
 		return "?"
 	}
@@ -69,6 +87,9 @@ func (o Op) String() string {
 //	OpFork/OpJoin:              Tid = parent, Aux = child TID
 //	OpBarrierArrive/Depart:     Tid, Aux = BarrierID
 //	OpMalloc/OpFree:            Tid, Addr, Aux = byte size
+//	OpChanSend/Recv/Ack:        Tid, Aux = ChanID, Size = channel capacity
+//	OpWGAdd:                    Tid, Aux = WGID, Size = delta
+//	OpWGDone/OpWGWait:          Tid, Aux = WGID
 //
 // Seq is the event's global sequence number in the original stream; the
 // pipeline uses it to merge per-worker race reports deterministically and
@@ -154,6 +175,18 @@ func ApplyRec(s Sink, r *Rec) {
 		s.Malloc(r.Tid, r.Addr, r.Aux)
 	case OpFree:
 		s.Free(r.Tid, r.Addr, r.Aux)
+	case OpChanSend:
+		DispatchChanSend(s, r.Tid, ChanID(r.Aux), int(r.Size))
+	case OpChanRecv:
+		DispatchChanRecv(s, r.Tid, ChanID(r.Aux), int(r.Size))
+	case OpChanAck:
+		DispatchChanAck(s, r.Tid, ChanID(r.Aux), int(r.Size))
+	case OpWGAdd:
+		DispatchWGAdd(s, r.Tid, WGID(r.Aux), int(r.Size))
+	case OpWGDone:
+		DispatchWGDone(s, r.Tid, WGID(r.Aux))
+	case OpWGWait:
+		DispatchWGWait(s, r.Tid, WGID(r.Aux))
 	}
 }
 

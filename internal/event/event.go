@@ -127,6 +127,12 @@ type Counter struct {
 	Barriers       uint64
 	Mallocs, Frees uint64
 	MallocBytes    uint64
+	ChanSends      uint64
+	ChanRecvs      uint64
+	ChanAcks       uint64
+	WGAdds         uint64
+	WGDones        uint64
+	WGWaits        uint64
 	SizeHistogram  [17]uint64 // index = access size (1,2,4,8,16), others bucket 0
 }
 

@@ -1,0 +1,62 @@
+package fasttrack
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// TestStructuredFastPathZeroAlloc is the CI gate on the compact layer's
+// steady state: once tables, freelists, and queue backing arrays are warm,
+// a structured channel-handoff plus WaitGroup round must not allocate.
+// Publications recycle through the arena freelists, queue pops compact in
+// place, and absorbs either swap bases or write into existing overlay
+// storage — an allocation here means one of those reuse paths regressed.
+func TestStructuredFastPathZeroAlloc(t *testing.T) {
+	ts := NewThreads()
+	ts.SetClockMode(ClockCompact)
+	const ch = event.ChanID(0)
+	const wg = event.WGID(0)
+	cycle := func() {
+		ts.ChanSend(1, ch, 4)
+		ts.ChanRecv(2, ch, 4)
+		ts.WGDone(1, wg)
+		ts.WGWait(2, wg)
+	}
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(200, cycle); n != 0 {
+		t.Errorf("structured sync fast path allocates %.1f times per cycle, want 0", n)
+	}
+	if got, want := ts.StructuredThreads(), 2; got != want {
+		t.Fatalf("structured threads = %d, want %d (the fast path must not demote)", got, want)
+	}
+}
+
+// TestJoinRetiresStructuredChild pins the retirement bookkeeping: joining a
+// structured child frees its task, keeps it counted as structured, and a
+// duplicate join is a no-op rather than a resurrection at epoch one.
+func TestJoinRetiresStructuredChild(t *testing.T) {
+	ts := NewThreads()
+	ts.SetClockMode(ClockCompact)
+	ts.Fork(0, 1)
+	ts.ChanSend(1, 0, 1) // child publishes so the parent has time to absorb
+	ts.ChanRecv(0, 0, 1)
+	before := ts.View(0).Get(1)
+	ts.Join(0, 1)
+	if got := ts.View(0).Get(1); got < before {
+		t.Fatalf("join lost child time: %d < %d", got, before)
+	}
+	if got, want := ts.StructuredThreads(), 2; got != want {
+		t.Errorf("structured threads after join = %d, want %d", got, want)
+	}
+	after := ts.View(0).Get(1)
+	ts.Join(0, 1) // duplicate join: must not fabricate a fresh child clock
+	if got := ts.View(0).Get(1); got != after {
+		t.Errorf("duplicate join changed parent's view of child: %d -> %d", after, got)
+	}
+	if got, want := ts.StructuredThreads(), 2; got != want {
+		t.Errorf("structured threads after duplicate join = %d, want %d", got, want)
+	}
+}

@@ -427,6 +427,38 @@ func (p *Pipeline) BarrierDepart(tid vc.TID, b event.BarrierID) {
 	p.broadcast(event.Rec{Op: event.OpBarrierDepart, Tid: tid, Aux: uint64(b)})
 }
 
+// ChanSend broadcasts a channel send (Go-native sync; every clock replica
+// pairs sends and receives by per-channel FIFO position, so broadcast
+// ordering is exactly what keeps the pairing identical across shards).
+func (p *Pipeline) ChanSend(tid vc.TID, ch event.ChanID, capacity int) {
+	p.broadcast(event.Rec{Op: event.OpChanSend, Tid: tid, Aux: uint64(uint32(ch)), Size: uint32(capacity)})
+}
+
+// ChanRecv broadcasts a channel receive.
+func (p *Pipeline) ChanRecv(tid vc.TID, ch event.ChanID, capacity int) {
+	p.broadcast(event.Rec{Op: event.OpChanRecv, Tid: tid, Aux: uint64(uint32(ch)), Size: uint32(capacity)})
+}
+
+// ChanAck broadcasts an unbuffered send completion.
+func (p *Pipeline) ChanAck(tid vc.TID, ch event.ChanID, capacity int) {
+	p.broadcast(event.Rec{Op: event.OpChanAck, Tid: tid, Aux: uint64(uint32(ch)), Size: uint32(capacity)})
+}
+
+// WGAdd broadcasts a WaitGroup counter increment.
+func (p *Pipeline) WGAdd(tid vc.TID, wg event.WGID, delta int) {
+	p.broadcast(event.Rec{Op: event.OpWGAdd, Tid: tid, Aux: uint64(uint32(wg)), Size: uint32(delta)})
+}
+
+// WGDone broadcasts a WaitGroup decrement (a publication point for tid).
+func (p *Pipeline) WGDone(tid vc.TID, wg event.WGID) {
+	p.broadcast(event.Rec{Op: event.OpWGDone, Tid: tid, Aux: uint64(uint32(wg))})
+}
+
+// WGWait broadcasts a WaitGroup wait completion.
+func (p *Pipeline) WGWait(tid vc.TID, wg event.WGID) {
+	p.broadcast(event.Rec{Op: event.OpWGWait, Tid: tid, Aux: uint64(uint32(wg))})
+}
+
 // Malloc broadcasts heap allocation (a no-op for the detector, but kept in
 // stream order so every replica sees the same event sequence).
 func (p *Pipeline) Malloc(tid vc.TID, addr uint64, size uint64) {
@@ -467,9 +499,20 @@ func (p *Pipeline) Wait() Result {
 func (p *Pipeline) merge() Result {
 	var tagged []seqRace
 	var st detector.Stats
-	for _, w := range p.workers {
+	for i, w := range p.workers {
 		tagged = append(tagged, w.races...)
 		ws := w.det.Stats()
+		if i == 0 {
+			// Sync events are broadcast, so every shard's clock replica is
+			// identical; take the clock-layer statistics from one shard
+			// instead of summing N copies.
+			st.ClockStructuredThreads = ws.ClockStructuredThreads
+			st.ClockDemotions = ws.ClockDemotions
+			st.ClockCompactBytes = ws.ClockCompactBytes
+			st.ClockCompactPeakBytes = ws.ClockCompactPeakBytes
+			st.ClockGeneralBytes = ws.ClockGeneralBytes
+			st.ClockGeneralPeakBytes = ws.ClockGeneralPeakBytes
+		}
 		st.SameEpoch += ws.SameEpoch
 		st.HashPeakBytes += ws.HashPeakBytes
 		st.VCPeakBytes += ws.VCPeakBytes

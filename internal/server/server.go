@@ -565,6 +565,9 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 	if hello.Workers < 0 {
 		return nil, ack, &protoErr{wire.CodeBadOptions, fmt.Sprintf("negative workers %d", hello.Workers)}
 	}
+	if m := detector.ClockMode(hello.Clock); m != detector.ClockGeneral && m != detector.ClockCompact {
+		return nil, ack, &protoErr{wire.CodeBadOptions, fmt.Sprintf("unknown clock mode %d", hello.Clock)}
+	}
 	// Negotiate the batch codec: the client's ceiling capped by this
 	// server's (absent field → the original packed format, so pre-codec
 	// peers interoperate transparently).
@@ -658,6 +661,7 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 				WriteGuidedReads: hello.WriteGuidedReads,
 				ReadReset:        hello.ReadReset,
 				ReshareInterval:  hello.ReshareInterval,
+				Clock:            detector.ClockMode(hello.Clock),
 			},
 			// Per-session labeled view: the session's pipeline/detector
 			// families appear on /metrics as session="<id>" series and are

@@ -104,6 +104,14 @@ type Thread struct {
 
 	body    func(*Thread)
 	joiners []*Thread
+
+	// Direct-handoff slot for unbuffered channel receives (see gosync.go):
+	// the rendezvousing sender deposits the value and the channel it chose
+	// before waking the receiver (which may be parked in a Select over
+	// several channels).
+	recvDirect bool
+	recvChan   event.ChanID
+	recvVal    uint64
 }
 
 // ID returns the thread's id (main is 0; children are numbered in spawn
@@ -135,6 +143,8 @@ type Engine struct {
 	locks    []*lockState
 	barriers []*barrierState
 	conds    []*condState
+	chans    []*chanState
+	wgs      []*wgState
 	heap     heapAlloc
 
 	events   uint64
@@ -285,20 +295,33 @@ func (t *Thread) park() {
 	<-t.resume
 }
 
-// tick charges one event against the thread's quantum, yielding to the
-// scheduler when it is exhausted.
-func (t *Thread) tick() {
-	e := t.eng
+// countEvent accounts one delivered event against the run's event budget
+// without a scheduling point.
+func (e *Engine) countEvent() {
 	e.events++
 	if e.opts.MaxEvents > 0 && e.events > e.opts.MaxEvents {
 		panic(fmt.Sprintf("sim: event budget %d exceeded", e.opts.MaxEvents))
 	}
-	t.budget--
+}
+
+// charge deducts n events from the thread's quantum, yielding to the
+// scheduler when it is exhausted. Operations that must emit several events
+// without an intervening scheduling point (channel rendezvous) count each
+// event as it is emitted and charge once at the end.
+func (t *Thread) charge(n int) {
+	t.budget -= n
 	if t.budget <= 0 {
 		// status stays Running; the scheduler re-queues the thread.
 		t.park()
-		t.budget = e.opts.Quantum
+		t.budget = t.eng.opts.Quantum
 	}
+}
+
+// tick charges one event against the thread's quantum, yielding to the
+// scheduler when it is exhausted.
+func (t *Thread) tick() {
+	t.eng.countEvent()
+	t.charge(1)
 }
 
 // block parks the thread until something (unlock, barrier completion,

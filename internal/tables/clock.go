@@ -1,0 +1,141 @@
+// Clock benchmark lane: the BENCH_clock.json generator — the trajectory of
+// the structure-aware clock layer that future PRs are measured against.
+//
+// For each Go-native workload (channel/WaitGroup/fork–join sync only, so
+// every thread stays on the compact representation end to end) the harness
+// runs the FastTrack detector serially under both thread-clock
+// representations and records, per row:
+//
+//   - wall time per routed event (best of TimingRuns deterministic runs,
+//     matching the timing discipline of the paper tables);
+//   - the peak thread-clock footprint: dense vector-clock bytes in general
+//     mode versus task/snapshot bytes in compact mode, both from the
+//     detector's own exact accounting;
+//   - the structure ledger (structured threads, demotions) and the race
+//     count, plus a verdict-identity bit pinning that the compact row
+//     reports exactly the general row's races.
+//
+// The lane is the regression surface for the compact layer: a PR that makes
+// the compact rows slower or fatter than the general rows — or that
+// perturbs a single race verdict — fails the gate in clock_test.go and the
+// CI comparison over the committed BENCH_clock.json.
+package tables
+
+import (
+	"encoding/json"
+	"io"
+	"reflect"
+	"runtime"
+
+	"repro/race"
+)
+
+// clockWorkloads lists the Go-native benchmarks the lane sweeps — the
+// workloads whose sync surface keeps every thread structured (mirrors the
+// goNative set pinned by the race-level equivalence suite).
+var clockWorkloads = []string{"fanin", "workerpool", "pipedag"}
+
+// ClockRow is one (workload, clock representation) cell of the clock lane.
+type ClockRow struct {
+	Program string `json:"program"`
+	// Clock is "general" (dense vectors) or "compact" (task-tree layer).
+	Clock   string `json:"clock"`
+	Threads int    `json:"threads"`
+
+	// Events is the number of instrumentation events routed; NsPerEvent is
+	// ElapsedNs over Events — the lane's headline speed number.
+	Events     uint64  `json:"events"`
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	NsPerEvent float64 `json:"ns_per_event"`
+
+	// PeakClockBytes is the representation's own peak thread-clock
+	// footprint — the lane's headline memory number. Both sides use the
+	// detector's exact object accounting, sampled at sync operations.
+	PeakClockBytes int64 `json:"peak_clock_bytes"`
+
+	// Structure ledger: how many threads finished on the compact
+	// representation and how many demoted to dense vectors (both zero on
+	// general rows, and demotions must be zero on these workloads).
+	StructuredThreads uint64 `json:"structured_threads"`
+	Demotions         uint64 `json:"demotions"`
+
+	// Races pins detection; RacesIdentical asserts the row's full ordered
+	// race report equals the general serial report of the same workload.
+	Races          int  `json:"races"`
+	RacesIdentical bool `json:"races_identical"`
+}
+
+// ClockBench sweeps the clock lane over the runner's Go-native benchmarks
+// at dynamic granularity. Rows are grouped per workload in general, compact
+// order.
+func (r *Runner) ClockBench() []ClockRow {
+	var rows []ClockRow
+	for _, s := range r.specs {
+		if !isClockWorkload(s.Name) {
+			continue
+		}
+		gen := r.Report(s, race.Options{
+			Tool: race.FastTrack, Granularity: race.Dynamic,
+		})
+		cmp := r.Report(s, race.Options{
+			Tool: race.FastTrack, Granularity: race.Dynamic, Clock: race.ClockCompact,
+		})
+		rows = append(rows,
+			clockRow(s.Name, s.Threads, "general", gen, gen.Detector.ClockGeneralPeakBytes, gen),
+			clockRow(s.Name, s.Threads, "compact", cmp, cmp.Detector.ClockCompactPeakBytes, gen),
+		)
+	}
+	return rows
+}
+
+func isClockWorkload(name string) bool {
+	for _, w := range clockWorkloads {
+		if w == name {
+			return true
+		}
+	}
+	return false
+}
+
+func clockRow(name string, threads int, mode string, rep race.Report, peak int64, gen race.Report) ClockRow {
+	row := ClockRow{
+		Program:           name,
+		Clock:             mode,
+		Threads:           threads,
+		Events:            rep.Run.Events,
+		ElapsedNs:         rep.Elapsed.Nanoseconds(),
+		PeakClockBytes:    peak,
+		StructuredThreads: rep.Detector.ClockStructuredThreads,
+		Demotions:         rep.Detector.ClockDemotions,
+		Races:             len(rep.Races),
+		RacesIdentical:    reflect.DeepEqual(rep.Races, gen.Races),
+	}
+	if rep.Run.Events > 0 {
+		row.NsPerEvent = float64(rep.Elapsed.Nanoseconds()) / float64(rep.Run.Events)
+	}
+	return row
+}
+
+// ClockBenchJSON is the machine-readable BENCH_clock.json document.
+type ClockBenchJSON struct {
+	Config struct {
+		Scale      int   `json:"scale"`
+		Seed       int64 `json:"seed"`
+		TimingRuns int   `json:"timing_runs"`
+		GOMAXPROCS int   `json:"gomaxprocs"`
+	} `json:"config"`
+	Rows []ClockRow `json:"rows"`
+}
+
+// WriteClockJSON runs the clock lane and writes BENCH_clock.json.
+func (r *Runner) WriteClockJSON(w io.Writer) error {
+	var out ClockBenchJSON
+	out.Config.Scale = r.cfg.Scale
+	out.Config.Seed = r.cfg.Seed
+	out.Config.TimingRuns = r.cfg.TimingRuns
+	out.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	out.Rows = r.ClockBench()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

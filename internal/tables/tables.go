@@ -1,5 +1,5 @@
 // Package tables regenerates the paper's evaluation tables (Tables 1–6)
-// from live runs of the eleven benchmark workloads under every detector
+// from live runs of the fourteen benchmark workloads under every detector
 // configuration, plus demonstrations of Figures 1 and 4. Each table
 // function returns structured rows (used by tests and benches) and can be
 // rendered in the paper's layout.
@@ -104,7 +104,7 @@ func optsKey(o race.Options) string {
 		o.Tool, o.Granularity, o.NoInitState, o.NoInitSharing,
 		o.WriteGuidedReads, o.ReshareInterval, o.MemLimitBytes, o.Timeout,
 		o.Workers, o.MaxEvents, o.Remote, o.RemoteSync) +
-		fmt.Sprintf("/cod=%s/disp=%s/bp=%s", o.Codec, o.Dispatch, o.BatchPolicy)
+		fmt.Sprintf("/cod=%s/disp=%s/bp=%s/clk=%d", o.Codec, o.Dispatch, o.BatchPolicy, o.Clock)
 }
 
 // bestDuration returns the minimum of ds: for a deterministic CPU-bound

@@ -1,0 +1,11 @@
+package vc
+
+// View is the read side of a thread clock: component lookup by thread id.
+// Both the general *VC and the compact *Task representation implement it,
+// which lets the detectors' comparison sites (Epoch.LEQ, VC.LEQ, AnyGT and
+// the FastTrack check functions) accept either without converting. Hot
+// methods type-assert *VC first so the general path keeps its direct loop.
+type View interface {
+	// Get returns component t, zero for threads the clock has not observed.
+	Get(t TID) Clock
+}

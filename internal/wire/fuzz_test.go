@@ -54,6 +54,18 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(AppendBatchFrameCodec(nil, Header{Session: 2, Seq: 2},
 		&event.Batch{Recs: []event.Rec{{Op: event.OpRead, Addr: 0x2000, Size: 8, Seq: 1}}},
 		CodecColumnar))
+	// Go-native sync ops in both codecs, so the corpus reaches the top of
+	// the op range from the start.
+	f.Add(AppendBatchFrame(nil, Header{Session: 3, Seq: 1}, &event.Batch{Recs: []event.Rec{
+		{Op: event.OpChanSend, Tid: 1, Aux: 4, Seq: 1},
+		{Op: event.OpChanRecv, Tid: 2, Aux: 4, Seq: 2},
+		{Op: event.OpChanAck, Tid: 1, Aux: 4, Seq: 3},
+	}}))
+	f.Add(AppendBatchFrameCodec(nil, Header{Session: 4, Seq: 1}, &event.Batch{Recs: []event.Rec{
+		{Op: event.OpWGAdd, Tid: 0, Aux: 1, Size: 2, Seq: 1},
+		{Op: event.OpWGDone, Tid: 1, Aux: 1, Seq: 2},
+		{Op: event.OpWGWait, Tid: 0, Aux: 1, Seq: 3},
+	}}, CodecColumnar))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Property 1: encode→frame→decode is the identity.

@@ -215,8 +215,10 @@ func GetRec(b []byte, r *event.Rec) {
 
 // MaxOp is the highest valid operation code; DecodeBatchInto rejects
 // records beyond it so corrupted frames cannot smuggle unknown ops into a
-// detector dispatch.
-const MaxOp = event.OpFree
+// detector dispatch. Raised from OpFree when the Go-native sync ops
+// (channel send/recv/ack, WaitGroup add/done/wait) joined the stream; an
+// old decoder rejects frames carrying them rather than misapplying.
+const MaxOp = event.OpWGWait
 
 // DecodeBatchInto decodes a Batch payload into b (appending to b.Recs).
 // The payload must be a whole number of records with valid op codes.
@@ -341,6 +343,10 @@ type Hello struct {
 	WriteGuidedReads bool  `json:"write_guided_reads,omitempty"`
 	ReadReset        bool  `json:"read_reset,omitempty"`
 	ReshareInterval  uint8 `json:"reshare_interval,omitempty"`
+	// Clock selects the thread-clock representation (detector.ClockMode):
+	// 0 general vector clocks, 1 compact task-tree clocks with demotion.
+	// Absent (0) from pre-clock clients, preserving general-mode behavior.
+	Clock uint8 `json:"clock,omitempty"`
 }
 
 // HelloAck is the server's negotiation reply. Window is the granted
@@ -399,6 +405,14 @@ type ReportStats struct {
 	LocCreations       uint64  `json:"loc_creations"`
 	Merges             uint64  `json:"merges"`
 	Splits             uint64  `json:"splits"`
+	// Structure-aware clock layer (zero unless the session negotiated
+	// compact clocks).
+	ClockStructuredThreads uint64 `json:"clock_structured_threads,omitempty"`
+	ClockDemotions         uint64 `json:"clock_demotions,omitempty"`
+	ClockCompactBytes      int64  `json:"clock_compact_bytes,omitempty"`
+	ClockCompactPeakBytes  int64  `json:"clock_compact_peak_bytes,omitempty"`
+	ClockGeneralBytes      int64  `json:"clock_general_bytes,omitempty"`
+	ClockGeneralPeakBytes  int64  `json:"clock_general_peak_bytes,omitempty"`
 }
 
 // ErrorPayload is the body of a TypeError frame. Code is a stable,

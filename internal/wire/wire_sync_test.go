@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+// syncRecs is one record of each Go-native sync op, using the Rec field
+// conventions event.Encoder emits (channel id / WaitGroup id in Aux,
+// capacity / add-delta in Size).
+func syncRecs() []event.Rec {
+	return []event.Rec{
+		{Op: event.OpChanSend, Tid: 1, Aux: 3, Size: 0, Seq: 1},
+		{Op: event.OpChanRecv, Tid: 2, Aux: 3, Size: 0, Seq: 2},
+		{Op: event.OpChanAck, Tid: 1, Aux: 3, Size: 0, Seq: 3},
+		{Op: event.OpChanSend, Tid: 2, Aux: 7, Size: 16, Seq: 4},
+		{Op: event.OpChanRecv, Tid: 1, Aux: 7, Size: 16, Seq: 5},
+		{Op: event.OpWGAdd, Tid: 0, Aux: 2, Size: 4, Seq: 6},
+		{Op: event.OpWGDone, Tid: 3, Aux: 2, Seq: 7},
+		{Op: event.OpWGWait, Tid: 0, Aux: 2, Seq: 8},
+	}
+}
+
+// TestSyncOpsRoundTripBothCodecs pins that the Go-native sync ops survive
+// both batch codecs and that the two codecs agree record-for-record.
+func TestSyncOpsRoundTripBothCodecs(t *testing.T) {
+	recs := syncRecs()
+	b := &event.Batch{Recs: recs}
+
+	v1, err := DecodeBatchCodec(AppendBatchFrameCodec(nil, Header{Seq: 1}, b, CodecPacked)[HeaderSize:], CodecPacked)
+	if err != nil {
+		t.Fatalf("packed decode: %v", err)
+	}
+	defer event.PutBatch(v1)
+	v2, err := DecodeBatchCodec(AppendBatchFrameCodec(nil, Header{Seq: 1}, b, CodecColumnar)[HeaderSize:], CodecColumnar)
+	if err != nil {
+		t.Fatalf("columnar decode: %v", err)
+	}
+	defer event.PutBatch(v2)
+	if !reflect.DeepEqual(v1.Recs, recs) {
+		t.Fatal("packed round trip of sync ops mismatch")
+	}
+	if !reflect.DeepEqual(v2.Recs, recs) {
+		t.Fatal("columnar round trip of sync ops mismatch")
+	}
+	if !reflect.DeepEqual(v1.Recs, v2.Recs) {
+		t.Fatal("codecs disagree on sync ops")
+	}
+}
+
+// TestSyncOpsAboveOldCeiling pins the compatibility story for pre-clock
+// peers: every Go-native sync op is numerically above OpFree, the previous
+// MaxOp, so an old decoder's `op > MaxOp` check rejects frames carrying
+// them instead of misapplying records.
+func TestSyncOpsAboveOldCeiling(t *testing.T) {
+	const oldMaxOp = event.OpFree
+	for _, op := range []event.Op{
+		event.OpChanSend, event.OpChanRecv, event.OpChanAck,
+		event.OpWGAdd, event.OpWGDone, event.OpWGWait,
+	} {
+		if op <= oldMaxOp {
+			t.Errorf("op %v (%d) is not above the pre-clock ceiling %d — old decoders would misapply it", op, op, oldMaxOp)
+		}
+	}
+	if MaxOp != event.OpWGWait {
+		t.Errorf("MaxOp = %d, want OpWGWait (%d)", MaxOp, event.OpWGWait)
+	}
+	// And the current decoder still rejects the next op beyond the new
+	// ceiling, in both codecs.
+	payload := make([]byte, RecSize)
+	payload[0] = byte(MaxOp) + 1
+	if _, err := DecodeBatch(payload); err == nil {
+		t.Fatal("packed decoder accepted op beyond MaxOp")
+	}
+	bad := AppendColumnar(nil, []event.Rec{{Op: event.OpChanSend}})
+	bad[1] = byte(MaxOp) + 1
+	var cb event.Batch
+	if err := DecodeColumnarInto(bad, &cb); err == nil {
+		t.Fatal("columnar decoder accepted op beyond MaxOp")
+	}
+}
+
+// TestEncoderSyncConventions drives the event.Encoder GoSink surface and
+// checks the on-wire field conventions end to end: encode → frame → decode
+// → ApplyRec replays the same sync calls into a counter.
+func TestEncoderSyncConventions(t *testing.T) {
+	var frames [][]byte
+	enc := event.Encoder{Flush: func(b *event.Batch) {
+		frames = append(frames, AppendBatchFrame(nil, Header{Seq: uint64(len(frames) + 1)}, b))
+		event.PutBatch(b)
+	}}
+	var want event.Counter
+	drive := func(s event.Sink) {
+		event.DispatchChanSend(s, 1, 5, 0)
+		event.DispatchChanRecv(s, 2, 5, 0)
+		event.DispatchChanAck(s, 1, 5, 0)
+		event.DispatchChanSend(s, 2, 9, 8)
+		event.DispatchChanRecv(s, 3, 9, 8)
+		event.DispatchWGAdd(s, 0, 1, 3)
+		event.DispatchWGDone(s, vc.TID(2), 1)
+		event.DispatchWGWait(s, 0, 1)
+	}
+	drive(event.Tee{&want, &enc})
+	enc.Close()
+
+	var got event.Counter
+	for _, f := range frames {
+		_, payload, err := NewReader(bytes.NewReader(f), 0).ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DecodeBatch(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Apply(&got)
+		event.PutBatch(b)
+	}
+	if got != want {
+		t.Fatalf("replayed sync stream differs:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestHelloClockRoundTrip pins the clock-mode negotiation field.
+func TestHelloClockRoundTrip(t *testing.T) {
+	hello := Hello{Version: Version, Granularity: 2, Workers: 2, Window: 8, Clock: 1}
+	frame, err := AppendControlFrame(nil, Header{Type: TypeHello}, hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := NewReader(bytes.NewReader(frame), 0).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Hello
+	if err := UnmarshalControl(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != hello {
+		t.Fatalf("hello clock round trip: got %+v want %+v", got, hello)
+	}
+	// Absent field must decode to 0 (general mode) for pre-clock clients.
+	var old Hello
+	if err := UnmarshalControl([]byte(`{"version":1,"granularity":2}`), &old); err != nil {
+		t.Fatal(err)
+	}
+	if old.Clock != 0 {
+		t.Fatalf("pre-clock hello decoded Clock=%d, want 0", old.Clock)
+	}
+}

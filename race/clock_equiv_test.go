@@ -1,0 +1,218 @@
+package race
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/workloads"
+)
+
+// goNative lists the workloads built on the Go-native sync surface — the
+// ones whose threads stay on the compact representation end to end.
+var goNative = []string{"fanin", "workerpool", "pipedag"}
+
+// TestClockEquivalenceSerial is the verdict-preservation gate for the
+// structure-aware clock layer: for every workload and granularity, compact
+// clocks must report exactly the general-mode race set — demotions and all.
+func TestClockEquivalenceSerial(t *testing.T) {
+	for _, spec := range workloads.All() {
+		for _, g := range []Granularity{Byte, Word, Dynamic} {
+			gen := Run(spec.Program(), Options{Granularity: g, Seed: 42})
+			cmp := Run(spec.Program(), Options{Granularity: g, Seed: 42, Clock: ClockCompact})
+			if gen.Detector.Accesses != cmp.Detector.Accesses {
+				t.Errorf("%s/%s: accesses %d (general) vs %d (compact)",
+					spec.Name, g, gen.Detector.Accesses, cmp.Detector.Accesses)
+			}
+			// Full reports, not sets: serial detection order must match too.
+			if !reflect.DeepEqual(gen.Races, cmp.Races) {
+				t.Errorf("%s/%s: race reports differ\ngeneral (%d): %v\ncompact (%d): %v",
+					spec.Name, g, len(gen.Races), gen.Races, len(cmp.Races), cmp.Races)
+			}
+		}
+	}
+}
+
+// TestClockEquivalenceParallel extends the gate across the sharded
+// pipeline for the Go-native workloads: the broadcast sync stream must
+// rebuild identical compact clock replicas on every shard.
+func TestClockEquivalenceParallel(t *testing.T) {
+	for _, name := range goNative {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range []Granularity{Byte, Word, Dynamic} {
+			gen := Run(spec.Program(), Options{Granularity: g, Seed: 42})
+			par := Run(spec.Program(), Options{Granularity: g, Seed: 42, Clock: ClockCompact, Workers: 4})
+			if !reflect.DeepEqual(sortRaces(gen.Races), sortRaces(par.Races)) {
+				t.Errorf("%s/%s: compact workers=4 race set differs from general serial", name, g)
+			}
+		}
+	}
+}
+
+// TestClockEquivalenceRemote closes the loop over the wire: a compact-mode
+// remote session must negotiate the clock mode through Hello and report
+// the general serial race set.
+func TestClockEquivalenceRemote(t *testing.T) {
+	addr := startDetectd(t, server.Options{})
+	for _, name := range goNative {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := Run(spec.Program(), Options{Granularity: Dynamic, Seed: 42})
+		rem, err := RunE(spec.Program(), Options{
+			Granularity: Dynamic, Seed: 42, Clock: ClockCompact,
+			Workers: 2, Remote: addr,
+		})
+		if err != nil {
+			t.Fatalf("%s: remote run: %v", name, err)
+		}
+		if !reflect.DeepEqual(sortRaces(gen.Races), sortRaces(rem.Races)) {
+			t.Errorf("%s: compact remote race set differs from general serial", name)
+		}
+		if name == "workerpool" && rem.Detector.ClockStructuredThreads == 0 {
+			t.Errorf("workerpool remote: no structured threads reported over the wire")
+		}
+	}
+}
+
+// TestClockDemotionMidRun pins the demotion path: a program whose threads
+// run a long structured (fork/channel) prefix and then take mutexes must
+// demote mid-run and still produce a report identical to general mode —
+// including the races seeded on both sides of the demotion point.
+func TestClockDemotionMidRun(t *testing.T) {
+	prog := Program{Name: "demote-mid-run", Main: func(m *Thread) {
+		const words = 32
+		shared := m.Malloc(words * 4)
+		early := m.Malloc(384) // racy word at +160 during the structured prefix
+		late := m.Malloc(384)  // racy word at +160 after demotion
+		lock := m.NewLock()
+		ch := m.NewChan(2)
+
+		var hs []*Thread
+		for w := 0; w < 4; w++ {
+			w := w
+			hs = append(hs, m.Go(func(t *Thread) {
+				scratch := t.Malloc(words * 4)
+				// Structured prefix: channel-paced scoring rounds.
+				for r := 0; r < 40; r++ {
+					t.At(100)
+					for i := 0; i < words; i++ {
+						t.Read(shared+uint64(i)*4, 4)
+						t.Write(scratch+uint64(i)*4, 4)
+					}
+					if w < 2 && r%20 == 0 {
+						t.At(101) // pre-demotion race
+						t.Read(early+160, 4)
+						t.Write(early+160, 4)
+					}
+					t.Send(ch, uint64(w))
+				}
+				// Unstructured suffix: the first Lock demotes this thread.
+				for r := 0; r < 20; r++ {
+					t.Lock(lock)
+					t.At(102)
+					t.Read(shared, 4)
+					t.Write(shared, 4)
+					t.Unlock(lock)
+					if w >= 2 && r%10 == 0 {
+						t.At(103) // post-demotion race
+						t.Read(late+160, 4)
+						t.Write(late+160, 4)
+					}
+				}
+				t.Free(scratch)
+			}))
+		}
+		for i := 0; i < 4*40; i++ {
+			m.Recv(ch)
+		}
+		for _, h := range hs {
+			m.Join(h)
+		}
+	}}
+
+	for _, g := range []Granularity{Byte, Word, Dynamic} {
+		gen := Run(prog, Options{Granularity: g, Seed: 42})
+		cmp := Run(prog, Options{Granularity: g, Seed: 42, Clock: ClockCompact})
+		if !reflect.DeepEqual(gen.Races, cmp.Races) {
+			t.Errorf("%s: demotion run reports differ\ngeneral (%d): %v\ncompact (%d): %v",
+				g, len(gen.Races), gen.Races, len(cmp.Races), cmp.Races)
+		}
+		if len(gen.Races) < 2 {
+			t.Errorf("%s: want races on both sides of the demotion point, got %d", g, len(gen.Races))
+		}
+		if cmp.Detector.ClockDemotions == 0 {
+			t.Errorf("%s: compact run recorded no demotions", g)
+		}
+		if gen.Detector.ClockDemotions != 0 || gen.Detector.ClockStructuredThreads != 0 {
+			t.Errorf("%s: general run reported clock-layer stats", g)
+		}
+	}
+}
+
+// TestClockCompactStaysStructured pins the other side: on the Go-native
+// workloads no thread ever demotes, and the compact thread-clock footprint
+// stays below the general one.
+func TestClockCompactStaysStructured(t *testing.T) {
+	for _, name := range goNative {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := Run(spec.Program(), Options{Granularity: Dynamic, Seed: 42})
+		cmp := Run(spec.Program(), Options{Granularity: Dynamic, Seed: 42, Clock: ClockCompact})
+		if cmp.Detector.ClockDemotions != 0 {
+			t.Errorf("%s: %d demotions on a purely structured workload", name, cmp.Detector.ClockDemotions)
+		}
+		if int(cmp.Detector.ClockStructuredThreads) != spec.Threads {
+			t.Errorf("%s: %d structured threads, want %d", name, cmp.Detector.ClockStructuredThreads, spec.Threads)
+		}
+		if cmp.Detector.ClockCompactPeakBytes <= 0 {
+			t.Errorf("%s: compact peak bytes not accounted", name)
+		}
+		if gen.Detector.ClockGeneralPeakBytes <= 0 {
+			t.Errorf("%s: general clock peak bytes not accounted", name)
+		}
+		if cmp.Detector.ClockCompactPeakBytes >= gen.Detector.ClockGeneralPeakBytes {
+			t.Errorf("%s: compact peak %dB not below general peak %dB",
+				name, cmp.Detector.ClockCompactPeakBytes, gen.Detector.ClockGeneralPeakBytes)
+		}
+	}
+}
+
+// TestClockOptionValidation covers the new Options surface.
+func TestClockOptionValidation(t *testing.T) {
+	if err := (Options{Clock: 9}).Validate(); err == nil {
+		t.Error("unknown clock mode accepted")
+	}
+	if err := (Options{Tool: Eraser, Clock: ClockCompact}).Validate(); err == nil {
+		t.Error("compact clocks accepted for a non-fasttrack tool")
+	}
+	if err := (Options{Clock: ClockCompact}).Validate(); err != nil {
+		t.Errorf("compact fasttrack rejected: %v", err)
+	}
+}
+
+// TestClockTelemetryReconciliation checks the clock instrument family
+// against the Stats snapshot on a demoting compact run.
+func TestClockTelemetryReconciliation(t *testing.T) {
+	reg := telemetry.New()
+	spec, err := workloads.ByName("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(spec.Program(), Options{
+		Granularity: Dynamic, Seed: 42, Clock: ClockCompact, Telemetry: reg,
+	})
+	if got := reg.CounterValue("clock_demotions_total"); got != rep.Detector.ClockDemotions {
+		t.Errorf("clock_demotions_total=%d, Stats.ClockDemotions=%d", got, rep.Detector.ClockDemotions)
+	}
+	if got := reg.GaugeValue("clock_structured_threads"); got != float64(rep.Detector.ClockStructuredThreads) {
+		t.Errorf("clock_structured_threads=%v, Stats=%d", got, rep.Detector.ClockStructuredThreads)
+	}
+}

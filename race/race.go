@@ -84,6 +84,26 @@ const (
 	Dynamic = detector.Dynamic
 )
 
+// Clock selects the FastTrack thread-clock representation.
+type Clock = detector.ClockMode
+
+// Clock modes, re-exported from the detector. ClockCompact enables the
+// structure-aware task-tree clock layer: threads whose synchronization
+// stays series–parallel (fork/join, channels, WaitGroups) carry compact
+// snapshot-chain clocks with O(1) structured joins, and a thread falls
+// back to a general vector clock on its first unstructured edge (mutex,
+// rwlock, barrier). The modes are verdict-identical.
+const (
+	ClockGeneral = detector.ClockGeneral
+	ClockCompact = detector.ClockCompact
+)
+
+// ChanID and WGID re-export the engine's channel and WaitGroup handles.
+type (
+	ChanID = event.ChanID
+	WGID   = event.WGID
+)
+
 // Tool selects the detection algorithm.
 type Tool uint8
 
@@ -129,6 +149,10 @@ type Options struct {
 	Tool Tool
 	// Granularity applies to FastTrack (default Byte).
 	Granularity Granularity
+	// Clock selects FastTrack's thread-clock representation (default
+	// ClockGeneral; ClockCompact is verdict-identical and cheaper on
+	// structured fork/join/channel/WaitGroup synchronization).
+	Clock Clock
 	// Seed drives the deterministic scheduler (same seed → same report).
 	Seed int64
 	// Quantum is the scheduler quantum in events (0 = default).
@@ -240,6 +264,12 @@ func (o Options) Validate() error {
 	if o.Granularity > Dynamic {
 		return &OptionsError{"Granularity", fmt.Sprintf("unknown granularity %d", o.Granularity)}
 	}
+	if o.Clock > ClockCompact {
+		return &OptionsError{"Clock", fmt.Sprintf("unknown clock mode %d", o.Clock)}
+	}
+	if o.Clock != ClockGeneral && o.Tool != FastTrack {
+		return &OptionsError{"Clock", fmt.Sprintf("compact clocks apply to the fasttrack tool only, not %v", o.Tool)}
+	}
 	if o.Workers < 0 {
 		return &OptionsError{"Workers", fmt.Sprintf("negative worker count %d", o.Workers)}
 	}
@@ -338,6 +368,17 @@ type Stats struct {
 	NodeRecycles             uint64
 	VCPoolHits, VCPoolMisses uint64
 	VCInterns                uint64
+
+	// Structure-aware clock layer (Options.Clock == ClockCompact):
+	// threads still holding compact task-tree clocks at the end of the
+	// run, one-way demotions to the general representation, and the peak
+	// byte footprints of the two representations' thread-clock state.
+	ClockStructuredThreads uint64
+	ClockDemotions         uint64
+	ClockCompactBytes      int64
+	ClockCompactPeakBytes  int64
+	ClockGeneralBytes      int64
+	ClockGeneralPeakBytes  int64
 }
 
 // SameEpochPct returns the same-epoch percentage (Table 4).
@@ -431,6 +472,13 @@ func fillFastTrack(r *Report, st detector.Stats, races []detector.Race) {
 		VCPoolHits:         st.VCPoolHits,
 		VCPoolMisses:       st.VCPoolMisses,
 		VCInterns:          st.VCInterns,
+
+		ClockStructuredThreads: st.ClockStructuredThreads,
+		ClockDemotions:         st.ClockDemotions,
+		ClockCompactBytes:      st.ClockCompactBytes,
+		ClockCompactPeakBytes:  st.ClockCompactPeakBytes,
+		ClockGeneralBytes:      st.ClockGeneralBytes,
+		ClockGeneralPeakBytes:  st.ClockGeneralPeakBytes,
 	}
 	r.Suppressed = st.Suppressed
 	for _, x := range races {
@@ -493,6 +541,7 @@ func runRemote(p Program, opts Options) (Report, error) {
 			WriteGuidedReads: opts.WriteGuidedReads,
 			ReadReset:        opts.ReadReset,
 			ReshareInterval:  opts.ReshareInterval,
+			Clock:            uint8(opts.Clock),
 		},
 	})
 	endDial()
@@ -532,6 +581,7 @@ func runLocal(p Program, opts Options) Report {
 			WriteGuidedReads: opts.WriteGuidedReads,
 			ReshareInterval:  opts.ReshareInterval,
 			ReadReset:        opts.ReadReset,
+			Clock:            opts.Clock,
 		}
 		if opts.Workers > 0 {
 			pl := pipeline.New(pipeline.Options{

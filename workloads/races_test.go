@@ -26,6 +26,12 @@ var expectedRaces = map[string][3]int{
 	"ffmpeg":        {1, 4, 1},
 	"pbzip2":        {0, 0, 0},
 	"hmmsearch":     {1, 1, 1},
+	// The Go-native families keep their racy words block-isolated, so
+	// every granularity agrees; workerpool is the channel/WaitGroup
+	// false-positive pin.
+	"fanin":      {1, 1, 1},
+	"workerpool": {0, 0, 0},
+	"pipedag":    {2, 2, 2},
 }
 
 func TestRaceCountsPerGranularity(t *testing.T) {

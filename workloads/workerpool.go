@@ -1,0 +1,81 @@
+package workloads
+
+import "repro/internal/sim"
+
+// Workerpool models the canonical Go worker-pool: the main thread hands
+// job indices to a fixed pool over a buffered channel, each worker owns
+// the output region its job index names, and completion is a WaitGroup.
+// The workload is deliberately race-free — it is the suite's false-positive
+// pin for the Go-native synchronization model:
+//
+//   - job-region ownership transfers main→worker purely by the channel
+//     handoff (send of index j happens-before the recv that starts
+//     writing region j);
+//   - the main thread reads back every output word after WGWait, which is
+//     safe only if each WGDone→WGWait edge absorbs the worker's writes;
+//   - a miscounted channel pairing or a lost WaitGroup publication shows
+//     up as reported races, so the expected count is exactly zero.
+func Workerpool() Spec {
+	const workers = 32
+	return Spec{
+		Name:        "workerpool",
+		Threads:     workers + 1,
+		Races:       0,
+		Description: "race-free worker pool: channel job handoff, WaitGroup completion",
+		Build: func(scale int) sim.Program {
+			return sim.Program{Name: "workerpool", Main: func(m *sim.Thread) {
+				jobsN := 128 * scale
+				const jobWords = 64
+				const passes = 3
+				const sentinel = uint64(1) << 40
+				const (
+					siteInit = 12100 + iota
+					siteJob
+					siteSum
+				)
+				input := m.Malloc(jobWords * 4)
+				output := m.Malloc(uint64(jobsN) * jobWords * 4)
+
+				m.At(siteInit)
+				m.WriteBlock(input, 4, jobWords)
+
+				jobs := m.NewChan(workers)
+				wg := m.NewWaitGroup()
+				m.WGAdd(wg, workers)
+				var hs []*sim.Thread
+				for w := 0; w < workers; w++ {
+					hs = append(hs, m.Go(func(t *sim.Thread) {
+						for {
+							j := t.Recv(jobs)
+							if j == sentinel {
+								break
+							}
+							region := output + j*jobWords*4
+							t.At(siteJob)
+							for p := 0; p < passes; p++ {
+								for i := 0; i < jobWords; i++ {
+									t.Read(input+uint64(i)*4, 4)
+									t.Write(region+uint64(i)*4, 4)
+								}
+							}
+						}
+						t.WGDone(wg)
+					}))
+				}
+				for j := 0; j < jobsN; j++ {
+					m.Send(jobs, uint64(j))
+				}
+				for w := 0; w < workers; w++ {
+					m.Send(jobs, sentinel)
+				}
+				m.WGWait(wg)
+				// Safe only through the WGDone→WGWait edges.
+				m.At(siteSum)
+				m.ReadBlock(output, 4, jobsN*jobWords)
+				joinAll(m, hs)
+				m.Free(input)
+				m.Free(output)
+			}}
+		},
+	}
+}

@@ -1,7 +1,10 @@
-// Package workloads provides the eleven benchmark programs of the paper's
+// Package workloads provides the benchmark programs of the paper's
 // evaluation (Section V) as virtual programs for the execution engine: the
 // eight PARSEC-2.1 benchmarks (facesim, ferret, fluidanimate, raytrace,
-// x264, canneal, dedup, streamcluster) plus FFmpeg, pbzip2 and hmmsearch.
+// x264, canneal, dedup, streamcluster) plus FFmpeg, pbzip2 and hmmsearch,
+// and three Go-native synchronization families (fanin, workerpool,
+// pipedag) that exercise channels, select and WaitGroups — the sync
+// surface the structure-aware clock layer accelerates.
 //
 // The originals cannot be run under a Go detector (no dynamic binary
 // instrumentation), so each workload is a synthetic model that reproduces
@@ -56,6 +59,9 @@ func All() []Spec {
 		FFmpeg(),
 		Pbzip2(),
 		Hmmsearch(),
+		Fanin(),
+		Workerpool(),
+		Pipedag(),
 	}
 }
 
