@@ -12,6 +12,7 @@
 //	benchtables -obs-json BENCH_obs.json             # telemetry overhead bench
 //	benchtables -mem-json BENCH_mem.json             # memory lane (allocs/op, shadow bytes)
 //	benchtables -clock-json BENCH_clock.json         # structure-aware clock lane (ns/event, peak clock bytes)
+//	benchtables -cluster-json BENCH_cluster.json     # sharded-cluster scaling lane (N=1/2/4 members)
 //
 // Every number is measured in-process; nothing is replayed from files. See
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -59,6 +60,11 @@ func main() {
 
 		clockJSON = flag.String("clock-json", "",
 			"write the structure-aware clock lane (general vs compact ns/event and peak clock bytes per Go-native workload) to this file (e.g. BENCH_clock.json)")
+
+		clusterJSON = flag.String("cluster-json", "",
+			"write the detection-cluster scaling lane (events/s and p50 fan-out latency at 1/2/4 loopback members) to this file (e.g. BENCH_cluster.json)")
+		clusterMembers = flag.String("cluster-members", "",
+			"comma-separated member counts for -cluster-json (default 1,2,4)")
 	)
 	flag.Parse()
 
@@ -156,6 +162,35 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *clockJSON)
+		return
+	}
+
+	if *clusterJSON != "" {
+		var counts []int
+		if *clusterMembers != "" {
+			for _, tok := range strings.Split(*clusterMembers, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &n); err != nil || n <= 0 {
+					fmt.Fprintf(os.Stderr, "bad -cluster-members entry %q\n", tok)
+					os.Exit(2)
+				}
+				counts = append(counts, n)
+			}
+		}
+		f, err := os.Create(*clusterJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = r.WriteClusterJSON(f, counts)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *clusterJSON)
 		return
 	}
 

@@ -13,6 +13,7 @@
 //	racedetect -bench raytrace -sample   # LiteRace-style sampling front end
 //	racedetect -bench x264 -remote localhost:7474   # stream to racedetectd
 //	racedetect -bench x264 -remote localhost:7474 -codec v1   # force packed frames
+//	racedetect -bench canneal -cluster host1:7474,host2:7474   # sharded detection cluster
 //	racedetect -bench ferret -workers 4 -dispatch chan -batch-policy adaptive
 //	racedetect -bench ffmpeg -workers 4 -metrics-addr :7070 -stats-interval 1s
 //	racedetect -bench ferret -trace-out ferret-trace.json   # phase trace
@@ -25,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -80,6 +82,8 @@ func main() {
 			"sharded detection workers for fasttrack (0 = serial); needs GOMAXPROCS > workers for speedup")
 		remote = flag.String("remote", "",
 			"stream events to a racedetectd at this address instead of detecting in-process (fasttrack only)")
+		clusterList = flag.String("cluster", "",
+			"comma-separated racedetectd addresses: shard accesses across the fleet and merge their reports (fasttrack only)")
 		remoteSync = flag.Bool("remote-sync", false,
 			"with -remote: strict-ordering synchronous streaming (each batch acknowledged before the next)")
 		codec = flag.String("codec", "auto",
@@ -123,8 +127,11 @@ func main() {
 		StatsInterval: *statsInterval, MetricsAddr: *metricsAddr,
 		Dispatch: *dispatch, BatchPolicy: *batchPolicy,
 	}
-	if *remote != "" || *codec != "auto" {
-		opts.Codec = *codec // Validate rejects a forced codec without -remote
+	if *clusterList != "" {
+		opts.Cluster = strings.Split(*clusterList, ",")
+	}
+	if *remote != "" || *clusterList != "" || *codec != "auto" {
+		opts.Codec = *codec // Validate rejects a forced codec without -remote/-cluster
 	}
 	if *traceOut != "" {
 		opts.Tracer = race.NewTracer()
@@ -195,6 +202,9 @@ func main() {
 		}
 		if *remote != "" {
 			fmt.Printf(", remote %s", *remote)
+		}
+		if len(opts.Cluster) > 0 {
+			fmt.Printf(", cluster of %d (%s)", len(opts.Cluster), *clusterList)
 		}
 	}
 	fmt.Println()

@@ -10,6 +10,7 @@
 //	tracereplay -replay ferret.trace -tool fasttrack -granularity dynamic
 //	tracereplay -replay ferret.trace -tool drd
 //	tracereplay -replay ferret.trace -remote localhost:7474
+//	tracereplay -replay ferret.trace -cluster host1:7474,host2:7474
 //	tracereplay -replay ferret.trace -metrics-addr :7070 -stats-interval 1s
 //	tracereplay -record -bench ferret -out ferret.trace -trace-out phases.json
 //	tracereplay -replay ferret.trace -memprofile replay.pprof -memstats
@@ -28,9 +29,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/detector"
 	"repro/internal/event"
 	"repro/internal/segment"
@@ -54,6 +57,8 @@ func main() {
 		v      = flag.Bool("v", false, "print each race")
 		remote = flag.String("remote", "",
 			"replay into a racedetectd at this address instead of an in-process detector")
+		clusterList = flag.String("cluster", "",
+			"comma-separated racedetectd addresses: replay sharded across the fleet and merge their reports")
 		workers = flag.Int("workers", 0,
 			"with -remote: detection workers to request from the server (0 = server default)")
 		codec = flag.String("codec", "auto",
@@ -128,6 +133,12 @@ func main() {
 		}
 		defer f.Close()
 		start := time.Now()
+		if *clusterList != "" {
+			endReplay := tracer.Span("replay-cluster", map[string]any{"cluster": *clusterList})
+			replayCluster(f, strings.Split(*clusterList, ","), *gran, *codec, *batchPolicy, *workers, *v, start, obs.reg)
+			endReplay()
+			return
+		}
 		if *remote != "" {
 			endReplay := tracer.Span("replay-remote", map[string]any{"addr": *remote})
 			replayRemote(f, *remote, *gran, *codec, *batchPolicy, *workers, *v, start, obs.reg)
@@ -180,10 +191,9 @@ func main() {
 	}
 }
 
-// replayRemote streams a recorded trace to a racedetectd and prints the
-// service's report. reg, when non-nil, receives the client's wire metrics
-// (client_batches_total, client_encode_ns, …) for the -metrics-addr page.
-func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int, verbose bool, start time.Time, reg *telemetry.Registry) {
+// parseStreamOpts maps the shared -granularity/-codec/-batch-policy flag
+// values for the remote and cluster replay paths, exiting on bad input.
+func parseStreamOpts(gran, codec, batchPolicy string) (detector.Granularity, int, *event.BatchPolicy) {
 	g, ok := map[string]detector.Granularity{
 		"byte": detector.Byte, "word": detector.Word, "dynamic": detector.Dynamic,
 	}[gran]
@@ -204,6 +214,14 @@ func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int
 	default:
 		fatal(fmt.Errorf("unknown batch policy %q (want fixed or adaptive)", batchPolicy))
 	}
+	return g, reqCodec, policy
+}
+
+// replayRemote streams a recorded trace to a racedetectd and prints the
+// service's report. reg, when non-nil, receives the client's wire metrics
+// (client_batches_total, client_encode_ns, …) for the -metrics-addr page.
+func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int, verbose bool, start time.Time, reg *telemetry.Registry) {
+	g, reqCodec, policy := parseStreamOpts(gran, codec, batchPolicy)
 	cl, err := client.Dial(client.Options{
 		Addr:        addr,
 		Telemetry:   reg,
@@ -227,6 +245,45 @@ func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int
 		len(rep.Races), rep.Stats.NodesPeak, float64(rep.Stats.TotalPeakBytes)/(1<<20))
 	fmt.Printf("transport   %d batches, %d events to %s (codec %s)\n",
 		st.Batches, st.Events, addr, wire.CodecName(cl.Codec()))
+	if verbose {
+		for _, r := range rep.DetectorRaces() {
+			fmt.Printf("  %v\n", r)
+		}
+	}
+}
+
+// replayCluster shards a recorded trace across a racedetectd fleet and
+// prints the merged report — the fleet-scale sibling of replayRemote.
+// Per-member batch policies are independent, so an adaptive policy tunes
+// each member's batches to that member's observed back-pressure.
+func replayCluster(f *os.File, members []string, gran, codec, batchPolicy string, workers int, verbose bool, start time.Time, reg *telemetry.Registry) {
+	g, reqCodec, policy := parseStreamOpts(gran, codec, batchPolicy)
+	sink, err := cluster.Dial(cluster.Options{
+		Members:   members,
+		Telemetry: reg,
+		Codec:     reqCodec,
+		NewBatchPolicy: func() *event.BatchPolicy {
+			if policy == nil {
+				return nil
+			}
+			return new(event.BatchPolicy)
+		},
+		Hello: wire.Hello{Granularity: uint8(g), Workers: workers},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Replay(f, sink); err != nil {
+		fatal(err)
+	}
+	rep, err := sink.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster fasttrack/%s over %d accesses in %v: %d races, %d peak clocks, %.2f MB peak across %d members\n",
+		gran, rep.Stats.Accesses, time.Since(start).Round(time.Microsecond),
+		len(rep.Races), rep.Stats.NodesPeak, float64(rep.Stats.TotalPeakBytes)/(1<<20),
+		len(members))
 	if verbose {
 		for _, r := range rep.DetectorRaces() {
 			fmt.Printf("  %v\n", r)

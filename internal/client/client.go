@@ -154,6 +154,10 @@ type sentFrame struct {
 	// ack round-trip histogram observes now-sentAt when the frame is
 	// pruned. Zero when telemetry is disabled.
 	sentAt time.Time
+	// flush marks a sentinel queued by Flush: no payload, seq is the
+	// watermark to drain to. Ordering through the outbox guarantees every
+	// batch queued before the sentinel ships before the Flush frame.
+	flush bool
 }
 
 // clientMetrics is the transport instrument set; the zero value (all-nil
@@ -594,9 +598,40 @@ func (c *Client) flushBatch(b *event.Batch) {
 // sender is the async-mode writer goroutine.
 func (c *Client) sender() {
 	for sf := range c.outbox {
+		if sf.flush {
+			c.sendFlush(sf.seq)
+			continue
+		}
 		c.send(sf, false)
 	}
 	close(c.sendDone)
+}
+
+// sendFlush writes a Flush frame and blocks until the server acknowledges
+// every batch through target. Flush frames are not retained for resume
+// (they carry no events), so after any reconnect — which replays the
+// retained batches — the flush is re-sent on the fresh connection.
+func (c *Client) sendFlush(target uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.err == nil && c.acked < target {
+		if c.connDead || c.conn == nil {
+			if c.connectLocked() != nil {
+				return // fatal: c.err is set and broadcast
+			}
+			continue
+		}
+		frame := wire.AppendFrame(nil, wire.Header{
+			Type: wire.TypeFlush, Session: c.sessionID, Seq: target,
+		}, nil)
+		if err := c.writeLocked(frame); err != nil {
+			c.markDeadLocked()
+			continue
+		}
+		for c.err == nil && c.acked < target && !c.connDead {
+			c.cond.Wait()
+		}
+	}
 }
 
 // send writes one frame, respecting the in-flight window, reconnecting as
@@ -712,6 +747,43 @@ func (c *Client) WGDone(tid vc.TID, wg event.WGID) { c.enc.WGDone(tid, wg) }
 
 // WGWait encodes a WaitGroup wait completion.
 func (c *Client) WGWait(tid vc.TID, wg event.WGID) { c.enc.WGWait(tid, wg) }
+
+// ---- drain ----
+
+// LastAcked returns the highest batch sequence the server has
+// acknowledged. After a successful Flush it equals the number of batches
+// shipped; a cluster coordinator reports it as the member's watermark
+// when the member fails mid-stream.
+func (c *Client) LastAcked() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acked
+}
+
+// Flush ships any partial batch and blocks until the server has applied
+// and acknowledged every event sent so far, then returns the transport
+// error state. The client remains usable for further events — Flush is a
+// mid-stream drain barrier (migration uses it as the drain-to-watermark
+// step), not a shutdown. Must be called from the event thread, like the
+// Sink methods.
+func (c *Client) Flush() error {
+	c.enc.Close() // ship the partial batch; the encoder stays usable
+	c.mu.Lock()
+	target := c.batchSeq
+	c.mu.Unlock()
+	if c.opts.Sync || target == 0 {
+		// Sync mode acks every batch inline, so the stream is already
+		// drained; with no batches shipped there is nothing to wait for.
+		return c.Err()
+	}
+	c.outbox <- sentFrame{seq: target, flush: true}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.err == nil && c.acked < target {
+		c.cond.Wait()
+	}
+	return c.err
+}
 
 // ---- shutdown ----
 

@@ -1,0 +1,43 @@
+package cluster
+
+import "repro/internal/telemetry"
+
+// metrics is the cluster instrument set; the zero value (all-nil) is the
+// disabled set and every update is a no-op, matching the client and
+// server conventions.
+type metrics struct {
+	reg        *telemetry.Registry
+	members    *telemetry.Gauge
+	broadcast  *telemetry.Counter
+	migrations *telemetry.Counter
+	mergeNS    *telemetry.Histogram
+	// fanout is parallel to Sink.members: one labeled counter per member.
+	fanout []*telemetry.Counter
+}
+
+func newMetrics(reg *telemetry.Registry, members []string) metrics {
+	m := metrics{reg: reg}
+	if reg != nil {
+		m.members = reg.Gauge("cluster_members", "Members in the detection cluster (grows on migration).")
+		m.broadcast = reg.Counter("cluster_broadcast_events_total", "Sync/heap events broadcast to every member.")
+		m.migrations = reg.Counter("cluster_migrations_total", "Slot migrations completed.")
+		m.mergeNS = reg.Histogram("cluster_merge_ns", "Per-session report merge latency at close.")
+	}
+	for _, addr := range members {
+		m.addMember(addr)
+	}
+	m.members.Set(int64(len(members)))
+	return m
+}
+
+// addMember registers the fan-out counter for one more member (no-op
+// registry-wise when disabled; the slot keeps the slices parallel).
+func (m *metrics) addMember(addr string) {
+	var c *telemetry.Counter
+	if m.reg != nil {
+		c = m.reg.Counter("cluster_fanout_events_total",
+			"Access pieces routed to a member, by member address.",
+			telemetry.Labels{"member": addr})
+	}
+	m.fanout = append(m.fanout, c)
+}

@@ -1,0 +1,62 @@
+// Hash-slot ring: the cluster's ownership map from shadow blocks to
+// members. Blocks hash into a fixed number of slots (splitmix64-mixed so
+// adjacent blocks spread across the fleet) and each slot is owned by one
+// member. The indirection through slots — rather than hashing blocks to
+// members directly — is what makes migration a single-word update: moving
+// a slot reassigns every block in it atomically, without rehashing the
+// address space or touching the other members' traffic.
+package cluster
+
+// Slots is the number of hash slots the block space is divided into.
+// 64 slots over at most a handful of members keeps the per-member load
+// imbalance under a few percent while keeping the ring a single cache
+// line of ownership state.
+const Slots = 64
+
+// Ring maps shadow-block ids to member indices through hash slots.
+type Ring struct {
+	owner [Slots]int
+}
+
+// NewRing distributes the slots round-robin across n members.
+func NewRing(n int) *Ring {
+	r := &Ring{}
+	for s := range r.owner {
+		r.owner[s] = s % n
+	}
+	return r
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection, so
+// sequential block ids (the common case: a program sweeping an array)
+// spread uniformly over the slots instead of striding through them.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Slot returns the hash slot owning shadow block b.
+func (r *Ring) Slot(b uint64) int { return int(mix64(b) % Slots) }
+
+// Owner returns the member index owning shadow block b.
+func (r *Ring) Owner(b uint64) int { return r.owner[r.Slot(b)] }
+
+// OwnerOfSlot returns the member index owning slot s.
+func (r *Ring) OwnerOfSlot(s int) int { return r.owner[s] }
+
+// Move reassigns slot s to member m. Routing of every block hashing into
+// s switches atomically; all other slots are untouched.
+func (r *Ring) Move(s, m int) { r.owner[s] = m }
+
+// Counts returns how many slots each of n members owns.
+func (r *Ring) Counts(n int) []int {
+	c := make([]int, n)
+	for _, m := range r.owner {
+		c[m]++
+	}
+	return c
+}

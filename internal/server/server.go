@@ -513,6 +513,7 @@ func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload [
 		}
 		res := sess.pl.Wait() // idempotent: a retried Close reuses the merged result
 		rep := wire.FromResult(res)
+		rep.LastSeq = sess.lastSeq // drain watermark for cluster merge
 		out = out[:0]
 		out, merr := wire.AppendControlFrame(out, wire.Header{Type: wire.TypeReport, Session: sess.id, Seq: sess.lastSeq}, rep)
 		if merr != nil {

@@ -1,0 +1,209 @@
+package tables
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/race"
+	"repro/workloads"
+)
+
+// DefaultClusterMembers is the member-count sweep of the cluster scaling
+// lane: a single-member cluster (pure wire overhead vs -remote), then the
+// fan-out doublings.
+var DefaultClusterMembers = []int{1, 2, 4}
+
+// clusterBenchPrograms is the workload trio the scaling lane measures:
+// facesim is almost pure fan-out (broadcast share ~0, so sharding the
+// shadow space across members helps most), canneal is access-heavy but
+// allocation-churny (its Malloc/Free broadcasts are replicated to every
+// member), and pipedag's channel mesh is sync-heavy (every sync event is
+// broadcast, so added members cost more wire than they save). Together
+// they bracket where broadcast overhead crosses fan-out gains.
+var clusterBenchPrograms = []string{"facesim", "canneal", "pipedag"}
+
+// ClusterRow is one (program, member count) cell of the scaling lane,
+// measured against a fleet of loopback racedetectd servers.
+type ClusterRow struct {
+	Program string `json:"program"`
+	Members int    `json:"members"`
+	// LocalSeconds is the in-process serial detector on the same stream —
+	// the no-wire reference shared by every member count.
+	LocalSeconds   float64 `json:"local_seconds"`
+	ClusterSeconds float64 `json:"cluster_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	// SpeedupVsOne is this row's events/s over the same program's
+	// single-member row (1.0 for N=1 by construction): the horizontal
+	// scaling factor net of broadcast overhead.
+	SpeedupVsOne float64 `json:"speedup_vs_one"`
+	// FanoutP50Ns is the median send-to-ack round trip of a fanned-out
+	// batch frame across all members.
+	FanoutP50Ns     uint64 `json:"fanout_p50_ns"`
+	FanoutEvents    uint64 `json:"fanout_events"`
+	BroadcastEvents uint64 `json:"broadcast_events"`
+	// BroadcastShare is broadcast wire events over all wire events: the
+	// replication tax, which grows with member count on sync-heavy
+	// programs.
+	BroadcastShare float64 `json:"broadcast_share"`
+	Races          int     `json:"races"`
+	// RacesIdentical records that the merged cluster verdicts matched the
+	// in-process run byte-for-byte (the lane doubles as an equivalence
+	// check on real fleet sizes).
+	RacesIdentical bool `json:"races_identical"`
+}
+
+// ClusterBench runs the scaling-lane workloads through fleets of 1, 2 and
+// 4 loopback detection servers and reports events/s, fan-out latency and
+// the broadcast tax per member count. All servers are started up front
+// and shared across rows.
+func (r *Runner) ClusterBench(memberCounts []int) ([]ClusterRow, error) {
+	if len(memberCounts) == 0 {
+		memberCounts = DefaultClusterMembers
+	}
+	maxN := 0
+	for _, n := range memberCounts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+
+	addrs := make([]string, 0, maxN)
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	for i := 0; i < maxN; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := server.New(server.Options{})
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(l) }()
+		stops = append(stops, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			<-done
+		})
+		addrs = append(addrs, l.Addr().String())
+	}
+
+	var rows []ClusterRow
+	for _, name := range clusterBenchPrograms {
+		var spec *workloads.Spec
+		for i := range r.specs {
+			if r.specs[i].Name == name {
+				spec = &r.specs[i]
+				break
+			}
+		}
+		if spec == nil {
+			continue // runner restricted to a subset without this program
+		}
+		local := r.Report(*spec, race.Options{Granularity: race.Dynamic})
+		localRaces := sortedRaceStrings(local.Races)
+		prog := spec.Build(r.cfg.Scale)
+		var onePerSec float64
+		for _, n := range memberCounts {
+			var (
+				rep race.Report
+				reg *telemetry.Registry
+				err error
+			)
+			times := make([]time.Duration, 0, r.cfg.TimingRuns)
+			for i := 0; i < r.cfg.TimingRuns; i++ {
+				runtime.GC()
+				reg = telemetry.New()
+				// Workers 0: each member runs the serial detector, so the
+				// sweep isolates the fleet dimension — per-member worker
+				// pipelines would only add dispatch overhead on top.
+				rep, err = race.RunE(prog, race.Options{
+					Granularity: race.Dynamic, Seed: r.cfg.Seed,
+					Workers: 0, Cluster: addrs[:n], Telemetry: reg,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s/n=%d: cluster run: %w", name, n, err)
+				}
+				times = append(times, rep.Elapsed)
+			}
+			row := ClusterRow{
+				Program:         name,
+				Members:         n,
+				LocalSeconds:    local.Elapsed.Seconds(),
+				ClusterSeconds:  bestDuration(times).Seconds(),
+				FanoutP50Ns:     reg.HistogramValue("client_ack_rtt_ns").Quantile(0.5),
+				FanoutEvents:    reg.CounterValue("cluster_fanout_events_total"),
+				BroadcastEvents: reg.CounterValue("cluster_broadcast_events_total"),
+				Races:           len(rep.Races),
+				RacesIdentical:  reflect.DeepEqual(localRaces, sortedRaceStrings(rep.Races)),
+			}
+			if row.ClusterSeconds > 0 {
+				row.EventsPerSec = float64(rep.Run.Events) / row.ClusterSeconds
+			}
+			if onePerSec == 0 {
+				onePerSec = row.EventsPerSec
+			}
+			if onePerSec > 0 {
+				row.SpeedupVsOne = row.EventsPerSec / onePerSec
+			}
+			if wireEvents := row.FanoutEvents + row.BroadcastEvents; wireEvents > 0 {
+				row.BroadcastShare = float64(row.BroadcastEvents) / float64(wireEvents)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// sortedRaceStrings canonicalizes a race list for set comparison across
+// processes (the race package keeps its sort unexported).
+func sortedRaceStrings(rs []race.Race) []string {
+	out := make([]string, len(rs))
+	for i, x := range rs {
+		out[i] = fmt.Sprintf("%+v", x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClusterBenchJSON is the machine-readable BENCH_cluster.json document:
+// the member-count scaling sweep per workload.
+type ClusterBenchJSON struct {
+	Config struct {
+		Scale      int   `json:"scale"`
+		Seed       int64 `json:"seed"`
+		GOMAXPROCS int   `json:"gomaxprocs"`
+		TimingRuns int   `json:"timing_runs"`
+	} `json:"config"`
+	Scaling []ClusterRow `json:"scaling"`
+}
+
+// WriteClusterJSON runs the cluster scaling lane and writes
+// BENCH_cluster.json.
+func (r *Runner) WriteClusterJSON(w io.Writer, memberCounts []int) error {
+	var out ClusterBenchJSON
+	out.Config.Scale = r.cfg.Scale
+	out.Config.Seed = r.cfg.Seed
+	out.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	out.Config.TimingRuns = r.cfg.TimingRuns
+	rows, err := r.ClusterBench(memberCounts)
+	if err != nil {
+		return err
+	}
+	out.Scaling = rows
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

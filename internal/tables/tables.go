@@ -104,7 +104,8 @@ func optsKey(o race.Options) string {
 		o.Tool, o.Granularity, o.NoInitState, o.NoInitSharing,
 		o.WriteGuidedReads, o.ReshareInterval, o.MemLimitBytes, o.Timeout,
 		o.Workers, o.MaxEvents, o.Remote, o.RemoteSync) +
-		fmt.Sprintf("/cod=%s/disp=%s/bp=%s/clk=%d", o.Codec, o.Dispatch, o.BatchPolicy, o.Clock)
+		fmt.Sprintf("/cod=%s/disp=%s/bp=%s/clk=%d/clus=%s",
+			o.Codec, o.Dispatch, o.BatchPolicy, o.Clock, strings.Join(o.Cluster, ","))
 }
 
 // bestDuration returns the minimum of ds: for a deterministic CPU-bound

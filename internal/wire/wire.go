@@ -372,6 +372,12 @@ type Report struct {
 	Races  []ReportRace `json:"races"`
 	Stats  ReportStats  `json:"stats"`
 	Events uint64       `json:"events"`
+	// LastSeq is the highest batch sequence the server applied before
+	// producing this report. A cluster coordinator uses it as the
+	// per-member drain watermark when it merges reports; merged reports
+	// carry the sum (total batch frames across members). Absent (0) from
+	// pre-cluster servers.
+	LastSeq uint64 `json:"last_seq,omitempty"`
 }
 
 // ReportRace mirrors detector.Race field-for-field with stable JSON names,

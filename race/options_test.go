@@ -25,6 +25,14 @@ func TestOptionsValidate(t *testing.T) {
 		{"stats-interval", Options{StatsInterval: time.Second}, ""},
 		{"metrics-addr", Options{MetricsAddr: "127.0.0.1:0", Workers: 2}, ""},
 		{"metrics-addr-remote-async", Options{MetricsAddr: "127.0.0.1:0", Remote: "localhost:7474"}, ""},
+		{"cluster", Options{Cluster: []string{"localhost:7474", "localhost:7475"}}, ""},
+		{"cluster-single", Options{Cluster: []string{"127.0.0.1:7474"}}, ""},
+		{"cluster-sync", Options{Cluster: []string{"localhost:7474"}, RemoteSync: true}, ""},
+		{"cluster-codec", Options{Cluster: []string{"localhost:7474"}, Codec: "v1"}, ""},
+		{"cluster-migration", Options{
+			Cluster:          []string{"localhost:7474", "localhost:7475"},
+			ClusterMigration: &ClusterMigration{Slot: -1, To: "localhost:7476", AfterEvents: 100},
+		}, ""},
 
 		{"unknown-tool", Options{Tool: MultiRace + 1}, "Tool"},
 		{"unknown-tool-big", Options{Tool: 200}, "Tool"},
@@ -34,6 +42,26 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative-timeout", Options{Timeout: -time.Second}, "Timeout"},
 		{"negative-memlimit", Options{MemLimitBytes: -1}, "MemLimitBytes"},
 		{"remote-wrong-tool", Options{Tool: DRD, Remote: "localhost:7474"}, "Remote"},
+		{"remote-empty-ish", Options{Remote: "   "}, "Remote"},
+		{"remote-no-port", Options{Remote: "localhost"}, "Remote"},
+		{"remote-empty-host", Options{Remote: ":7474"}, "Remote"},
+		{"cluster-and-remote", Options{Remote: "localhost:7474", Cluster: []string{"localhost:7475"}}, "Cluster"},
+		{"cluster-wrong-tool", Options{Tool: Eraser, Cluster: []string{"localhost:7474"}}, "Cluster"},
+		{"cluster-empty-member", Options{Cluster: []string{"localhost:7474", ""}}, "Cluster"},
+		{"cluster-blank-member", Options{Cluster: []string{"localhost:7474", "  "}}, "Cluster"},
+		{"cluster-no-port-member", Options{Cluster: []string{"localhost"}}, "Cluster"},
+		{"cluster-duplicate-member", Options{Cluster: []string{"localhost:7474", "localhost:7474"}}, "Cluster"},
+		{"migration-without-cluster", Options{
+			ClusterMigration: &ClusterMigration{To: "localhost:7476"},
+		}, "ClusterMigration"},
+		{"migration-bad-target", Options{
+			Cluster:          []string{"localhost:7474"},
+			ClusterMigration: &ClusterMigration{To: "nowhere"},
+		}, "ClusterMigration"},
+		{"migration-bad-slot", Options{
+			Cluster:          []string{"localhost:7474"},
+			ClusterMigration: &ClusterMigration{Slot: 64, To: "localhost:7476"},
+		}, "ClusterMigration"},
 		{"sync-without-remote", Options{RemoteSync: true}, "RemoteSync"},
 		{"negative-stats-interval", Options{StatsInterval: -time.Second}, "StatsInterval"},
 		{"metrics-addr-with-sync", Options{

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/detector"
 	"repro/internal/djit"
 	"repro/internal/event"
@@ -194,9 +195,24 @@ type Options struct {
 	// FastTrack is the only tool with a remote implementation. Empty =
 	// in-process detection.
 	Remote string
+	// Cluster streams the event stream to a horizontally sharded fleet of
+	// racedetectd servers: access events are partitioned across the
+	// members by shadow-block id (through internal/cluster's hash-slot
+	// ring) and sync events are broadcast, so each member detects a
+	// disjoint slice of the address space and the per-member reports are
+	// merged into one at close. Mutually exclusive with Remote; FastTrack
+	// only. Each entry is a host:port address; empty/duplicate entries are
+	// rejected by Validate.
+	Cluster []string
+	// ClusterMigration, when non-nil, schedules a single hash-slot
+	// migration mid-stream (drain-to-watermark on the owner, journal
+	// replay into a fresh session on the target) — the rebalance path,
+	// exposed for tests and drills.
+	ClusterMigration *ClusterMigration
 	// RemoteSync selects the client's strict-ordering fallback: each event
 	// batch is written and acknowledged before the producer continues,
-	// instead of streaming asynchronously behind a bounded window.
+	// instead of streaming asynchronously behind a bounded window. Applies
+	// to Remote and Cluster sessions.
 	RemoteSync bool
 	// Codec picks the batch codec ceiling a Remote session may negotiate:
 	// "" or "auto" requests the best both sides speak (currently the v2
@@ -282,19 +298,53 @@ func (o Options) Validate() error {
 	if o.MemLimitBytes < 0 {
 		return &OptionsError{"MemLimitBytes", fmt.Sprintf("negative memory limit %d", o.MemLimitBytes)}
 	}
-	if o.Remote != "" && o.Tool != FastTrack {
-		return &OptionsError{"Remote", fmt.Sprintf("remote detection supports the fasttrack tool only, not %v", o.Tool)}
+	if o.Remote != "" {
+		if o.Tool != FastTrack {
+			return &OptionsError{"Remote", fmt.Sprintf("remote detection supports the fasttrack tool only, not %v", o.Tool)}
+		}
+		if reason := checkEndpoint(o.Remote); reason != "" {
+			return &OptionsError{"Remote", reason}
+		}
 	}
-	if o.RemoteSync && o.Remote == "" {
-		return &OptionsError{"RemoteSync", "requires Remote to be set"}
+	if len(o.Cluster) > 0 {
+		if o.Remote != "" {
+			return &OptionsError{"Cluster", "mutually exclusive with Remote (a cluster session manages its own member connections)"}
+		}
+		if o.Tool != FastTrack {
+			return &OptionsError{"Cluster", fmt.Sprintf("cluster detection supports the fasttrack tool only, not %v", o.Tool)}
+		}
+		seen := make(map[string]bool, len(o.Cluster))
+		for i, addr := range o.Cluster {
+			if reason := checkEndpoint(addr); reason != "" {
+				return &OptionsError{"Cluster", fmt.Sprintf("member %d: %s", i, reason)}
+			}
+			if seen[addr] {
+				return &OptionsError{"Cluster", fmt.Sprintf("duplicate member %q", addr)}
+			}
+			seen[addr] = true
+		}
+	}
+	if o.ClusterMigration != nil {
+		if len(o.Cluster) == 0 {
+			return &OptionsError{"ClusterMigration", "requires Cluster to be set"}
+		}
+		if reason := checkEndpoint(o.ClusterMigration.To); reason != "" {
+			return &OptionsError{"ClusterMigration", fmt.Sprintf("target: %s", reason)}
+		}
+		if o.ClusterMigration.Slot < -1 || o.ClusterMigration.Slot >= cluster.Slots {
+			return &OptionsError{"ClusterMigration", fmt.Sprintf("slot %d out of range [0,%d) (or -1 for auto)", o.ClusterMigration.Slot, cluster.Slots)}
+		}
+	}
+	if o.RemoteSync && o.Remote == "" && len(o.Cluster) == 0 {
+		return &OptionsError{"RemoteSync", "requires Remote or Cluster to be set"}
 	}
 	switch o.Codec {
 	case "", "auto", "v1", "v2":
 	default:
 		return &OptionsError{"Codec", fmt.Sprintf("unknown codec %q (want auto, v1 or v2)", o.Codec)}
 	}
-	if o.Codec != "" && o.Codec != "auto" && o.Remote == "" {
-		return &OptionsError{"Codec", "requires Remote to be set (in-process detection has no wire codec)"}
+	if o.Codec != "" && o.Codec != "auto" && o.Remote == "" && len(o.Cluster) == 0 {
+		return &OptionsError{"Codec", "requires Remote or Cluster to be set (in-process detection has no wire codec)"}
 	}
 	switch o.Dispatch {
 	case "", "ring", "chan":
@@ -516,6 +566,9 @@ func RunE(p Program, opts Options) (Report, error) {
 	defer obs.stop()
 	if opts.Remote != "" {
 		return runRemote(p, opts)
+	}
+	if len(opts.Cluster) > 0 {
+		return runCluster(p, opts)
 	}
 	return runLocal(p, opts), nil
 }

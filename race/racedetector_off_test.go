@@ -1,0 +1,7 @@
+//go:build !race
+
+package race
+
+// raceDetectorOn reports whether the test binary runs under the Go race
+// detector; see racedetector_on_test.go.
+const raceDetectorOn = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package race
+
+// raceDetectorOn trims the heaviest equivalence matrices when the test
+// binary runs under the Go race detector: the concurrency surface is the
+// same on a subset, and the full verdict matrix runs in the regular
+// (uninstrumented) test pass.
+const raceDetectorOn = true
