@@ -1,0 +1,368 @@
+// Command racectl is the operator console for a racedetectd deployment:
+// it inspects live servers over the HTTP sidecar and renders the
+// observability artifacts (span files, provenance dumps) the detection
+// commands produce.
+//
+// Usage:
+//
+//	racectl sessions -addr localhost:7475          # live sessions of one server
+//	racectl slots -members host1:7474,host2:7474   # hash-slot layout of a fleet
+//	racectl slots -members host1:7474,host2:7474 -addr-of 0x7f001234
+//	racectl spans -in spans.json                   # render a span tree
+//	racectl spans -addr localhost:7475             # ... straight from /debug/spans
+//	racectl spans -in client.json -in server.json  # join spans across processes
+//	racectl provenance -addr localhost:7475        # recent explained races
+//	racectl provenance -in provenance.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fasttrack"
+	"repro/internal/server"
+	"repro/internal/shadow"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "sessions":
+		err = cmdSessions(os.Args[2:])
+	case "slots":
+		err = cmdSlots(os.Args[2:])
+	case "spans":
+		err = cmdSpans(os.Args[2:])
+	case "provenance":
+		err = cmdProvenance(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "racectl: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `racectl inspects racedetectd deployments and their observability artifacts.
+
+commands:
+  sessions    list one server's live sessions (GET /sessions)
+  slots       show a fleet's hash-slot layout, or the owner of one address
+  spans       render span JSON files (or /debug/spans) as a trace tree
+  provenance  print recently explained races (GET /debug/provenance or a file)
+
+run "racectl <command> -h" for each command's flags.
+`)
+}
+
+// fetchJSON GETs a sidecar endpoint and decodes the JSON body into v.
+func fetchJSON(addr, path string, v any) error {
+	url := "http://" + addr + path
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// ---- sessions ----
+
+func cmdSessions(args []string) error {
+	fs := flag.NewFlagSet("racectl sessions", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:7475", "racedetectd HTTP sidecar address")
+	fs.Parse(args)
+
+	var page struct {
+		Draining bool                 `json:"draining"`
+		Sessions []server.SessionInfo `json:"sessions"`
+	}
+	if err := fetchJSON(*addr, "/sessions", &page); err != nil {
+		return err
+	}
+	if page.Draining {
+		fmt.Println("server is draining")
+	}
+	if len(page.Sessions) == 0 {
+		fmt.Println("no live sessions")
+		return nil
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tSTATE\tGRAN\tWORKERS\tBATCHES\tEVENTS\tQUEUE\tAGE\tTRACED\tPROV")
+	for _, s := range page.Sessions {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%.1fs\t%v\t%v\n",
+			s.ID, s.State, s.Granularity, s.Workers, s.Batches, s.Events,
+			s.QueueDepth, s.AgeSeconds, s.Traced, s.Provenance)
+	}
+	return tw.Flush()
+}
+
+// ---- slots ----
+
+func cmdSlots(args []string) error {
+	fs := flag.NewFlagSet("racectl slots", flag.ExitOnError)
+	members := fs.String("members", "", "comma-separated member addresses (fleet order matters)")
+	addrOf := fs.String("addr-of", "", "print the slot and owner of this memory address (hex or decimal)")
+	fs.Parse(args)
+	if *members == "" {
+		return fmt.Errorf("slots: -members is required (routing is a pure function of the member list)")
+	}
+	list := strings.Split(*members, ",")
+	ring := cluster.NewRing(len(list))
+
+	if *addrOf != "" {
+		a, err := strconv.ParseUint(strings.TrimPrefix(*addrOf, "0x"), 16, 64)
+		if err != nil {
+			if a, err = strconv.ParseUint(*addrOf, 10, 64); err != nil {
+				return fmt.Errorf("slots: bad -addr-of %q", *addrOf)
+			}
+		}
+		block := a >> shadow.BlockShift
+		slot := ring.Slot(block)
+		owner := ring.OwnerOfSlot(slot)
+		fmt.Printf("addr %#x -> shadow block %#x -> slot %d -> member %d (%s)\n",
+			a, block, slot, owner, list[owner])
+		return nil
+	}
+
+	counts := ring.Counts(len(list))
+	perOwner := make([][]int, len(list))
+	for s := 0; s < cluster.Slots; s++ {
+		m := ring.OwnerOfSlot(s)
+		perOwner[m] = append(perOwner[m], s)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "MEMBER\tADDR\tSLOTS\tSLOT IDS")
+	for m, addr := range list {
+		ids := make([]string, len(perOwner[m]))
+		for i, s := range perOwner[m] {
+			ids[i] = strconv.Itoa(s)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%s\n", m, addr, counts[m], strings.Join(ids, " "))
+	}
+	return tw.Flush()
+}
+
+// ---- spans ----
+
+func cmdSpans(args []string) error {
+	fs := flag.NewFlagSet("racectl spans", flag.ExitOnError)
+	var ins multiFlag
+	fs.Var(&ins, "in", "span JSON file (repeatable; files from different processes are joined)")
+	addr := fs.String("addr", "", "fetch /debug/spans from this racedetectd HTTP sidecar too")
+	traceFilter := fs.String("trace", "", "show only this trace ID (16-digit hex)")
+	fs.Parse(args)
+
+	var spans []telemetry.SpanRecord
+	for _, path := range ins {
+		var f telemetry.SpanFile
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		spans = append(spans, f.Spans...)
+	}
+	if *addr != "" {
+		var f telemetry.SpanFile
+		if err := fetchJSON(*addr, "/debug/spans", &f); err != nil {
+			return err
+		}
+		spans = append(spans, f.Spans...)
+	}
+	if len(ins) == 0 && *addr == "" {
+		return fmt.Errorf("spans: need -in file(s) or -addr")
+	}
+	if *traceFilter != "" {
+		want, err := strconv.ParseUint(strings.TrimPrefix(*traceFilter, "0x"), 16, 64)
+		if err != nil {
+			return fmt.Errorf("spans: bad -trace %q", *traceFilter)
+		}
+		kept := spans[:0]
+		for _, s := range spans {
+			if s.Trace == want {
+				kept = append(kept, s)
+			}
+		}
+		spans = kept
+	}
+	if len(spans) == 0 {
+		fmt.Println("no spans")
+		return nil
+	}
+	printSpanTrees(spans)
+	return nil
+}
+
+// multiFlag collects repeated -in values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// printSpanTrees groups spans by trace, links children to parents, and
+// prints one indented tree per trace in start order.
+func printSpanTrees(spans []telemetry.SpanRecord) {
+	byTrace := map[uint64][]telemetry.SpanRecord{}
+	var order []uint64
+	for _, s := range spans {
+		if _, ok := byTrace[s.Trace]; !ok {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return minStart(byTrace[order[i]]) < minStart(byTrace[order[j]])
+	})
+	for _, tr := range order {
+		group := byTrace[tr]
+		sort.Slice(group, func(i, j int) bool { return group[i].Start < group[j].Start })
+		fmt.Printf("trace %016x (%d spans)\n", tr, len(group))
+		children := map[uint64][]telemetry.SpanRecord{}
+		known := map[uint64]bool{}
+		for _, s := range group {
+			known[s.Span] = true
+		}
+		var roots []telemetry.SpanRecord
+		for _, s := range group {
+			// A span whose parent is absent from the joined set is shown as
+			// a root: partial files stay renderable.
+			if s.Parent != 0 && known[s.Parent] {
+				children[s.Parent] = append(children[s.Parent], s)
+			} else {
+				roots = append(roots, s)
+			}
+		}
+		var walk func(s telemetry.SpanRecord, depth int)
+		walk = func(s telemetry.SpanRecord, depth int) {
+			fmt.Printf("  %s%-16s %-12s %8s  %s\n",
+				strings.Repeat("  ", depth), s.Name, "["+s.Process+"]",
+				time.Duration(s.Dur).Round(time.Microsecond), formatArgs(s.Args))
+			for _, c := range children[s.Span] {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range roots {
+			walk(r, 0)
+		}
+	}
+}
+
+// minStart returns the earliest start among a trace's spans.
+func minStart(spans []telemetry.SpanRecord) int64 {
+	m := spans[0].Start
+	for _, s := range spans[1:] {
+		if s.Start < m {
+			m = s.Start
+		}
+	}
+	return m
+}
+
+// formatArgs renders span args as deterministic "k=v" pairs.
+func formatArgs(args map[string]any) string {
+	if len(args) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, args[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// ---- provenance ----
+
+func cmdProvenance(args []string) error {
+	fs := flag.NewFlagSet("racectl provenance", flag.ExitOnError)
+	addr := fs.String("addr", "", "racedetectd HTTP sidecar address (GET /debug/provenance)")
+	in := fs.String("in", "", "read a /debug/provenance JSON dump from this file instead")
+	fs.Parse(args)
+	if (*addr == "") == (*in == "") {
+		return fmt.Errorf("provenance: need exactly one of -addr or -in")
+	}
+	var page struct {
+		Races []server.SessionRace `json:"races"`
+	}
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &page); err != nil {
+			return fmt.Errorf("%s: %w", *in, err)
+		}
+	} else if err := fetchJSON(*addr, "/debug/provenance", &page); err != nil {
+		return err
+	}
+	if len(page.Races) == 0 {
+		fmt.Println("no recorded races")
+		return nil
+	}
+	for _, sr := range page.Races {
+		printSessionRace(sr)
+	}
+	explained := 0
+	for _, sr := range page.Races {
+		if sr.Race.Prov != nil && sr.Race.Prov.Kind != "" {
+			explained++
+		}
+	}
+	fmt.Printf("provenance  %d/%d races explained\n", explained, len(page.Races))
+	return nil
+}
+
+func printSessionRace(sr server.SessionRace) {
+	r := sr.Race
+	fmt.Printf("session %d: %s race at %#x (%dB): thread %d@pc%#x vs thread %d@pc%#x\n",
+		sr.Session, raceKind(r), r.Addr, r.Size, r.Tid, r.PC, r.PrevTid, r.PrevPC)
+	if r.Prov != nil && r.Prov.Kind != "" {
+		for _, line := range strings.Split(strings.TrimRight(r.Prov.String(), "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+// raceKind renders a wire race's kind label: the provenance record's
+// (when present) or the decoded wire kind byte.
+func raceKind(r wire.ReportRace) string {
+	if r.Prov != nil && r.Prov.Kind != "" {
+		return r.Prov.Kind
+	}
+	return fasttrack.RaceKind(r.Kind).String()
+}

@@ -98,6 +98,12 @@ func main() {
 			"serve live run telemetry over HTTP on this address (/metrics, /debug/vars, /debug/pprof)")
 		traceOut = flag.String("trace-out", "",
 			"write a Chrome trace_event JSON phase trace to this file")
+		provenance = flag.Bool("provenance", false,
+			"attach an explanation record to every race (both accesses, failed clock comparison, state path, recent sync edges); print with -v")
+		traceSample = flag.Float64("trace-sample", 0,
+			"with -remote/-cluster: distributed-trace sampling rate in [0,1] (0 disables)")
+		spanOut = flag.String("span-out", "",
+			"write the distributed span records as JSON to this file (implies a tracer)")
 		memprofile = flag.String("memprofile", "",
 			"write a heap (allocs) profile to this file on exit")
 		memstats = flag.Bool("memstats", false,
@@ -126,6 +132,7 @@ func main() {
 		Workers: *workers, Remote: *remote, RemoteSync: *remoteSync,
 		StatsInterval: *statsInterval, MetricsAddr: *metricsAddr,
 		Dispatch: *dispatch, BatchPolicy: *batchPolicy,
+		Provenance: *provenance, TraceSample: *traceSample,
 	}
 	if *clusterList != "" {
 		opts.Cluster = strings.Split(*clusterList, ",")
@@ -133,7 +140,7 @@ func main() {
 	if *remote != "" || *clusterList != "" || *codec != "auto" {
 		opts.Codec = *codec // Validate rejects a forced codec without -remote/-cluster
 	}
-	if *traceOut != "" {
+	if *traceOut != "" || *spanOut != "" {
 		opts.Tracer = race.NewTracer()
 	}
 	switch *tool {
@@ -192,6 +199,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *spanOut != "" {
+		if err := writeSpans(*spanOut, opts.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "racedetect:", err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("benchmark   %s (scale %d, %d threads)\n", spec.Name, *scale, rep.Run.Threads)
 	fmt.Printf("tool        %v", rep.Tool)
@@ -236,9 +249,23 @@ func main() {
 	}
 	fmt.Printf("races       %d reported (%d suppressed by module rules)\n",
 		len(rep.Races), rep.Suppressed)
+	if *provenance {
+		explained := 0
+		for _, p := range rep.Provenance {
+			if p.Kind != "" {
+				explained++
+			}
+		}
+		fmt.Printf("provenance  %d/%d races explained\n", explained, len(rep.Races))
+	}
 	if *verbose {
-		for _, x := range rep.Races {
+		for i, x := range rep.Races {
 			fmt.Printf("  %v\n", x)
+			if i < len(rep.Provenance) && rep.Provenance[i].Kind != "" {
+				for _, line := range strings.Split(strings.TrimRight(rep.Provenance[i].String(), "\n"), "\n") {
+					fmt.Printf("    %s\n", line)
+				}
+			}
 		}
 	}
 	memReport(*memprofile, *memstats)
@@ -271,6 +298,20 @@ func writeTrace(path string, tr *telemetry.Tracer) error {
 		return err
 	}
 	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSpans dumps the run's distributed span records as a JSON span file
+// (read back with `racectl spans`).
+func writeSpans(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteSpansJSON(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -25,28 +25,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
-	"runtime/debug"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
-
-// version reports the binary's module version from the embedded build
-// info, or "devel" for a plain `go build` of a dirty tree.
-func version() string {
-	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
-		return bi.Main.Version
-	}
-	return "devel"
-}
 
 func main() {
 	var (
@@ -61,13 +52,32 @@ func main() {
 		linger      = flag.Duration("session-linger", 10*time.Second, "how long a disconnected session stays resumable")
 		drainT      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 		quiet       = flag.Bool("q", false, "suppress per-session log lines")
+		logFormat   = flag.String("log-format", "text", "structured log output: text | json")
+		traceSample = flag.Float64("trace-sample", 1,
+			"distributed-tracing grant: 0 refuses every session's Hello.Trace (clients pick the actual sampling rate)")
+		provGrant = flag.Bool("provenance", true,
+			"grant race-provenance flight recorders to sessions that request them (-provenance=false refuses)")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "racedetectd: ", log.LstdFlags)
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "racedetectd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 	codecCeiling, ok := map[string]int{"v1": wire.CodecPacked, "v2": wire.CodecColumnar}[*maxCodec]
 	if !ok {
-		logger.Fatalf("unknown -max-codec %q (want v1 or v2)", *maxCodec)
+		fatal("unknown -max-codec (want v1 or v2)", "max_codec", *maxCodec)
 	}
 	opts := server.Options{
 		MaxSessions:   *maxSessions,
@@ -77,30 +87,36 @@ func main() {
 		MaxWorkers:    *workersPer,
 		MaxCodec:      codecCeiling,
 		SessionLinger: *linger,
+		NoTrace:       *traceSample <= 0,
+		NoProvenance:  !*provGrant,
 	}
 	if !*quiet {
-		opts.Logf = logger.Printf
+		opts.Logger = logger
 	}
 	srv := server.New(opts)
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		logger.Fatal(err)
+		fatal("listen failed", "addr", *listen, "err", err)
 	}
-	// One structured startup line: everything an operator needs to know
-	// about this instance's configuration, in key=value form.
-	logger.Printf("start listen=%s http=%q version=%s go=%s pid=%d max_sessions=%d workers_per_session=%d "+
-		"max_frame_kb=%d window=%d max_codec=%s read_timeout=%v session_linger=%v drain_timeout=%v",
-		l.Addr(), *httpAddr, version(), runtime.Version(), os.Getpid(),
-		*maxSessions, *workersPer, *maxFrameKB, *window, *maxCodec, *readTimeout, *linger, *drainT)
+	// One structured startup record: everything an operator needs to know
+	// about this instance's configuration.
+	logger.Info("start",
+		"listen", l.Addr().String(), "http", *httpAddr,
+		"version", telemetry.BuildVersion(), "go", runtime.Version(), "pid", os.Getpid(),
+		"max_sessions", *maxSessions, "workers_per_session", *workersPer,
+		"max_frame_kb", *maxFrameKB, "window", *window, "max_codec", *maxCodec,
+		"read_timeout", *readTimeout, "session_linger", *linger, "drain_timeout", *drainT,
+		"trace", !opts.NoTrace, "provenance", !opts.NoProvenance)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
 		go func() {
-			logger.Printf("sidecar on %s (/healthz, /metrics, /sessions, /debug/vars)", *httpAddr)
+			logger.Info("sidecar up", "addr", *httpAddr,
+				"endpoints", "/healthz /metrics /sessions /debug/vars /debug/provenance /debug/spans")
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				logger.Printf("sidecar: %v", err)
+				logger.Warn("sidecar failed", "err", err)
 			}
 		}()
 	}
@@ -112,10 +128,10 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		logger.Printf("%v: draining (budget %v)", s, *drainT)
+		logger.Info("draining", "signal", s.String(), "budget", *drainT)
 	case err := <-serveErr:
 		if err != nil && err != server.ErrServerClosed {
-			logger.Fatal(err)
+			fatal("serve failed", "err", err)
 		}
 		return
 	}
@@ -127,9 +143,9 @@ func main() {
 		httpSrv.Shutdown(context.Background())
 	}
 	if drainErr != nil {
-		logger.Printf("forced close after drain budget: %v", drainErr)
+		logger.Error("forced close after drain budget", "err", drainErr)
 		fmt.Fprintln(os.Stderr, "racedetectd: unclean drain")
 		os.Exit(1)
 	}
-	logger.Printf("clean drain, bye")
+	logger.Info("clean drain, bye")
 }

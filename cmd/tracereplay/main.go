@@ -71,6 +71,12 @@ func main() {
 			"serve live replay telemetry over HTTP on this address (/metrics, /debug/vars, /debug/pprof)")
 		traceOut = flag.String("trace-out", "",
 			"write a Chrome trace_event JSON phase trace to this file")
+		provenance = flag.Bool("provenance", false,
+			"attach an explanation record to every race (fasttrack replays; works in-process, -remote and -cluster)")
+		traceSample = flag.Float64("trace-sample", 0,
+			"with -remote/-cluster: distributed-trace sampling rate in [0,1] (0 disables)")
+		spanOut = flag.String("span-out", "",
+			"write the distributed span records as JSON to this file (implies a tracer)")
 		memprofile = flag.String("memprofile", "",
 			"write a heap (allocs) profile to this file on exit")
 		memstats = flag.Bool("memstats", false,
@@ -85,14 +91,30 @@ func main() {
 	}
 	defer obs.stop()
 	var tracer *telemetry.Tracer
-	if *traceOut != "" {
+	if *traceOut != "" || *spanOut != "" {
 		tracer = telemetry.NewTracer()
+	}
+	if *traceOut != "" {
 		defer func() {
 			f, err := os.Create(*traceOut)
 			if err != nil {
 				fatal(err)
 			}
 			if err := tracer.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *spanOut != "" {
+		defer func() {
+			f, err := os.Create(*spanOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tracer.WriteSpansJSON(f); err != nil {
 				fatal(err)
 			}
 			if err := f.Close(); err != nil {
@@ -133,15 +155,16 @@ func main() {
 		}
 		defer f.Close()
 		start := time.Now()
+		knobs := streamKnobs{prov: *provenance, traceSample: *traceSample, tracer: tracer}
 		if *clusterList != "" {
 			endReplay := tracer.Span("replay-cluster", map[string]any{"cluster": *clusterList})
-			replayCluster(f, strings.Split(*clusterList, ","), *gran, *codec, *batchPolicy, *workers, *v, start, obs.reg)
+			replayCluster(f, strings.Split(*clusterList, ","), *gran, *codec, *batchPolicy, *workers, *v, start, obs.reg, knobs)
 			endReplay()
 			return
 		}
 		if *remote != "" {
 			endReplay := tracer.Span("replay-remote", map[string]any{"addr": *remote})
-			replayRemote(f, *remote, *gran, *codec, *batchPolicy, *workers, *v, start, obs.reg)
+			replayRemote(f, *remote, *gran, *codec, *batchPolicy, *workers, *v, start, obs.reg, knobs)
 			endReplay()
 			return
 		}
@@ -150,7 +173,7 @@ func main() {
 			g := map[string]detector.Granularity{
 				"byte": detector.Byte, "word": detector.Word, "dynamic": detector.Dynamic,
 			}[*gran]
-			cfg := detector.Config{Granularity: g}
+			cfg := detector.Config{Granularity: g, Provenance: *provenance}
 			if obs.reg != nil {
 				cfg.Metrics = detector.NewMetrics(obs.reg)
 			}
@@ -165,10 +188,11 @@ func main() {
 			fmt.Printf("fasttrack/%s over %d accesses in %v: %d races, %d peak clocks, %.2f MB peak\n",
 				*gran, st.Accesses, time.Since(start).Round(time.Microsecond),
 				len(d.Races()), st.Plane.NodesPeak, float64(st.TotalPeakBytes)/(1<<20))
+			if *provenance {
+				printProvSummary(d.Provs(), len(d.Races()))
+			}
 			if *v {
-				for _, r := range d.Races() {
-					fmt.Printf("  %v\n", r)
-				}
+				printRaces(d.Races(), d.Provs())
 			}
 		case "drd":
 			d := segment.New(segment.Options{})
@@ -217,17 +241,52 @@ func parseStreamOpts(gran, codec, batchPolicy string) (detector.Granularity, int
 	return g, reqCodec, policy
 }
 
+// streamKnobs bundles the observability knobs the remote and cluster
+// replay paths share: provenance negotiation, distributed-trace sampling,
+// and the span/trace recorder.
+type streamKnobs struct {
+	prov        bool
+	traceSample float64
+	tracer      *telemetry.Tracer
+}
+
+// printProvSummary prints the explained-race tally front-ends and CI grep.
+func printProvSummary(provs []detector.Provenance, races int) {
+	explained := 0
+	for _, p := range provs {
+		if p.Kind != "" {
+			explained++
+		}
+	}
+	fmt.Printf("provenance  %d/%d races explained\n", explained, races)
+}
+
+// printRaces prints each race (and, when present, its indented
+// provenance explanation).
+func printRaces(races []detector.Race, provs []detector.Provenance) {
+	for i, r := range races {
+		fmt.Printf("  %v\n", r)
+		if i < len(provs) && provs[i].Kind != "" {
+			for _, line := range strings.Split(strings.TrimRight(provs[i].String(), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+	}
+}
+
 // replayRemote streams a recorded trace to a racedetectd and prints the
 // service's report. reg, when non-nil, receives the client's wire metrics
 // (client_batches_total, client_encode_ns, …) for the -metrics-addr page.
-func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int, verbose bool, start time.Time, reg *telemetry.Registry) {
+func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int, verbose bool, start time.Time, reg *telemetry.Registry, knobs streamKnobs) {
 	g, reqCodec, policy := parseStreamOpts(gran, codec, batchPolicy)
 	cl, err := client.Dial(client.Options{
 		Addr:        addr,
 		Telemetry:   reg,
 		Codec:       reqCodec,
 		BatchPolicy: policy,
-		Hello:       wire.Hello{Granularity: uint8(g), Workers: workers},
+		TraceSample: knobs.traceSample,
+		Tracer:      knobs.tracer,
+		Hello:       wire.Hello{Granularity: uint8(g), Workers: workers, Provenance: knobs.prov},
 	})
 	if err != nil {
 		fatal(err)
@@ -245,10 +304,11 @@ func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int
 		len(rep.Races), rep.Stats.NodesPeak, float64(rep.Stats.TotalPeakBytes)/(1<<20))
 	fmt.Printf("transport   %d batches, %d events to %s (codec %s)\n",
 		st.Batches, st.Events, addr, wire.CodecName(cl.Codec()))
+	if knobs.prov {
+		printProvSummary(rep.DetectorProvs(), len(rep.Races))
+	}
 	if verbose {
-		for _, r := range rep.DetectorRaces() {
-			fmt.Printf("  %v\n", r)
-		}
+		printRaces(rep.DetectorRaces(), rep.DetectorProvs())
 	}
 }
 
@@ -256,19 +316,21 @@ func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int
 // prints the merged report — the fleet-scale sibling of replayRemote.
 // Per-member batch policies are independent, so an adaptive policy tunes
 // each member's batches to that member's observed back-pressure.
-func replayCluster(f *os.File, members []string, gran, codec, batchPolicy string, workers int, verbose bool, start time.Time, reg *telemetry.Registry) {
+func replayCluster(f *os.File, members []string, gran, codec, batchPolicy string, workers int, verbose bool, start time.Time, reg *telemetry.Registry, knobs streamKnobs) {
 	g, reqCodec, policy := parseStreamOpts(gran, codec, batchPolicy)
 	sink, err := cluster.Dial(cluster.Options{
-		Members:   members,
-		Telemetry: reg,
-		Codec:     reqCodec,
+		Members:     members,
+		Telemetry:   reg,
+		Codec:       reqCodec,
+		TraceSample: knobs.traceSample,
+		Tracer:      knobs.tracer,
 		NewBatchPolicy: func() *event.BatchPolicy {
 			if policy == nil {
 				return nil
 			}
 			return new(event.BatchPolicy)
 		},
-		Hello: wire.Hello{Granularity: uint8(g), Workers: workers},
+		Hello: wire.Hello{Granularity: uint8(g), Workers: workers, Provenance: knobs.prov},
 	})
 	if err != nil {
 		fatal(err)
@@ -284,10 +346,11 @@ func replayCluster(f *os.File, members []string, gran, codec, batchPolicy string
 		gran, rep.Stats.Accesses, time.Since(start).Round(time.Microsecond),
 		len(rep.Races), rep.Stats.NodesPeak, float64(rep.Stats.TotalPeakBytes)/(1<<20),
 		len(members))
+	if knobs.prov {
+		printProvSummary(rep.DetectorProvs(), len(rep.Races))
+	}
 	if verbose {
-		for _, r := range rep.DetectorRaces() {
-			fmt.Printf("  %v\n", r)
-		}
+		printRaces(rep.DetectorRaces(), rep.DetectorProvs())
 	}
 }
 

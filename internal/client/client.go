@@ -91,6 +91,16 @@ type Options struct {
 	// a frame-encode latency histogram and an ack round-trip histogram.
 	// Nil disables instrumentation.
 	Telemetry *telemetry.Registry
+	// TraceSample is the per-batch distributed-trace sampling rate in
+	// [0, 1] (0 = tracing off). Sampled batches carry a span-context
+	// payload prefix (wire.FlagTraced) — but only after the server grants
+	// tracing in HelloAck.Trace, so a pre-trace server never sees traced
+	// frames. Sampling is deterministic in the batch sequence number.
+	TraceSample float64
+	// Tracer, when non-nil, receives one client.batch root span per
+	// sampled batch, closed when the server's ack arrives (span duration =
+	// ack round trip). The same trace ID exemplifies the ack-RTT histogram.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -150,6 +160,10 @@ type sentFrame struct {
 	seq    uint64
 	data   []byte
 	events int
+	// trace/span are the frame's sampled span context (0 = unsampled);
+	// the root span closes when the ack prunes the frame.
+	trace uint64
+	span  uint64
 	// sentAt is the wall time of the frame's last (re)transmission; the
 	// ack round-trip histogram observes now-sentAt when the frame is
 	// pruned. Zero when telemetry is disabled.
@@ -233,7 +247,8 @@ type Client struct {
 
 	sessionID uint64
 	window    int
-	codec     int // negotiated batch codec, fixed for the session's life
+	codec     int  // negotiated batch codec, fixed for the session's life
+	traced    bool // server granted HelloAck.Trace and TraceSample > 0
 	batchSeq  uint64
 	acked     uint64
 	unacked   []sentFrame
@@ -301,6 +316,14 @@ func (c *Client) Codec() int {
 	return c.codec
 }
 
+// Traced reports whether the server granted distributed tracing for this
+// session (HelloAck.Trace with a non-zero TraceSample).
+func (c *Client) Traced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.traced
+}
+
 // Stats returns a snapshot of the transport counters.
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
@@ -363,6 +386,7 @@ func (c *Client) connectLocked() error {
 			return c.err
 		}
 		c.codec = granted
+		c.traced = ack.Trace && c.opts.TraceSample > 0
 		c.conn = conn
 		c.connDead = false
 		c.gen++
@@ -420,6 +444,7 @@ func (c *Client) handshake() (net.Conn, wire.HelloAck, error) {
 	hello.Resume = c.sessionID
 	hello.Window = c.opts.Window
 	hello.Codec = c.opts.Codec
+	hello.Trace = c.opts.TraceSample > 0
 	if c.sessionID != 0 {
 		hello.Codec = c.codec // resume: re-request the session codec exactly
 	}
@@ -473,9 +498,10 @@ func (c *Client) markDeadLocked() {
 }
 
 // trackRTT reports whether send times must be stamped: the ack-RTT
-// histogram and the adaptive batch policy both consume them.
+// histogram, the adaptive batch policy and root-span durations all
+// consume them.
 func (c *Client) trackRTT() bool {
-	return c.met.ackRTT != nil || c.opts.BatchPolicy != nil
+	return c.met.ackRTT != nil || c.opts.BatchPolicy != nil || (c.traced && c.opts.Tracer != nil)
 }
 
 func (c *Client) pruneAckedLocked() {
@@ -483,8 +509,15 @@ func (c *Client) pruneAckedLocked() {
 	for i < len(c.unacked) && c.unacked[i].seq <= c.acked {
 		if sf := &c.unacked[i]; !sf.sentAt.IsZero() {
 			rtt := time.Since(sf.sentAt)
-			c.met.ackRTT.Observe(uint64(rtt.Nanoseconds()))
+			c.met.ackRTT.ObserveTraced(uint64(rtt.Nanoseconds()), sf.trace)
 			c.opts.BatchPolicy.ObserveRTT(rtt)
+			if sf.trace != 0 && c.opts.Tracer != nil {
+				c.opts.Tracer.RecordSpan(telemetry.SpanRecord{
+					Trace: sf.trace, Span: sf.span,
+					Name: "client.batch", Process: "client", Dur: rtt.Nanoseconds(),
+					Args: map[string]any{"seq": sf.seq, "events": sf.events},
+				})
+			}
 		}
 		i++
 	}
@@ -558,24 +591,32 @@ func (c *Client) flushBatch(b *event.Batch) {
 	seq := c.batchSeq
 	session := c.sessionID
 	codec := c.codec
+	traced := c.traced
 	fatal := c.err != nil
 	c.mu.Unlock()
 	if fatal {
 		event.PutBatch(b)
 		return // the stream is already lost; drop cheaply
 	}
+	// Deterministic per-batch sampling: the same batch sequence samples the
+	// same way on every run, and an unsampled batch's frame is byte
+	// identical to the untraced encoding.
+	var trace, span uint64
+	if traced && telemetry.Sampled(seq, c.opts.TraceSample) {
+		trace, span = telemetry.NewTraceID(), telemetry.NewTraceID()
+	}
 	var encStart time.Time
 	if c.met.encodeNS != nil {
 		encStart = time.Now()
 	}
-	frame := wire.AppendBatchFrameCodec(nil, wire.Header{Session: session, Seq: seq}, b, codec)
+	frame := wire.AppendBatchFrameTraced(nil, wire.Header{Session: session, Seq: seq}, b, codec, trace, span)
 	if c.met.encodeNS != nil {
 		c.met.encodeNS.ObserveSince(encStart)
 	}
 	event.PutBatch(b)
 	c.met.rawBytes.Add(uint64(n) * wire.RecSize)
 	c.met.payload(codec).Add(uint64(len(frame) - wire.HeaderSize))
-	sf := sentFrame{seq: seq, data: frame, events: n}
+	sf := sentFrame{seq: seq, data: frame, events: n, trace: trace, span: span}
 	if c.opts.Sync {
 		c.send(sf, true)
 		if p := c.opts.BatchPolicy; p != nil {

@@ -23,6 +23,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/client"
@@ -62,14 +63,26 @@ type Options struct {
 	// Migration, when non-nil, schedules a single slot migration
 	// mid-stream (see migrate.go).
 	Migration *Migration
-	// Logf, when non-nil, receives coordinator diagnostics.
+	// Logf, when non-nil, receives coordinator diagnostics (legacy printf
+	// sink; superseded by Logger when both are set).
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured coordinator records with
+	// typed fields (member addr, slot counts, merge timings). When nil,
+	// records render onto Logf; when both are nil, logging is off.
+	Logger *slog.Logger
 	// Telemetry, when non-nil, receives the cluster instrument families
 	// (cluster_members, cluster_fanout_events_total{member},
 	// cluster_broadcast_events_total, cluster_merge_ns) and is shared
 	// with every member client, so the transport series (ack RTT,
 	// batches, wire bytes) aggregate fleet-wide.
 	Telemetry *telemetry.Registry
+	// TraceSample is the per-batch distributed-trace sampling rate handed
+	// to every member client (0 = tracing off). Each member negotiates the
+	// grant with its own server, so a mixed fleet degrades per member.
+	TraceSample float64
+	// Tracer, when non-nil, receives every member client's root spans plus
+	// the coordinator's cluster.merge span at Close.
+	Tracer *telemetry.Tracer
 }
 
 // MemberError reports a cluster-member failure: which member, and the
@@ -103,6 +116,7 @@ type Sink struct {
 	ring    *Ring
 	members []*member
 	met     metrics
+	log     *slog.Logger
 
 	// Router-side counts, mirroring pipeline's: one per original event,
 	// before splitting/broadcast multiplies them. They override the
@@ -139,6 +153,10 @@ func Dial(opts Options) (*Sink, error) {
 		lastSlot:  -1,
 	}
 	s.met = newMetrics(opts.Telemetry, nil)
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = telemetry.NewLogfLogger(opts.Logf)
+	}
 	for _, addr := range opts.Members {
 		cl, err := client.Dial(s.clientOptions(addr))
 		if err != nil {
@@ -151,10 +169,14 @@ func Dial(opts Options) (*Sink, error) {
 		s.met.addMember(addr)
 	}
 	s.met.members.Set(int64(len(s.members)))
-	s.logf("cluster: %d members, %v slots each", len(s.members), s.ring.Counts(len(s.members)))
+	s.log.Info("cluster connected",
+		"members", len(s.members),
+		"slots", fmt.Sprintf("%v", s.ring.Counts(len(s.members))),
+		"trace_sample", s.opts.TraceSample)
 	return s, nil
 }
 
+// logf is the legacy printf sink, still used by migration diagnostics.
 func (s *Sink) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
 		s.opts.Logf(format, args...)
@@ -173,6 +195,8 @@ func (s *Sink) clientOptions(addr string) client.Options {
 		ReportTimeout: s.opts.ReportTimeout,
 		Logf:          s.opts.Logf,
 		Telemetry:     s.opts.Telemetry,
+		TraceSample:   s.opts.TraceSample,
+		Tracer:        s.opts.Tracer,
 	}
 	if s.opts.NewBatchPolicy != nil {
 		co.BatchPolicy = s.opts.NewBatchPolicy()
@@ -365,7 +389,8 @@ func (s *Sink) Close() (*wire.Report, error) {
 				acked = a
 			}
 			me := &MemberError{Addr: m.addr, LastAcked: acked, Err: err}
-			s.logf("cluster: %v", me)
+			s.log.Warn("cluster member failed",
+				"member", m.addr, "last_acked", acked, "err", err)
 			if firstErr == nil {
 				firstErr = me
 			}
@@ -402,6 +427,20 @@ func (s *Sink) Close() (*wire.Report, error) {
 	merged.Stats.NonShared = s.nonshared
 	merged.Events = s.seq
 	s.met.mergeNS.ObserveSince(start)
+	if s.opts.Tracer != nil {
+		s.opts.Tracer.RecordSpan(telemetry.SpanRecord{
+			Trace:   telemetry.NewTraceID(),
+			Span:    telemetry.NewTraceID(),
+			Name:    "cluster.merge",
+			Process: "cluster",
+			Start:   start.UnixNano(),
+			Dur:     int64(time.Since(start)),
+			Args: map[string]any{
+				"members": len(reports),
+				"races":   len(merged.Races),
+			},
+		})
+	}
 	s.report = &merged
 	return s.report, nil
 }

@@ -116,6 +116,13 @@ type Config struct {
 	// the default suppression set; use an empty non-nil slice for none.
 	Suppress []event.Module
 
+	// Provenance enables the race flight recorder (see provenance.go):
+	// every reported race carries a Provenance record naming both
+	// accesses, the failed epoch/clock comparison, the racing node's
+	// state transitions and the last few sync edges. Disabled (the
+	// default), the hot path pays one predictable branch per site.
+	Provenance bool
+
 	// Metrics is the telemetry instrument set the detector updates (see
 	// NewMetrics). Nil disables instrumentation at the cost of one
 	// predictable branch per site. Sharded detectors may share one Metrics:
@@ -265,6 +272,11 @@ type Detector struct {
 
 	stats Stats
 	races []Race
+
+	// prov is the provenance flight recorder (nil unless enabled); provs
+	// is index-aligned with races.
+	prov  *flightRecorder
+	provs []Provenance
 }
 
 // New returns a detector with the given configuration.
@@ -278,6 +290,9 @@ func New(cfg Config) *Detector {
 	d.met = cfg.Metrics
 	if d.met == nil {
 		d.met = noopDetectorMetrics
+	}
+	if cfg.Provenance {
+		d.prov = &flightRecorder{}
 	}
 	d.vcs = vc.NewPool()
 	d.intern = vc.NewInterner(d.vcs)
@@ -394,10 +409,14 @@ func (d *Detector) report(kind fasttrack.RaceKind, lo, hi uint64, tid vc.TID, pc
 	d.racedLocs[lo] = true
 	d.stats.Races++
 	d.met.Races.Inc()
-	d.races = append(d.races, Race{
+	r := Race{
 		Kind: kind, Addr: lo, Size: uint32(hi - lo),
 		Tid: tid, PC: pc, PrevTid: prevTid, PrevPC: prevPC,
-	})
+	}
+	d.races = append(d.races, r)
+	if d.prov != nil {
+		d.appendProvenance(r)
+	}
 }
 
 // checkReadPlane scans the read plane in [lo, hi) for a recorded read not
@@ -414,6 +433,13 @@ func (d *Detector) checkReadPlane(lo, hi uint64, tc vc.View) (vc.TID, event.PC, 
 		if !n.R.LEQ(tc) {
 			raceTid = n.R.RacingTID(tc)
 			racePC = n.PC
+			if d.prov != nil {
+				prev := uint64(n.R.E.Clock())
+				if n.R.Shared() {
+					prev = uint64(n.R.V.Get(raceTid))
+				}
+				d.prov.captureCmp("read", raceTid, prev, uint64(tc.Get(raceTid)), n)
+			}
 			return false
 		}
 		return true
@@ -430,12 +456,18 @@ func (d *Detector) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
 	}
 	d.stats.Accesses++
 	d.met.Accesses.Inc()
+	if d.prov != nil {
+		d.prov.tick()
+	}
 	lo, hi := d.footprint(addr, uint64(size))
 	bm := d.bitmap(tid)
 	if bm.Write(lo, hi) {
 		d.stats.SameEpoch++
 		d.met.SameEpoch.Inc()
 		return
+	}
+	if d.prov != nil {
+		d.prov.noteAccess(tid, pc, lo, hi)
 	}
 	tc := d.th.View(tid)
 	e := d.th.Epoch(tid)
@@ -468,7 +500,7 @@ func (d *Detector) writeSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc v
 		n.W = e
 		n.PC = pc
 		if raced {
-			n.State = dyngran.Race
+			n.SetState(dyngran.Race)
 			n.Reported = true
 			p.Met.ToRace.Inc()
 			d.report(fasttrack.ReadWrite, lo, hi, tid, pc, rTid, rPC)
@@ -554,6 +586,9 @@ func (d *Detector) raceOnWrite(n *dyngran.Node, lo, hi uint64, tid vc.TID, tc vc
 		}
 	} else {
 		otherPC = n.PC
+		if d.prov != nil {
+			d.prov.captureCmp("write", other, uint64(n.W.Clock()), uint64(tc.Get(other)), n)
+		}
 	}
 	if kind == fasttrack.NoRace {
 		return false
@@ -575,12 +610,18 @@ func (d *Detector) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
 	}
 	d.stats.Accesses++
 	d.met.Accesses.Inc()
+	if d.prov != nil {
+		d.prov.tick()
+	}
 	lo, hi := d.footprint(addr, uint64(size))
 	bm := d.bitmap(tid)
 	if bm.Read(lo, hi) {
 		d.stats.SameEpoch++
 		d.met.SameEpoch.Inc()
 		return
+	}
+	if d.prov != nil {
+		d.prov.noteAccess(tid, pc, lo, hi)
 	}
 	tc := d.th.View(tid)
 	e := d.th.Epoch(tid)
@@ -610,7 +651,7 @@ func (d *Detector) readSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc vc
 		d.updateRead(n, tid, e, tc)
 		n.PC = pc
 		if raced {
-			n.State = dyngran.Race
+			n.SetState(dyngran.Race)
 			n.Reported = true
 			p.Met.ToRace.Inc()
 			d.report(fasttrack.WriteRead, lo, hi, tid, pc, wTid, wPC)
@@ -636,7 +677,7 @@ func (d *Detector) readSegment(lo, hi uint64, n *dyngran.Node, tid vc.TID, tc vc
 			n = d.decideReadSharing(p, n)
 			_ = n
 		} else {
-			n.State = dyngran.Private
+			n.SetState(dyngran.Private)
 			n.InitShared = false
 			p.Met.ToPrivate.Inc()
 		}
@@ -697,6 +738,9 @@ func (d *Detector) checkWritePlane(lo, hi uint64, tc vc.View) (vc.TID, event.PC,
 		if kind, other := fasttrack.CheckRead(n.W, tc); kind != fasttrack.NoRace {
 			raceTid = other
 			racePC = n.PC
+			if d.prov != nil {
+				d.prov.captureCmp("write", other, uint64(n.W.Clock()), uint64(tc.Get(other)), n)
+			}
 			return false
 		}
 		return true
@@ -740,7 +784,7 @@ func (d *Detector) firstEpochSharing() bool {
 // filtering benefit.
 func (d *Detector) decideFirstAccess(p *dyngran.Plane, n *dyngran.Node) {
 	if d.cfg.Granularity != Dynamic {
-		n.State = dyngran.Private
+		n.SetState(dyngran.Private)
 		p.Met.ToPrivate.Inc()
 		return
 	}
@@ -768,7 +812,7 @@ func (d *Detector) decideReadSharing(p *dyngran.Plane, n *dyngran.Node) *dyngran
 		// clocks differed; the read clocks would have to be compared for
 		// nothing, so predict Private without comparing.
 		if w := d.write.Tab.Get(n.Lo); w != nil && w.State == dyngran.Private {
-			n.State = dyngran.Private
+			n.SetState(dyngran.Private)
 			n.InitShared = false
 			p.Met.ToPrivate.Inc()
 			p.Met.ShareRejected.Inc()
@@ -828,43 +872,57 @@ func (d *Detector) segments(p *dyngran.Plane, lo, hi uint64, f func(segLo, segHi
 // ---- Synchronization events ----
 
 // Acquire applies T_t ⊔= L_l.
-func (d *Detector) Acquire(tid vc.TID, l event.LockID) { d.th.Acquire(tid, l) }
+func (d *Detector) Acquire(tid vc.TID, l event.LockID) {
+	d.noteSync("acquire", tid, uint64(l))
+	d.th.Acquire(tid, l)
+}
 
 // Release applies L_l ⊔= T_t, starts tid's next epoch, and resets the
 // thread's same-epoch bitmap (Section IV.A).
 func (d *Detector) Release(tid vc.TID, l event.LockID) {
+	d.noteSync("release", tid, uint64(l))
 	d.th.Release(tid, l)
 	d.bitmap(tid).Reset()
 }
 
 // AcquireShared applies a rwlock read-lock's clock update.
-func (d *Detector) AcquireShared(tid vc.TID, l event.LockID) { d.th.AcquireShared(tid, l) }
+func (d *Detector) AcquireShared(tid vc.TID, l event.LockID) {
+	d.noteSync("acquire-shared", tid, uint64(l))
+	d.th.AcquireShared(tid, l)
+}
 
 // ReleaseShared publishes the reader's time to the lock's reader clock and
 // starts the reader's next epoch (resetting its same-epoch bitmap).
 func (d *Detector) ReleaseShared(tid vc.TID, l event.LockID) {
+	d.noteSync("release-shared", tid, uint64(l))
 	d.th.ReleaseShared(tid, l)
 	d.bitmap(tid).Reset()
 }
 
 // Fork orders the child after the parent's past.
 func (d *Detector) Fork(parent, child vc.TID) {
+	d.noteSync("fork", parent, uint64(child))
 	d.th.Fork(parent, child)
 	d.bitmap(parent).Reset()
 }
 
 // Join orders the parent after the child.
-func (d *Detector) Join(parent, child vc.TID) { d.th.Join(parent, child) }
+func (d *Detector) Join(parent, child vc.TID) {
+	d.noteSync("join", parent, uint64(child))
+	d.th.Join(parent, child)
+}
 
 // BarrierArrive contributes tid's clock to the barrier and starts a new
 // epoch (resetting the bitmap).
 func (d *Detector) BarrierArrive(tid vc.TID, b event.BarrierID) {
+	d.noteSync("barrier-arrive", tid, uint64(b))
 	d.th.BarrierArrive(tid, b)
 	d.bitmap(tid).Reset()
 }
 
 // BarrierDepart absorbs the barrier clock.
 func (d *Detector) BarrierDepart(tid vc.TID, b event.BarrierID) {
+	d.noteSync("barrier-depart", tid, uint64(b))
 	d.th.BarrierDepart(tid, b)
 }
 
@@ -872,6 +930,7 @@ func (d *Detector) BarrierDepart(tid vc.TID, b event.BarrierID) {
 // slot-reuse back edge on buffered channels). It starts a new epoch, so the
 // same-epoch bitmap resets.
 func (d *Detector) ChanSend(tid vc.TID, ch event.ChanID, cap int) {
+	d.noteSync("chan-send", tid, uint64(uint32(ch)))
 	d.th.ChanSend(tid, ch, cap)
 	d.bitmap(tid).Reset()
 }
@@ -879,6 +938,7 @@ func (d *Detector) ChanSend(tid vc.TID, ch event.ChanID, cap int) {
 // ChanRecv absorbs the matching send's publication and publishes for the
 // back edge; a new epoch starts.
 func (d *Detector) ChanRecv(tid vc.TID, ch event.ChanID, cap int) {
+	d.noteSync("chan-recv", tid, uint64(uint32(ch)))
 	d.th.ChanRecv(tid, ch, cap)
 	d.bitmap(tid).Reset()
 }
@@ -886,6 +946,7 @@ func (d *Detector) ChanRecv(tid vc.TID, ch event.ChanID, cap int) {
 // ChanAck absorbs the unbuffered rendezvous back edge (acquire only — no
 // new epoch, no bitmap reset).
 func (d *Detector) ChanAck(tid vc.TID, ch event.ChanID, cap int) {
+	d.noteSync("chan-ack", tid, uint64(uint32(ch)))
 	d.th.ChanAck(tid, ch, cap)
 }
 
@@ -894,12 +955,14 @@ func (d *Detector) WGAdd(vc.TID, event.WGID, int) {}
 
 // WGDone publishes tid's time to the group; a new epoch starts.
 func (d *Detector) WGDone(tid vc.TID, wg event.WGID) {
+	d.noteSync("wg-done", tid, uint64(uint32(wg)))
 	d.th.WGDone(tid, wg)
 	d.bitmap(tid).Reset()
 }
 
 // WGWait absorbs every Done publication of the group (acquire only).
 func (d *Detector) WGWait(tid vc.TID, wg event.WGID) {
+	d.noteSync("wg-wait", tid, uint64(uint32(wg)))
 	d.th.WGWait(tid, wg)
 }
 

@@ -1,0 +1,155 @@
+// Tests for the race-provenance flight recorder: content of the records,
+// the disabled-is-free allocation guard, and the overhead benchmark CI
+// gates on.
+package detector
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/vc"
+)
+
+// raceyDetector reports one unsynchronized write-write race between two
+// threads and returns the detector.
+func raceyDetector(cfg Config) *Detector {
+	d := New(cfg)
+	d.Fork(0, 1)
+	d.Acquire(0, 7)
+	d.Release(0, 7)
+	d.Write(0, 0x1000, 4, 0x11)
+	d.Write(1, 0x1000, 4, 0x22) // no edge from T0's write: races
+	return d
+}
+
+// TestProvenanceRecordContent pins what one record says: both accesses,
+// the failed comparison (with the verdict inequality holding), a Figure 2
+// state path, and the sync edges the shard saw.
+func TestProvenanceRecordContent(t *testing.T) {
+	d := raceyDetector(Config{Granularity: Dynamic, Provenance: true})
+	races, provs := d.Races(), d.Provs()
+	if len(races) != 1 || len(provs) != 1 {
+		t.Fatalf("got %d races, %d provenance records, want 1 each", len(races), len(provs))
+	}
+	r, p := races[0], provs[0]
+	if p.Kind != r.Kind.String() {
+		t.Errorf("Kind %q vs race kind %q", p.Kind, r.Kind)
+	}
+	if p.Current.Tid != 1 || p.Current.PC != 0x22 || p.Current.Op != "write" {
+		t.Errorf("current access: %+v", p.Current)
+	}
+	if p.Previous.Tid != 0 || p.Previous.PC != 0x11 {
+		t.Errorf("previous access: %+v", p.Previous)
+	}
+	if p.Previous.Seq == 0 {
+		t.Error("previous access not recovered from the flight-recorder ring")
+	}
+	if p.Comparison.Plane != "write" || p.Comparison.PrevTid != 0 ||
+		p.Comparison.PrevClock <= p.Comparison.Observed {
+		t.Errorf("comparison: %+v", p.Comparison)
+	}
+	if len(p.Transitions) == 0 {
+		t.Error("no state transitions recorded")
+	}
+	edges := make([]string, len(p.SyncEdges))
+	for i, e := range p.SyncEdges {
+		edges[i] = e.Op
+	}
+	joined := strings.Join(edges, " ")
+	if !strings.Contains(joined, "fork") || !strings.Contains(joined, "release") {
+		t.Errorf("sync edges missing the fork/release history: %v", joined)
+	}
+	if s := p.String(); !strings.Contains(s, "failed comparison") {
+		t.Errorf("String() lacks the comparison line:\n%s", s)
+	}
+}
+
+// TestProvenanceVerdictNeutral checks the recorder changes no verdict: a
+// synchronization-heavy two-thread run reports the identical race slice
+// with and without provenance.
+func TestProvenanceVerdictNeutral(t *testing.T) {
+	run := func(prov bool) []Race {
+		d := New(Config{Granularity: Dynamic, Provenance: prov})
+		d.Fork(0, 1)
+		for i := uint64(0); i < 64; i++ {
+			d.Acquire(0, 1)
+			d.Write(0, 0x2000+i*4, 4, 1)
+			d.Release(0, 1)
+			d.Acquire(1, 1)
+			d.Read(1, 0x2000+i*4, 4, 2)
+			d.Release(1, 1)
+			d.Write(1, 0x3000+i, 1, 3) // unsynchronized with T0's later read
+			d.Read(0, 0x3000+i, 1, 4)
+		}
+		return d.Races()
+	}
+	base, withProv := run(false), run(true)
+	if len(base) != len(withProv) {
+		t.Fatalf("race counts differ: %d vs %d", len(base), len(withProv))
+	}
+	for i := range base {
+		if base[i] != withProv[i] {
+			t.Errorf("race %d differs: %+v vs %+v", i, base[i], withProv[i])
+		}
+	}
+	if len(withProv) == 0 {
+		t.Fatal("workload produced no races")
+	}
+}
+
+// TestProvenanceDisabledZeroAlloc pins the disabled-is-free contract: with
+// Config.Provenance off (the default), the warm hot path — including the
+// nil-recorder branches this feature added — allocates nothing.
+func TestProvenanceDisabledZeroAlloc(t *testing.T) {
+	for _, g := range []Granularity{Byte, Word, Dynamic} {
+		g := g
+		t.Run(g.String(), func(t *testing.T) {
+			d := New(Config{Granularity: g})
+			d.Fork(0, 1)
+			const base, n = 0x1000, 256
+			cycle := func() {
+				for _, tid := range []vc.TID{0, 1} {
+					d.Acquire(tid, event.LockID(3))
+					for a := uint64(0); a < n; a += 8 {
+						d.Write(tid, base+a, 8, 1)
+						d.Read(tid, base+a, 8, 2)
+					}
+					d.Release(tid, event.LockID(3))
+				}
+			}
+			cycle() // warm shadow state, clocks, bitmaps
+			if got := testing.AllocsPerRun(50, cycle); got != 0 {
+				t.Fatalf("provenance-disabled steady state: %v allocs/run, want 0", got)
+			}
+		})
+	}
+}
+
+// BenchmarkProvenanceOverhead measures the flight recorder's hot-path
+// cost. CI gates on the disabled lane allocating zero bytes per op — the
+// recorder must stay a single predictable branch when off.
+func BenchmarkProvenanceOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		prov bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			d := New(Config{Granularity: Dynamic, Provenance: mode.prov})
+			d.Fork(0, 1)
+			const words = 256
+			for w := uint64(0); w < words; w++ {
+				d.Write(0, 0x1000+w*4, 4, 1) // warm
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := uint64(i % words)
+				d.Write(0, 0x1000+w*4, 4, 1)
+				if w == words-1 {
+					d.Release(0, 1)
+				}
+			}
+		})
+	}
+}

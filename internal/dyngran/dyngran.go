@@ -97,8 +97,37 @@ type Node struct {
 	// interval.
 	Settled uint8
 
+	// Hist packs the node's state-transition history, 2 bits per state,
+	// newest in the low bits; HistLen counts recorded transitions (capped
+	// at 16). Maintained by SetState at zero allocation cost so race
+	// provenance can replay the Figure 2 path that led to a verdict.
+	Hist    uint32
+	HistLen uint8
+
 	// PC is the code site of the last recorded access, kept for reports.
 	PC event.PC
+}
+
+// SetState records a state transition: the new state is pushed onto the
+// packed history and becomes current. All state changes go through here
+// (or through clone, which copies the history wholesale).
+func (n *Node) SetState(s State) {
+	n.Hist = n.Hist<<2 | uint32(s)
+	if n.HistLen < 16 {
+		n.HistLen++
+	}
+	n.State = s
+}
+
+// StateHistory decodes the recorded transitions, oldest first. Allocates;
+// meant for the race-report path, not the hot path.
+func (n *Node) StateHistory() []State {
+	k := int(n.HistLen)
+	out := make([]State, k)
+	for i := 0; i < k; i++ {
+		out[k-1-i] = State(n.Hist >> (2 * uint(i)) & 3)
+	}
+	return out
 }
 
 // Accounting object sizes, mirroring a C implementation the way the paper
@@ -262,7 +291,8 @@ func (p *Plane) AccountInflation(delta int64) {
 // slots at it, and accounts it. The caller fills in the clock afterwards.
 func (p *Plane) NewNode(lo, hi uint64, state State) *Node {
 	n := p.alloc()
-	n.Lo, n.Hi, n.Locs, n.State = lo, hi, 1, state
+	n.Lo, n.Hi, n.Locs = lo, hi, 1
+	n.SetState(state)
 	if state == Init {
 		p.Met.ToInit.Inc()
 	}
@@ -281,6 +311,7 @@ func (p *Plane) clone(n *Node, lo, hi uint64, locs int32) *Node {
 	c.Lo, c.Hi = lo, hi
 	c.Locs = locs
 	c.State = n.State
+	c.Hist, c.HistLen = n.Hist, n.HistLen
 	c.InitShared = n.InitShared
 	c.Reported = n.Reported
 	c.PC = n.PC
@@ -511,11 +542,11 @@ func (p *Plane) DecideSecondEpoch(n *Node) *Node {
 		shared = true
 	}
 	if shared {
-		merged.State = Shared
+		merged.SetState(Shared)
 		p.Met.ShareTaken.Inc()
 		p.Met.ToShared.Inc()
 	} else {
-		merged.State = Private
+		merged.SetState(Private)
 		p.Met.ShareRejected.Inc()
 		p.Met.ToPrivate.Inc()
 	}
@@ -530,7 +561,7 @@ func (p *Plane) DecideSecondEpoch(n *Node) *Node {
 func (p *Plane) SetRace(n *Node, lo, hi uint64) *Node {
 	wasShared := n.Locs > 1 || n.Lo != lo || n.Hi != hi
 	mid := p.Split(n, lo, hi)
-	mid.State = Race
+	mid.SetState(Race)
 	mid.InitShared = false
 	mid.Reported = true
 	p.Met.ToRace.Inc()
@@ -548,16 +579,16 @@ func (p *Plane) markRaceAround(lo, hi uint64, mid *Node) {
 		if left := p.Tab.Get(lo - 1); left != nil && left != mid {
 			if left.State != Race {
 				p.Met.ToRace.Inc()
+				left.SetState(Race)
 			}
-			left.State = Race
 			left.InitShared = false
 		}
 	}
 	if right := p.Tab.Get(hi); right != nil && right != mid {
 		if right.State != Race {
 			p.Met.ToRace.Inc()
+			right.SetState(Race)
 		}
-		right.State = Race
 		right.InitShared = false
 	}
 }

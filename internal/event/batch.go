@@ -113,6 +113,12 @@ const DefaultBatchSize = 2048
 // Batch is a fixed-capacity run of encoded events.
 type Batch struct {
 	Recs []Rec
+	// Trace and Span carry the distributed-trace context of the client
+	// batch these records came from (0 = unsampled/untraced). They ride the
+	// batch through queues so a pipeline worker can parent its apply span
+	// under the router's dispatch span; they never affect detection.
+	Trace uint64
+	Span  uint64
 }
 
 var batchPool = sync.Pool{
@@ -123,6 +129,7 @@ var batchPool = sync.Pool{
 func GetBatch() *Batch {
 	b := batchPool.Get().(*Batch)
 	b.Recs = b.Recs[:0]
+	b.Trace, b.Span = 0, 0
 	return b
 }
 

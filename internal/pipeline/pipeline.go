@@ -93,6 +93,10 @@ type Options struct {
 	// pipeline registered on a given registry view — give each concurrent
 	// pipeline its own labeled view (Registry.With).
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives shard-apply spans for traced batches
+	// (see SetTrace) and enables trace exemplars on the dispatch-wait and
+	// apply-latency histograms. Nil disables span recording entirely.
+	Tracer *telemetry.Tracer
 }
 
 // Result is the merged outcome of a pipeline run.
@@ -109,24 +113,36 @@ type Result struct {
 	Stats detector.Stats
 	// Events is the total number of events routed.
 	Events uint64
+	// Provenance is index-aligned with Races when the detector ran with
+	// Config.Provenance (nil otherwise): Provenance[i] explains Races[i].
+	Provenance []detector.Provenance
 }
 
-// seqRace tags a reported race with its completing event's sequence number.
+// seqRace tags a reported race with its completing event's sequence number
+// (and, when the flight recorder is on, its provenance record).
 type seqRace struct {
 	seq  uint64
 	race detector.Race
+	prov *detector.Provenance
 }
 
 type worker struct {
 	q     batchQueue
 	det   *detector.Detector
 	races []seqRace
+	// provOn mirrors Config.Provenance: the worker stamps the router's
+	// global sequence number into the flight recorder before each record so
+	// provenance seq fields agree across shards.
+	provOn bool
+	shard  int
 
 	// events counts records applied by this shard; applyNS observes
 	// per-batch apply latency. Both are nil (no-op) when telemetry is
 	// disabled.
 	events  *telemetry.Counter
 	applyNS *telemetry.Histogram
+	// tracer receives one shard.apply span per traced batch (nil = off).
+	tracer *telemetry.Tracer
 }
 
 // run drains the worker's batch queue, applying each record to the shard
@@ -142,23 +158,44 @@ func (w *worker) run(wg *sync.WaitGroup) {
 			return
 		}
 		var start time.Time
-		if w.applyNS != nil {
+		if w.applyNS != nil || (w.tracer != nil && b.Trace != 0) {
 			start = time.Now()
 		}
 		w.events.Add(uint64(len(b.Recs)))
 		for i := range b.Recs {
 			r := &b.Recs[i]
+			if w.provOn {
+				w.det.SetEventSeq(r.Seq)
+			}
 			before := len(w.det.Races())
 			event.ApplyRec(w.det, r)
 			if after := w.det.Races(); len(after) > before {
-				for _, rc := range after[before:] {
-					w.races = append(w.races, seqRace{seq: r.Seq, race: rc})
+				provs := w.det.Provs()
+				for k, rc := range after[before:] {
+					sr := seqRace{seq: r.Seq, race: rc}
+					if len(provs) == len(after) {
+						p := provs[before+k]
+						sr.prov = &p
+					}
+					w.races = append(w.races, sr)
 				}
 			}
 		}
+		trace, span, n := b.Trace, b.Span, len(b.Recs)
 		event.PutBatch(b)
-		if w.applyNS != nil {
-			w.applyNS.ObserveSince(start)
+		if !start.IsZero() {
+			elapsed := time.Since(start)
+			if elapsed < 0 {
+				elapsed = 0
+			}
+			w.applyNS.ObserveTraced(uint64(elapsed), trace)
+			if w.tracer != nil && trace != 0 {
+				w.tracer.RecordSpan(telemetry.SpanRecord{
+					Trace: trace, Span: telemetry.NewTraceID(), Parent: span,
+					Name: "shard.apply", Process: "pipeline", Dur: int64(elapsed),
+					Args: map[string]any{"shard": w.shard, "recs": n},
+				})
+			}
 		}
 	}
 }
@@ -184,9 +221,21 @@ type Pipeline struct {
 	batches    *telemetry.Counter
 	dispatchNS *telemetry.Histogram
 
+	// trace/span are the current upstream span context (see SetTrace):
+	// shipped batches are stamped with it so worker apply spans parent
+	// correctly, and it exemplifies the dispatch-wait histogram.
+	trace uint64
+	span  uint64
+
 	done   bool
 	result Result
 }
+
+// SetTrace sets the span context stamped onto subsequently shipped batches
+// (0, 0 clears it). The remote-detection server calls it before replaying
+// each traced client batch into the pipeline; local runs may ignore it.
+// Must be called from the execution thread, like every Sink method.
+func (p *Pipeline) SetTrace(trace, span uint64) { p.trace, p.span = trace, span }
 
 // New starts a pipeline with opts.Workers detection workers.
 func New(opts Options) *Pipeline {
@@ -227,8 +276,11 @@ func New(opts Options) *Pipeline {
 			wcfg.Shards, wcfg.Shard = n, i
 		}
 		w := &worker{
-			q:   newQueue(),
-			det: detector.New(wcfg),
+			q:      newQueue(),
+			det:    detector.New(wcfg),
+			provOn: wcfg.Provenance,
+			shard:  i,
+			tracer: opts.Tracer,
 		}
 		if reg != nil {
 			shard := telemetry.Labels{"shard": fmt.Sprint(i)}
@@ -287,6 +339,7 @@ func (p *Pipeline) shardImbalance() float64 {
 // blocking time when instrumented and feeding the adaptive policy the
 // queue occupancy it saw at ship time.
 func (p *Pipeline) ship(w int, b *event.Batch) {
+	b.Trace, b.Span = p.trace, p.span
 	q := p.workers[w].q
 	if p.policy != nil {
 		p.policy.ObserveQueue(q.len(), q.capacity())
@@ -297,7 +350,11 @@ func (p *Pipeline) ship(w int, b *event.Batch) {
 	}
 	start := time.Now()
 	q.send(b)
-	p.dispatchNS.ObserveSince(start)
+	elapsed := time.Since(start)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	p.dispatchNS.ObserveTraced(uint64(elapsed), p.trace)
 	p.batches.Inc()
 }
 
@@ -554,8 +611,15 @@ func (p *Pipeline) merge() Result {
 		return tagged[i].race.Addr < tagged[j].race.Addr
 	})
 	races := make([]detector.Race, len(tagged))
+	var provs []detector.Provenance
 	for i, t := range tagged {
 		races[i] = t.race
+		if t.prov != nil {
+			if provs == nil {
+				provs = make([]detector.Provenance, len(tagged))
+			}
+			provs[i] = *t.prov
+		}
 	}
-	return Result{Races: races, Stats: st, Events: p.events}
+	return Result{Races: races, Stats: st, Events: p.events, Provenance: provs}
 }

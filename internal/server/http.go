@@ -14,7 +14,16 @@ import (
 	"time"
 
 	"repro/internal/detector"
+	"repro/internal/wire"
 )
+
+// SessionRace is one reported race retained for /debug/provenance: the
+// wire-shaped race (with its provenance record, when the session
+// negotiated Hello.Provenance) tagged with the session that reported it.
+type SessionRace struct {
+	Session uint64          `json:"session"`
+	Race    wire.ReportRace `json:"race"`
+}
 
 // MetricsSnapshot is a point-in-time view of the server's counters. It is
 // captured in one pass under the server lock (see Metrics).
@@ -75,6 +84,8 @@ type SessionInfo struct {
 	Events      uint64  `json:"events"`
 	QueueDepth  int     `json:"queue_depth"`
 	AgeSeconds  float64 `json:"age_seconds"`
+	Traced      bool    `json:"traced,omitempty"`
+	Provenance  bool    `json:"provenance,omitempty"`
 }
 
 // Sessions returns the live sessions' introspection records, sorted by id.
@@ -91,6 +102,8 @@ func (s *Server) Sessions() []SessionInfo {
 			Batches:     sess.seqApplied.Load(),
 			Events:      sess.eventsApplied.Load(),
 			AgeSeconds:  now.Sub(sess.opened).Seconds(),
+			Traced:      sess.traced,
+			Provenance:  sess.prov,
 		}
 		if sess.attached {
 			info.State = "attached"
@@ -108,10 +121,12 @@ func (s *Server) Sessions() []SessionInfo {
 
 // HTTPHandler returns the sidecar handler:
 //
-//	/healthz       liveness (503 while draining)
-//	/metrics       Prometheus text exposition of the server registry
-//	/sessions      JSON list of live sessions
-//	/debug/vars    expvar-style JSON snapshot of the registry
+//	/healthz            liveness (503 while draining)
+//	/metrics            Prometheus text exposition of the server registry
+//	/sessions           JSON list of live sessions
+//	/debug/vars         expvar-style JSON snapshot of the registry
+//	/debug/provenance   JSON ring of recently reported races + provenance
+//	/debug/spans        span-JSON dump of the server's tracer
 func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -141,6 +156,18 @@ func (s *Server) HTTPHandler() http.Handler {
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		s.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/provenance", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Races []SessionRace `json:"races"`
+		}{Races: s.RecentRaces()})
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s.tracer.WriteSpansJSON(w)
 	})
 	return mux
 }

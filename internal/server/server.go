@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -75,13 +76,31 @@ type Options struct {
 	// SessionLinger keeps a detached session resumable after its
 	// connection drops before aborting it (default 10s).
 	SessionLinger time.Duration
-	// Logf, when non-nil, receives one line per session lifecycle event.
+	// Logf, when non-nil, receives one line per session lifecycle event
+	// (legacy printf sink; superseded by Logger when both are set).
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured session lifecycle records
+	// with typed fields (session id, granularity, codec, ...). When nil,
+	// records are rendered onto Logf; when both are nil, logging is off.
+	Logger *slog.Logger
 	// Telemetry, when non-nil, is the registry the server's racedetectd_*
 	// families and per-session (session-labeled) pipeline/detector families
 	// are registered on. Nil makes the server create its own registry, so
 	// the HTTP sidecar always has metrics to serve.
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives server dispatch and shard apply spans
+	// for traced batches, and backs the /debug/spans endpoint. Nil makes
+	// the server create a bounded tracer of its own (so traced sessions
+	// always have a span sink without unbounded growth).
+	Tracer *telemetry.Tracer
+	// NoTrace refuses Hello.Trace: sessions are never granted distributed
+	// tracing and the server never sees span-context prefixes. The zero
+	// value grants tracing to clients that ask — absent-means-untraced
+	// keeps old clients unaffected either way.
+	NoTrace bool
+	// NoProvenance refuses Hello.Provenance: detectors run without the
+	// race-provenance flight recorder regardless of what clients request.
+	NoProvenance bool
 }
 
 func (o Options) withDefaults() Options {
@@ -124,7 +143,9 @@ type session struct {
 	pl       *pipeline.Pipeline
 	window   int
 	ackEvery int
-	codec    int // granted batch codec; every Batch frame decodes with it
+	codec    int  // granted batch codec; every Batch frame decodes with it
+	traced   bool // granted Hello.Trace: span-context batch prefixes accepted
+	prov     bool // granted Hello.Provenance: detectors carry flight recorders
 	opened   time.Time
 
 	// lastSeq is the highest batch sequence applied; lastAcked the highest
@@ -179,9 +200,11 @@ type serverMetrics struct {
 
 // Server accepts wire-protocol connections and runs detection sessions.
 type Server struct {
-	opts Options
-	reg  *telemetry.Registry
-	met  serverMetrics
+	opts   Options
+	reg    *telemetry.Registry
+	met    serverMetrics
+	tracer *telemetry.Tracer
+	log    *slog.Logger
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -191,6 +214,11 @@ type Server struct {
 	nextID    uint64
 	draining  bool
 	wg        sync.WaitGroup
+
+	// provMu guards provRecent, the bounded ring of recently reported
+	// races (with their provenance) served by /debug/provenance.
+	provMu     sync.Mutex
+	provRecent []SessionRace
 
 	startTime time.Time
 }
@@ -208,6 +236,15 @@ func New(opts Options) *Server {
 	s.reg = s.opts.Telemetry
 	if s.reg == nil {
 		s.reg = telemetry.New()
+	}
+	telemetry.RegisterProcessMetrics(s.reg)
+	s.tracer = s.opts.Tracer
+	if s.tracer == nil {
+		s.tracer = telemetry.NewBoundedTracer(4096)
+	}
+	s.log = s.opts.Logger
+	if s.log == nil {
+		s.log = telemetry.NewLogfLogger(s.opts.Logf)
 	}
 	s.met = serverMetrics{
 		sessionsTotal:   s.reg.Counter("racedetectd_sessions_total", "Sessions ever opened."),
@@ -252,11 +289,9 @@ func (s *Server) queueDepth() int {
 	return depth
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.opts.Logf != nil {
-		s.opts.Logf(format, args...)
-	}
-}
+// Tracer returns the server's span sink (never nil) — the same tracer the
+// /debug/spans endpoint exposes.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // ErrServerClosed is returned by Serve after Shutdown closes the listener.
 var ErrServerClosed = errors.New("server: closed")
@@ -436,12 +471,22 @@ func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload [
 			return nil, out, werr
 		}
 		if newSess.closedFrame != nil {
-			s.logf("session %d: resumed after close (report pending re-delivery)", newSess.id)
+			s.log.Info("session resumed after close; report pending re-delivery",
+				"session", newSess.id)
 		} else {
-			s.logf("session %d: %s (granularity %s, %d workers, window %d, codec %s, resume-seq %d)",
-				newSess.id, map[bool]string{true: "resumed", false: "opened"}[hello.Resume != 0],
-				detector.Granularity(hello.Granularity), newSess.pl.Workers(), newSess.window,
-				wire.CodecName(newSess.codec), ack.ResumeSeq)
+			verb := "session opened"
+			if hello.Resume != 0 {
+				verb = "session resumed"
+			}
+			s.log.Info(verb,
+				"session", newSess.id,
+				"granularity", detector.Granularity(hello.Granularity).String(),
+				"workers", newSess.pl.Workers(),
+				"window", newSess.window,
+				"codec", wire.CodecName(newSess.codec),
+				"resume_seq", ack.ResumeSeq,
+				"trace", newSess.traced,
+				"provenance", newSess.prov)
 		}
 		return newSess, out, nil
 
@@ -468,12 +513,33 @@ func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload [
 			return sess, out, &protoErr{wire.CodeProtocol,
 				fmt.Sprintf("batch sequence gap: got %d, want %d", h.Seq, sess.lastSeq+1)}
 		}
-		b, err := wire.DecodeBatchCodec(payload, sess.codec)
+		trace, clientSpan, recs, terr := wire.SplitTracePrefix(h, payload)
+		if terr != nil {
+			return sess, out, &protoErr{wire.CodeProtocol, terr.Error()}
+		}
+		b, err := wire.DecodeBatchCodec(recs, sess.codec)
 		if err != nil {
 			return sess, out, &protoErr{wire.CodeProtocol, err.Error()}
 		}
 		n := len(b.Recs)
-		b.Apply(sess.pl)
+		if trace != 0 {
+			// Continue the client's trace: a server.dispatch span parented
+			// under the client.batch root, with the pipeline stamping the
+			// shipped shard batches so apply spans nest beneath it.
+			dispatchSpan := telemetry.NewTraceID()
+			start := time.Now()
+			sess.pl.SetTrace(trace, dispatchSpan)
+			b.Apply(sess.pl)
+			sess.pl.SetTrace(0, 0)
+			s.tracer.RecordSpan(telemetry.SpanRecord{
+				Trace: trace, Span: dispatchSpan, Parent: clientSpan,
+				Name: "server.dispatch", Process: "racedetectd",
+				Dur:  time.Since(start).Nanoseconds(),
+				Args: map[string]any{"session": sess.id, "seq": h.Seq, "recs": n},
+			})
+		} else {
+			b.Apply(sess.pl)
+		}
 		event.PutBatch(b)
 		sess.lastSeq = h.Seq
 		sess.seqApplied.Store(h.Seq)
@@ -508,7 +574,7 @@ func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload [
 				return sess, out, werr
 			}
 			s.dropClosed(sess.id)
-			s.logf("session %d: report re-delivered", sess.id)
+			s.log.Info("session report re-delivered", "session", sess.id)
 			return nil, out, nil
 		}
 		res := sess.pl.Wait() // idempotent: a retried Close reuses the merged result
@@ -525,9 +591,11 @@ func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload [
 			return sess, out, werr
 		}
 		s.met.racesTotal.Add(uint64(len(rep.Races)))
+		s.recordRaces(sess.id, rep.Races)
 		s.retireSession(sess, out)
-		s.logf("session %d: closed (%d batches, %d events, %d races)",
-			sess.id, sess.lastSeq, res.Events, len(rep.Races))
+		s.log.Info("session closed",
+			"session", sess.id, "batches", sess.lastSeq,
+			"events", res.Events, "races", len(rep.Races))
 		return nil, out, nil
 
 	default:
@@ -576,6 +644,11 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 	if codec > s.opts.MaxCodec {
 		codec = s.opts.MaxCodec
 	}
+	// Trace and provenance grants follow the codec's interop rule: the
+	// client asks, the server grants unless operationally disabled, and
+	// absence on either side means off.
+	traced := hello.Trace && !s.opts.NoTrace
+	prov := hello.Provenance && !s.opts.NoProvenance
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -623,7 +696,7 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 		// retained unacked frames the client will replay are encoded in
 		// it, so renegotiating mid-session could misinterpret them.
 		ack = wire.HelloAck{SessionID: sess.id, Window: sess.window, AckEvery: sess.ackEvery,
-			ResumeSeq: sess.lastSeq, Codec: sess.codec}
+			ResumeSeq: sess.lastSeq, Codec: sess.codec, Trace: sess.traced}
 		return sess, ack, nil
 	}
 
@@ -649,12 +722,17 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 	if ackEvery < 1 {
 		ackEvery = 1
 	}
+	var tracer *telemetry.Tracer
+	if traced {
+		tracer = s.tracer
+	}
 	s.nextID++
 	sess := &session{
 		id:    s.nextID,
 		hello: hello,
 		pl: pipeline.New(pipeline.Options{
 			Workers: workers,
+			Tracer:  tracer,
 			Detector: detector.Config{
 				Granularity:      detector.Granularity(hello.Granularity),
 				NoInitState:      hello.NoInitState,
@@ -663,6 +741,7 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 				ReadReset:        hello.ReadReset,
 				ReshareInterval:  hello.ReshareInterval,
 				Clock:            detector.ClockMode(hello.Clock),
+				Provenance:       prov,
 			},
 			// Per-session labeled view: the session's pipeline/detector
 			// families appear on /metrics as session="<id>" series and are
@@ -673,14 +752,43 @@ func (s *Server) openSession(hello wire.Hello, conn net.Conn) (*session, wire.He
 		window:   window,
 		ackEvery: ackEvery,
 		codec:    codec,
+		traced:   traced,
+		prov:     prov,
 		opened:   time.Now(),
 		attached: true,
 		conn:     conn,
 	}
 	s.sessions[sess.id] = sess
 	s.met.sessionsTotal.Inc()
-	ack = wire.HelloAck{SessionID: sess.id, Window: window, AckEvery: ackEvery, Codec: codec}
+	ack = wire.HelloAck{SessionID: sess.id, Window: window, AckEvery: ackEvery, Codec: codec, Trace: traced}
 	return sess, ack, nil
+}
+
+// maxRecentRaces bounds the /debug/provenance ring.
+const maxRecentRaces = 1024
+
+// recordRaces retains a closed session's reported races (with provenance,
+// when the session negotiated it) for /debug/provenance.
+func (s *Server) recordRaces(session uint64, races []wire.ReportRace) {
+	if len(races) == 0 {
+		return
+	}
+	s.provMu.Lock()
+	for _, r := range races {
+		s.provRecent = append(s.provRecent, SessionRace{Session: session, Race: r})
+	}
+	if n := len(s.provRecent); n > maxRecentRaces {
+		s.provRecent = append(s.provRecent[:0], s.provRecent[n-maxRecentRaces:]...)
+	}
+	s.provMu.Unlock()
+}
+
+// RecentRaces returns the most recently reported races (newest last), the
+// data behind /debug/provenance.
+func (s *Server) RecentRaces() []SessionRace {
+	s.provMu.Lock()
+	defer s.provMu.Unlock()
+	return append([]SessionRace(nil), s.provRecent...)
 }
 
 // pruneSessionSeries drops the session-labeled metric series of a finished
@@ -710,7 +818,8 @@ func (s *Server) detachSession(sess *session) {
 	}
 	sess.linger = time.AfterFunc(s.opts.SessionLinger, func() { s.abortSession(sess) })
 	s.mu.Unlock()
-	s.logf("session %d: detached (lingering %v for resume)", sess.id, s.opts.SessionLinger)
+	s.log.Info("session detached; lingering for resume",
+		"session", sess.id, "linger", s.opts.SessionLinger)
 }
 
 // abortSession discards a session that will never complete: the pipeline
@@ -730,8 +839,9 @@ func (s *Server) abortSession(sess *session) {
 	s.mu.Unlock()
 	sess.pl.Wait()
 	s.pruneSessionSeries(sess.id)
-	s.logf("session %d: aborted after %d batches, %d events (client never closed)",
-		sess.id, sess.seqApplied.Load(), sess.eventsApplied.Load())
+	s.log.Warn("session aborted; client never closed",
+		"session", sess.id, "batches", sess.seqApplied.Load(),
+		"events", sess.eventsApplied.Load())
 }
 
 // retireSession removes a cleanly closed session and retains its encoded

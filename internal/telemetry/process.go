@@ -1,0 +1,44 @@
+// Process-level metrics: build identity, uptime and goroutine count —
+// the fleet-operations basics every long-lived detector process (and any
+// instrumented run) should expose alongside its domain metrics.
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildVersion reports the binary's module version from the embedded
+// build info, or "devel" for a plain `go build` of a dirty tree.
+func BuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// RegisterProcessMetrics installs the process instrument family on r:
+//
+//	detector_build_info{version,go_version}  constant 1 (identity by labels)
+//	process_uptime_seconds                   seconds since registration
+//	process_goroutines                       live goroutines (export-time)
+//
+// Registration is idempotent (the registry dedupes by name+labels), so
+// calling it from several components against one registry is safe.
+// Nil-safe.
+func RegisterProcessMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	start := time.Now()
+	r.Gauge("detector_build_info",
+		"Build identity: constant 1, with the module and Go versions as labels.",
+		Labels{"version": BuildVersion(), "go_version": runtime.Version()}).Set(1)
+	r.GaugeFunc("process_uptime_seconds",
+		"Seconds since this process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc("process_goroutines",
+		"Goroutines live in this process, sampled at export time.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}

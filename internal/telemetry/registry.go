@@ -352,9 +352,16 @@ func (r *Registry) Prune(keep func(name string, labels Labels) bool) {
 	if r == nil {
 		return
 	}
+	// The valve is itself observable: every removed series increments
+	// telemetry_pruned_series_total. The counter must be registered before
+	// taking the core lock (registration locks it too), and bumped after
+	// releasing it (the counter itself may have just been pruned and the
+	// next call would re-register under the same lock).
+	dropped := r.Counter("telemetry_pruned_series_total",
+		"Metric series removed by Registry.Prune (the cardinality valve).")
 	c := r.core
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var removed uint64
 	kept := c.ordered[:0]
 	for _, m := range c.ordered {
 		l := Labels{}
@@ -365,7 +372,10 @@ func (r *Registry) Prune(keep func(name string, labels Labels) bool) {
 			kept = append(kept, m)
 		} else {
 			delete(c.byKey, m.key)
+			removed++
 		}
 	}
 	c.ordered = kept
+	c.mu.Unlock()
+	dropped.Add(removed)
 }

@@ -100,6 +100,11 @@ const histBuckets = 65
 type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
 	sum     atomic.Uint64 // wraps modulo 2^64 on extreme inputs, by design
+	// exemplars holds the most recent trace ID observed per bucket (see
+	// ObserveTraced): the link from a latency bucket — in particular a
+	// tail bucket — to one concrete distributed span tree that landed
+	// there. Zero means the bucket has no exemplar.
+	exemplars [histBuckets]atomic.Uint64
 }
 
 // Observe records one value.
@@ -109,6 +114,22 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.buckets[bits.Len64(v)].Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveTraced records one value and, when trace is non-zero, stamps it
+// as the bucket's exemplar — so a p99 spike in the snapshot names the
+// trace ID of a batch that actually took that long. Costs one extra
+// atomic store over Observe only for traced observations.
+func (h *Histogram) ObserveTraced(v, trace uint64) {
+	if h == nil {
+		return
+	}
+	i := bits.Len64(v)
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	if trace != 0 {
+		h.exemplars[i].Store(trace)
+	}
 }
 
 // ObserveSince records the elapsed nanoseconds since start — the idiomatic
@@ -135,6 +156,8 @@ type HistogramSnapshot struct {
 	Count   uint64              // total observations
 	Sum     uint64              // sum of observed values (may wrap)
 	Buckets [histBuckets]uint64 // per-bucket counts; see BucketBound
+	// Exemplars carries each bucket's most recent trace ID (0 = none).
+	Exemplars [histBuckets]uint64
 }
 
 // BucketBound returns the inclusive upper bound of bucket i
@@ -159,9 +182,21 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		n := h.buckets[i].Load()
 		s.Buckets[i] = n
 		s.Count += n
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	s.Sum = h.sum.Load()
 	return s
+}
+
+// TailExemplar returns the trace ID stamped on the highest non-empty
+// bucket that has one — the exemplar for the distribution's tail — or 0.
+func (s HistogramSnapshot) TailExemplar() uint64 {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] > 0 && s.Exemplars[i] != 0 {
+			return s.Exemplars[i]
+		}
+	}
+	return 0
 }
 
 // Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of the

@@ -40,12 +40,44 @@ type TraceFile struct {
 type Tracer struct {
 	mu     sync.Mutex
 	start  time.Time
+	limit  int // max retained events and spans each; 0 = unbounded
 	events []TraceEvent
+	spans  []SpanRecord // distributed span records (see span.go)
 }
 
 // NewTracer returns a tracer whose timestamps are relative to now.
 func NewTracer() *Tracer {
 	return &Tracer{start: time.Now()}
+}
+
+// NewBoundedTracer returns a tracer that retains at most limit events and
+// limit span records, discarding the oldest half on overflow — the
+// long-lived-server variant (racedetectd keeps one for /debug/spans
+// without growing without bound).
+func NewBoundedTracer(limit int) *Tracer {
+	if limit < 2 {
+		limit = 2
+	}
+	return &Tracer{start: time.Now(), limit: limit}
+}
+
+// appendEventLocked appends under the tracer lock, evicting the oldest
+// half when a bounded tracer is full (amortized O(1) per append).
+func (t *Tracer) appendEventLocked(e TraceEvent) {
+	if t.limit > 0 && len(t.events) >= t.limit {
+		n := copy(t.events, t.events[len(t.events)-t.limit/2:])
+		t.events = t.events[:n]
+	}
+	t.events = append(t.events, e)
+}
+
+// appendSpanLocked is appendEventLocked for span records.
+func (t *Tracer) appendSpanLocked(s SpanRecord) {
+	if t.limit > 0 && len(t.spans) >= t.limit {
+		n := copy(t.spans, t.spans[len(t.spans)-t.limit/2:])
+		t.spans = t.spans[:n]
+	}
+	t.spans = append(t.spans, s)
 }
 
 func (t *Tracer) sinceStart(at time.Time) int64 {
@@ -72,7 +104,7 @@ func (t *Tracer) Span(name string, args ...map[string]any) func() {
 	return func() {
 		end := time.Now()
 		t.mu.Lock()
-		t.events = append(t.events, TraceEvent{
+		t.appendEventLocked(TraceEvent{
 			Name: name, Ph: "X",
 			Ts:  t.sinceStart(begin),
 			Dur: end.Sub(begin).Microseconds(),
@@ -90,7 +122,7 @@ func (t *Tracer) Instant(name string, args map[string]any) {
 	}
 	now := time.Now()
 	t.mu.Lock()
-	t.events = append(t.events, TraceEvent{
+	t.appendEventLocked(TraceEvent{
 		Name: name, Ph: "i", Ts: t.sinceStart(now), Pid: 1, Tid: 1, Args: args,
 	})
 	t.mu.Unlock()
@@ -104,7 +136,7 @@ func (t *Tracer) CounterSample(name string, values map[string]any) {
 	}
 	now := time.Now()
 	t.mu.Lock()
-	t.events = append(t.events, TraceEvent{
+	t.appendEventLocked(TraceEvent{
 		Name: name, Ph: "C", Ts: t.sinceStart(now), Pid: 1, Tid: 1, Args: values,
 	})
 	t.mu.Unlock()

@@ -16,8 +16,8 @@ import (
 func FromResult(res pipeline.Result) Report {
 	out := Report{Events: res.Events}
 	out.Races = make([]ReportRace, 0, len(res.Races))
-	for _, x := range res.Races {
-		out.Races = append(out.Races, ReportRace{
+	for i, x := range res.Races {
+		rr := ReportRace{
 			Kind:    uint8(x.Kind),
 			Addr:    x.Addr,
 			Size:    x.Size,
@@ -25,7 +25,12 @@ func FromResult(res pipeline.Result) Report {
 			PC:      uint32(x.PC),
 			PrevTid: int32(x.PrevTid),
 			PrevPC:  uint32(x.PrevPC),
-		})
+		}
+		if i < len(res.Provenance) {
+			p := res.Provenance[i]
+			rr.Prov = &p
+		}
+		out.Races = append(out.Races, rr)
 	}
 	st := res.Stats
 	out.Stats = ReportStats{
@@ -70,6 +75,30 @@ func (r Report) DetectorRaces() []detector.Race {
 			PrevTid: vc.TID(x.PrevTid),
 			PrevPC:  event.PC(x.PrevPC),
 		})
+	}
+	return out
+}
+
+// DetectorProvs reconstructs the provenance list, index-aligned with
+// DetectorRaces. Nil when no race carries provenance (pre-provenance
+// server, or a session that did not negotiate it); races whose provenance
+// was lost (e.g. merged in from an older member) get a zero record.
+func (r Report) DetectorProvs() []detector.Provenance {
+	any := false
+	for _, x := range r.Races {
+		if x.Prov != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make([]detector.Provenance, len(r.Races))
+	for i, x := range r.Races {
+		if x.Prov != nil {
+			out[i] = *x.Prov
+		}
 	}
 	return out
 }

@@ -54,6 +54,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"repro/internal/detector"
 	"repro/internal/event"
 	"repro/internal/vc"
 )
@@ -347,6 +348,18 @@ type Hello struct {
 	// 0 general vector clocks, 1 compact task-tree clocks with demotion.
 	// Absent (0) from pre-clock clients, preserving general-mode behavior.
 	Clock uint8 `json:"clock,omitempty"`
+	// Trace asks the server to accept FlagTraced batch frames carrying a
+	// span-context payload prefix (see trace.go). Absent (false) from
+	// pre-trace clients; the client only emits traced frames after the
+	// server echoes the grant in HelloAck.Trace.
+	Trace bool `json:"trace,omitempty"`
+	// Provenance asks the server to run its detectors with the race
+	// provenance flight recorder, so every ReportRace in the end-of-session
+	// report carries a Prov record. Absent (false) from pre-provenance
+	// clients; a pre-provenance server ignores the field and reports races
+	// without provenance — the client must treat missing Prov as "server
+	// too old", not an error.
+	Provenance bool `json:"provenance,omitempty"`
 }
 
 // HelloAck is the server's negotiation reply. Window is the granted
@@ -363,6 +376,11 @@ type HelloAck struct {
 	// ceiling). Absent (0) from pre-codec servers, which the client maps
 	// to CodecPacked. Every Batch frame of the session uses this codec.
 	Codec int `json:"codec,omitempty"`
+	// Trace grants the client's Hello.Trace request. Absent (false) from
+	// pre-trace servers, so a new client talking to an old server simply
+	// never sends traced frames — the same absent-means-v1 interop rule as
+	// Codec.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Report is the server's end-of-session payload: the merged pipeline
@@ -390,6 +408,11 @@ type ReportRace struct {
 	PC      uint32 `json:"pc"`
 	PrevTid int32  `json:"prev_tid"`
 	PrevPC  uint32 `json:"prev_pc"`
+	// Prov is the race's provenance record, present only for sessions that
+	// negotiated Hello.Provenance. It rides value copies (MergeReports,
+	// SortRaces, migration filtering) untouched — the identity fields above
+	// alone define race ordering and equality.
+	Prov *detector.Provenance `json:"prov,omitempty"`
 }
 
 // ReportStats carries the detector statistics a remote client needs to

@@ -52,11 +52,13 @@ func runCluster(p Program, opts Options) (Report, error) {
 	rep := Report{Program: p.Name, Tool: opts.Tool, Granularity: opts.Granularity}
 	endDial := opts.Tracer.Span("dial", map[string]any{"cluster": strings.Join(opts.Cluster, ",")})
 	sink, err := cluster.Dial(cluster.Options{
-		Members:   opts.Cluster,
-		Sync:      opts.RemoteSync,
-		Telemetry: opts.Telemetry,
-		Codec:     opts.wireCodec(),
-		Migration: opts.ClusterMigration,
+		Members:     opts.Cluster,
+		Sync:        opts.RemoteSync,
+		Telemetry:   opts.Telemetry,
+		Codec:       opts.wireCodec(),
+		Migration:   opts.ClusterMigration,
+		TraceSample: opts.TraceSample,
+		Tracer:      opts.Tracer,
 		NewBatchPolicy: func() *event.BatchPolicy {
 			return opts.batchPolicy() // nil unless adaptive; one policy per member
 		},
@@ -69,6 +71,7 @@ func runCluster(p Program, opts Options) (Report, error) {
 			ReadReset:        opts.ReadReset,
 			ReshareInterval:  opts.ReshareInterval,
 			Clock:            uint8(opts.Clock),
+			Provenance:       opts.Provenance,
 		},
 	})
 	endDial()
@@ -87,6 +90,6 @@ func runCluster(p Program, opts Options) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
-	fillFastTrack(&rep, wrep.DetectorStats(), wrep.DetectorRaces())
+	fillFastTrack(&rep, wrep.DetectorStats(), wrep.DetectorRaces(), wrep.DetectorProvs())
 	return rep, nil
 }

@@ -1,0 +1,185 @@
+package race
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/workloads"
+)
+
+// checkProvenance asserts the acceptance contract on one report: every
+// race carries a provenance record naming both accesses and the failed
+// epoch/clock comparison.
+func checkProvenance(t *testing.T, name string, rep Report) {
+	t.Helper()
+	if len(rep.Provenance) != len(rep.Races) {
+		t.Errorf("%s: %d provenance records for %d races", name, len(rep.Provenance), len(rep.Races))
+		return
+	}
+	for i, r := range rep.Races {
+		p := rep.Provenance[i]
+		if p.Kind == "" {
+			t.Errorf("%s: race %d (%v) has no provenance", name, i, r)
+			continue
+		}
+		if p.Kind != r.Kind {
+			t.Errorf("%s: race %d kind %q vs provenance kind %q", name, i, r.Kind, p.Kind)
+		}
+		if p.Current.Tid != uint32(r.Tid) || p.Current.PC != uint64(r.PC) {
+			t.Errorf("%s: race %d current access T%d@%#x, provenance T%d@%#x",
+				name, i, r.Tid, r.PC, p.Current.Tid, p.Current.PC)
+		}
+		if p.Previous.Tid != uint32(r.OtherTid) || p.Previous.PC != uint64(r.OtherPC) {
+			t.Errorf("%s: race %d previous access T%d@%#x, provenance T%d@%#x",
+				name, i, r.OtherTid, r.OtherPC, p.Previous.Tid, p.Previous.PC)
+		}
+		// The verdict condition itself: the earlier epoch was not ordered
+		// before the current thread's view.
+		if p.Comparison.Plane == "" || p.Comparison.PrevClock <= p.Comparison.Observed {
+			t.Errorf("%s: race %d comparison not a failed happens-before check: %+v",
+				name, i, p.Comparison)
+		}
+	}
+}
+
+// assertSameVerdicts checks that two reports reach identical race sets —
+// the "provenance never changes verdicts" half of the acceptance gate.
+func assertSameVerdicts(t *testing.T, name string, base, withProv Report) {
+	t.Helper()
+	if !reflect.DeepEqual(sortRaces(base.Races), sortRaces(withProv.Races)) {
+		t.Errorf("%s: provenance changed the race set\nwithout (%d): %v\nwith (%d): %v",
+			name, len(base.Races), base.Races, len(withProv.Races), withProv.Races)
+	}
+	if base.Detector.Accesses != withProv.Detector.Accesses ||
+		base.Detector.SameEpoch != withProv.Detector.SameEpoch {
+		t.Errorf("%s: provenance changed detector statistics: %d/%d vs %d/%d accesses/same-epoch",
+			name, base.Detector.Accesses, base.Detector.SameEpoch,
+			withProv.Detector.Accesses, withProv.Detector.SameEpoch)
+	}
+}
+
+// TestProvenanceLocal covers the in-process paths (serial and sharded
+// pipeline): enabling provenance explains every race and changes no
+// verdict, across every workload and granularity.
+func TestProvenanceLocal(t *testing.T) {
+	for _, spec := range workloads.All() {
+		for _, g := range []Granularity{Byte, Word, Dynamic} {
+			for _, workers := range []int{0, 2} {
+				base := Run(spec.Program(), Options{Granularity: g, Seed: 42, Workers: workers})
+				prov := Run(spec.Program(), Options{Granularity: g, Seed: 42, Workers: workers, Provenance: true})
+				name := spec.Name + "/" + g.String()
+				if workers > 0 {
+					name += "/pipeline"
+				}
+				assertSameVerdicts(t, name, base, prov)
+				checkProvenance(t, name, prov)
+			}
+		}
+	}
+}
+
+// TestProvenanceEquivalenceRemote is the remote half of the acceptance
+// gate: with -provenance and full trace sampling, a loopback racedetectd
+// run explains every race in the workload suite while reproducing the
+// untraced verdicts exactly.
+func TestProvenanceEquivalenceRemote(t *testing.T) {
+	addr := startDetectd(t, server.Options{})
+	tracer := telemetry.NewTracer()
+	for _, spec := range workloads.All() {
+		for _, g := range []Granularity{Byte, Word, Dynamic} {
+			base, err := RunE(spec.Program(), Options{
+				Granularity: g, Seed: 42, Workers: 2, Remote: addr,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: untraced run: %v", spec.Name, g, err)
+			}
+			prov, err := RunE(spec.Program(), Options{
+				Granularity: g, Seed: 42, Workers: 2, Remote: addr,
+				Provenance: true, TraceSample: 1, Tracer: tracer,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: provenance run: %v", spec.Name, g, err)
+			}
+			name := spec.Name + "/" + g.String() + "/remote"
+			assertSameVerdicts(t, name, base, prov)
+			checkProvenance(t, name, prov)
+		}
+	}
+	// Full sampling must have produced client root spans with trace IDs.
+	spans := tracer.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded at trace-sample 1")
+	}
+	for _, s := range spans {
+		if s.Trace == 0 || s.Span == 0 {
+			t.Fatalf("span %q missing IDs: %+v", s.Name, s)
+		}
+	}
+}
+
+// TestProvenanceEquivalenceCluster runs the same gate across a 4-member
+// fleet: provenance records survive the fan-out, the per-member reports
+// and wire.MergeReports, and still explain every race.
+func TestProvenanceEquivalenceCluster(t *testing.T) {
+	const n = 4
+	members := make([]string, n)
+	for i := range members {
+		members[i] = startDetectd(t, server.Options{})
+	}
+	for _, spec := range workloads.All() {
+		for _, g := range []Granularity{Byte, Word, Dynamic} {
+			base := Run(spec.Program(), Options{Granularity: g, Seed: 42})
+			prov, err := RunE(spec.Program(), Options{
+				Granularity: g, Seed: 42, Cluster: members,
+				Provenance: true, TraceSample: 1,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: cluster run: %v", spec.Name, g, err)
+			}
+			name := spec.Name + "/" + g.String() + "/cluster"
+			assertSameVerdicts(t, name, base, prov)
+			checkProvenance(t, name, prov)
+		}
+	}
+}
+
+// TestProvenanceRefusedByServer pins the interop grant: a server started
+// with NoProvenance refuses the client's request, the run still succeeds,
+// and the report simply carries no provenance — absent-means-off.
+func TestProvenanceRefusedByServer(t *testing.T) {
+	addr := startDetectd(t, server.Options{NoProvenance: true, NoTrace: true})
+	spec, err := workloads.ByName("pbzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := Run(spec.Program(), Options{Granularity: Dynamic, Seed: 42})
+	rep, err := RunE(spec.Program(), Options{
+		Granularity: Dynamic, Seed: 42, Workers: 2, Remote: addr,
+		Provenance: true, TraceSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVerdicts(t, "refused", local, rep)
+	if len(rep.Provenance) != 0 {
+		t.Fatalf("server refused provenance but report carries %d records", len(rep.Provenance))
+	}
+}
+
+// TestProvenanceValidate pins the option errors.
+func TestProvenanceValidate(t *testing.T) {
+	if err := (Options{Tool: Eraser, Provenance: true}).Validate(); err == nil {
+		t.Error("Provenance with Eraser: want error")
+	}
+	if err := (Options{TraceSample: 1.5}).Validate(); err == nil {
+		t.Error("TraceSample 1.5: want error")
+	}
+	if err := (Options{TraceSample: -0.1}).Validate(); err == nil {
+		t.Error("TraceSample -0.1: want error")
+	}
+	if err := (Options{Provenance: true, TraceSample: 1}).Validate(); err != nil {
+		t.Errorf("valid provenance+trace options rejected: %v", err)
+	}
+}

@@ -231,6 +231,22 @@ type Options struct {
 	// latency/throughput trade — reports are identical.
 	BatchPolicy string
 
+	// Provenance attaches an explanation record to every reported race:
+	// both conflicting accesses, the failing epoch/clock comparison, the
+	// granularity-plane state history, and the last few synchronization
+	// edges the detector applied before the report. FastTrack only; works
+	// in-process, Remote and Cluster (the record rides the wire report).
+	// Verdicts are byte-identical with or without it.
+	Provenance bool
+	// TraceSample samples event batches into a distributed trace at this
+	// rate (0 = off, 1 = every batch): sampled batches carry trace/span IDs
+	// across the wire, the server and its shard pipeline attach child
+	// spans, and ack-RTT/dispatch/apply histograms record the trace ID of
+	// tail-latency observations as exemplars. Effective on Remote and
+	// Cluster runs (in-process runs have no wire batches to trace); spans
+	// land in Tracer when set, and in the server's /debug/spans always.
+	TraceSample float64
+
 	// Telemetry, when non-nil, receives the run's live metrics: detector
 	// state transitions and sharing decisions, pipeline per-shard counters
 	// and queue depth, client wire counters. Nil disables instrumentation
@@ -356,6 +372,12 @@ func (o Options) Validate() error {
 	default:
 		return &OptionsError{"BatchPolicy", fmt.Sprintf("unknown batch policy %q (want fixed or adaptive)", o.BatchPolicy)}
 	}
+	if o.Provenance && o.Tool != FastTrack {
+		return &OptionsError{"Provenance", fmt.Sprintf("race provenance applies to the fasttrack tool only, not %v", o.Tool)}
+	}
+	if o.TraceSample < 0 || o.TraceSample > 1 {
+		return &OptionsError{"TraceSample", fmt.Sprintf("sampling rate %v outside [0,1]", o.TraceSample)}
+	}
 	if o.StatsInterval < 0 {
 		return &OptionsError{"StatsInterval", fmt.Sprintf("negative interval %v", o.StatsInterval)}
 	}
@@ -385,6 +407,12 @@ func (r Race) String() string {
 	return fmt.Sprintf("%s race at %#x (%dB): thread %d@pc%#x vs thread %d@pc%#x",
 		r.Kind, r.Addr, r.Size, r.Tid, r.PC, r.OtherTid, r.OtherPC)
 }
+
+// Provenance is one race's explanation record (Options.Provenance): both
+// conflicting accesses, the failing happens-before comparison, the
+// granularity-plane state transitions and the recent sync edges. Its
+// String method renders a multi-line human-readable explanation.
+type Provenance = detector.Provenance
 
 // Stats carries the detector-side measurements the evaluation tables use.
 type Stats struct {
@@ -450,6 +478,12 @@ type Report struct {
 	Races      []Race
 	Suppressed uint64
 
+	// Provenance, when Options.Provenance was set on a FastTrack run,
+	// carries one explanation record per race, parallel to Races (empty
+	// otherwise; a zero record marks a race whose provenance was lost,
+	// e.g. reported by a server without the feature).
+	Provenance []Provenance
+
 	// Elapsed is the wall time of the instrumented run; compare with a
 	// Baseline run of the same program/seed for the slowdown factor.
 	Elapsed time.Duration
@@ -502,8 +536,9 @@ func (o Options) batchPolicy() *event.BatchPolicy {
 
 // fillFastTrack maps FastTrack detector output into the unified report; the
 // serial detector and the sharded pipeline share it, so both modes populate
-// the report identically.
-func fillFastTrack(r *Report, st detector.Stats, races []detector.Race) {
+// the report identically. provs, when non-empty, is the provenance slice
+// parallel to races (Options.Provenance) and is copied through verbatim.
+func fillFastTrack(r *Report, st detector.Stats, races []detector.Race, provs []detector.Provenance) {
 	r.Detector = Stats{
 		Accesses:           st.Accesses,
 		SameEpoch:          st.SameEpoch,
@@ -537,6 +572,9 @@ func fillFastTrack(r *Report, st detector.Stats, races []detector.Race) {
 			Tid: int32(x.Tid), PC: uint32(x.PC),
 			OtherTid: int32(x.PrevTid), OtherPC: uint32(x.PrevPC),
 		})
+	}
+	if len(provs) > 0 {
+		r.Provenance = append(r.Provenance, provs...)
 	}
 }
 
@@ -586,6 +624,8 @@ func runRemote(p Program, opts Options) (Report, error) {
 		Telemetry:   opts.Telemetry,
 		Codec:       opts.wireCodec(),
 		BatchPolicy: opts.batchPolicy(),
+		TraceSample: opts.TraceSample,
+		Tracer:      opts.Tracer,
 		Hello: wire.Hello{
 			Granularity:      uint8(opts.Granularity),
 			Workers:          opts.Workers,
@@ -595,6 +635,7 @@ func runRemote(p Program, opts Options) (Report, error) {
 			ReadReset:        opts.ReadReset,
 			ReshareInterval:  opts.ReshareInterval,
 			Clock:            uint8(opts.Clock),
+			Provenance:       opts.Provenance,
 		},
 	})
 	endDial()
@@ -613,7 +654,7 @@ func runRemote(p Program, opts Options) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
-	fillFastTrack(&rep, wrep.DetectorStats(), wrep.DetectorRaces())
+	fillFastTrack(&rep, wrep.DetectorStats(), wrep.DetectorRaces(), wrep.DetectorProvs())
 	return rep, nil
 }
 
@@ -635,6 +676,7 @@ func runLocal(p Program, opts Options) Report {
 			ReshareInterval:  opts.ReshareInterval,
 			ReadReset:        opts.ReadReset,
 			Clock:            opts.Clock,
+			Provenance:       opts.Provenance,
 		}
 		if opts.Workers > 0 {
 			pl := pipeline.New(pipeline.Options{
@@ -643,18 +685,19 @@ func runLocal(p Program, opts Options) Report {
 				Telemetry:   opts.Telemetry,
 				Dispatch:    opts.Dispatch,
 				BatchPolicy: opts.batchPolicy(),
+				Tracer:      opts.Tracer,
 			})
 			sink = pl
 			var res pipeline.Result
 			drain = func() { res = pl.Wait() }
-			collect = func(r *Report) { fillFastTrack(r, res.Stats, res.Races) }
+			collect = func(r *Report) { fillFastTrack(r, res.Stats, res.Races, res.Provenance) }
 		} else {
 			if opts.Telemetry != nil {
 				cfg.Metrics = detector.NewMetrics(opts.Telemetry)
 			}
 			d := detector.New(cfg)
 			sink = d
-			collect = func(r *Report) { fillFastTrack(r, d.Stats(), d.Races()) }
+			collect = func(r *Report) { fillFastTrack(r, d.Stats(), d.Races(), d.Provs()) }
 		}
 	case DJITPlus:
 		d := djit.New(djit.Options{Granule: 1})
