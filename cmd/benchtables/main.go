@@ -13,6 +13,7 @@
 //	benchtables -mem-json BENCH_mem.json             # memory lane (allocs/op, shadow bytes)
 //	benchtables -clock-json BENCH_clock.json         # structure-aware clock lane (ns/event, peak clock bytes)
 //	benchtables -cluster-json BENCH_cluster.json     # sharded-cluster scaling lane (N=1/2/4 members)
+//	benchtables -sampling-json BENCH_sampling.json   # budgeted-sampling lane (races-found-vs-rate curve)
 //
 // Every number is measured in-process; nothing is replayed from files. See
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -65,6 +66,11 @@ func main() {
 			"write the detection-cluster scaling lane (events/s and p50 fan-out latency at 1/2/4 loopback members) to this file (e.g. BENCH_cluster.json)")
 		clusterMembers = flag.String("cluster-members", "",
 			"comma-separated member counts for -cluster-json (default 1,2,4)")
+
+		samplingJSON = flag.String("sampling-json", "",
+			"write the budgeted-sampling lane (races-found-vs-rate curve per workload × budget) to this file (e.g. BENCH_sampling.json)")
+		samplingBudgets = flag.String("sampling-budgets", "",
+			"comma-separated budget fractions for -sampling-json (default 1,0.5,0.2,0.1,0.05,0.02,0.01)")
 	)
 	flag.Parse()
 
@@ -191,6 +197,35 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *clusterJSON)
+		return
+	}
+
+	if *samplingJSON != "" {
+		var budgets []float64
+		if *samplingBudgets != "" {
+			for _, tok := range strings.Split(*samplingBudgets, ",") {
+				var b float64
+				if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &b); err != nil || b <= 0 || b > 1 {
+					fmt.Fprintf(os.Stderr, "bad -sampling-budgets entry %q (want a fraction in (0,1])\n", tok)
+					os.Exit(2)
+				}
+				budgets = append(budgets, b)
+			}
+		}
+		f, err := os.Create(*samplingJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = r.WriteSamplingJSON(f, budgets)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *samplingJSON)
 		return
 	}
 

@@ -10,7 +10,8 @@
 //	racedetect -bench x264 -tool fasttrack -granularity word -v
 //	racedetect -bench ferret -workers 4   # sharded parallel detection
 //	racedetect -bench dedup -tool drd -mem-limit-mb 48
-//	racedetect -bench raytrace -sample   # LiteRace-style sampling front end
+//	racedetect -bench raytrace -sample   # LiteRace-style sampling front end (legacy)
+//	racedetect -bench facesim -budget 5%   # always-on mode: 5% sampling budget
 //	racedetect -bench x264 -remote localhost:7474   # stream to racedetectd
 //	racedetect -bench x264 -remote localhost:7474 -codec v1   # force packed frames
 //	racedetect -bench canneal -cluster host1:7474,host2:7474   # sharded detection cluster
@@ -26,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -77,7 +79,9 @@ func main() {
 		memMB   = flag.Int64("mem-limit-mb", 0, "memory budget for drd/inspector (0 = unlimited)")
 		timeout = flag.Duration("timeout", 0, "wall-time budget (0 = unlimited)")
 		verbose = flag.Bool("v", false, "print each race report")
-		sample  = flag.Bool("sample", false, "wrap FastTrack in a LiteRace-style sampler")
+		sample  = flag.Bool("sample", false, "wrap FastTrack in a LiteRace-style sampler (legacy; see -budget)")
+		budget  = flag.String("budget", "",
+			"always-on sampling budget as a percentage or fraction (e.g. 5% or 0.05; 100% is a byte-identical pass-through): sample accesses down to this share of detection work, adapting to back-pressure on -workers/-remote/-cluster runs (fasttrack only)")
 		workers = flag.Int("workers", 0,
 			"sharded detection workers for fasttrack (0 = serial); needs GOMAXPROCS > workers for speedup")
 		remote = flag.String("remote", "",
@@ -133,6 +137,14 @@ func main() {
 		StatsInterval: *statsInterval, MetricsAddr: *metricsAddr,
 		Dispatch: *dispatch, BatchPolicy: *batchPolicy,
 		Provenance: *provenance, TraceSample: *traceSample,
+	}
+	if *budget != "" {
+		b, err := parseBudget(*budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -budget %q: %v\n", *budget, err)
+			os.Exit(2)
+		}
+		opts.Budget = b
 	}
 	if *clusterList != "" {
 		opts.Cluster = strings.Split(*clusterList, ",")
@@ -247,6 +259,12 @@ func main() {
 	case rep.TimedOut:
 		fmt.Println("result      ABORTED: wall-time budget exceeded")
 	}
+	if opts.Budget > 0 {
+		d := rep.Detector
+		fmt.Printf("sampling    budget %.1f%%, sampled fraction %.2f%% (%d forwarded / %d skipped, %d shed by server)\n",
+			100*opts.Budget, 100*d.SampledFraction(),
+			d.SampledForwarded, d.SampledSkipped, d.ShedRecords)
+	}
 	fmt.Printf("races       %d reported (%d suppressed by module rules)\n",
 		len(rep.Races), rep.Suppressed)
 	if *provenance {
@@ -279,8 +297,9 @@ func runSampled(prog race.Program, spec workloads.Spec, seed int64, baseTime tim
 	start := time.Now()
 	sim.Run(prog, s, sim.Options{Seed: seed})
 	elapsed := time.Since(start)
+	forwarded, skipped := s.Counts()
 	fmt.Printf("sampling    LiteRace-style, effective rate %.2f%% (%d forwarded / %d skipped)\n",
-		100*s.Rate(), s.Forwarded, s.Skipped)
+		100*s.Rate(), forwarded, skipped)
 	fmt.Printf("instrumented %v (slowdown %.2fx)\n",
 		elapsed.Round(time.Microsecond), float64(elapsed)/float64(baseTime))
 	fmt.Printf("races       %d of %d genuine races found at this rate\n",
@@ -316,6 +335,17 @@ func writeSpans(path string, tr *telemetry.Tracer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseBudget parses a sampling budget given as a percentage ("5%") or a
+// fraction ("0.05"). Shared by racedetect and tracereplay via copy.
+func parseBudget(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if p, ok := strings.CutSuffix(s, "%"); ok {
+		v, err := strconv.ParseFloat(p, 64)
+		return v / 100, err
+	}
+	return strconv.ParseFloat(s, 64)
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }

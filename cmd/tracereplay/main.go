@@ -10,6 +10,7 @@
 //	tracereplay -replay ferret.trace -tool fasttrack -granularity dynamic
 //	tracereplay -replay ferret.trace -tool drd
 //	tracereplay -replay ferret.trace -remote localhost:7474
+//	tracereplay -replay ferret.trace -budget 5%          # budgeted sampling lane
 //	tracereplay -replay ferret.trace -cluster host1:7474,host2:7474
 //	tracereplay -replay ferret.trace -metrics-addr :7070 -stats-interval 1s
 //	tracereplay -record -bench ferret -out ferret.trace -trace-out phases.json
@@ -29,6 +30,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,6 +38,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/detector"
 	"repro/internal/event"
+	"repro/internal/sampling"
 	"repro/internal/segment"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -81,8 +84,18 @@ func main() {
 			"write a heap (allocs) profile to this file on exit")
 		memstats = flag.Bool("memstats", false,
 			"print a one-line allocator summary to stderr on exit")
+		budget = flag.String("budget", "",
+			`replay through the budgeted sampling lane at this access budget ("5%" or 0.05; fasttrack replays only)`)
 	)
 	flag.Parse()
+	budgetFrac := 0.0
+	if *budget != "" {
+		b, err := parseBudget(*budget)
+		if err != nil || b < 0 || b > 1 {
+			fatal(fmt.Errorf("bad -budget %q (want a percentage like 5%% or a fraction in (0,1])", *budget))
+		}
+		budgetFrac = b
+	}
 	defer memReport(*memprofile, *memstats)
 
 	obs, err := startObs(*metricsAddr, *statsInterval)
@@ -155,7 +168,7 @@ func main() {
 		}
 		defer f.Close()
 		start := time.Now()
-		knobs := streamKnobs{prov: *provenance, traceSample: *traceSample, tracer: tracer}
+		knobs := streamKnobs{prov: *provenance, traceSample: *traceSample, tracer: tracer, budget: budgetFrac}
 		if *clusterList != "" {
 			endReplay := tracer.Span("replay-cluster", map[string]any{"cluster": *clusterList})
 			replayCluster(f, strings.Split(*clusterList, ","), *gran, *codec, *batchPolicy, *workers, *v, start, obs.reg, knobs)
@@ -178,8 +191,19 @@ func main() {
 				cfg.Metrics = detector.NewMetrics(obs.reg)
 			}
 			d := detector.New(cfg)
+			// The budgeted lane wraps the detector: same trace, a fraction of
+			// the accesses, the full synchronization skeleton.
+			var sink event.Sink = d
+			var smp *sampling.Detector
+			if budgetFrac > 0 && budgetFrac < 1 {
+				smp = sampling.New(d, sampling.Options{
+					RatePermille: uint32(budgetFrac*1000 + 0.5),
+					Telemetry:    obs.reg,
+				})
+				sink = smp
+			}
 			endReplay := tracer.Span("replay", map[string]any{"tool": "fasttrack", "granularity": *gran})
-			err := trace.Replay(f, d)
+			err := trace.Replay(f, sink)
 			endReplay()
 			if err != nil {
 				fatal(err)
@@ -188,6 +212,9 @@ func main() {
 			fmt.Printf("fasttrack/%s over %d accesses in %v: %d races, %d peak clocks, %.2f MB peak\n",
 				*gran, st.Accesses, time.Since(start).Round(time.Microsecond),
 				len(d.Races()), st.Plane.NodesPeak, float64(st.TotalPeakBytes)/(1<<20))
+			if smp != nil {
+				printSamplingSummary(budgetFrac, smp)
+			}
 			if *provenance {
 				printProvSummary(d.Provs(), len(d.Races()))
 			}
@@ -195,6 +222,9 @@ func main() {
 				printRaces(d.Races(), d.Provs())
 			}
 		case "drd":
+			if budgetFrac > 0 && budgetFrac < 1 {
+				fatal(fmt.Errorf("-budget requires -tool fasttrack (drd's segment reuse assumes the full stream)"))
+			}
 			d := segment.New(segment.Options{})
 			endReplay := tracer.Span("replay", map[string]any{"tool": "drd"})
 			err := trace.Replay(f, d)
@@ -248,6 +278,42 @@ type streamKnobs struct {
 	prov        bool
 	traceSample float64
 	tracer      *telemetry.Tracer
+	budget      float64 // sampling budget in (0,1); 0 or 1 disables the lane
+}
+
+// samplingController builds the feedback controller for a budgeted
+// remote/cluster replay, or nil when the budget is off (0) or exhaustive
+// (1). Created before the transport dials so the transport can feed it
+// back-pressure signals; bound to the sampler by samplingLane after.
+func samplingController(budget float64) *sampling.Controller {
+	if budget <= 0 || budget >= 1 {
+		return nil
+	}
+	return sampling.NewController(budget)
+}
+
+// samplingLane wraps a transport sink in the budgeted sampler and binds
+// the controller (when one was created) so back-pressure steers the
+// rate. Returns the sink unchanged when the budget is off or exhaustive.
+func samplingLane(sink event.Sink, budget float64, ctrl *sampling.Controller, reg *telemetry.Registry) (event.Sink, *sampling.Detector) {
+	if budget <= 0 || budget >= 1 {
+		return sink, nil
+	}
+	smp := sampling.New(sink, sampling.Options{
+		RatePermille: uint32(budget*1000 + 0.5),
+		Telemetry:    reg,
+	})
+	if ctrl != nil {
+		ctrl.Bind(smp)
+	}
+	return smp, smp
+}
+
+// printSamplingSummary prints the budgeted lane's one-line outcome.
+func printSamplingSummary(budget float64, smp *sampling.Detector) {
+	forwarded, skipped := smp.Counts()
+	fmt.Printf("sampling    budget %.1f%%, sampled fraction %.2f%% (%d forwarded / %d skipped)\n",
+		100*budget, 100*smp.Rate(), forwarded, skipped)
 }
 
 // printProvSummary prints the explained-race tally front-ends and CI grep.
@@ -279,7 +345,8 @@ func printRaces(races []detector.Race, provs []detector.Provenance) {
 // (client_batches_total, client_encode_ns, …) for the -metrics-addr page.
 func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int, verbose bool, start time.Time, reg *telemetry.Registry, knobs streamKnobs) {
 	g, reqCodec, policy := parseStreamOpts(gran, codec, batchPolicy)
-	cl, err := client.Dial(client.Options{
+	ctrl := samplingController(knobs.budget)
+	clOpts := client.Options{
 		Addr:        addr,
 		Telemetry:   reg,
 		Codec:       reqCodec,
@@ -287,11 +354,16 @@ func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int
 		TraceSample: knobs.traceSample,
 		Tracer:      knobs.tracer,
 		Hello:       wire.Hello{Granularity: uint8(g), Workers: workers, Provenance: knobs.prov},
-	})
+	}
+	if ctrl != nil {
+		clOpts.Backpressure = ctrl
+	}
+	cl, err := client.Dial(clOpts)
 	if err != nil {
 		fatal(err)
 	}
-	if err := trace.Replay(f, cl); err != nil {
+	sink, smp := samplingLane(event.Sink(cl), knobs.budget, ctrl, reg)
+	if err := trace.Replay(f, sink); err != nil {
 		fatal(err)
 	}
 	rep, err := cl.Close()
@@ -304,6 +376,9 @@ func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int
 		len(rep.Races), rep.Stats.NodesPeak, float64(rep.Stats.TotalPeakBytes)/(1<<20))
 	fmt.Printf("transport   %d batches, %d events to %s (codec %s)\n",
 		st.Batches, st.Events, addr, wire.CodecName(cl.Codec()))
+	if smp != nil {
+		printSamplingSummary(knobs.budget, smp)
+	}
 	if knobs.prov {
 		printProvSummary(rep.DetectorProvs(), len(rep.Races))
 	}
@@ -318,7 +393,8 @@ func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int
 // each member's batches to that member's observed back-pressure.
 func replayCluster(f *os.File, members []string, gran, codec, batchPolicy string, workers int, verbose bool, start time.Time, reg *telemetry.Registry, knobs streamKnobs) {
 	g, reqCodec, policy := parseStreamOpts(gran, codec, batchPolicy)
-	sink, err := cluster.Dial(cluster.Options{
+	ctrl := samplingController(knobs.budget)
+	sOpts := cluster.Options{
 		Members:     members,
 		Telemetry:   reg,
 		Codec:       reqCodec,
@@ -331,14 +407,21 @@ func replayCluster(f *os.File, members []string, gran, codec, batchPolicy string
 			return new(event.BatchPolicy)
 		},
 		Hello: wire.Hello{Granularity: uint8(g), Workers: workers, Provenance: knobs.prov},
-	})
+	}
+	if ctrl != nil {
+		// One controller absorbs every member's signals: any overloaded
+		// member throttles the shared sampler.
+		sOpts.Backpressure = ctrl
+	}
+	cl, err := cluster.Dial(sOpts)
 	if err != nil {
 		fatal(err)
 	}
+	sink, smp := samplingLane(event.Sink(cl), knobs.budget, ctrl, reg)
 	if err := trace.Replay(f, sink); err != nil {
 		fatal(err)
 	}
-	rep, err := sink.Close()
+	rep, err := cl.Close()
 	if err != nil {
 		fatal(err)
 	}
@@ -346,6 +429,9 @@ func replayCluster(f *os.File, members []string, gran, codec, batchPolicy string
 		gran, rep.Stats.Accesses, time.Since(start).Round(time.Microsecond),
 		len(rep.Races), rep.Stats.NodesPeak, float64(rep.Stats.TotalPeakBytes)/(1<<20),
 		len(members))
+	if smp != nil {
+		printSamplingSummary(knobs.budget, smp)
+	}
 	if knobs.prov {
 		printProvSummary(rep.DetectorProvs(), len(rep.Races))
 	}
@@ -441,6 +527,17 @@ func memReport(path string, stats bool) {
 			m.Mallocs, float64(m.TotalAlloc)/(1<<20), float64(m.HeapSys)/(1<<20),
 			m.NumGC, float64(m.PauseTotalNs)/1e6)
 	}
+}
+
+// parseBudget parses a sampling budget given as a percentage ("5%") or a
+// fraction ("0.05"). Shared by racedetect and tracereplay via copy.
+func parseBudget(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if p, ok := strings.CutSuffix(s, "%"); ok {
+		v, err := strconv.ParseFloat(p, 64)
+		return v / 100, err
+	}
+	return strconv.ParseFloat(s, 64)
 }
 
 func fatal(err error) {

@@ -72,6 +72,13 @@ type Options struct {
 	// server's ack round trip (see event.BatchPolicy). Nil ships fixed
 	// event.DefaultBatchSize batches.
 	BatchPolicy *event.BatchPolicy
+
+	// Backpressure, when non-nil, receives the same outbox-occupancy and
+	// ack-RTT observations as BatchPolicy — the hook the budgeted
+	// sampling lane's feedback controller (sampling.Controller) plugs
+	// into. Independent of BatchPolicy: either, both or neither may be
+	// set.
+	Backpressure event.BackpressureObserver
 	// DialTimeout bounds one dial attempt (default 5s).
 	DialTimeout time.Duration
 	// MaxAttempts bounds dial attempts per connect or reconnect
@@ -501,7 +508,8 @@ func (c *Client) markDeadLocked() {
 // histogram, the adaptive batch policy and root-span durations all
 // consume them.
 func (c *Client) trackRTT() bool {
-	return c.met.ackRTT != nil || c.opts.BatchPolicy != nil || (c.traced && c.opts.Tracer != nil)
+	return c.met.ackRTT != nil || c.opts.BatchPolicy != nil ||
+		c.opts.Backpressure != nil || (c.traced && c.opts.Tracer != nil)
 }
 
 func (c *Client) pruneAckedLocked() {
@@ -511,6 +519,9 @@ func (c *Client) pruneAckedLocked() {
 			rtt := time.Since(sf.sentAt)
 			c.met.ackRTT.ObserveTraced(uint64(rtt.Nanoseconds()), sf.trace)
 			c.opts.BatchPolicy.ObserveRTT(rtt)
+			if o := c.opts.Backpressure; o != nil {
+				o.ObserveRTT(rtt)
+			}
 			if sf.trace != 0 && c.opts.Tracer != nil {
 				c.opts.Tracer.RecordSpan(telemetry.SpanRecord{
 					Trace: sf.trace, Span: sf.span,
@@ -632,6 +643,9 @@ func (c *Client) flushBatch(b *event.Batch) {
 		// Target is read here, on the event thread, only.
 		p.ObserveQueue(len(c.outbox), cap(c.outbox))
 		c.enc.Target = p.Target()
+	}
+	if o := c.opts.Backpressure; o != nil {
+		o.ObserveQueue(len(c.outbox), cap(c.outbox))
 	}
 	c.outbox <- sf // bounded; the sender always drains, even after errors
 }

@@ -56,6 +56,13 @@ type Options struct {
 	// to build its adaptive batch policy. A policy holds single-connection
 	// state (RTT and queue observations), so members cannot share one.
 	NewBatchPolicy func() *event.BatchPolicy
+
+	// Backpressure, when non-nil, is shared by every member connection:
+	// each member client feeds its outbox-occupancy and ack-RTT
+	// observations into it. The budgeted sampling lane passes its
+	// feedback controller here (sampling.Controller is mutex-guarded, so
+	// one controller can absorb the whole fleet's signals).
+	Backpressure event.BackpressureObserver
 	// DialTimeout bounds one dial attempt per member.
 	DialTimeout time.Duration
 	// ReportTimeout bounds the per-member report wait at Close.
@@ -197,6 +204,7 @@ func (s *Sink) clientOptions(addr string) client.Options {
 		Telemetry:     s.opts.Telemetry,
 		TraceSample:   s.opts.TraceSample,
 		Tracer:        s.opts.Tracer,
+		Backpressure:  s.opts.Backpressure,
 	}
 	if s.opts.NewBatchPolicy != nil {
 		co.BatchPolicy = s.opts.NewBatchPolicy()

@@ -23,6 +23,21 @@ const (
 	DefaultBatchTarget = 512
 )
 
+// BackpressureObserver consumes the transport back-pressure signals the
+// producers already measure: the consumer-queue occupancy seen at ship
+// time and the acknowledgement round trip of the remote path. BatchPolicy
+// implements it to size batches; sampling.Controller implements it to
+// steer the budgeted sampling rate. The pipeline router, the remote
+// client and the cluster members feed every configured observer the same
+// observation stream.
+type BackpressureObserver interface {
+	// ObserveQueue reports the consumer queue's occupancy (queued of
+	// capacity) as seen by the producer at ship time.
+	ObserveQueue(queued, capacity int)
+	// ObserveRTT reports one acknowledgement round trip.
+	ObserveRTT(rtt time.Duration)
+}
+
 // BatchPolicy adapts a producer's batch flush threshold between
 // MinBatchTarget and DefaultBatchSize from two back-pressure signals:
 //
@@ -49,6 +64,8 @@ type BatchPolicy struct {
 	target atomic.Int64
 	minRTT time.Duration
 }
+
+var _ BackpressureObserver = (*BatchPolicy)(nil)
 
 // Target returns the current flush threshold in records.
 func (p *BatchPolicy) Target() int {

@@ -84,6 +84,12 @@ type Options struct {
 	// Batch sizing never affects results — reports merge by sequence
 	// number — only the latency/throughput trade.
 	BatchPolicy *event.BatchPolicy
+	// Backpressure, when non-nil, receives the same ship-time
+	// queue-occupancy observations as BatchPolicy — the hook the budgeted
+	// sampling lane's feedback controller (sampling.Controller) plugs
+	// into. Independent of BatchPolicy: either, both or neither may be
+	// set.
+	Backpressure event.BackpressureObserver
 	// Telemetry, when non-nil, receives the pipeline instrument families:
 	// per-shard applied-event counters (pipeline_shard_events_total), batch
 	// dispatch counts and stall/apply latency histograms, a live
@@ -208,6 +214,7 @@ type Pipeline struct {
 	workers []*worker
 	pending []*event.Batch // per-worker batch being filled
 	policy  *event.BatchPolicy
+	obs     event.BackpressureObserver
 	wg      sync.WaitGroup
 
 	seq       uint64
@@ -251,6 +258,7 @@ func New(opts Options) *Pipeline {
 		workers: make([]*worker, n),
 		pending: make([]*event.Batch, n),
 		policy:  opts.BatchPolicy,
+		obs:     opts.Backpressure,
 	}
 	reg := opts.Telemetry
 	var prodParks, consParks *telemetry.Counter
@@ -344,6 +352,9 @@ func (p *Pipeline) ship(w int, b *event.Batch) {
 	if p.policy != nil {
 		p.policy.ObserveQueue(q.len(), q.capacity())
 	}
+	if p.obs != nil {
+		p.obs.ObserveQueue(q.len(), q.capacity())
+	}
 	if p.dispatchNS == nil {
 		q.send(b)
 		return
@@ -372,6 +383,11 @@ func (p *Pipeline) QueueDepth() int {
 	}
 	return depth
 }
+
+// Occupancy returns the mean occupied fraction of the worker queues in
+// [0,1] — the back-pressure watermark the remote-detection server's load
+// shedder compares against. Safe to call concurrently with routing.
+func (p *Pipeline) Occupancy() float64 { return p.ringOccupancy() }
 
 // push appends a record to worker w's pending batch, shipping the batch
 // when it reaches the flush threshold (the adaptive policy's current

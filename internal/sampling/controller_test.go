@@ -1,0 +1,158 @@
+package sampling
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+// Compile-time check: the controller plugs into every transport that
+// feeds back-pressure signals.
+var _ event.BackpressureObserver = (*Controller)(nil)
+
+// Step response: sustained pressure collapses the rate toward the floor;
+// sustained clear signals recover it back to the budget (within rounding)
+// — the controller converges in both directions.
+func TestControllerStepResponse(t *testing.T) {
+	s := New(event.Nop{}, Options{RatePermille: 50})
+	c := NewController(0.05)
+	c.Bind(s)
+	if got := s.RatePermille(); got != 50 {
+		t.Fatalf("bound rate = %d‰, want 50‰", got)
+	}
+
+	// Step 1: queues blow past the watermark. Multiplicative decrease
+	// must reach the floor in a handful of observations.
+	for i := 0; i < 10; i++ {
+		c.ObserveQueue(90, 100)
+	}
+	if got := s.RatePermille(); got != 1 {
+		t.Fatalf("rate after sustained pressure = %d‰, want floor 1‰", got)
+	}
+
+	// Step 2: queues drain. The damped approach must recover to within
+	// 5% of the budget within a bounded number of clear signals
+	// (gain 0.25 → gap shrinks 0.75× per signal; 20 is generous).
+	for i := 0; i < 20; i++ {
+		c.ObserveQueue(0, 100)
+	}
+	if got := s.RatePermille(); got < 47 || got > 50 {
+		t.Fatalf("rate after recovery = %d‰, want ≈50‰", got)
+	}
+}
+
+// RTT signals behave like occupancy: a blown RTT is pressure, an RTT back
+// near the floor is clear, and the floor is learned from observations.
+func TestControllerRTTSignals(t *testing.T) {
+	s := New(event.Nop{}, Options{RatePermille: 200})
+	c := NewController(0.2)
+	c.Bind(s)
+
+	c.ObserveRTT(time.Millisecond) // learn the floor (also a clear signal)
+	for i := 0; i < 8; i++ {
+		c.ObserveRTT(10 * time.Millisecond) // 10× the floor: pressure
+	}
+	low := s.RatePermille()
+	if low >= 200 {
+		t.Fatalf("rate did not decrease under RTT pressure: %d‰", low)
+	}
+	for i := 0; i < 30; i++ {
+		c.ObserveRTT(time.Millisecond) // back at the floor: clear
+	}
+	if got := s.RatePermille(); got < 190 || got > 200 {
+		t.Fatalf("rate after RTT recovery = %d‰, want ≈200‰", got)
+	}
+	// In-between RTTs (2×–4× the floor) are neither pressure nor clear.
+	before := s.RatePermille()
+	c.ObserveRTT(3 * time.Millisecond)
+	if got := s.RatePermille(); got != before {
+		t.Fatalf("neutral RTT moved the rate: %d‰ → %d‰", before, got)
+	}
+}
+
+// No oscillation: within a window of same-direction signals the rate
+// sequence is monotone, and each recovery step is no larger than the
+// previous one (damped). The controller never overshoots the budget.
+func TestControllerMonotoneDamped(t *testing.T) {
+	s := New(event.Nop{}, Options{RatePermille: 100})
+	c := NewController(0.1)
+	c.Bind(s)
+
+	// Drive to the floor, recording the pressure trajectory.
+	var down []uint32
+	for i := 0; i < 12; i++ {
+		c.ObserveQueue(100, 100)
+		down = append(down, c.RatePermille())
+	}
+	for i := 1; i < len(down); i++ {
+		if down[i] > down[i-1] {
+			t.Fatalf("pressure window not monotone: %v", down)
+		}
+	}
+
+	// Recover, recording the clear trajectory.
+	var up []uint32
+	for i := 0; i < 40; i++ {
+		c.ObserveQueue(0, 100)
+		up = append(up, c.RatePermille())
+	}
+	prevStep := uint32(1 << 30)
+	for i := 1; i < len(up); i++ {
+		if up[i] < up[i-1] {
+			t.Fatalf("recovery window not monotone: %v", up)
+		}
+		// Damped: each step covers a fixed fraction of a shrinking gap, so
+		// steps never grow (±1‰ slack for integer rounding of the rate).
+		step := up[i] - up[i-1]
+		if step > prevStep+1 {
+			t.Fatalf("recovery steps not damped at %d: %v", i, up)
+		}
+		if step > 0 {
+			prevStep = step
+		}
+		if up[i] > 100 {
+			t.Fatalf("recovery overshot the budget: %v", up)
+		}
+	}
+}
+
+// Unbound observations only move the internal rate; Bind pushes it into
+// the sampler (the constructors need the observer before the sampler
+// exists, so this ordering is the production one).
+func TestControllerBindAfterSignals(t *testing.T) {
+	c := NewController(0.5)
+	for i := 0; i < 4; i++ {
+		c.ObserveQueue(100, 100)
+	}
+	s := New(event.Nop{}, Options{RatePermille: 500})
+	c.Bind(s)
+	if got := s.RatePermille(); got != c.RatePermille() {
+		t.Fatalf("Bind did not push the rate: sampler %d‰, controller %d‰",
+			got, c.RatePermille())
+	}
+	if got := s.RatePermille(); got >= 500 {
+		t.Fatalf("pre-bind pressure lost: %d‰", got)
+	}
+}
+
+// A controller for a 100% budget would defeat the pass-through lane;
+// the race layer never attaches one, but the clamp keeps even a misused
+// controller inside [floor, budget].
+func TestControllerClamps(t *testing.T) {
+	c := NewController(2.0) // clamped to 1.0
+	s := New(event.Nop{}, Options{})
+	c.Bind(s)
+	for i := 0; i < 50; i++ {
+		c.ObserveQueue(0, 100)
+	}
+	if got := c.RatePermille(); got > 1000 {
+		t.Fatalf("rate exceeded 1000‰: %d", got)
+	}
+	for i := 0; i < 50; i++ {
+		c.ObserveQueue(100, 100)
+	}
+	if got := c.RatePermille(); got < 1 {
+		t.Fatalf("rate fell below the floor: %d", got)
+	}
+}

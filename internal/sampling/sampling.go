@@ -5,17 +5,45 @@
 // happens-before structure must stay exact or the detector would invent
 // races).
 //
-// Sampling follows LiteRace's cold-region hypothesis: code regions
-// (synthetic PCs here) start at a 100% sampling rate that decays
-// geometrically as the region gets hotter, down to a floor. Rarely
-// executed code — where races hide, because hot paths get tested — keeps
-// being analyzed; hot inner loops stop paying for instrumentation. The
-// wrapper reports the effective sampling rate so benches can plot the
-// overhead/coverage trade-off the sampling papers describe.
+// Sampling follows LiteRace's cold-region hypothesis with a granularity
+// twist in the spirit of the reproduced paper: a region is one code site
+// × one 64-byte address block (Options.BlockShift), not a code site
+// alone. Each region starts at a 100% sampling rate that decays
+// geometrically as it gets hotter, down to a floor. Rarely exercised
+// site×block pairs — where races hide, because hot paths get tested —
+// keep being analyzed; hot inner loops stop paying for instrumentation.
+// Keying regions on the address block as well as the site is what
+// preserves recall under tight budgets: a racy address's first accesses
+// form a fresh cold region even when the touching code site is hot.
+//
+// The budget is a steady-state target. Untouched-cold-region first
+// bursts ride above it by design (dropping them is what destroys
+// recall), so on streaming access patterns — where most blocks are seen
+// only a handful of times — the achieved fraction floors at the cold
+// mass regardless of budget; on iterating workloads it converges to the
+// budget as the run amortizes its cold start.
+//
+// The sampler is shard-safe: region state lives in an open-addressed
+// table of atomic slots updated by CAS, so it can sit in front of the
+// parallel pipeline, the remote client or the cluster fan-out sink with
+// concurrent producers. The skip path allocates nothing (the table only
+// grows when a cold site is first seen, on the forwarded path).
+//
+// On top of the per-region decay sits a global budget (RatePermille, set
+// from race.Options.Budget): hot regions converge to the budget rate, a
+// run-wide credit check keeps the overall forwarded fraction at or under
+// the budget, and a rate of 1000‰ short-circuits into pure pass-through —
+// byte-identical to no sampler at all. SetRatePermille is the knob the
+// feedback Controller turns at run time.
 package sampling
 
 import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/event"
+	"repro/internal/telemetry"
 	"repro/internal/vc"
 )
 
@@ -24,30 +52,104 @@ type Options struct {
 	// BurstLength is how many accesses of a region are forwarded each time
 	// its budget refreshes (default 10, as in LiteRace).
 	BurstLength uint32
-	// Decay divides a region's refresh budget each time it is exhausted
-	// (default 2).
+	// Decay multiplies a region's inter-burst gap each time its budget is
+	// exhausted (default 2).
 	Decay uint32
 	// FloorPermille is the minimum sampling rate in ‰ (default 1, i.e.
-	// 0.1%).
+	// 0.1%). Regions never decay below it, and the Controller never
+	// pushes the global rate under it.
 	FloorPermille uint32
+	// BlockShift sets the region granularity: a region is one code site ×
+	// one 2^BlockShift-byte address block (default 6, i.e. 64-byte
+	// blocks). Including address bits in the region key is what preserves
+	// recall under tight budgets — a racy address's first accesses are a
+	// fresh cold region even when its code site is hot. 64 or more
+	// degenerates to classic LiteRace site-only regions.
+	BlockShift uint8
+	// RatePermille is the initial global sampling budget in ‰. 0 keeps
+	// the classic LiteRace behaviour (decay to FloorPermille, no global
+	// credit check); 1..999 makes hot regions converge on that rate and
+	// caps the run-wide forwarded fraction at it; >= 1000 is pure
+	// pass-through (every access forwarded, no state touched) so a 100%
+	// budget is byte-identical to running without the sampler.
+	RatePermille uint32
+	// Telemetry, when non-nil, registers sampling_forwarded_total /
+	// sampling_skipped_total counters and the detector_sampled_fraction
+	// gauge on the registry.
+	Telemetry *telemetry.Registry
 }
 
-// region tracks one code site's adaptive sampling state.
-type region struct {
-	remaining uint32 // accesses left in the current burst
-	skip      uint32 // accesses to skip before the next burst
-	gap       uint32 // current inter-burst gap (grows by Decay)
+// Region state packs into one uint64 so a CAS updates it atomically:
+//
+//	bits  0–15  remaining  accesses left in the current burst
+//	bits 16–39  skip       accesses to skip before the next refresh
+//	bits 40–63  gap        current inter-burst gap (grows by Decay)
+const (
+	remainingBits = 16
+	skipBits      = 24
+	gapBits       = 24
+	maxRemaining  = 1<<remainingBits - 1
+	maxGapValue   = 1<<gapBits - 1
+)
+
+func packState(remaining, skip, gap uint32) uint64 {
+	return uint64(remaining) | uint64(skip)<<remainingBits |
+		uint64(gap)<<(remainingBits+skipBits)
+}
+
+func unpackState(s uint64) (remaining, skip, gap uint32) {
+	return uint32(s & maxRemaining),
+		uint32(s >> remainingBits & (1<<skipBits - 1)),
+		uint32(s >> (remainingBits + skipBits))
+}
+
+// slot is one open-addressed table entry: a PC key (stored +1 so zero
+// means empty) and the packed region state. 16 bytes, cache-line friendly.
+type slot struct {
+	key   atomic.Uint64
+	state atomic.Uint64
+}
+
+// table is one immutable-size generation of the region table; Detector
+// swaps in doubled generations as sites accumulate.
+type table struct {
+	mask  uint64
+	slots []slot
+}
+
+// Metrics is the sampler's telemetry instrument set. All fields are
+// nil-safe: NewMetrics(nil) returns no-op instruments.
+type Metrics struct {
+	Forwarded *telemetry.Counter
+	Skipped   *telemetry.Counter
+}
+
+// NewMetrics registers the sampling counters on r (nil r → no-ops).
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Forwarded: r.Counter("sampling_forwarded_total",
+			"Memory accesses the sampling front end forwarded to the detector."),
+		Skipped: r.Counter("sampling_skipped_total",
+			"Memory accesses the sampling front end dropped (sync is never dropped)."),
+	}
 }
 
 // Detector wraps an underlying sink with adaptive sampling; it implements
-// event.Sink.
+// event.Sink and event.GoSink and is safe for concurrent producers.
 type Detector struct {
-	opt     Options
-	under   event.Sink
-	regions map[event.PC]*region
+	opt   Options
+	under event.Sink
 
-	// Forwarded and Skipped count sampled vs dropped accesses.
-	Forwarded, Skipped uint64
+	rate atomic.Uint32 // global budget in ‰; >=1000 → pass-through
+
+	tab    atomic.Pointer[table]
+	used   atomic.Int64
+	growMu sync.Mutex
+
+	forwarded atomic.Uint64
+	skipped   atomic.Uint64
+
+	met *Metrics
 }
 
 // New wraps under with a LiteRace-style sampler.
@@ -55,65 +157,225 @@ func New(under event.Sink, opt Options) *Detector {
 	if opt.BurstLength == 0 {
 		opt.BurstLength = 10
 	}
+	if opt.BurstLength > maxRemaining {
+		opt.BurstLength = maxRemaining
+	}
 	if opt.Decay == 0 {
 		opt.Decay = 2
 	}
 	if opt.FloorPermille == 0 {
 		opt.FloorPermille = 1
 	}
-	return &Detector{opt: opt, under: under, regions: make(map[event.PC]*region)}
+	if opt.BlockShift == 0 {
+		opt.BlockShift = 6
+	}
+	d := &Detector{opt: opt, under: under, met: NewMetrics(opt.Telemetry)}
+	d.rate.Store(opt.RatePermille)
+	t := &table{mask: 1023, slots: make([]slot, 1024)}
+	d.tab.Store(t)
+	if opt.Telemetry != nil {
+		opt.Telemetry.GaugeFunc("detector_sampled_fraction",
+			"Fraction of memory accesses forwarded to the detector (1 when unsampled).",
+			d.Rate)
+	}
+	return d
 }
 
-// Rate returns the effective sampling rate over the run so far.
+// SetRatePermille sets the global sampling budget in ‰ (the Controller's
+// knob). Values >= 1000 turn the sampler into a pass-through; values
+// below FloorPermille are clamped up to it.
+func (d *Detector) SetRatePermille(r uint32) {
+	if r < d.opt.FloorPermille {
+		r = d.opt.FloorPermille
+	}
+	d.rate.Store(r)
+}
+
+// RatePermille returns the current global budget in ‰ (0 = unbudgeted
+// classic LiteRace decay).
+func (d *Detector) RatePermille() uint32 { return d.rate.Load() }
+
+// Counts returns the forwarded/skipped access tallies.
+func (d *Detector) Counts() (forwarded, skipped uint64) {
+	return d.forwarded.Load(), d.skipped.Load()
+}
+
+// Rate returns the effective sampling rate over the run so far (1 when no
+// access has been observed, and on the 100% pass-through lane, which
+// counts nothing).
 func (d *Detector) Rate() float64 {
-	total := d.Forwarded + d.Skipped
-	if total == 0 {
+	f, s := d.Counts()
+	if f+s == 0 {
 		return 1
 	}
-	return float64(d.Forwarded) / float64(total)
+	return float64(f) / float64(f+s)
 }
 
-// sample decides whether this access of the region at pc is analyzed.
-func (d *Detector) sample(pc event.PC) bool {
-	r := d.regions[pc]
-	if r == nil {
-		// Cold region: start with a full burst.
-		r = &region{remaining: d.opt.BurstLength, gap: d.opt.BurstLength}
-		d.regions[pc] = r
+// maxGap is the inter-burst gap at which a region's steady-state rate
+// reaches the effective floor: Burst forwarded out of every Burst+gap.
+func (d *Detector) maxGap(rate uint32) uint32 {
+	r := rate
+	if r == 0 || r < d.opt.FloorPermille {
+		r = d.opt.FloorPermille
 	}
-	if r.remaining > 0 {
-		r.remaining--
-		d.Forwarded++
+	g := d.opt.BurstLength * 1000 / r
+	if g > maxGapValue {
+		g = maxGapValue
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// regionKey mixes the code site and the address block into the nonzero
+// table key. The Fibonacci multiply spreads block bits across the word so
+// (site, block) pairs rarely collide; a collision only merges two
+// regions' sampling state, never correctness.
+func (d *Detector) regionKey(pc event.PC, addr uint64) uint64 {
+	return ((addr>>d.opt.BlockShift)+1)*0x9E3779B97F4A7C15 ^ (uint64(pc) + 1)
+}
+
+// lookup returns the slot for region key k, inserting it (state zero =
+// untouched cold region) on first sight. Lock-free except when the table
+// doubles.
+func (d *Detector) lookup(k uint64) *slot {
+	h := k * 0x9E3779B97F4A7C15
+	for {
+		t := d.tab.Load()
+		idx := (h >> 32) & t.mask
+		for probe := uint64(0); probe <= t.mask; probe++ {
+			s := &t.slots[(idx+probe)&t.mask]
+			switch got := s.key.Load(); got {
+			case k:
+				return s
+			case 0:
+				if !s.key.CompareAndSwap(0, k) {
+					if s.key.Load() == k {
+						return s
+					}
+					continue // lost to a different key; keep probing
+				}
+				if n := d.used.Add(1); uint64(n)*4 >= (t.mask+1)*3 {
+					d.grow(t)
+				}
+				return s
+			}
+		}
+		// Table replaced mid-probe (or pathologically full): retry on the
+		// current generation.
+		if d.tab.Load() == t {
+			d.grow(t)
+		}
+	}
+}
+
+// grow doubles the region table. Region updates racing with the copy can
+// be lost; that only perturbs a sampling decision (toward forwarding a
+// fresh burst), never correctness.
+func (d *Detector) grow(old *table) {
+	d.growMu.Lock()
+	defer d.growMu.Unlock()
+	cur := d.tab.Load()
+	if cur != old {
+		return // someone else already grew past this generation
+	}
+	size := (cur.mask + 1) * 2
+	next := &table{mask: size - 1, slots: make([]slot, size)}
+	for i := range cur.slots {
+		k := cur.slots[i].key.Load()
+		if k == 0 {
+			continue
+		}
+		st := cur.slots[i].state.Load()
+		idx := (k * 0x9E3779B97F4A7C15 >> 32) & next.mask
+		for probe := uint64(0); ; probe++ {
+			s := &next.slots[(idx+probe)&next.mask]
+			if s.key.Load() == 0 {
+				s.key.Store(k)
+				s.state.Store(st)
+				break
+			}
+		}
+	}
+	d.tab.Store(next)
+}
+
+// sample decides whether this access of the region at (pc, addr block)
+// is analyzed.
+func (d *Detector) sample(pc event.PC, addr uint64) bool {
+	rate := d.rate.Load()
+	if rate >= 1000 {
+		// 100% budget: pure pass-through, no counters, no region state —
+		// byte-identical (and contention-identical) to no sampler.
 		return true
 	}
-	if r.skip > 0 {
-		r.skip--
-		d.Skipped++
-		return false
+	s := d.lookup(d.regionKey(pc, addr))
+	var forward, firstBurst bool
+	for {
+		old := s.state.Load()
+		remaining, skip, gap := unpackState(old)
+		firstBurst = gap == 0 ||
+			(skip == 0 && remaining > 0 && gap == d.opt.BurstLength)
+		var next uint64
+		switch {
+		case remaining > 0:
+			forward = true
+			next = packState(remaining-1, skip, gap)
+		case skip > 0:
+			forward = false
+			next = packState(0, skip-1, gap)
+		case gap == 0:
+			// Untouched cold region: full first burst, no skip yet.
+			forward = true
+			next = packState(d.opt.BurstLength-1, 0, d.opt.BurstLength)
+		default:
+			// Budget refresh: the gap grows until the floor rate is reached.
+			forward = true
+			maxGap := d.maxGap(rate)
+			g := gap
+			if hi, lo := bits.Mul32(gap, d.opt.Decay); hi == 0 {
+				g = lo
+			} else {
+				g = maxGap
+			}
+			if g > maxGap {
+				g = maxGap
+			}
+			next = packState(d.opt.BurstLength-1, g, g)
+		}
+		if s.state.CompareAndSwap(old, next) {
+			break
+		}
 	}
-	// Burst budget refresh: the gap grows until the floor rate is reached.
-	maxGap := d.opt.BurstLength * 1000 / d.opt.FloorPermille
-	if g := r.gap * d.opt.Decay; g < maxGap {
-		r.gap = g
+	if forward && rate > 0 && !firstBurst {
+		// Global credit check: once the run-wide forwarded fraction is at
+		// the budget, only untouched-cold-region bursts may exceed it.
+		f, sk := d.forwarded.Load(), d.skipped.Load()
+		if f*1000 >= (f+sk+1)*uint64(rate) {
+			forward = false
+		}
+	}
+	if forward {
+		d.forwarded.Add(1)
+		d.met.Forwarded.Inc()
 	} else {
-		r.gap = maxGap
+		d.skipped.Add(1)
+		d.met.Skipped.Inc()
 	}
-	r.remaining = d.opt.BurstLength - 1
-	r.skip = r.gap
-	d.Forwarded++
-	return true
+	return forward
 }
 
 // Read forwards a sampled read.
 func (d *Detector) Read(tid vc.TID, addr uint64, size uint32, pc event.PC) {
-	if d.sample(pc) {
+	if d.sample(pc, addr) {
 		d.under.Read(tid, addr, size, pc)
 	}
 }
 
 // Write forwards a sampled write.
 func (d *Detector) Write(tid vc.TID, addr uint64, size uint32, pc event.PC) {
-	if d.sample(pc) {
+	if d.sample(pc, addr) {
 		d.under.Write(tid, addr, size, pc)
 	}
 }
@@ -137,3 +399,21 @@ func (d *Detector) BarrierDepart(t vc.TID, b event.BarrierID) {
 }
 func (d *Detector) Malloc(t vc.TID, a, s uint64) { d.under.Malloc(t, a, s) }
 func (d *Detector) Free(t vc.TID, a, s uint64)   { d.under.Free(t, a, s) }
+
+// Go-native synchronization is never sampled either: the Dispatch helpers
+// pass it through when the underlying sink speaks event.GoSink and lower
+// it onto the synthetic locks otherwise, exactly as an unwrapped sink.
+func (d *Detector) ChanSend(t vc.TID, ch event.ChanID, c int) {
+	event.DispatchChanSend(d.under, t, ch, c)
+}
+func (d *Detector) ChanRecv(t vc.TID, ch event.ChanID, c int) {
+	event.DispatchChanRecv(d.under, t, ch, c)
+}
+func (d *Detector) ChanAck(t vc.TID, ch event.ChanID, c int) {
+	event.DispatchChanAck(d.under, t, ch, c)
+}
+func (d *Detector) WGAdd(t vc.TID, wg event.WGID, delta int) {
+	event.DispatchWGAdd(d.under, t, wg, delta)
+}
+func (d *Detector) WGDone(t vc.TID, wg event.WGID) { event.DispatchWGDone(d.under, t, wg) }
+func (d *Detector) WGWait(t vc.TID, wg event.WGID) { event.DispatchWGWait(d.under, t, wg) }

@@ -1,11 +1,13 @@
 package sampling
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/detector"
 	"repro/internal/event"
 	"repro/internal/sim"
+	"repro/internal/vc"
 	"repro/workloads"
 )
 
@@ -24,7 +26,7 @@ func TestHotRegionsDecay(t *testing.T) {
 	c := &event.Counter{}
 	s := New(c, Options{BurstLength: 4, Decay: 2})
 	for i := 0; i < 100000; i++ {
-		s.Write(0, uint64(i), 4, 9)
+		s.Write(0, uint64(i%256), 4, 9) // bounded range: regions go hot
 	}
 	if s.Rate() > 0.2 {
 		t.Errorf("hot region rate too high: %.3f", s.Rate())
@@ -32,8 +34,8 @@ func TestHotRegionsDecay(t *testing.T) {
 	if s.Rate() < 0.001 {
 		t.Errorf("rate fell below the floor: %.5f", s.Rate())
 	}
-	if c.Writes != s.Forwarded {
-		t.Errorf("forwarded mismatch: %d vs %d", c.Writes, s.Forwarded)
+	if f, _ := s.Counts(); c.Writes != f {
+		t.Errorf("forwarded mismatch: %d vs %d", c.Writes, f)
 	}
 }
 
@@ -89,7 +91,8 @@ func TestSamplingNeverInventsRaces(t *testing.T) {
 				t.Errorf("%s: sampling invented a race at %#x", name, r.Addr)
 			}
 		}
-		if sampled.Rate() >= 1 && sampled.Skipped == 0 && name != "hmmsearch" {
+		_, skipped := sampled.Counts()
+		if sampled.Rate() >= 1 && skipped == 0 && name != "hmmsearch" {
 			t.Errorf("%s: sampler never throttled (rate %.3f)", name, sampled.Rate())
 		}
 	}
@@ -126,5 +129,149 @@ func TestColdRaceStillCaught(t *testing.T) {
 	}
 	if len(under.Races()) != 1 {
 		t.Errorf("cold race missed at %.3f%% sampling: %v", 100*s.Rate(), under.Races())
+	}
+}
+
+// A 100% budget must be a pure pass-through: every access forwarded and
+// no sampling state (or counters) touched, so wrapping is byte-identical
+// to not wrapping.
+func TestFullBudgetPassThrough(t *testing.T) {
+	c := &event.Counter{}
+	s := New(c, Options{RatePermille: 1000})
+	for i := 0; i < 5000; i++ {
+		s.Write(0, uint64(i), 4, event.PC(i%7))
+	}
+	if c.Writes != 5000 {
+		t.Fatalf("pass-through dropped accesses: %d/5000", c.Writes)
+	}
+	f, sk := s.Counts()
+	if f != 0 || sk != 0 {
+		t.Errorf("pass-through touched counters: forwarded=%d skipped=%d", f, sk)
+	}
+	if s.Rate() != 1 {
+		t.Errorf("pass-through rate = %v, want 1", s.Rate())
+	}
+}
+
+// A global budget caps the run-wide forwarded fraction: hot regions
+// converge on the budget and the credit check holds the overall rate at
+// it (untouched cold regions' first bursts are the only excess).
+func TestGlobalBudgetCapsRate(t *testing.T) {
+	c := &event.Counter{}
+	s := New(c, Options{BurstLength: 10, RatePermille: 50}) // 5% budget
+	for i := 0; i < 200000; i++ {
+		// 32 sites over a bounded address range: every (site, block)
+		// region is hot, so the credit check governs the whole run.
+		s.Write(0, uint64(i%1024), 4, event.PC(i%32))
+	}
+	if r := s.Rate(); r > 0.055 {
+		t.Errorf("budgeted rate %.4f exceeds 5%% budget (+ cold-burst slack)", r)
+	} else if r < 0.005 {
+		t.Errorf("budgeted rate %.4f collapsed far below budget", r)
+	}
+}
+
+// SetRatePermille is the controller's live knob: dropping the rate
+// mid-run throttles; restoring 1000 returns to pass-through.
+func TestSetRateLiveTransition(t *testing.T) {
+	c := &event.Counter{}
+	s := New(c, Options{RatePermille: 1000})
+	for i := 0; i < 1000; i++ {
+		s.Write(0, uint64(i), 4, 1)
+	}
+	if c.Writes != 1000 {
+		t.Fatalf("full-rate lane dropped accesses: %d", c.Writes)
+	}
+	s.SetRatePermille(10)
+	before := c.Writes
+	for i := 0; i < 100000; i++ {
+		s.Write(0, uint64(i%256), 4, 1) // bounded range: regions go hot
+	}
+	if got := c.Writes - before; got > 5000 {
+		t.Errorf("throttled lane forwarded %d/100000 (want ≲1%%+burst)", got)
+	}
+}
+
+// The skip path must not allocate: once a region is hot, skipping its
+// accesses is a table lookup plus a CAS.
+func TestSkipPathZeroAlloc(t *testing.T) {
+	s := New(event.Nop{}, Options{BurstLength: 4, RatePermille: 1})
+	for i := 0; i < 10000; i++ {
+		s.Write(0, uint64(i), 4, 7) // heat the region well past its bursts
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Write(0, 0x100, 4, 7)
+	})
+	if allocs != 0 {
+		t.Errorf("skip path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// The sampler must be shard-safe: concurrent producers hammering
+// overlapping and distinct sites (forcing table growth) while the rate
+// changes underneath them. Run under -race in CI.
+func TestConcurrentProducers(t *testing.T) {
+	c := &event.Counter{} // not written: Nop under test avoids Counter's own races
+	_ = c
+	s := New(event.Nop{}, Options{BurstLength: 8, RatePermille: 100})
+	const producers = 8
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				// Shared hot sites plus per-producer cold sites: the cold
+				// tail forces the region table through several growths.
+				pc := event.PC(i % 16)
+				if i%97 == 0 {
+					pc = event.PC(1000 + p*20000 + i)
+				}
+				s.Write(vc.TID(p), uint64(i), 4, pc)
+				s.Read(vc.TID(p), uint64(i), 4, pc)
+				if i%1000 == 0 {
+					s.Acquire(vc.TID(p), 1)
+					s.Release(vc.TID(p), 1)
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Sweep through budgeted rates and pass-through and back: the
+		// producers must survive every transition. End below 1000 so the
+		// final stretch still counts (pass-through counts nothing).
+		for r := uint32(10); r <= 910; r += 90 {
+			s.SetRatePermille(r)
+			s.SetRatePermille(1000)
+			s.SetRatePermille(r)
+		}
+	}()
+	wg.Wait()
+	<-done
+	f, sk := s.Counts()
+	if f == 0 {
+		t.Error("no accesses forwarded under concurrency")
+	}
+	if f+sk == 0 {
+		t.Error("sampler observed nothing")
+	}
+}
+
+// Go-native sync (channels, WaitGroups) is never sampled away either.
+func TestGoSyncAlwaysForwarded(t *testing.T) {
+	c := &event.Counter{}
+	s := New(c, Options{RatePermille: 1})
+	for i := 0; i < 50; i++ {
+		s.ChanSend(0, 1, 1)
+		s.ChanRecv(1, 1, 1)
+		s.WGAdd(0, 2, 1)
+		s.WGDone(1, 2)
+		s.WGWait(0, 2)
+	}
+	if c.ChanSends != 50 || c.ChanRecvs != 50 || c.WGAdds != 50 ||
+		c.WGDones != 50 || c.WGWaits != 50 {
+		t.Errorf("Go-native sync sampled away: %+v", *c)
 	}
 }

@@ -113,5 +113,6 @@ func mergeStats(a, b ReportStats) ReportStats {
 	a.ClockCompactPeakBytes += b.ClockCompactPeakBytes
 	a.ClockGeneralBytes += b.ClockGeneralBytes
 	a.ClockGeneralPeakBytes += b.ClockGeneralPeakBytes
+	a.ShedRecords += b.ShedRecords
 	return a
 }

@@ -442,6 +442,11 @@ type ReportStats struct {
 	ClockCompactPeakBytes  int64  `json:"clock_compact_peak_bytes,omitempty"`
 	ClockGeneralBytes      int64  `json:"clock_general_bytes,omitempty"`
 	ClockGeneralPeakBytes  int64  `json:"clock_general_peak_bytes,omitempty"`
+	// ShedRecords counts access records the server dropped under queue
+	// pressure before they reached its pipeline (load shedding; sync is
+	// never shed). Absent means the server has no shedding — old servers
+	// interoperate.
+	ShedRecords uint64 `json:"shed_records,omitempty"`
 }
 
 // ErrorPayload is the body of a TypeError frame. Code is a stable,

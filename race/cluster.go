@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/event"
+	"repro/internal/sampling"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -51,7 +52,8 @@ func checkEndpoint(addr string) string {
 func runCluster(p Program, opts Options) (Report, error) {
 	rep := Report{Program: p.Name, Tool: opts.Tool, Granularity: opts.Granularity}
 	endDial := opts.Tracer.Span("dial", map[string]any{"cluster": strings.Join(opts.Cluster, ",")})
-	sink, err := cluster.Dial(cluster.Options{
+	ctrl := opts.samplingController()
+	clOpts := cluster.Options{
 		Members:     opts.Cluster,
 		Sync:        opts.RemoteSync,
 		Telemetry:   opts.Telemetry,
@@ -73,17 +75,33 @@ func runCluster(p Program, opts Options) (Report, error) {
 			Clock:            uint8(opts.Clock),
 			Provenance:       opts.Provenance,
 		},
-	})
+	}
+	if ctrl != nil {
+		// One controller absorbs the whole fleet's back-pressure signals
+		// (it is mutex-guarded); the sampler it steers fronts the fan-out
+		// sink, so shedding rate responds to the slowest member.
+		clOpts.Backpressure = ctrl
+	}
+	cl, err := cluster.Dial(clOpts)
 	endDial()
 	if err != nil {
 		return rep, err
+	}
+	var sink event.Sink = cl
+	var smp *sampling.Detector
+	if opts.Budget > 0 {
+		smp = sampling.New(sink, opts.samplerOptions())
+		if ctrl != nil {
+			ctrl.Bind(smp)
+		}
+		sink = smp
 	}
 	start := time.Now()
 	endExec := opts.Tracer.Span("execute", map[string]any{"program": p.Name})
 	rep.Run = sim.Run(p, sink, opts.engineOptions())
 	endExec()
 	endReport := opts.Tracer.Span("report")
-	wrep, err := sink.Close()
+	wrep, err := cl.Close()
 	endReport()
 	rep.Elapsed = time.Since(start)
 	rep.TimedOut = rep.Run.TimedOut
@@ -91,5 +109,9 @@ func runCluster(p Program, opts Options) (Report, error) {
 		return rep, err
 	}
 	fillFastTrack(&rep, wrep.DetectorStats(), wrep.DetectorRaces(), wrep.DetectorProvs())
+	rep.Detector.ShedRecords = wrep.Stats.ShedRecords
+	if smp != nil {
+		rep.Detector.SampledForwarded, rep.Detector.SampledSkipped = smp.Counts()
+	}
 	return rep, nil
 }

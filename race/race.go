@@ -42,6 +42,7 @@ import (
 	"repro/internal/lockset"
 	"repro/internal/multirace"
 	"repro/internal/pipeline"
+	"repro/internal/sampling"
 	"repro/internal/segment"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -231,6 +232,22 @@ type Options struct {
 	// latency/throughput trade — reports are identical.
 	BatchPolicy string
 
+	// Budget enables the always-on sampling lane: a fraction in (0, 1]
+	// of the detection work the run may spend. A LiteRace-style
+	// cold-region sampler (internal/sampling) fronts the detector in
+	// every topology — serial, pipeline, Remote and Cluster — forwarding
+	// every synchronization event (happens-before stays exact; sampling
+	// can only miss races, never invent them) and sampling memory
+	// accesses so the run-wide forwarded fraction converges on the
+	// budget. On transports with back-pressure signals (pipeline worker
+	// queues, remote ack RTTs) a feedback controller additionally sheds
+	// rate under pressure and recovers toward the budget when it clears.
+	// Budget 1 is a byte-identical pass-through; 0 disables the lane
+	// entirely. FastTrack only. Stats reports the achieved fraction
+	// (SampledForwarded / SampledSkipped), and telemetry exposes it as
+	// detector_sampled_fraction.
+	Budget float64
+
 	// Provenance attaches an explanation record to every reported race:
 	// both conflicting accesses, the failing epoch/clock comparison, the
 	// granularity-plane state history, and the last few synchronization
@@ -372,6 +389,12 @@ func (o Options) Validate() error {
 	default:
 		return &OptionsError{"BatchPolicy", fmt.Sprintf("unknown batch policy %q (want fixed or adaptive)", o.BatchPolicy)}
 	}
+	if o.Budget < 0 || o.Budget > 1 {
+		return &OptionsError{"Budget", fmt.Sprintf("sampling budget %v outside (0,1] (0 disables)", o.Budget)}
+	}
+	if o.Budget > 0 && o.Tool != FastTrack {
+		return &OptionsError{"Budget", fmt.Sprintf("the sampling lane applies to the fasttrack tool only, not %v", o.Tool)}
+	}
 	if o.Provenance && o.Tool != FastTrack {
 		return &OptionsError{"Provenance", fmt.Sprintf("race provenance applies to the fasttrack tool only, not %v", o.Tool)}
 	}
@@ -457,6 +480,24 @@ type Stats struct {
 	ClockCompactPeakBytes  int64
 	ClockGeneralBytes      int64
 	ClockGeneralPeakBytes  int64
+
+	// Sampling lane (Options.Budget): accesses the sampler forwarded to
+	// the detector vs dropped, and access records the remote server shed
+	// under queue pressure before they reached its pipeline. All zero on
+	// unsampled runs and on the 100%-budget pass-through lane.
+	SampledForwarded uint64
+	SampledSkipped   uint64
+	ShedRecords      uint64
+}
+
+// SampledFraction returns the fraction of observed accesses that reached
+// the detector (1 on unsampled runs — nothing was dropped).
+func (s Stats) SampledFraction() float64 {
+	total := s.SampledForwarded + s.SampledSkipped
+	if total == 0 {
+		return 1
+	}
+	return float64(s.SampledForwarded) / float64(total)
 }
 
 // SameEpochPct returns the same-epoch percentage (Table 4).
@@ -532,6 +573,30 @@ func (o Options) batchPolicy() *event.BatchPolicy {
 		return new(event.BatchPolicy)
 	}
 	return nil
+}
+
+// samplerOptions maps Budget onto the sampling front end's configuration.
+func (o Options) samplerOptions() sampling.Options {
+	return sampling.Options{
+		RatePermille: uint32(o.Budget*1000 + 0.5),
+		Telemetry:    o.Telemetry,
+	}
+}
+
+// samplingController returns the feedback controller for this run, or
+// nil: only budgeted lanes below 100% have a rate worth steering, and
+// only transports with back-pressure signals (pipeline worker queues,
+// remote/cluster ack RTTs and outbox occupancy) can steer it. A serial
+// local run keeps the rate statically at the budget, which keeps the
+// bench lanes deterministic.
+func (o Options) samplingController() *sampling.Controller {
+	if o.Budget <= 0 || o.Budget >= 1 {
+		return nil
+	}
+	if o.Workers <= 0 && o.Remote == "" && len(o.Cluster) == 0 {
+		return nil
+	}
+	return sampling.NewController(o.Budget)
 }
 
 // fillFastTrack maps FastTrack detector output into the unified report; the
@@ -618,7 +683,8 @@ func RunE(p Program, opts Options) (Report, error) {
 func runRemote(p Program, opts Options) (Report, error) {
 	rep := Report{Program: p.Name, Tool: opts.Tool, Granularity: opts.Granularity}
 	endDial := opts.Tracer.Span("dial", map[string]any{"addr": opts.Remote})
-	cl, err := client.Dial(client.Options{
+	ctrl := opts.samplingController()
+	clOpts := client.Options{
 		Addr:        opts.Remote,
 		Sync:        opts.RemoteSync,
 		Telemetry:   opts.Telemetry,
@@ -637,14 +703,27 @@ func runRemote(p Program, opts Options) (Report, error) {
 			Clock:            uint8(opts.Clock),
 			Provenance:       opts.Provenance,
 		},
-	})
+	}
+	if ctrl != nil {
+		clOpts.Backpressure = ctrl
+	}
+	cl, err := client.Dial(clOpts)
 	endDial()
 	if err != nil {
 		return rep, err
 	}
+	var sink event.Sink = cl
+	var smp *sampling.Detector
+	if opts.Budget > 0 {
+		smp = sampling.New(sink, opts.samplerOptions())
+		if ctrl != nil {
+			ctrl.Bind(smp)
+		}
+		sink = smp
+	}
 	start := time.Now()
 	endExec := opts.Tracer.Span("execute", map[string]any{"program": p.Name})
-	rep.Run = sim.Run(p, cl, opts.engineOptions())
+	rep.Run = sim.Run(p, sink, opts.engineOptions())
 	endExec()
 	endReport := opts.Tracer.Span("report")
 	wrep, err := cl.Close()
@@ -655,6 +734,10 @@ func runRemote(p Program, opts Options) (Report, error) {
 		return rep, err
 	}
 	fillFastTrack(&rep, wrep.DetectorStats(), wrep.DetectorRaces(), wrep.DetectorProvs())
+	rep.Detector.ShedRecords = wrep.Stats.ShedRecords
+	if smp != nil {
+		rep.Detector.SampledForwarded, rep.Detector.SampledSkipped = smp.Counts()
+	}
 	return rep, nil
 }
 
@@ -678,15 +761,20 @@ func runLocal(p Program, opts Options) Report {
 			Clock:            opts.Clock,
 			Provenance:       opts.Provenance,
 		}
+		ctrl := opts.samplingController()
 		if opts.Workers > 0 {
-			pl := pipeline.New(pipeline.Options{
+			plOpts := pipeline.Options{
 				Workers:     opts.Workers,
 				Detector:    cfg,
 				Telemetry:   opts.Telemetry,
 				Dispatch:    opts.Dispatch,
 				BatchPolicy: opts.batchPolicy(),
 				Tracer:      opts.Tracer,
-			})
+			}
+			if ctrl != nil {
+				plOpts.Backpressure = ctrl
+			}
+			pl := pipeline.New(plOpts)
 			sink = pl
 			var res pipeline.Result
 			drain = func() { res = pl.Wait() }
@@ -698,6 +786,18 @@ func runLocal(p Program, opts Options) Report {
 			d := detector.New(cfg)
 			sink = d
 			collect = func(r *Report) { fillFastTrack(r, d.Stats(), d.Races(), d.Provs()) }
+		}
+		if opts.Budget > 0 {
+			smp := sampling.New(sink, opts.samplerOptions())
+			if ctrl != nil {
+				ctrl.Bind(smp)
+			}
+			sink = smp
+			inner := collect
+			collect = func(r *Report) {
+				inner(r)
+				r.Detector.SampledForwarded, r.Detector.SampledSkipped = smp.Counts()
+			}
 		}
 	case DJITPlus:
 		d := djit.New(djit.Options{Granule: 1})
