@@ -14,6 +14,7 @@
 //	benchtables -clock-json BENCH_clock.json         # structure-aware clock lane (ns/event, peak clock bytes)
 //	benchtables -cluster-json BENCH_cluster.json     # sharded-cluster scaling lane (N=1/2/4 members)
 //	benchtables -sampling-json BENCH_sampling.json   # budgeted-sampling lane (races-found-vs-rate curve)
+//	benchtables -hotpath-json BENCH_hotpath.json     # columnar hot-path lane (elide × apply matrix)
 //
 // Every number is measured in-process; nothing is replayed from files. See
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -71,6 +72,11 @@ func main() {
 			"write the budgeted-sampling lane (races-found-vs-rate curve per workload × budget) to this file (e.g. BENCH_sampling.json)")
 		samplingBudgets = flag.String("sampling-budgets", "",
 			"comma-separated budget fractions for -sampling-json (default 1,0.5,0.2,0.1,0.05,0.02,0.01)")
+
+		hotpathJSON = flag.String("hotpath-json", "",
+			"write the columnar hot-path lane (ns/event and wire bytes, elide on/off × record/columnar apply) to this file (e.g. BENCH_hotpath.json)")
+		hotpathBench = flag.String("hotpath-bench", "",
+			"comma-separated workloads for -hotpath-json (default streamcluster,pbzip2,x264,canneal,fanin)")
 	)
 	flag.Parse()
 
@@ -226,6 +232,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *samplingJSON)
+		return
+	}
+
+	if *hotpathJSON != "" {
+		var names []string
+		if *hotpathBench != "" {
+			names = strings.Split(*hotpathBench, ",")
+		}
+		f, err := os.Create(*hotpathJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = r.WriteHotpathJSON(f, names)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *hotpathJSON)
 		return
 	}
 

@@ -11,6 +11,7 @@
 //	tracereplay -replay ferret.trace -tool drd
 //	tracereplay -replay ferret.trace -remote localhost:7474
 //	tracereplay -replay ferret.trace -budget 5%          # budgeted sampling lane
+//	tracereplay -replay ferret.trace -elide              # lossless same-epoch elision
 //	tracereplay -replay ferret.trace -cluster host1:7474,host2:7474
 //	tracereplay -replay ferret.trace -metrics-addr :7070 -stats-interval 1s
 //	tracereplay -record -bench ferret -out ferret.trace -trace-out phases.json
@@ -86,6 +87,8 @@ func main() {
 			"print a one-line allocator summary to stderr on exit")
 		budget = flag.String("budget", "",
 			`replay through the budgeted sampling lane at this access budget ("5%" or 0.05; fasttrack replays only)`)
+		elide = flag.Bool("elide", false,
+			"front-line same-epoch elision: drop exact in-epoch repeat accesses before detection/transport (lossless; fasttrack replays only)")
 	)
 	flag.Parse()
 	budgetFrac := 0.0
@@ -168,7 +171,7 @@ func main() {
 		}
 		defer f.Close()
 		start := time.Now()
-		knobs := streamKnobs{prov: *provenance, traceSample: *traceSample, tracer: tracer, budget: budgetFrac}
+		knobs := streamKnobs{prov: *provenance, traceSample: *traceSample, tracer: tracer, budget: budgetFrac, elide: *elide}
 		if *clusterList != "" {
 			endReplay := tracer.Span("replay-cluster", map[string]any{"cluster": *clusterList})
 			replayCluster(f, strings.Split(*clusterList, ","), *gran, *codec, *batchPolicy, *workers, *v, start, obs.reg, knobs)
@@ -202,6 +205,11 @@ func main() {
 				})
 				sink = smp
 			}
+			var el *event.Elider
+			if *elide {
+				el = event.NewElider(sink, event.EliderOptions{Telemetry: obs.reg})
+				sink = el
+			}
 			endReplay := tracer.Span("replay", map[string]any{"tool": "fasttrack", "granularity": *gran})
 			err := trace.Replay(f, sink)
 			endReplay()
@@ -215,6 +223,9 @@ func main() {
 			if smp != nil {
 				printSamplingSummary(budgetFrac, smp)
 			}
+			if el != nil {
+				printElideSummary(el, st.Accesses)
+			}
 			if *provenance {
 				printProvSummary(d.Provs(), len(d.Races()))
 			}
@@ -224,6 +235,9 @@ func main() {
 		case "drd":
 			if budgetFrac > 0 && budgetFrac < 1 {
 				fatal(fmt.Errorf("-budget requires -tool fasttrack (drd's segment reuse assumes the full stream)"))
+			}
+			if *elide {
+				fatal(fmt.Errorf("-elide requires -tool fasttrack (the elision proof holds for the epoch-bitmap fast path only)"))
 			}
 			d := segment.New(segment.Options{})
 			endReplay := tracer.Span("replay", map[string]any{"tool": "drd"})
@@ -279,6 +293,29 @@ type streamKnobs struct {
 	traceSample float64
 	tracer      *telemetry.Tracer
 	budget      float64 // sampling budget in (0,1); 0 or 1 disables the lane
+	elide       bool    // front-line same-epoch elision before the transport
+}
+
+// elideLane wraps a transport sink in the front-line same-epoch filter
+// when -elide is set; returns the sink unchanged (and nil) otherwise.
+func elideLane(sink event.Sink, on bool, reg *telemetry.Registry) (event.Sink, *event.Elider) {
+	if !on {
+		return sink, nil
+	}
+	el := event.NewElider(sink, event.EliderOptions{Telemetry: reg})
+	return el, el
+}
+
+// printElideSummary prints the front-line filter's one-line outcome.
+// detected is the access count that reached detection (Stats.Accesses).
+func printElideSummary(el *event.Elider, detected uint64) {
+	elided := el.Elided()
+	total := detected + elided
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(elided) / float64(total)
+	}
+	fmt.Printf("elision     %d of %d accesses elided at the source (%.2f%%)\n", elided, total, pct)
 }
 
 // samplingController builds the feedback controller for a budgeted
@@ -363,6 +400,7 @@ func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int
 		fatal(err)
 	}
 	sink, smp := samplingLane(event.Sink(cl), knobs.budget, ctrl, reg)
+	sink, el := elideLane(sink, knobs.elide, reg)
 	if err := trace.Replay(f, sink); err != nil {
 		fatal(err)
 	}
@@ -374,10 +412,13 @@ func replayRemote(f *os.File, addr, gran, codec, batchPolicy string, workers int
 	fmt.Printf("remote fasttrack/%s over %d accesses in %v: %d races, %d peak clocks, %.2f MB peak\n",
 		gran, rep.Stats.Accesses, time.Since(start).Round(time.Microsecond),
 		len(rep.Races), rep.Stats.NodesPeak, float64(rep.Stats.TotalPeakBytes)/(1<<20))
-	fmt.Printf("transport   %d batches, %d events to %s (codec %s)\n",
-		st.Batches, st.Events, addr, wire.CodecName(cl.Codec()))
+	fmt.Printf("transport   %d batches, %d events, %d payload bytes to %s (codec %s)\n",
+		st.Batches, st.Events, st.PayloadBytes, addr, wire.CodecName(cl.Codec()))
 	if smp != nil {
 		printSamplingSummary(knobs.budget, smp)
+	}
+	if el != nil {
+		printElideSummary(el, rep.Stats.Accesses)
 	}
 	if knobs.prov {
 		printProvSummary(rep.DetectorProvs(), len(rep.Races))
@@ -418,6 +459,7 @@ func replayCluster(f *os.File, members []string, gran, codec, batchPolicy string
 		fatal(err)
 	}
 	sink, smp := samplingLane(event.Sink(cl), knobs.budget, ctrl, reg)
+	sink, el := elideLane(sink, knobs.elide, reg)
 	if err := trace.Replay(f, sink); err != nil {
 		fatal(err)
 	}
@@ -431,6 +473,9 @@ func replayCluster(f *os.File, members []string, gran, codec, batchPolicy string
 		len(members))
 	if smp != nil {
 		printSamplingSummary(knobs.budget, smp)
+	}
+	if el != nil {
+		printElideSummary(el, rep.Stats.Accesses)
 	}
 	if knobs.prov {
 		printProvSummary(rep.DetectorProvs(), len(rep.Races))

@@ -137,10 +137,11 @@ func (o Options) withDefaults() Options {
 
 // Stats counts the client's transport work.
 type Stats struct {
-	Batches    uint64 // batch frames written (excluding resends)
-	Events     uint64 // event records encoded
-	Reconnects uint64 // successful re-dials after a drop
-	Resends    uint64 // frames replayed on resume
+	Batches      uint64 // batch frames written (excluding resends)
+	Events       uint64 // event records encoded
+	PayloadBytes uint64 // batch payload bytes written (post-codec, excluding frame headers and resends)
+	Reconnects   uint64 // successful re-dials after a drop
+	Resends      uint64 // frames replayed on resume
 }
 
 // RemoteError is a server-reported protocol error (an Error frame).
@@ -717,6 +718,7 @@ func (c *Client) send(sf sentFrame, waitAck bool) {
 		c.unacked = append(c.unacked, sf)
 		c.stats.Batches++
 		c.stats.Events += uint64(sf.events)
+		c.stats.PayloadBytes += uint64(len(sf.data) - wire.HeaderSize)
 		c.met.batches.Inc()
 		c.met.events.Add(uint64(sf.events))
 		break

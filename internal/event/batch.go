@@ -127,6 +127,7 @@ var batchPool = sync.Pool{
 
 // GetBatch returns an empty batch from the reuse pool.
 func GetBatch() *Batch {
+	batchGets.Add(1)
 	b := batchPool.Get().(*Batch)
 	b.Recs = b.Recs[:0]
 	b.Trace, b.Span = 0, 0
@@ -135,7 +136,10 @@ func GetBatch() *Batch {
 
 // PutBatch returns a batch to the reuse pool. The caller must not touch the
 // batch afterwards.
-func PutBatch(b *Batch) { batchPool.Put(b) }
+func PutBatch(b *Batch) {
+	batchPuts.Add(1)
+	batchPool.Put(b)
+}
 
 // Full reports whether the batch reached its transport capacity.
 func (b *Batch) Full() bool { return len(b.Recs) >= DefaultBatchSize }

@@ -1,0 +1,273 @@
+// Front-line same-epoch elision: a lossless redundancy filter that drops
+// exact repeats of recently checked accesses before they reach the
+// transport. The detector already short-circuits same-epoch repeats with
+// its per-thread epoch bitmaps (Stats.SameEpoch) — but only after the
+// repeat has paid serialization, dispatch and a shadow-block routing.
+// Elider moves that check to the source: once an access (tid, addr, size,
+// op) has been forwarded, an exact repeat in the same epoch is provably
+// verdict-neutral, so serial, remote and cluster lanes can all skip it.
+//
+// # Soundness
+//
+// The detector's access fast path tests the thread's epoch bitmap over
+// footprint(addr, size) and returns — touching no shadow, clock or report
+// state — when every byte is already marked; the marks are set by the
+// first (forwarded) access and cleared only by the thread's own
+// epoch-starting events (release, fork, barrier-arrive, channel
+// send/receive, WaitGroup done). Because footprint is a pure function of
+// (addr, size) at every granularity, an exact repeat of a forwarded
+// access with no intervening synchronization for that thread would take
+// the fast path in every topology. Elider caches exactly that: per-thread
+// direct-mapped entries keyed on (addr, size) with read/write check bits
+// (a read is elidable after a forwarded read or write of the same
+// granule, a write only after a forwarded write — the same need masks the
+// epoch bitmap uses), flushed wholesale on *every* sync, heap or
+// Go-native event of the thread. The flush set is a strict superset of
+// the events that reset the detector's bitmaps, so the filter is
+// conservative: it can only elide accesses the detector would have
+// ignored. Non-shared (stack) accesses pass through uncached and
+// uncounted, keeping Stats.NonShared exact.
+//
+// Accounting stays reconcilable: every elided access is counted
+// (Elided(), detector_elided_total), so
+//
+//	accesses observed = Stats.Accesses (detector) + Stats.Elided
+//
+// holds exactly, and each elided access corresponds 1:1 to a
+// Stats.SameEpoch hit the detector no longer pays for.
+package event
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/vc"
+)
+
+// elideSlots is the per-thread direct-mapped cache size. 256 entries
+// (6 KiB/thread) cover a tight loop's working set of distinct granules;
+// collisions only forfeit elision, never correctness.
+const elideSlots = 256
+
+// Check bits per cached granule, mirroring the epoch bitmap's need masks.
+const (
+	elideRead  uint8 = 1 << iota // a read of this granule was forwarded
+	elideWrite                   // a write of this granule was forwarded
+)
+
+// elideEntry is one cached granule check. gen ties the entry to the
+// thread's current flush generation: bumping the generation invalidates
+// the whole cache in O(1).
+type elideEntry struct {
+	addr uint64
+	gen  uint64
+	size uint32
+	ops  uint8
+}
+
+// elideCache is one thread's direct-mapped filter state.
+type elideCache struct {
+	gen     uint64
+	entries [elideSlots]elideEntry
+}
+
+// EliderOptions configure an Elider.
+type EliderOptions struct {
+	// Telemetry, when non-nil, receives the detector_elided_total counter.
+	Telemetry *telemetry.Registry
+}
+
+// Elider is the front-line filter. It implements Sink and GoSink, wrapping
+// any under sink (detector, pipeline, remote client, cluster fan-out).
+// Like every Sink it is driven from a single goroutine.
+type Elider struct {
+	under   Sink
+	threads []*elideCache // indexed by TID, grown on demand
+	elided  uint64
+	met     *telemetry.Counter
+}
+
+// NewElider returns a filter forwarding to under.
+func NewElider(under Sink, opts EliderOptions) *Elider {
+	e := &Elider{under: under}
+	if opts.Telemetry != nil {
+		e.met = opts.Telemetry.Counter("detector_elided_total",
+			"Accesses elided at the source as exact same-epoch repeats (never reached the detector).")
+	}
+	return e
+}
+
+// Elided returns the number of accesses dropped so far.
+func (e *Elider) Elided() uint64 { return e.elided }
+
+// cache returns tid's filter state, growing the thread table as needed.
+func (e *Elider) cache(tid vc.TID) *elideCache {
+	for int(tid) >= len(e.threads) {
+		e.threads = append(e.threads, nil)
+	}
+	c := e.threads[tid]
+	if c == nil {
+		c = &elideCache{gen: 1}
+		e.threads[tid] = c
+	}
+	return c
+}
+
+// flush invalidates tid's cached checks (O(1) generation bump). Called on
+// every sync/heap/Go-native event of the thread — a superset of the
+// detector's epoch-bitmap resets, so strictly conservative.
+func (e *Elider) flush(tid vc.TID) {
+	if int(tid) < len(e.threads) {
+		if c := e.threads[tid]; c != nil {
+			c.gen++
+		}
+	}
+}
+
+// access runs the filter for one access; it reports true when the access
+// was elided (already checked this epoch with a covering op).
+func (e *Elider) access(tid vc.TID, addr uint64, size uint32, need, set uint8) bool {
+	c := e.cache(tid)
+	// Multiplicative hash spreads nearby granule addresses across slots.
+	idx := (addr * 0x9e3779b97f4a7c15) >> 56 % elideSlots
+	ent := &c.entries[idx]
+	if ent.gen == c.gen && ent.addr == addr && ent.size == size {
+		if ent.ops&need != 0 {
+			e.elided++
+			e.met.Inc()
+			return true
+		}
+		ent.ops |= set
+		return false
+	}
+	*ent = elideEntry{addr: addr, gen: c.gen, size: size, ops: set}
+	return false
+}
+
+// ---- Sink ----
+
+// Read forwards a shared read unless an identical read (or a covering
+// write) of the granule was already forwarded this epoch.
+func (e *Elider) Read(tid vc.TID, addr uint64, size uint32, pc PC) {
+	if NonShared(addr) {
+		e.under.Read(tid, addr, size, pc)
+		return
+	}
+	if e.access(tid, addr, size, elideRead|elideWrite, elideRead) {
+		return
+	}
+	e.under.Read(tid, addr, size, pc)
+}
+
+// Write forwards a shared write unless an identical write of the granule
+// was already forwarded this epoch.
+func (e *Elider) Write(tid vc.TID, addr uint64, size uint32, pc PC) {
+	if NonShared(addr) {
+		e.under.Write(tid, addr, size, pc)
+		return
+	}
+	if e.access(tid, addr, size, elideWrite, elideWrite) {
+		return
+	}
+	e.under.Write(tid, addr, size, pc)
+}
+
+// Acquire forwards; acquires never reset the epoch bitmap, but flushing is
+// cheap and keeps the rule uniform: any sync event flushes the thread.
+func (e *Elider) Acquire(tid vc.TID, l LockID) {
+	e.flush(tid)
+	e.under.Acquire(tid, l)
+}
+
+// Release forwards and flushes (the release starts tid's next epoch).
+func (e *Elider) Release(tid vc.TID, l LockID) {
+	e.flush(tid)
+	e.under.Release(tid, l)
+}
+
+// AcquireShared forwards and flushes.
+func (e *Elider) AcquireShared(tid vc.TID, l LockID) {
+	e.flush(tid)
+	e.under.AcquireShared(tid, l)
+}
+
+// ReleaseShared forwards and flushes.
+func (e *Elider) ReleaseShared(tid vc.TID, l LockID) {
+	e.flush(tid)
+	e.under.ReleaseShared(tid, l)
+}
+
+// Fork forwards and flushes both threads (the parent's epoch restarts; the
+// child may reuse a table slot).
+func (e *Elider) Fork(parent, child vc.TID) {
+	e.flush(parent)
+	e.flush(child)
+	e.under.Fork(parent, child)
+}
+
+// Join forwards and flushes both threads.
+func (e *Elider) Join(parent, child vc.TID) {
+	e.flush(parent)
+	e.flush(child)
+	e.under.Join(parent, child)
+}
+
+// BarrierArrive forwards and flushes.
+func (e *Elider) BarrierArrive(tid vc.TID, b BarrierID) {
+	e.flush(tid)
+	e.under.BarrierArrive(tid, b)
+}
+
+// BarrierDepart forwards and flushes.
+func (e *Elider) BarrierDepart(tid vc.TID, b BarrierID) {
+	e.flush(tid)
+	e.under.BarrierDepart(tid, b)
+}
+
+// Malloc forwards and flushes (heap events are never elided).
+func (e *Elider) Malloc(tid vc.TID, addr, size uint64) {
+	e.flush(tid)
+	e.under.Malloc(tid, addr, size)
+}
+
+// Free forwards and flushes.
+func (e *Elider) Free(tid vc.TID, addr, size uint64) {
+	e.flush(tid)
+	e.under.Free(tid, addr, size)
+}
+
+// ---- GoSink ----
+
+// ChanSend forwards and flushes (a send starts tid's next epoch).
+func (e *Elider) ChanSend(tid vc.TID, ch ChanID, cap int) {
+	e.flush(tid)
+	DispatchChanSend(e.under, tid, ch, cap)
+}
+
+// ChanRecv forwards and flushes.
+func (e *Elider) ChanRecv(tid vc.TID, ch ChanID, cap int) {
+	e.flush(tid)
+	DispatchChanRecv(e.under, tid, ch, cap)
+}
+
+// ChanAck forwards and flushes.
+func (e *Elider) ChanAck(tid vc.TID, ch ChanID, cap int) {
+	e.flush(tid)
+	DispatchChanAck(e.under, tid, ch, cap)
+}
+
+// WGAdd forwards and flushes.
+func (e *Elider) WGAdd(tid vc.TID, wg WGID, delta int) {
+	e.flush(tid)
+	DispatchWGAdd(e.under, tid, wg, delta)
+}
+
+// WGDone forwards and flushes.
+func (e *Elider) WGDone(tid vc.TID, wg WGID) {
+	e.flush(tid)
+	DispatchWGDone(e.under, tid, wg)
+}
+
+// WGWait forwards and flushes.
+func (e *Elider) WGWait(tid vc.TID, wg WGID) {
+	e.flush(tid)
+	DispatchWGWait(e.under, tid, wg)
+}

@@ -1,0 +1,167 @@
+package event
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/vc"
+)
+
+// logSink records every forwarded access so tests can see exactly what
+// survived the elider.
+type logSink struct {
+	Nop
+	log []string
+}
+
+func (l *logSink) Read(tid vc.TID, addr uint64, size uint32, _ PC) {
+	l.log = append(l.log, fmt.Sprintf("r %d %#x+%d", tid, addr, size))
+}
+
+func (l *logSink) Write(tid vc.TID, addr uint64, size uint32, _ PC) {
+	l.log = append(l.log, fmt.Sprintf("w %d %#x+%d", tid, addr, size))
+}
+
+func TestEliderReadWriteRules(t *testing.T) {
+	under := &logSink{}
+	e := NewElider(under, EliderOptions{})
+	// A forwarded write covers later reads and writes of the same granule.
+	e.Write(1, 0x100, 4, 1)
+	e.Write(1, 0x100, 4, 2)
+	e.Read(1, 0x100, 4, 3)
+	e.Read(1, 0x100, 4, 4)
+	// A forwarded read covers later reads only: the first write after it
+	// must still be forwarded (the detector's bitmap makes the same
+	// distinction with its need masks).
+	e.Read(1, 0x200, 4, 5)
+	e.Read(1, 0x200, 4, 6)
+	e.Write(1, 0x200, 4, 7)
+	e.Write(1, 0x200, 4, 8)
+	want := []string{"w 1 0x100+4", "r 1 0x200+4", "w 1 0x200+4"}
+	if fmt.Sprint(under.log) != fmt.Sprint(want) {
+		t.Fatalf("forwarded %v, want %v", under.log, want)
+	}
+	if e.Elided() != 5 {
+		t.Fatalf("Elided() = %d, want 5", e.Elided())
+	}
+}
+
+func TestEliderSizeAndThreadMiss(t *testing.T) {
+	under := &logSink{}
+	e := NewElider(under, EliderOptions{})
+	e.Write(1, 0x100, 4, 1)
+	e.Write(1, 0x100, 8, 2) // different size: its own granule, forwarded
+	e.Write(2, 0x100, 4, 3) // different thread: caches are per-thread
+	if len(under.log) != 3 || e.Elided() != 0 {
+		t.Fatalf("forwarded %v (elided %d), want all 3 forwarded", under.log, e.Elided())
+	}
+}
+
+// TestEliderFlushOnEverySync drives each sync/heap/Go-native event through
+// the elider and checks it invalidates the thread's cache: the repeat that
+// was elidable before the event must be forwarded after it. This pins the
+// conservative flush rule the soundness argument rests on.
+func TestEliderFlushOnEverySync(t *testing.T) {
+	events := []struct {
+		name string
+		fire func(e *Elider)
+	}{
+		{"acquire", func(e *Elider) { e.Acquire(1, 7) }},
+		{"release", func(e *Elider) { e.Release(1, 7) }},
+		{"acquire-shared", func(e *Elider) { e.AcquireShared(1, 7) }},
+		{"release-shared", func(e *Elider) { e.ReleaseShared(1, 7) }},
+		{"barrier-arrive", func(e *Elider) { e.BarrierArrive(1, 3) }},
+		{"barrier-depart", func(e *Elider) { e.BarrierDepart(1, 3) }},
+		{"malloc", func(e *Elider) { e.Malloc(1, 0x4000, 64) }},
+		{"free", func(e *Elider) { e.Free(1, 0x4000, 64) }},
+		{"chan-send", func(e *Elider) { e.ChanSend(1, 5, 1) }},
+		{"chan-recv", func(e *Elider) { e.ChanRecv(1, 5, 1) }},
+		{"chan-ack", func(e *Elider) { e.ChanAck(1, 5, 1) }},
+		{"wg-add", func(e *Elider) { e.WGAdd(1, 2, 1) }},
+		{"wg-done", func(e *Elider) { e.WGDone(1, 2) }},
+		{"wg-wait", func(e *Elider) { e.WGWait(1, 2) }},
+	}
+	for _, ev := range events {
+		under := &logSink{}
+		e := NewElider(under, EliderOptions{})
+		e.Write(1, 0x100, 4, 1)
+		e.Write(1, 0x100, 4, 2) // elided: same epoch
+		ev.fire(e)
+		e.Write(1, 0x100, 4, 3) // must be forwarded: new epoch
+		writes := 0
+		for _, l := range under.log {
+			if l == "w 1 0x100+4" {
+				writes++
+			}
+		}
+		if writes != 2 {
+			t.Errorf("%s: %d writes forwarded, want 2 (event must flush the cache)", ev.name, writes)
+		}
+		if e.Elided() != 1 {
+			t.Errorf("%s: Elided() = %d, want 1", ev.name, e.Elided())
+		}
+	}
+}
+
+// TestEliderForkJoinFlushBoth checks fork and join flush both endpoints:
+// the parent's epoch restarts, and the child TID may be recycled.
+func TestEliderForkJoinFlushBoth(t *testing.T) {
+	for _, ev := range []struct {
+		name string
+		fire func(e *Elider)
+	}{
+		{"fork", func(e *Elider) { e.Fork(1, 2) }},
+		{"join", func(e *Elider) { e.Join(1, 2) }},
+	} {
+		under := &logSink{}
+		e := NewElider(under, EliderOptions{})
+		e.Write(1, 0x100, 4, 1)
+		e.Write(2, 0x200, 4, 2)
+		ev.fire(e)
+		e.Write(1, 0x100, 4, 3)
+		e.Write(2, 0x200, 4, 4)
+		if len(under.log) != 4 {
+			t.Errorf("%s: forwarded %v, want all 4 (both threads flushed)", ev.name, under.log)
+		}
+	}
+}
+
+func TestEliderNonSharedPassthrough(t *testing.T) {
+	under := &logSink{}
+	e := NewElider(under, EliderOptions{})
+	for i := 0; i < 3; i++ {
+		e.Read(1, StackBase+0x10, 8, PC(i))
+		e.Write(1, StackBase+0x10, 8, PC(i))
+	}
+	if len(under.log) != 6 {
+		t.Fatalf("forwarded %d non-shared accesses, want all 6", len(under.log))
+	}
+	if e.Elided() != 0 {
+		t.Fatalf("Elided() = %d for non-shared traffic, want 0", e.Elided())
+	}
+}
+
+func TestEliderTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	e := NewElider(&logSink{}, EliderOptions{Telemetry: reg})
+	e.Write(1, 0x100, 4, 1)
+	e.Write(1, 0x100, 4, 2)
+	e.Read(1, 0x100, 4, 3)
+	if got := reg.CounterValue("detector_elided_total"); got != 2 || got != e.Elided() {
+		t.Fatalf("detector_elided_total = %d, Elided() = %d, want both 2", got, e.Elided())
+	}
+}
+
+// TestEliderSteadyStateZeroAlloc pins the filter's hot path: once a
+// thread's cache exists, elided and forwarded accesses allocate nothing.
+func TestEliderSteadyStateZeroAlloc(t *testing.T) {
+	e := NewElider(Nop{}, EliderOptions{})
+	e.Write(1, 0x100, 4, 1) // warm the thread table
+	if avg := testing.AllocsPerRun(100, func() {
+		e.Write(1, 0x100, 4, 2) // elided
+		e.Write(1, 0x180, 4, 3) // forwarded (slot overwrite)
+	}); avg != 0 {
+		t.Fatalf("elider steady state allocates %.1f per op, want 0", avg)
+	}
+}

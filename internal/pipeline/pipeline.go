@@ -159,36 +159,29 @@ type worker struct {
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
-		b, ok := w.q.recv()
+		it, ok := w.q.recv()
 		if !ok {
 			return
 		}
+		var trace, span uint64
+		var n int
+		if it.c != nil {
+			trace, span, n = it.c.Trace, it.c.Span, it.c.Len()
+		} else {
+			trace, span, n = it.b.Trace, it.b.Span, len(it.b.Recs)
+		}
 		var start time.Time
-		if w.applyNS != nil || (w.tracer != nil && b.Trace != 0) {
+		if w.applyNS != nil || (w.tracer != nil && trace != 0) {
 			start = time.Now()
 		}
-		w.events.Add(uint64(len(b.Recs)))
-		for i := range b.Recs {
-			r := &b.Recs[i]
-			if w.provOn {
-				w.det.SetEventSeq(r.Seq)
-			}
-			before := len(w.det.Races())
-			event.ApplyRec(w.det, r)
-			if after := w.det.Races(); len(after) > before {
-				provs := w.det.Provs()
-				for k, rc := range after[before:] {
-					sr := seqRace{seq: r.Seq, race: rc}
-					if len(provs) == len(after) {
-						p := provs[before+k]
-						sr.prov = &p
-					}
-					w.races = append(w.races, sr)
-				}
-			}
+		w.events.Add(uint64(n))
+		if it.c != nil {
+			w.applyCols(it.c)
+			event.PutCols(it.c)
+		} else {
+			w.applyRecs(it.b)
+			event.PutBatch(it.b)
 		}
-		trace, span, n := b.Trace, b.Span, len(b.Recs)
-		event.PutBatch(b)
 		if !start.IsZero() {
 			elapsed := time.Since(start)
 			if elapsed < 0 {
@@ -206,16 +199,96 @@ func (w *worker) run(wg *sync.WaitGroup) {
 	}
 }
 
+// applyRecs replays a row-major batch record-at-a-time.
+func (w *worker) applyRecs(b *event.Batch) {
+	for i := range b.Recs {
+		r := &b.Recs[i]
+		if w.provOn {
+			w.det.SetEventSeq(r.Seq)
+		}
+		before := len(w.det.Races())
+		event.ApplyRec(w.det, r)
+		w.tagRaces(before, r.Seq)
+	}
+}
+
+// applyCols replays a columnar batch with run-length collapse: each
+// maximal run of identical (tid, op, addr, size) accesses costs one full
+// detector application plus a RepeatAccess of the remainder. The router
+// already filtered non-shared accesses, so every access here is shared.
+// A collapsed repeat can never complete a race — the first application
+// marked the epoch bitmap, so repeats take the same-epoch fast path —
+// which is why checking for new races only after the run's first record
+// loses nothing.
+func (w *worker) applyCols(c *event.Cols) {
+	n := c.Len()
+	for i := 0; i < n; {
+		op := c.Ops[i]
+		runEnd := i + 1
+		if op == event.OpRead || op == event.OpWrite {
+			tid, addr, size := c.Tids[i], c.Addrs[i], c.Sizes[i]
+			for runEnd < n && c.Ops[runEnd] == op && c.Tids[runEnd] == tid &&
+				c.Addrs[runEnd] == addr && c.Sizes[runEnd] == size {
+				runEnd++
+			}
+		}
+		if w.provOn {
+			w.det.SetEventSeq(c.Seqs[i])
+		}
+		before := len(w.det.Races())
+		switch op {
+		case event.OpRead:
+			w.det.Read(c.Tids[i], c.Addrs[i], c.Sizes[i], c.PCs[i])
+		case event.OpWrite:
+			w.det.Write(c.Tids[i], c.Addrs[i], c.Sizes[i], c.PCs[i])
+		default:
+			r := c.Rec(i)
+			event.ApplyRec(w.det, &r)
+		}
+		w.tagRaces(before, c.Seqs[i])
+		if k := runEnd - i - 1; k > 0 {
+			if w.provOn {
+				w.det.SetEventSeq(c.Seqs[runEnd-1])
+			}
+			w.det.RepeatAccess(uint64(k))
+		}
+		i = runEnd
+	}
+}
+
+// tagRaces records any races reported since before, tagged with the
+// completing event's sequence number.
+func (w *worker) tagRaces(before int, seq uint64) {
+	after := w.det.Races()
+	if len(after) <= before {
+		return
+	}
+	provs := w.det.Provs()
+	for k, rc := range after[before:] {
+		sr := seqRace{seq: seq, race: rc}
+		if len(provs) == len(after) {
+			p := provs[before+k]
+			sr.prov = &p
+		}
+		w.races = append(w.races, sr)
+	}
+}
+
 // Pipeline routes an instrumentation event stream to sharded detection
 // workers. It implements event.Sink; all Sink methods must be called from
 // the (single) execution thread. Call Wait after the run to drain the
 // workers and obtain the merged Result.
 type Pipeline struct {
 	workers []*worker
-	pending []*event.Batch // per-worker batch being filled
-	policy  *event.BatchPolicy
-	obs     event.BackpressureObserver
-	wg      sync.WaitGroup
+	pending []*event.Batch // per-worker record batch being filled (Sink lane)
+	// pendingCols is the per-worker columnar batch being filled (the
+	// ApplyCols lane). Pushing to one lane ships the other lane's pending
+	// first, so at most one lane has a pending per worker at any time and
+	// stream order survives lane interleaving.
+	pendingCols []*event.Cols
+	policy      *event.BatchPolicy
+	obs         event.BackpressureObserver
+	wg          sync.WaitGroup
 
 	seq       uint64
 	events    uint64
@@ -255,10 +328,11 @@ func New(opts Options) *Pipeline {
 		depth = 8
 	}
 	p := &Pipeline{
-		workers: make([]*worker, n),
-		pending: make([]*event.Batch, n),
-		policy:  opts.BatchPolicy,
-		obs:     opts.Backpressure,
+		workers:     make([]*worker, n),
+		pending:     make([]*event.Batch, n),
+		pendingCols: make([]*event.Cols, n),
+		policy:      opts.BatchPolicy,
+		obs:         opts.Backpressure,
 	}
 	reg := opts.Telemetry
 	var prodParks, consParks *telemetry.Counter
@@ -346,8 +420,12 @@ func (p *Pipeline) shardImbalance() float64 {
 // ship sends a full or flushed batch to worker w, observing the router's
 // blocking time when instrumented and feeding the adaptive policy the
 // queue occupancy it saw at ship time.
-func (p *Pipeline) ship(w int, b *event.Batch) {
-	b.Trace, b.Span = p.trace, p.span
+func (p *Pipeline) ship(w int, it item) {
+	if it.b != nil {
+		it.b.Trace, it.b.Span = p.trace, p.span
+	} else {
+		it.c.Trace, it.c.Span = p.trace, p.span
+	}
 	q := p.workers[w].q
 	if p.policy != nil {
 		p.policy.ObserveQueue(q.len(), q.capacity())
@@ -356,11 +434,11 @@ func (p *Pipeline) ship(w int, b *event.Batch) {
 		p.obs.ObserveQueue(q.len(), q.capacity())
 	}
 	if p.dispatchNS == nil {
-		q.send(b)
+		q.send(it)
 		return
 	}
 	start := time.Now()
-	q.send(b)
+	q.send(it)
 	elapsed := time.Since(start)
 	if elapsed < 0 {
 		elapsed = 0
@@ -393,6 +471,12 @@ func (p *Pipeline) Occupancy() float64 { return p.ringOccupancy() }
 // when it reaches the flush threshold (the adaptive policy's current
 // target, or full transport capacity when no policy is set).
 func (p *Pipeline) push(w int, r event.Rec) {
+	if c := p.pendingCols[w]; c != nil {
+		// Lane switch: ship the columnar pending first so the worker
+		// observes the stream in routing order.
+		p.ship(w, item{c: c})
+		p.pendingCols[w] = nil
+	}
 	b := p.pending[w]
 	if b == nil {
 		b = event.GetBatch()
@@ -401,14 +485,37 @@ func (p *Pipeline) push(w int, r event.Rec) {
 	b.Append(r)
 	if p.policy == nil {
 		if b.Full() {
-			p.ship(w, b)
+			p.ship(w, item{b: b})
 			p.pending[w] = nil
 		}
 		return
 	}
 	if len(b.Recs) >= p.policy.Target() {
-		p.ship(w, b)
+		p.ship(w, item{b: b})
 		p.pending[w] = nil
+	}
+}
+
+// pushCols appends a record to worker w's pending columnar batch —
+// push's twin for the ApplyCols lane.
+func (p *Pipeline) pushCols(w int, r event.Rec) {
+	if b := p.pending[w]; b != nil {
+		p.ship(w, item{b: b})
+		p.pending[w] = nil
+	}
+	c := p.pendingCols[w]
+	if c == nil {
+		c = event.GetCols()
+		p.pendingCols[w] = c
+	}
+	c.Append(r)
+	threshold := event.DefaultBatchSize
+	if p.policy != nil {
+		threshold = p.policy.Target()
+	}
+	if c.Len() >= threshold {
+		p.ship(w, item{c: c})
+		p.pendingCols[w] = nil
 	}
 }
 
@@ -445,6 +552,60 @@ func (p *Pipeline) broadcast(r event.Rec) {
 	r.Seq = p.seq
 	for w := range p.workers {
 		p.push(w, r)
+	}
+}
+
+// ApplyCols implements event.BatchSink: it routes a decoded columnar
+// batch straight off its columns — shard selection reads only the addr
+// column, and routed segments accumulate in per-worker columnar pendings
+// — so v2 wire payloads flow from decode to the detection workers without
+// ever materializing per-record event.Rec structs. Routing semantics are
+// identical to the Sink methods: accesses split at shadow-block
+// boundaries to the owning worker, everything else is broadcast in
+// stream order. Must be called from the execution thread; the caller
+// keeps ownership of c.
+func (p *Pipeline) ApplyCols(c *event.Cols) {
+	n := c.Len()
+	nw := uint64(len(p.workers))
+	for i := 0; i < n; i++ {
+		op := c.Ops[i]
+		if op != event.OpRead && op != event.OpWrite {
+			p.broadcastCols(c, i)
+			continue
+		}
+		p.seq++
+		p.events++
+		addr := c.Addrs[i]
+		if event.NonShared(addr) {
+			p.nonshared++
+			continue
+		}
+		p.accesses++
+		tid, pc := c.Tids[i], c.PCs[i]
+		lo, hi := addr, addr+uint64(c.Sizes[i])
+		for lo < hi {
+			end := (lo | (shadow.BlockSize - 1)) + 1
+			if end > hi {
+				end = hi
+			}
+			w := int(lo >> shadow.BlockShift % nw)
+			p.pushCols(w, event.Rec{
+				Op: op, Tid: tid, Addr: lo, Size: uint32(end - lo), PC: pc, Seq: p.seq,
+			})
+			lo = end
+		}
+	}
+}
+
+// broadcastCols re-sequences record i of a columnar batch and pushes it
+// to every worker's columnar pending.
+func (p *Pipeline) broadcastCols(c *event.Cols, i int) {
+	p.seq++
+	p.events++
+	r := c.Rec(i)
+	r.Seq = p.seq
+	for w := range p.workers {
+		p.pushCols(w, r)
 	}
 }
 
@@ -552,11 +713,19 @@ func (p *Pipeline) Wait() Result {
 		return p.result
 	}
 	p.done = true
+	// At most one lane has a pending per worker (push/pushCols cross-ship),
+	// so flushing both here cannot reorder the stream.
 	for w, b := range p.pending {
 		if b != nil && len(b.Recs) > 0 {
-			p.ship(w, b)
+			p.ship(w, item{b: b})
 		}
 		p.pending[w] = nil
+	}
+	for w, c := range p.pendingCols {
+		if c != nil && c.Len() > 0 {
+			p.ship(w, item{c: c})
+		}
+		p.pendingCols[w] = nil
 	}
 	for _, w := range p.workers {
 		w.q.close()

@@ -45,13 +45,22 @@ import (
 	"repro/internal/telemetry"
 )
 
+// item is one queued hand-off: exactly one of b (row-major record batch)
+// or c (columnar batch) is non-nil. A two-word struct rides the ring as
+// safely as the old single pointer — the cursor release/acquire pair
+// orders both word writes before the consumer's reads.
+type item struct {
+	b *event.Batch
+	c *event.Cols
+}
+
 // batchQueue is the router→worker transport. Exactly one goroutine may
 // call send/close (the producer) and one may call recv (the consumer);
 // len and capacity are safe from anywhere. recv blocks until a batch is
 // available and returns ok=false once the queue is closed and drained.
 type batchQueue interface {
-	send(b *event.Batch)
-	recv() (*event.Batch, bool)
+	send(it item)
+	recv() (item, bool)
 	len() int
 	capacity() int
 	close()
@@ -60,16 +69,16 @@ type batchQueue interface {
 // chanQueue is the channel-based baseline transport, kept selectable
 // (Options.Dispatch="chan") so the dispatch benchmarks compare the ring
 // against the exact pre-ring behavior rather than a reconstruction.
-type chanQueue struct{ ch chan *event.Batch }
+type chanQueue struct{ ch chan item }
 
 func newChanQueue(depth int) *chanQueue {
-	return &chanQueue{ch: make(chan *event.Batch, depth)}
+	return &chanQueue{ch: make(chan item, depth)}
 }
 
-func (q *chanQueue) send(b *event.Batch) { q.ch <- b }
-func (q *chanQueue) recv() (*event.Batch, bool) {
-	b, ok := <-q.ch
-	return b, ok
+func (q *chanQueue) send(it item) { q.ch <- it }
+func (q *chanQueue) recv() (item, bool) {
+	it, ok := <-q.ch
+	return it, ok
 }
 func (q *chanQueue) len() int      { return len(q.ch) }
 func (q *chanQueue) capacity() int { return cap(q.ch) }
@@ -91,7 +100,7 @@ type cachePad [64]byte
 // wrap-around needs no special casing: tail-head is the occupancy even
 // across uint64 overflow.
 type ring struct {
-	buf  []*event.Batch
+	buf  []item
 	mask uint64
 
 	// prodParks/consParks count park events per side (nil-safe no-ops
@@ -119,7 +128,7 @@ func newRing(depth int, prodParks, consParks *telemetry.Counter) *ring {
 		n <<= 1
 	}
 	return &ring{
-		buf:       make([]*event.Batch, n),
+		buf:       make([]item, n),
 		mask:      uint64(n - 1),
 		prodParks: prodParks,
 		consParks: consParks,
@@ -148,14 +157,14 @@ func wake(parked *atomic.Bool, ch chan struct{}) {
 	}
 }
 
-// send enqueues b, spinning then parking while the ring is full. Producer
+// send enqueues it, spinning then parking while the ring is full. Producer
 // goroutine only.
-func (r *ring) send(b *event.Batch) {
+func (r *ring) send(it item) {
 	t := r.tail.Load()
 	spins := 0
 	for {
 		if t-r.head.Load() < uint64(len(r.buf)) {
-			r.buf[t&r.mask] = b
+			r.buf[t&r.mask] = it
 			r.tail.Store(t + 1) // publishes the slot write (release)
 			wake(&r.consParked, r.consWake)
 			return
@@ -184,16 +193,16 @@ func (r *ring) send(b *event.Batch) {
 // recv dequeues the next batch, spinning then parking while the ring is
 // empty; it returns ok=false once the ring is closed and drained.
 // Consumer goroutine only.
-func (r *ring) recv() (*event.Batch, bool) {
+func (r *ring) recv() (item, bool) {
 	h := r.head.Load()
 	spins := 0
 	for {
 		if r.tail.Load() > h { // acquire: slot write visible below
-			b := r.buf[h&r.mask]
-			r.buf[h&r.mask] = nil // drop the reference; the pool owns it next
+			it := r.buf[h&r.mask]
+			r.buf[h&r.mask] = item{} // drop the references; the pool owns them next
 			r.head.Store(h + 1)
 			wake(&r.prodParked, r.prodWake)
-			return b, true
+			return it, true
 		}
 		if r.closed.Load() {
 			// closed is stored after the producer's final tail store, so
@@ -201,7 +210,7 @@ func (r *ring) recv() (*event.Batch, bool) {
 			if r.tail.Load() > h {
 				continue
 			}
-			return nil, false
+			return item{}, false
 		}
 		if spins < spinBudget {
 			spins++

@@ -9,12 +9,12 @@ import (
 	"repro/internal/telemetry"
 )
 
-// marker builds a one-record batch tagged with seq, so transfer order and
-// identity are checkable on the consumer side.
-func marker(seq uint64) *event.Batch {
+// marker builds a one-record batch item tagged with seq, so transfer
+// order and identity are checkable on the consumer side.
+func marker(seq uint64) item {
 	b := event.GetBatch()
 	b.Append(event.Rec{Op: event.OpRead, Seq: seq})
-	return b
+	return item{b: b}
 }
 
 // TestRingWrapAround pushes far more batches than the ring holds through a
@@ -37,15 +37,15 @@ func TestRingWrapAround(t *testing.T) {
 	}()
 	var got uint64
 	for {
-		b, ok := r.recv()
+		it, ok := r.recv()
 		if !ok {
 			break
 		}
 		got++
-		if want := got; b.Recs[0].Seq != want {
-			t.Fatalf("batch %d carried seq %d (reordered or duplicated)", want, b.Recs[0].Seq)
+		if want := got; it.b.Recs[0].Seq != want {
+			t.Fatalf("batch %d carried seq %d (reordered or duplicated)", want, it.b.Recs[0].Seq)
 		}
-		event.PutBatch(b)
+		event.PutBatch(it.b)
 	}
 	wg.Wait()
 	if got != n {
@@ -78,11 +78,11 @@ func TestRingProducerPark(t *testing.T) {
 		defer wg.Done()
 		time.Sleep(50 * time.Millisecond) // let the producer fill and park
 		for {
-			b, ok := r.recv()
+			it, ok := r.recv()
 			if !ok {
 				return
 			}
-			event.PutBatch(b)
+			event.PutBatch(it.b)
 			time.Sleep(time.Millisecond) // keep the ring full a few rounds
 		}
 	}()
@@ -114,12 +114,12 @@ func TestRingConsumerPark(t *testing.T) {
 	}()
 	var got int
 	for {
-		b, ok := r.recv()
+		it, ok := r.recv()
 		if !ok {
 			break
 		}
 		got++
-		event.PutBatch(b)
+		event.PutBatch(it.b)
 	}
 	wg.Wait()
 	if got != 4 {
@@ -140,14 +140,14 @@ func TestRingCloseWhileFull(t *testing.T) {
 	}
 	r.close()
 	for i := uint64(1); i <= 4; i++ {
-		b, ok := r.recv()
+		it, ok := r.recv()
 		if !ok {
 			t.Fatalf("close hid batch %d", i)
 		}
-		if b.Recs[0].Seq != i {
-			t.Fatalf("batch %d carried seq %d", i, b.Recs[0].Seq)
+		if it.b.Recs[0].Seq != i {
+			t.Fatalf("batch %d carried seq %d", i, it.b.Recs[0].Seq)
 		}
-		event.PutBatch(b)
+		event.PutBatch(it.b)
 	}
 	if _, ok := r.recv(); ok {
 		t.Fatal("drained closed ring still produced a batch")
@@ -187,12 +187,12 @@ func TestRingStress(t *testing.T) {
 	go func() {
 		var got, last uint64
 		for {
-			b, ok := r.recv()
+			it, ok := r.recv()
 			if !ok {
 				done <- got
 				return
 			}
-			if s := b.Recs[0].Seq; s != last+1 {
+			if s := it.b.Recs[0].Seq; s != last+1 {
 				t.Errorf("seq %d after %d", s, last)
 				done <- got
 				return
@@ -200,7 +200,7 @@ func TestRingStress(t *testing.T) {
 				last = s
 			}
 			got++
-			event.PutBatch(b)
+			event.PutBatch(it.b)
 			if got%97 == 0 {
 				time.Sleep(time.Microsecond) // periodic consumer stall
 			}
@@ -230,8 +230,9 @@ func TestRingZeroAlloc(t *testing.T) {
 	r := newRing(8, nil, nil)
 	b := event.GetBatch()
 	defer event.PutBatch(b)
+	it := item{b: b}
 	if got := testing.AllocsPerRun(1000, func() {
-		r.send(b)
+		r.send(it)
 		if _, ok := r.recv(); !ok {
 			t.Fatal("recv failed")
 		}
@@ -252,11 +253,11 @@ func TestChanQueueBaseline(t *testing.T) {
 		t.Fatalf("len = %d, want 1", q.len())
 	}
 	q.close()
-	b, ok := q.recv()
-	if !ok || b.Recs[0].Seq != 1 {
+	it, ok := q.recv()
+	if !ok || it.b.Recs[0].Seq != 1 {
 		t.Fatal("chan queue lost the queued batch across close")
 	}
-	event.PutBatch(b)
+	event.PutBatch(it.b)
 	if _, ok := q.recv(); ok {
 		t.Fatal("drained closed chan queue still produced a batch")
 	}

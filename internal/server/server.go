@@ -595,36 +595,66 @@ func (s *Server) dispatch(conn net.Conn, sess *session, h wire.Header, payload [
 		if terr != nil {
 			return sess, out, &protoErr{wire.CodeProtocol, terr.Error()}
 		}
-		b, err := wire.DecodeBatchCodec(recs, sess.codec)
-		if err != nil {
-			return sess, out, &protoErr{wire.CodeProtocol, err.Error()}
-		}
-		if s.opts.ShedHighWater > 0 {
-			if shed := s.shedRecords(sess, b); shed > 0 {
-				sess.shed += uint64(shed)
-				s.met.shedRecords.Add(uint64(shed))
+		var n int
+		if sess.codec == wire.CodecColumnar && s.opts.ShedHighWater <= 0 {
+			// Columnar hot path: the v2 payload decodes straight into a
+			// structure-of-arrays batch and flows column-wise into the
+			// pipeline — no per-record Rec materialization between the wire
+			// and the detection workers. Shedding sessions stay on the
+			// record path because shedRecords compacts row-major batches.
+			c, err := wire.DecodeColumnarCols(recs)
+			if err != nil {
+				return sess, out, &protoErr{wire.CodeProtocol, err.Error()}
 			}
-		}
-		n := len(b.Recs)
-		if trace != 0 {
-			// Continue the client's trace: a server.dispatch span parented
-			// under the client.batch root, with the pipeline stamping the
-			// shipped shard batches so apply spans nest beneath it.
-			dispatchSpan := telemetry.NewTraceID()
-			start := time.Now()
-			sess.pl.SetTrace(trace, dispatchSpan)
-			b.Apply(sess.pl)
-			sess.pl.SetTrace(0, 0)
-			s.tracer.RecordSpan(telemetry.SpanRecord{
-				Trace: trace, Span: dispatchSpan, Parent: clientSpan,
-				Name: "server.dispatch", Process: "racedetectd",
-				Dur:  time.Since(start).Nanoseconds(),
-				Args: map[string]any{"session": sess.id, "seq": h.Seq, "recs": n},
-			})
+			n = c.Len()
+			if trace != 0 {
+				dispatchSpan := telemetry.NewTraceID()
+				start := time.Now()
+				sess.pl.SetTrace(trace, dispatchSpan)
+				sess.pl.ApplyCols(c)
+				sess.pl.SetTrace(0, 0)
+				s.tracer.RecordSpan(telemetry.SpanRecord{
+					Trace: trace, Span: dispatchSpan, Parent: clientSpan,
+					Name: "server.dispatch", Process: "racedetectd",
+					Dur:  time.Since(start).Nanoseconds(),
+					Args: map[string]any{"session": sess.id, "seq": h.Seq, "recs": n},
+				})
+			} else {
+				sess.pl.ApplyCols(c)
+			}
+			event.PutCols(c)
 		} else {
-			b.Apply(sess.pl)
+			b, err := wire.DecodeBatchCodec(recs, sess.codec)
+			if err != nil {
+				return sess, out, &protoErr{wire.CodeProtocol, err.Error()}
+			}
+			if s.opts.ShedHighWater > 0 {
+				if shed := s.shedRecords(sess, b); shed > 0 {
+					sess.shed += uint64(shed)
+					s.met.shedRecords.Add(uint64(shed))
+				}
+			}
+			n = len(b.Recs)
+			if trace != 0 {
+				// Continue the client's trace: a server.dispatch span parented
+				// under the client.batch root, with the pipeline stamping the
+				// shipped shard batches so apply spans nest beneath it.
+				dispatchSpan := telemetry.NewTraceID()
+				start := time.Now()
+				sess.pl.SetTrace(trace, dispatchSpan)
+				b.Apply(sess.pl)
+				sess.pl.SetTrace(0, 0)
+				s.tracer.RecordSpan(telemetry.SpanRecord{
+					Trace: trace, Span: dispatchSpan, Parent: clientSpan,
+					Name: "server.dispatch", Process: "racedetectd",
+					Dur:  time.Since(start).Nanoseconds(),
+					Args: map[string]any{"session": sess.id, "seq": h.Seq, "recs": n},
+				})
+			} else {
+				b.Apply(sess.pl)
+			}
+			event.PutBatch(b)
 		}
-		event.PutBatch(b)
 		sess.lastSeq = h.Seq
 		sess.seqApplied.Store(h.Seq)
 		sess.eventsApplied.Add(uint64(n))

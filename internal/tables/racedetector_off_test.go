@@ -1,0 +1,8 @@
+//go:build !race
+
+package tables
+
+// raceDetectorOn reports whether the test binary runs under the Go race
+// detector (timing gates are skipped there — they would measure the
+// instrumentation, not the code).
+const raceDetectorOn = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package tables
+
+// raceDetectorOn trims the timing gates when the test binary runs under
+// the Go race detector.
+const raceDetectorOn = true

@@ -104,9 +104,9 @@ func optsKey(o race.Options) string {
 		o.Tool, o.Granularity, o.NoInitState, o.NoInitSharing,
 		o.WriteGuidedReads, o.ReshareInterval, o.MemLimitBytes, o.Timeout,
 		o.Workers, o.MaxEvents, o.Remote, o.RemoteSync) +
-		fmt.Sprintf("/cod=%s/disp=%s/bp=%s/clk=%d/clus=%s/bud=%g",
+		fmt.Sprintf("/cod=%s/disp=%s/bp=%s/clk=%d/clus=%s/bud=%g/el=%v",
 			o.Codec, o.Dispatch, o.BatchPolicy, o.Clock, strings.Join(o.Cluster, ","),
-			o.Budget)
+			o.Budget, o.Elide)
 }
 
 // bestDuration returns the minimum of ds: for a deterministic CPU-bound

@@ -66,6 +66,18 @@ func FuzzWireRoundTrip(f *testing.F) {
 		{Op: event.OpWGDone, Tid: 1, Aux: 1, Seq: 2},
 		{Op: event.OpWGWait, Tid: 0, Aux: 1, Seq: 3},
 	}}, CodecColumnar))
+	// Columnar-decoder edge seeds: a payload truncated mid-column, an
+	// oversized count prefix, and a count that disagrees with the column
+	// sections — the mutation engine starts at the cols decoder's error
+	// edges instead of having to find them.
+	colSeed := AppendColumnar(nil, []event.Rec{
+		{Op: event.OpRead, Tid: 1, Addr: 0x1000, Size: 8, PC: 3, Seq: 1},
+		{Op: event.OpWrite, Tid: 1, Addr: 0x1008, Size: 8, PC: 3, Seq: 2},
+	})
+	f.Add(colSeed[:len(colSeed)/2])                      // truncated column section
+	f.Add(appendUvarint(nil, 1<<40))                     // count prefix exceeds payload
+	f.Add(append(appendUvarint(nil, 7), colSeed[1:]...)) // count vs column-section mismatch
+	f.Add(append(append([]byte{}, colSeed...), 0, 0, 0)) // oversized: trailing bytes
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Property 1: encode→frame→decode is the identity.
@@ -143,6 +155,38 @@ func FuzzWireRoundTrip(f *testing.F) {
 				t.Fatalf("truncated columnar payload (%d of %d bytes) accepted", cut, len(cpayload))
 			}
 		}
+
+		// Property 2b: the columnar Cols decoder and encoder are exact
+		// twins of the record-major ones — byte-identical encoding, and
+		// identical accept/reject + records on arbitrary payload bytes.
+		cols := event.GetCols()
+		for i := range recs {
+			cols.Append(recs[i])
+		}
+		if !bytes.Equal(AppendColumnarCols(nil, cols), AppendColumnar(nil, recs)) {
+			t.Fatal("AppendColumnarCols diverged from AppendColumnar")
+		}
+		event.PutCols(cols)
+		var drb event.Batch
+		recErr := DecodeColumnarInto(data, &drb)
+		dc := event.GetCols()
+		colsErr := DecodeColumnarColsInto(data, dc)
+		if (recErr == nil) != (colsErr == nil) {
+			t.Fatalf("decoder strictness diverged: record %v, cols %v", recErr, colsErr)
+		}
+		if recErr == nil {
+			if dc.Len() != len(drb.Recs) {
+				t.Fatalf("cols decoded %d records, record decoder %d", dc.Len(), len(drb.Recs))
+			}
+			for i := range drb.Recs {
+				if dc.Rec(i) != drb.Recs[i] {
+					t.Fatalf("record %d decoded differently: %+v vs %+v", i, dc.Rec(i), drb.Recs[i])
+				}
+			}
+		} else if dc.Len() != 0 {
+			t.Fatalf("failed cols decode left %d partial records", dc.Len())
+		}
+		event.PutCols(dc)
 
 		// Property 3: arbitrary bytes never panic the reader/decoders.
 		rd := NewReader(bytes.NewReader(data), 4096)

@@ -114,5 +114,6 @@ func mergeStats(a, b ReportStats) ReportStats {
 	a.ClockGeneralBytes += b.ClockGeneralBytes
 	a.ClockGeneralPeakBytes += b.ClockGeneralPeakBytes
 	a.ShedRecords += b.ShedRecords
+	a.Elided += b.Elided
 	return a
 }

@@ -222,16 +222,21 @@ func GetRec(b []byte, r *event.Rec) {
 const MaxOp = event.OpWGWait
 
 // DecodeBatchInto decodes a Batch payload into b (appending to b.Recs).
-// The payload must be a whole number of records with valid op codes.
+// The payload must be a whole number of records with valid op codes. On
+// any error b is rewound to its length at entry — like the columnar
+// decoder, a failed decode never leaves partial records behind for a
+// caller that recycles b through the batch pool.
 func DecodeBatchInto(payload []byte, b *event.Batch) error {
 	if len(payload)%RecSize != 0 {
 		return fmt.Errorf("wire: batch payload length %d is not a multiple of %d", len(payload), RecSize)
 	}
+	base := len(b.Recs)
 	n := len(payload) / RecSize
 	for i := 0; i < n; i++ {
 		var r event.Rec
 		GetRec(payload[i*RecSize:], &r)
 		if r.Op > MaxOp {
+			b.Recs = b.Recs[:base]
 			return fmt.Errorf("wire: record %d has unknown op %d", i, r.Op)
 		}
 		b.Recs = append(b.Recs, r)
@@ -447,6 +452,13 @@ type ReportStats struct {
 	// never shed). Absent means the server has no shedding — old servers
 	// interoperate.
 	ShedRecords uint64 `json:"shed_records,omitempty"`
+	// Elided counts accesses the client's front-line filter dropped as
+	// exact same-epoch repeats before they ever reached the wire; it is
+	// filled in client-side (the server never sees elided events), and
+	// rides ReportStats so merged and persisted reports keep coverage
+	// reconciliation exact: observed accesses = Accesses + Elided. Absent
+	// means no elision — old peers interoperate.
+	Elided uint64 `json:"elided,omitempty"`
 }
 
 // ErrorPayload is the body of a TypeError frame. Code is a stable,

@@ -96,6 +96,13 @@ func runCluster(p Program, opts Options) (Report, error) {
 		}
 		sink = smp
 	}
+	var el *event.Elider
+	if opts.Elide {
+		// Outermost: repeats never reach the fan-out sink, so no member
+		// pays serialization for them.
+		el = event.NewElider(sink, event.EliderOptions{Telemetry: opts.Telemetry})
+		sink = el
+	}
 	start := time.Now()
 	endExec := opts.Tracer.Span("execute", map[string]any{"program": p.Name})
 	rep.Run = sim.Run(p, sink, opts.engineOptions())
@@ -112,6 +119,9 @@ func runCluster(p Program, opts Options) (Report, error) {
 	rep.Detector.ShedRecords = wrep.Stats.ShedRecords
 	if smp != nil {
 		rep.Detector.SampledForwarded, rep.Detector.SampledSkipped = smp.Counts()
+	}
+	if el != nil {
+		rep.Detector.Elided = el.Elided()
 	}
 	return rep, nil
 }

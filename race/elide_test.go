@@ -1,0 +1,121 @@
+package race
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/workloads"
+)
+
+// TestElideEquivalence is the front-line elision pin: with Elide on, the
+// verdict must be byte-identical to the unelided run — same race set on
+// every workload, every granularity and all three topologies (in-process
+// serial, remote loopback, two-member cluster) — and the accounting must
+// reconcile exactly: every shared access either reached the detector or
+// was counted as elided, so Accesses(base) == Accesses(elided) + Elided.
+// Any drift here means the elider dropped an access that was not a true
+// same-epoch repeat, i.e. it is no longer lossless.
+func TestElideEquivalence(t *testing.T) {
+	remote := startDetectd(t, server.Options{})
+	cluster := []string{startDetectd(t, server.Options{}), startDetectd(t, server.Options{})}
+	specs := workloads.All()
+	grans := []Granularity{Byte, Word, Dynamic}
+	if raceDetectorOn {
+		specs = specs[:4]
+		grans = []Granularity{Dynamic}
+	}
+	var totalElided uint64
+	for _, spec := range specs {
+		for _, g := range grans {
+			base := Run(spec.Program(), Options{Granularity: g, Seed: 42})
+			want := sortRaces(base.Races)
+			topologies := []struct {
+				name string
+				opts Options
+			}{
+				{"serial", Options{Granularity: g, Seed: 42, Elide: true}},
+				{"remote", Options{Granularity: g, Seed: 42, Elide: true, Workers: 2, Remote: remote}},
+				{"cluster", Options{Granularity: g, Seed: 42, Elide: true, Workers: 2, Cluster: cluster}},
+			}
+			for _, topo := range topologies {
+				rep, err := RunE(spec.Program(), topo.opts)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", spec.Name, g, topo.name, err)
+				}
+				if got := sortRaces(rep.Races); !reflect.DeepEqual(want, got) {
+					t.Errorf("%s/%s/%s: race set differs with -elide\nwant (%d): %v\ngot (%d): %v",
+						spec.Name, g, topo.name, len(want), want, len(got), got)
+				}
+				// Sync-dense workloads (fanin, pipedag) flush the elider
+				// before any repeat survives; elision firing is asserted
+				// across the whole matrix below, not per combination.
+				totalElided += rep.Detector.Elided
+				if got := rep.Detector.Accesses + rep.Detector.Elided; got != base.Detector.Accesses {
+					t.Errorf("%s/%s/%s: accounting drift: forwarded %d + elided %d = %d, want %d shared accesses",
+						spec.Name, g, topo.name, rep.Detector.Accesses, rep.Detector.Elided,
+						got, base.Detector.Accesses)
+				}
+				if base.Run.Accesses != rep.Run.Accesses {
+					t.Errorf("%s/%s/%s: Run.Accesses %d vs %d — elision must not perturb the program",
+						spec.Name, g, topo.name, base.Run.Accesses, rep.Run.Accesses)
+				}
+			}
+		}
+	}
+	if totalElided == 0 {
+		t.Error("elider never fired on any workload/granularity/topology")
+	}
+}
+
+// TestElideSamplingComposition stacks both front ends — elider outermost,
+// then the budgeted sampler — and reconciles the three tallies against
+// the simulator's own access count: every access event is elided,
+// forwarded or skipped, exactly once. The sync skeleton passes both
+// stages verbatim (the elider flushes on it, the sampler forwards it),
+// so the composed run may shrink the race report but never add to it.
+func TestElideSamplingComposition(t *testing.T) {
+	spec, err := workloads.ByName("canneal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Run(spec.Program(), Options{Granularity: Dynamic, Seed: 42})
+	full := map[Race]bool{}
+	for _, r := range base.Races {
+		full[r] = true
+	}
+	reg := telemetry.New()
+	rep := Run(spec.Program(), Options{
+		Granularity: Dynamic, Seed: 42, Elide: true, Budget: 0.05, Telemetry: reg,
+	})
+	st := rep.Detector
+	if st.Elided == 0 {
+		t.Fatal("composed run elided nothing")
+	}
+	if st.SampledForwarded == 0 || st.SampledSkipped == 0 {
+		t.Fatalf("composed run did not sample: forwarded=%d skipped=%d",
+			st.SampledForwarded, st.SampledSkipped)
+	}
+	// Exact conservation: the simulator delivered Run.Accesses access
+	// events; the elider swallowed st.Elided of them and the sampler
+	// triaged every survivor into forwarded or skipped.
+	if got := st.Elided + st.SampledForwarded + st.SampledSkipped; got != rep.Run.Accesses {
+		t.Errorf("access conservation broken: elided %d + forwarded %d + skipped %d = %d, want %d",
+			st.Elided, st.SampledForwarded, st.SampledSkipped, got, rep.Run.Accesses)
+	}
+	if got := reg.CounterValue("detector_elided_total"); got != st.Elided {
+		t.Errorf("detector_elided_total %d, Stats.Elided %d", got, st.Elided)
+	}
+	if got := reg.CounterValue("sampling_forwarded_total"); got != st.SampledForwarded {
+		t.Errorf("sampling_forwarded_total %d, Stats.SampledForwarded %d", got, st.SampledForwarded)
+	}
+	if got := reg.CounterValue("sampling_skipped_total"); got != st.SampledSkipped {
+		t.Errorf("sampling_skipped_total %d, Stats.SampledSkipped %d", got, st.SampledSkipped)
+	}
+	for _, r := range rep.Races {
+		if !full[r] {
+			t.Errorf("composed run invented a race: %+v", r)
+		}
+	}
+}

@@ -248,6 +248,21 @@ type Options struct {
 	// detector_sampled_fraction.
 	Budget float64
 
+	// Elide enables the front-line same-epoch filter: a per-thread
+	// direct-mapped cache of recently checked (granule, op) pairs fronting
+	// the transport, flushed on every synchronization, heap or Go-native
+	// event of the thread (internal/event.Elider). An access whose exact
+	// (addr, size) was already forwarded this epoch with a covering op is
+	// provably fated for the detector's same-epoch bitmap fast path, so it
+	// is dropped at the source — before serialization on Remote/Cluster
+	// runs, before routing on local ones. Lossless: verdicts are
+	// byte-identical with the filter on or off. Every elided access is
+	// counted (Stats.Elided, detector_elided_total), so
+	// Accesses + Elided equals the unfiltered access count exactly.
+	// FastTrack only. Composes with Budget: the filter runs outermost, so
+	// the sampler only sees accesses that survived elision.
+	Elide bool
+
 	// Provenance attaches an explanation record to every reported race:
 	// both conflicting accesses, the failing epoch/clock comparison, the
 	// granularity-plane state history, and the last few synchronization
@@ -395,6 +410,9 @@ func (o Options) Validate() error {
 	if o.Budget > 0 && o.Tool != FastTrack {
 		return &OptionsError{"Budget", fmt.Sprintf("the sampling lane applies to the fasttrack tool only, not %v", o.Tool)}
 	}
+	if o.Elide && o.Tool != FastTrack {
+		return &OptionsError{"Elide", fmt.Sprintf("same-epoch elision applies to the fasttrack tool only, not %v", o.Tool)}
+	}
 	if o.Provenance && o.Tool != FastTrack {
 		return &OptionsError{"Provenance", fmt.Sprintf("race provenance applies to the fasttrack tool only, not %v", o.Tool)}
 	}
@@ -488,6 +506,11 @@ type Stats struct {
 	SampledForwarded uint64
 	SampledSkipped   uint64
 	ShedRecords      uint64
+
+	// Elided counts accesses the front-line filter (Options.Elide) dropped
+	// at the source as exact same-epoch repeats. Zero on unfiltered runs;
+	// Accesses + Elided is the unfiltered access count.
+	Elided uint64
 }
 
 // SampledFraction returns the fraction of observed accesses that reached
@@ -721,6 +744,13 @@ func runRemote(p Program, opts Options) (Report, error) {
 		}
 		sink = smp
 	}
+	var el *event.Elider
+	if opts.Elide {
+		// Outermost: repeats are dropped before serialization, so the wire
+		// never carries them.
+		el = event.NewElider(sink, event.EliderOptions{Telemetry: opts.Telemetry})
+		sink = el
+	}
 	start := time.Now()
 	endExec := opts.Tracer.Span("execute", map[string]any{"program": p.Name})
 	rep.Run = sim.Run(p, sink, opts.engineOptions())
@@ -737,6 +767,9 @@ func runRemote(p Program, opts Options) (Report, error) {
 	rep.Detector.ShedRecords = wrep.Stats.ShedRecords
 	if smp != nil {
 		rep.Detector.SampledForwarded, rep.Detector.SampledSkipped = smp.Counts()
+	}
+	if el != nil {
+		rep.Detector.Elided = el.Elided()
 	}
 	return rep, nil
 }
@@ -797,6 +830,17 @@ func runLocal(p Program, opts Options) Report {
 			collect = func(r *Report) {
 				inner(r)
 				r.Detector.SampledForwarded, r.Detector.SampledSkipped = smp.Counts()
+			}
+		}
+		if opts.Elide {
+			// Outermost: the filter sees the raw stream, so the sampler
+			// (and the transport) only pay for accesses that survived.
+			el := event.NewElider(sink, event.EliderOptions{Telemetry: opts.Telemetry})
+			sink = el
+			inner := collect
+			collect = func(r *Report) {
+				inner(r)
+				r.Detector.Elided = el.Elided()
 			}
 		}
 	case DJITPlus:
